@@ -1,0 +1,162 @@
+// Command piftbench regenerates the paper's tables and figures from the
+// simulated platform and prints them as text.
+//
+// Usage:
+//
+//	piftbench [-exp all|fig2|table1|fig10|fig11|headline|fig12|fig13|
+//	           fig14|fig15|fig16|fig17|fig18] [-scale N]
+//
+// -scale sizes the LGRoot workload that drives the trace-statistics and
+// overhead experiments (default 25; larger = longer trace, smoother
+// distributions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/droidbench"
+	"repro/internal/eval"
+	"repro/internal/malware"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary)")
+	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
+	flag.Parse()
+
+	h := eval.NewHarness(*scale)
+	selected := strings.Split(*exp, ",")
+	run := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	ok := false
+
+	if run("table1") {
+		ok = true
+		rows, err := eval.Table1()
+		fatal(err)
+		fmt.Println(eval.RenderTable1(rows))
+	}
+	if run("fig10") {
+		ok = true
+		fmt.Println(eval.Figure10(h, 30).Render())
+	}
+	if run("fig2") || run("fig12") || run("fig13") {
+		c, err := eval.Figure2(h)
+		fatal(err)
+		if run("fig2") {
+			ok = true
+			fmt.Println(c.RenderFigure2())
+		}
+		if run("fig12") {
+			ok = true
+			fmt.Println(eval.RenderFigure12(c))
+		}
+		if run("fig13") {
+			ok = true
+			fmt.Println(eval.RenderFigure13(c))
+		}
+	}
+	if run("fig11") {
+		ok = true
+		r, err := eval.Figure11(h)
+		fatal(err)
+		fmt.Println(r.Render())
+	}
+	if run("headline") {
+		ok = true
+		r, err := eval.Headline(h)
+		fatal(err)
+		fmt.Println(r.Render())
+	}
+	if run("summary") {
+		ok = true
+		rows, err := eval.Summary(h)
+		fatal(err)
+		fmt.Println(eval.RenderSummary(rows))
+	}
+	if run("apps") {
+		ok = true
+		fmt.Println(droidbench.RenderInventory())
+	}
+	if run("categories") {
+		ok = true
+		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+		rows, err := eval.CategoryBreakdown(h, cfg)
+		fatal(err)
+		fmt.Println(eval.RenderCategoryBreakdown(rows, cfg))
+	}
+	if run("fig14") {
+		ok = true
+		g, err := eval.Figure14(h)
+		fatal(err)
+		fmt.Println(g.Render("Figure 14: max tainted bytes (LGRoot)", eval.Count))
+	}
+	if run("fig15") || run("fig16") {
+		ok = true
+		r, err := eval.TimeSeries(h, 40)
+		fatal(err)
+		fmt.Println(r.Render())
+	}
+	if run("fig17") {
+		ok = true
+		g, err := eval.Figure17(h)
+		fatal(err)
+		fmt.Println(g.Render("Figure 17: max distinct tainted ranges (LGRoot)", eval.Count))
+	}
+	if run("fig18") {
+		ok = true
+		rows, err := eval.UntaintEffect(h)
+		fatal(err)
+		fmt.Println(eval.RenderUntaintEffect(rows))
+	}
+	if run("allsamples") {
+		ok = true
+		rows, err := eval.AllSampleStats(*scale)
+		fatal(err)
+		fmt.Println(eval.RenderSampleStats(rows))
+	}
+	if run("jit") {
+		ok = true
+		r, err := eval.JITComparison(*scale)
+		fatal(err)
+		fmt.Println(r.Render())
+	}
+	if run("stores") {
+		ok = true
+		rows, err := eval.StoreAblation(h)
+		fatal(err)
+		fmt.Println(eval.RenderStoreAblation(rows))
+	}
+	if run("cache") {
+		ok = true
+		rows, err := eval.CacheCapacity(h, []int{2, 8, 32, 128, 512, 2730})
+		fatal(err)
+		fmt.Println(eval.RenderCacheCapacity(rows))
+	}
+
+	if !ok {
+		fmt.Fprintf(os.Stderr, "piftbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "piftbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command pifttrace records an application's front-end event stream and
+// prints its memory-operation statistics (the paper's Figure 2, 12, and 13
+// analyses for an arbitrary app).
+//
+// Usage:
+//
+//	pifttrace -app LGRoot [-scale 25] [-disasm N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/android"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/droidbench"
+	"repro/internal/eval"
+	"repro/internal/malware"
+	"repro/internal/trace"
+	"repro/internal/tracestat"
+)
+
+func main() {
+	app := flag.String("app", "LGRoot", "application or malware sample name")
+	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
+	disasm := flag.Uint64("disasm", 0, "print the first N retired instructions as a gem5-style listing")
+	save := flag.String("save", "", "write the recorded event trace to this file")
+	load := flag.String("load", "", "analyze a previously saved trace instead of executing an app")
+	flag.Parse()
+
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec, err := trace.ReadFrom(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		analyze(*load, rec)
+		return
+	}
+
+	var prog *dalvik.Program
+	if *app == "LGRoot" {
+		prog = malware.LGRoot(*scale)
+	} else {
+		for _, a := range droidbench.Suite() {
+			if a.Name == *app {
+				prog = a.Prog
+			}
+		}
+		for _, s := range malware.Samples() {
+			if s.Name == *app {
+				prog = s.Prog
+			}
+		}
+	}
+	if prog == nil {
+		fmt.Fprintf(os.Stderr, "pifttrace: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+
+	if *disasm > 0 {
+		tracer := cpu.NewTracer(os.Stdout, *disasm)
+		if _, err := android.Run(prog, android.RunOptions{
+			Hooks: []cpu.InstrHook{tracer},
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	rec, err := eval.Record(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifttrace:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		if _, err := rec.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d events to %s\n", rec.Len(), *save)
+	}
+	analyze(*app, rec)
+}
+
+// analyze prints the memory-operation statistics of one trace.
+func analyze(label string, rec *trace.Recorder) {
+	c := tracestat.NewCollector()
+	rec.Replay(c)
+	c.Finish()
+
+	sum := rec.Summarize()
+	fmt.Printf("%s: %d events (%d loads, %d stores, %d sources, %d sinks), %d instructions\n\n",
+		label, rec.Len(), sum.Loads, sum.Stores, sum.Sources, sum.Sinks, sum.LastSeq)
+	fmt.Println(c.RenderFigure2())
+	fmt.Println(eval.RenderFigure12(c))
+	fmt.Println(eval.RenderFigure13(c))
+}

@@ -1,0 +1,77 @@
+// Imeileak reproduces the paper's §2 motivating example — msgZ = "type=sms"
+// + "&imei=" + getDeviceId() + "&dummy" sent by SMS — and runs it under
+// both PIFT and the exact register-level DIFT oracle, printing the verdicts
+// and the relative tracking work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/dift"
+	"repro/internal/jrt"
+)
+
+func buildPaperExample() (*dalvik.Program, error) {
+	b := dalvik.NewProgram("Section2Example")
+	m := b.Method("Main.main", 8, 0)
+	// String msgX = "type=sms";
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.ConstString(1, "type=sms")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	// msgY = msgX + "&imei=" + telMan.getDeviceId();
+	m.ConstString(1, "&imei=")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppend, 0, 2)
+	m.MoveResultObject(0)
+	// msgZ = msgY + "&dummy";
+	m.ConstString(1, "&dummy")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(3)
+	// sms.sendTextMessage(phNum, null, msgZ, ...);
+	m.ConstString(4, "5550001")
+	m.InvokeStatic(android.MethodSendSMS, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return b.Build(android.KnownExterns())
+}
+
+func main() {
+	prog, err := buildPaperExample()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pift := core.NewTracker(core.Config{NI: 13, NT: 3, Untaint: true}, nil)
+	oracle := dift.New()
+	res, err := android.Run(prog, android.RunOptions{
+		Sinks: []cpu.EventSink{pift, oracle},
+		Hooks: []cpu.InstrHook{oracle},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Sinks[0]
+	fmt.Printf("SMS to %q: %q\n", s.Dest, s.Payload)
+	fmt.Printf("ground truth (content): leaked=%v\n", s.ContainsSecret)
+	fmt.Printf("PIFT (loads+stores only): tainted=%v\n", pift.Verdicts()[0].Tainted)
+	fmt.Printf("DIFT (every instruction): tainted=%v\n", oracle.Verdicts()[0].Tainted)
+
+	ps, ds := pift.Stats(), oracle.Stats()
+	fmt.Printf("\nwork comparison over %d instructions:\n", res.Instructions)
+	fmt.Printf("  PIFT processed %d memory events\n", ps.Loads+ps.Stores)
+	fmt.Printf("  DIFT processed %d instructions (%.1fx more)\n",
+		ds.Instructions, float64(ds.Instructions)/float64(ps.Loads+ps.Stores))
+}

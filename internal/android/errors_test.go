@@ -1,0 +1,112 @@
+package android
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+)
+
+func TestRunSurfacesTranslateErrors(t *testing.T) {
+	// A field reference to an undeclared class passes Build only if we
+	// bypass validation; construct the method directly to hit the
+	// translator's error path.
+	b := dalvik.NewProgram("bad")
+	m := b.Method("Main.main", 8, 0)
+	m.Iget(0, 1, "NoSuchClass.field")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatalf("build should defer field resolution to the translator: %v", err)
+	}
+	if _, err := Run(prog, RunOptions{}); err == nil {
+		t.Fatal("Run must surface the unresolved field")
+	} else if !strings.Contains(err.Error(), "NoSuchClass") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	b := dalvik.NewProgram("spin")
+	m := b.Method("Main.main", 4, 0)
+	m.Label("spin")
+	m.Goto("spin")
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, RunOptions{Budget: 10_000}); err == nil {
+		t.Fatal("runaway program must exhaust the budget")
+	} else if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunUnknownStaticError(t *testing.T) {
+	b := dalvik.NewProgram("badstatic")
+	m := b.Method("Main.main", 4, 0)
+	m.Sput(0, "undeclared")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, RunOptions{}); err == nil {
+		t.Fatal("Run must surface the unknown static field")
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	b := dalvik.NewProgram("tiny")
+	m := b.Method("Main.main", 4, 0)
+	m.ConstString(0, "m")
+	m.ConstString(1, "d")
+	m.InvokeStatic(MethodLog, 1, 0)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, RunOptions{}) // zero options: defaults kick in
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 || res.Instructions == 0 {
+		t.Fatalf("defaults run: %+v", res)
+	}
+	if res.Framework.Identity().IMEI != DefaultIdentity().IMEI {
+		t.Fatal("default identity not applied")
+	}
+}
+
+func TestSinkWithEmptyPayloadRecordsNoQuery(t *testing.T) {
+	b := dalvik.NewProgram("empty")
+	m := b.Method("Main.main", 6, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0) // empty string
+	m.MoveResultObject(1)
+	m.ConstString(2, "d")
+	m.InvokeStatic(MethodSendSMS, 2, 1)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(prog, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sinks) != 1 {
+		t.Fatalf("sinks: %+v", res.Sinks)
+	}
+	if res.Sinks[0].Tag != 0 || res.Sinks[0].Payload != "" {
+		t.Fatalf("empty payload handling: %+v", res.Sinks[0])
+	}
+}

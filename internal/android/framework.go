@@ -1,0 +1,311 @@
+// Package android models the layers of the paper's Figure 3 above the
+// hardware: the framework sources and sinks (TelephonyManager,
+// LocationManager, SmsManager, HTTP, logging), the PIFT Manager that
+// registers source data and checks sink data, and the PIFT Native address
+// translation (string payload → byte range). It also provides the harness
+// that links an application against the runtime and executes it.
+package android
+
+import (
+	"strings"
+
+	"repro/internal/arm"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+	"repro/internal/mem"
+)
+
+// Framework method names applications can invoke.
+const (
+	MethodGetDeviceID = "TelephonyManager.getDeviceId"         // () → String (sensitive)
+	MethodGetSerial   = "Build.getSerial"                      // () → String (sensitive)
+	MethodGetLine1    = "TelephonyManager.getLine1Number"      // () → String (sensitive)
+	MethodGetLocation = "LocationManager.getLastKnownLocation" // () → Location (sensitive fields)
+	// MethodGetLocationString returns the last fix pre-formatted as
+	// "lat,lon" in milli-degrees — the cached string representation many
+	// real malware samples read instead of the raw fix.
+	MethodGetLocationString = "LocationManager.getLastKnownLocationString" // () → String (sensitive)
+	MethodGetModel          = "Build.getModel"                             // () → String (not sensitive)
+	MethodUptimeMillis      = "SystemClock.uptimeMillis"                   // () → int (not sensitive)
+	MethodSendSMS           = "SmsManager.sendTextMessage"                 // (dest, msg) — sink
+	MethodSendHTTP          = "HttpURLConnection.send"                     // (url, body) — sink
+	MethodLog               = "Log.d"                                      // (tag, msg) — sink
+)
+
+// LocationClass is the class applications must declare to read location
+// fields: `Class("Location", "lat", "lon")` — lat at offset 0, lon at 4,
+// both in positive milli-degrees.
+const LocationClass = "Location"
+
+// Bridge IDs used by the framework (jrt owns 1–31).
+const (
+	bridgeGetDeviceID = 100 + iota
+	bridgeGetSerial
+	bridgeGetLine1
+	bridgeGetLocation
+	bridgeGetLocationString
+	bridgeGetModel
+	bridgeUptime
+	bridgeSendSMS
+	bridgeSendHTTP
+	bridgeLog
+)
+
+// SinkKind identifies the exfiltration channel of a sink call.
+type SinkKind uint8
+
+const (
+	SinkSMS SinkKind = iota
+	SinkHTTP
+	SinkLog
+)
+
+func (k SinkKind) String() string {
+	switch k {
+	case SinkSMS:
+		return "sms"
+	case SinkHTTP:
+		return "http"
+	case SinkLog:
+		return "log"
+	}
+	return "sink?"
+}
+
+// SinkCall records one sink invocation: the taint query tag (to join with
+// tracker verdicts), the host-decoded payload, and the ground truth —
+// whether the payload actually contains sensitive data, judged by content,
+// independent of any tracker.
+type SinkCall struct {
+	Tag            int // 0 when the payload was empty (no query issued)
+	Kind           SinkKind
+	Dest           string
+	Payload        string
+	ContainsSecret bool
+}
+
+// Identity is the device's sensitive data. Location values are positive
+// milli-degrees (the division-free formatting intrinsic is unsigned).
+type Identity struct {
+	IMEI        string
+	Serial      string
+	PhoneNumber string
+	LatMilli    uint32
+	LonMilli    uint32
+}
+
+// DefaultIdentity returns the identity used across the evaluation; the
+// IMEI is the GSM standard test value.
+func DefaultIdentity() Identity {
+	return Identity{
+		IMEI:        "356938035643809",
+		Serial:      "RF8M33XQ1ZT",
+		PhoneNumber: "15557734982",
+		LatMilli:    37421,
+		LonMilli:    122084,
+	}
+}
+
+// LocationString returns the cached formatted fix "lat,lon".
+func (id Identity) LocationString() string {
+	return uitoa(id.LatMilli) + "," + uitoa(id.LonMilli)
+}
+
+// secrets returns the strings whose appearance in a sink payload counts as
+// a real leak.
+func (id Identity) secrets() []string {
+	return []string{
+		id.IMEI,
+		id.Serial,
+		id.PhoneNumber,
+		uitoa(id.LatMilli),
+		uitoa(id.LonMilli),
+	}
+}
+
+func uitoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Framework is the PIFT Manager + PIFT Native of Figure 3: it registers
+// source payload ranges with the tracking layers and issues sink taint
+// queries, while recording ground truth on the host side.
+type Framework struct {
+	machine  *cpu.Machine
+	rt       *jrt.Runtime
+	identity Identity
+	sinks    []SinkCall
+}
+
+// NewFramework emits the framework method stubs into the runtime's
+// assembler and registers their bridges.
+func NewFramework(rt *jrt.Runtime, identity Identity) *Framework {
+	fw := &Framework{machine: rt.Machine(), rt: rt, identity: identity}
+	fw.registerAll()
+	return fw
+}
+
+// Identity returns the device identity in use.
+func (fw *Framework) Identity() Identity { return fw.identity }
+
+// Sinks returns every sink call recorded so far, in order.
+func (fw *Framework) Sinks() []SinkCall { return fw.sinks }
+
+// LeakedByContent reports whether any sink payload actually contained a
+// secret — the ground truth an accuracy experiment scores against.
+func (fw *Framework) LeakedByContent() bool {
+	for _, s := range fw.sinks {
+		if s.ContainsSecret {
+			return true
+		}
+	}
+	return false
+}
+
+// stub emits a framework method as "bridge; store retval ref; return". The
+// retval store is a real (tracked) store of the object *reference* — the
+// sensitive payload itself enters memory via host pokes and is registered
+// by range, as in the paper.
+func (fw *Framework) stub(name string, bridgeID int32, fn cpu.BridgeFunc) {
+	a := fw.rt.Asm()
+	label := "fw$" + name
+	a.Label(label)
+	fw.rt.RegisterExtern(name, label)
+	fw.machine.RegisterBridge(bridgeID, fn)
+	a.Emit(
+		arm.Bridge(bridgeID),
+		arm.Str(arm.R0, dalvik.RSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+// sinkStub emits a sink method: the bridge performs the taint query and
+// ground-truth recording; there is no result.
+func (fw *Framework) sinkStub(name string, bridgeID int32, kind SinkKind) {
+	a := fw.rt.Asm()
+	label := "fw$" + name
+	a.Label(label)
+	fw.rt.RegisterExtern(name, label)
+	fw.machine.RegisterBridge(bridgeID, func(m *cpu.Machine, p *cpu.Proc) {
+		fw.recordSink(p, kind)
+	})
+	a.Emit(arm.Bridge(bridgeID), arm.BxLR())
+}
+
+func (fw *Framework) registerAll() {
+	fw.stub(MethodGetDeviceID, bridgeGetDeviceID, func(m *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = fw.newSourceString(p, fw.identity.IMEI)
+	})
+	fw.stub(MethodGetSerial, bridgeGetSerial, func(m *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = fw.newSourceString(p, fw.identity.Serial)
+	})
+	fw.stub(MethodGetLine1, bridgeGetLine1, func(m *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = fw.newSourceString(p, fw.identity.PhoneNumber)
+	})
+	fw.stub(MethodGetLocation, bridgeGetLocation, func(m *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = fw.newLocation(p)
+	})
+	fw.stub(MethodGetLocationString, bridgeGetLocationString, func(m *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = fw.newSourceString(p, fw.identity.LocationString())
+	})
+	fw.stub(MethodGetModel, bridgeGetModel, func(m *cpu.Machine, p *cpu.Proc) {
+		// Not sensitive: no source registration.
+		p.State.R[arm.R0] = fw.rt.NewString("PIFT-SIM-1")
+	})
+	fw.stub(MethodUptimeMillis, bridgeUptime, func(m *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = uint32(p.InstrCount / 1000)
+	})
+	fw.sinkStub(MethodSendSMS, bridgeSendSMS, SinkSMS)
+	fw.sinkStub(MethodSendHTTP, bridgeSendHTTP, SinkHTTP)
+	fw.sinkStub(MethodLog, bridgeLog, SinkLog)
+}
+
+// newSourceString allocates the payload (host poke, untracked — the kernel
+// copies the data in) and registers its character range as a taint source:
+// the PIFT Manager "Register(data)" path of Figure 3.
+func (fw *Framework) newSourceString(p *cpu.Proc, s string) mem.Addr {
+	addr := fw.rt.NewString(s)
+	if r, ok := fw.rt.StringChars(addr); ok {
+		fw.machine.RegisterSource(p, r)
+	}
+	return addr
+}
+
+// newLocation allocates a Location object and registers its two primitive
+// fields — the paper's "for a primitive data type ... PIFT Native finds
+// the byte offset of the field in the object instance".
+func (fw *Framework) newLocation(p *cpu.Proc) mem.Addr {
+	addr := fw.rt.Alloc(8)
+	fw.machine.Mem.Store32(addr, fw.identity.LatMilli)
+	fw.machine.Mem.Store32(addr+4, fw.identity.LonMilli)
+	fw.machine.RegisterSource(p, mem.MakeRange(addr, 4))
+	fw.machine.RegisterSource(p, mem.MakeRange(addr+4, 4))
+	return addr
+}
+
+// recordSink is the PIFT Manager "Check(data)" path: translate the payload
+// to its byte range, query the tracking hardware, and record ground truth.
+func (fw *Framework) recordSink(p *cpu.Proc, kind SinkKind) {
+	destRef := p.State.R[arm.R0]
+	msgRef := p.State.R[arm.R1]
+	payload := fw.rt.ReadString(msgRef)
+	call := SinkCall{
+		Kind:    kind,
+		Dest:    fw.rt.ReadString(destRef),
+		Payload: payload,
+	}
+	for _, secret := range fw.identity.secrets() {
+		if secret != "" && strings.Contains(payload, secret) {
+			call.ContainsSecret = true
+			break
+		}
+	}
+	if r, ok := fw.rt.StringChars(msgRef); ok {
+		call.Tag = fw.machine.CheckSink(p, r)
+	}
+	fw.sinks = append(fw.sinks, call)
+}
+
+// KnownExterns returns the full extern set (runtime intrinsics plus
+// framework methods) for validating programs before any machine exists.
+func KnownExterns() map[string]bool {
+	return map[string]bool{
+		jrt.MethodBuilderNew:    true,
+		jrt.MethodAppend:        true,
+		jrt.MethodAppendChar:    true,
+		jrt.MethodAppendInt:     true,
+		jrt.MethodToString:      true,
+		jrt.MethodCharAt:        true,
+		jrt.MethodStringLength:  true,
+		jrt.MethodStringEquals:  true,
+		jrt.MethodParseInt:      true,
+		jrt.MethodArraycopyChar: true,
+		jrt.MethodSlowCopy:      true,
+		jrt.MethodInsertChar:    true,
+		MethodGetDeviceID:       true,
+		MethodGetSerial:         true,
+		MethodGetLine1:          true,
+		MethodGetLocation:       true,
+		MethodGetLocationString: true,
+		jrt.MethodReset:         true,
+		jrt.MethodSubstring:     true,
+		jrt.MethodIndexOf:       true,
+		jrt.MethodHashCode:      true,
+		MethodGetModel:          true,
+		MethodUptimeMillis:      true,
+		MethodSendSMS:           true,
+		MethodSendHTTP:          true,
+		MethodLog:               true,
+	}
+}

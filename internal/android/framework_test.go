@@ -1,0 +1,163 @@
+package android
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+)
+
+// buildFetchAndSend returns an app that fetches via srcMethod (object
+// result appended directly) and sends through snkMethod.
+func buildFetchAndSend(t *testing.T, srcMethod, snkMethod string) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("fetchsend")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(srcMethod)
+	m.MoveResultObject(0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodAppend, 1, 0)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodToString, 1)
+	m.MoveResultObject(2)
+	m.ConstString(3, "dest")
+	m.InvokeStatic(snkMethod, 3, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestEverySensitiveSourceDetected crosses all string sources with all
+// sinks: every combination must carry the right payload, be flagged by
+// content, and be caught by PIFT.
+func TestEverySensitiveSourceDetected(t *testing.T) {
+	id := DefaultIdentity()
+	sources := map[string]string{
+		MethodGetDeviceID:       id.IMEI,
+		MethodGetSerial:         id.Serial,
+		MethodGetLine1:          id.PhoneNumber,
+		MethodGetLocationString: id.LocationString(),
+	}
+	sinkKinds := map[string]SinkKind{
+		MethodSendSMS:  SinkSMS,
+		MethodSendHTTP: SinkHTTP,
+		MethodLog:      SinkLog,
+	}
+	for srcMethod, want := range sources {
+		for snkMethod, kind := range sinkKinds {
+			prog := buildFetchAndSend(t, srcMethod, snkMethod)
+			detected, res, _ := runWithTracker(t, prog, core.Config{NI: 13, NT: 3, Untaint: true})
+			s := res.Sinks[0]
+			if s.Payload != want {
+				t.Errorf("%s→%s: payload %q, want %q", srcMethod, snkMethod, s.Payload, want)
+			}
+			if s.Kind != kind {
+				t.Errorf("%s→%s: kind %v, want %v", srcMethod, snkMethod, s.Kind, kind)
+			}
+			if !s.ContainsSecret {
+				t.Errorf("%s→%s: content ground truth missed", srcMethod, snkMethod)
+			}
+			if !detected {
+				t.Errorf("%s→%s: PIFT missed the flow", srcMethod, snkMethod)
+			}
+		}
+	}
+}
+
+func TestNonSensitiveSourcesClean(t *testing.T) {
+	prog := buildFetchAndSend(t, MethodGetModel, MethodSendHTTP)
+	detected, res, _ := runWithTracker(t, prog, core.Config{NI: 20, NT: 10, Untaint: true})
+	if res.Sinks[0].ContainsSecret {
+		t.Error("model string flagged as secret")
+	}
+	if detected {
+		t.Error("non-sensitive source tainted the sink")
+	}
+	if res.Sinks[0].Payload == "" {
+		t.Error("model payload empty")
+	}
+}
+
+func TestCustomIdentity(t *testing.T) {
+	id := Identity{
+		IMEI:        "490154203237518",
+		Serial:      "ZX1G427",
+		PhoneNumber: "15550001111",
+		LatMilli:    48858,
+		LonMilli:    2294,
+	}
+	tracker := core.NewTracker(core.Config{NI: 13, NT: 3, Untaint: true}, nil)
+	res, err := Run(buildFetchAndSend(t, MethodGetDeviceID, MethodSendSMS), RunOptions{
+		Identity: &id,
+		Sinks:    []cpu.EventSink{tracker},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sinks[0].Payload != id.IMEI {
+		t.Fatalf("payload = %q", res.Sinks[0].Payload)
+	}
+	if res.Framework.Identity().IMEI != id.IMEI {
+		t.Fatal("identity not propagated")
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	id := DefaultIdentity()
+	if got := id.LocationString(); got != "37421,122084" {
+		t.Fatalf("LocationString = %q", got)
+	}
+	if !strings.Contains(id.LocationString(), "37421") {
+		t.Fatal("location string lost the latitude")
+	}
+}
+
+func TestMultipleSinkCallsGetDistinctTags(t *testing.T) {
+	b := dalvik.NewProgram("twice")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.ConstString(1, "first")
+	m.ConstString(2, "d")
+	m.InvokeStatic(MethodSendSMS, 2, 1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodAppend, 3, 0)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodToString, 3)
+	m.MoveResultObject(4)
+	m.InvokeStatic(MethodSendSMS, 2, 4)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker := core.NewTracker(core.Config{NI: 13, NT: 3, Untaint: true}, nil)
+	res, err := Run(prog, RunOptions{Sinks: []cpu.EventSink{tracker}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sinks) != 2 || res.Sinks[0].Tag == res.Sinks[1].Tag {
+		t.Fatalf("sink tags: %+v", res.Sinks)
+	}
+	// Only the second message is tainted; verdicts must match by tag.
+	byTag := map[int]bool{}
+	for _, v := range tracker.Verdicts() {
+		byTag[v.Tag] = v.Tainted
+	}
+	if byTag[res.Sinks[0].Tag] {
+		t.Error("constant first message flagged")
+	}
+	if !byTag[res.Sinks[1].Tag] {
+		t.Error("leaky second message missed")
+	}
+}

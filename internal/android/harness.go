@@ -1,0 +1,106 @@
+package android
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+)
+
+// RunOptions configures one application execution.
+type RunOptions struct {
+	// PID tags the process's front-end events; defaults to 1.
+	PID uint32
+	// Budget bounds the executed instructions; defaults to 200 million.
+	Budget uint64
+	// Identity overrides the device identity; zero value → DefaultIdentity.
+	Identity *Identity
+	// Sinks are attached to the machine's front end (taint trackers,
+	// trace recorders).
+	Sinks []cpu.EventSink
+	// Hooks are attached as full-detail instruction observers (the DIFT
+	// baseline).
+	Hooks []cpu.InstrHook
+	// Optimize translates with the JIT-style fused templates (§4.1
+	// ablation); shorthand for Mode = dalvik.ModeJIT.
+	Optimize bool
+	// Mode selects the execution tier explicitly (interp, jit, aot).
+	Mode dalvik.Mode
+}
+
+// RunResult is the outcome of one application execution.
+type RunResult struct {
+	Instructions uint64
+	ExitCode     int32
+	Sinks        []SinkCall
+	Framework    *Framework
+	Runtime      *jrt.Runtime
+	Machine      *cpu.Machine
+	Translated   *dalvik.Translated
+}
+
+// Run links the program against a fresh machine, runtime, and framework,
+// then executes it to completion. The same program can be Run any number
+// of times; each run is fully isolated.
+func Run(prog *dalvik.Program, opts RunOptions) (*RunResult, error) {
+	pid := opts.PID
+	if pid == 0 {
+		pid = 1
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = 200_000_000
+	}
+	identity := DefaultIdentity()
+	if opts.Identity != nil {
+		identity = *opts.Identity
+	}
+
+	machine := cpu.NewMachine()
+	for _, s := range opts.Sinks {
+		machine.AttachSink(s)
+	}
+	for _, h := range opts.Hooks {
+		machine.AttachHook(h)
+	}
+
+	asm := arm.NewAssembler(dalvik.CodeBase)
+	rt := jrt.New(machine, asm)
+	fw := NewFramework(rt, identity)
+
+	mode := opts.Mode
+	if opts.Optimize && mode == dalvik.ModeInterp {
+		mode = dalvik.ModeJIT
+	}
+	translated, err := dalvik.TranslateMode(prog, asm, rt, mode)
+	if err != nil {
+		return nil, fmt.Errorf("android: translate %s: %w", prog.Name, err)
+	}
+	code, err := asm.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("android: link %s: %w", prog.Name, err)
+	}
+	image := &cpu.Image{Base: dalvik.CodeBase, Code: code}
+	translated.Materialize(machine.Mem)
+
+	entry, ok := asm.LabelAddr(translated.EntryLabel)
+	if !ok {
+		return nil, fmt.Errorf("android: no entry label for %s", prog.Name)
+	}
+	proc := cpu.NewProc(pid, image, entry)
+	n, err := machine.Run(proc, budget)
+	if err != nil {
+		return nil, fmt.Errorf("android: run %s: %w", prog.Name, err)
+	}
+	return &RunResult{
+		Instructions: n,
+		ExitCode:     proc.ExitCode,
+		Sinks:        fw.Sinks(),
+		Framework:    fw,
+		Runtime:      rt,
+		Machine:      machine,
+		Translated:   translated,
+	}, nil
+}

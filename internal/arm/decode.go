@@ -1,0 +1,325 @@
+package arm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Decode converts an A32 instruction word located at addr back into the
+// simulator's symbolic form. It recognizes exactly the encodings Encode
+// produces; anything else returns an error.
+func Decode(word uint32, addr mem.Addr) (Instr, error) {
+	if word>>28 == 0xf {
+		// The unconditional (NV) space is not part of this subset.
+		return Instr{}, fmt.Errorf("arm: unconditional-space word %#08x", word)
+	}
+	in := Instr{Cond: condFromBits(word >> 28)}
+
+	// UDF / bridge space (cond bits are fixed at 0xe for UDF).
+	if word&0xfff000f0 == 0xe7f000f0 {
+		id := (word>>8)&0xfff<<4 | word&0xf
+		return Instr{Op: OpBRIDGE, Imm: int32(id & 0xffff)}, nil
+	}
+
+	switch (word >> 25) & 0x7 {
+	case 0, 1:
+		return decode00x(in, word)
+	case 2, 3:
+		return decodeWordByte(in, word)
+	case 4: // block transfer
+		in.RegList = uint16(word)
+		in.Rn = Reg(word >> 16 & 0xf)
+		switch {
+		case word&0x0fd00000 == 0x08900000 || word&0x0fd00000 == 0x08b00000:
+			in.Op = OpLDM
+			return in, nil
+		case word&0x0fd00000 == 0x09000000 || word&0x0fd00000 == 0x09200000:
+			in.Op = OpSTM
+			return in, nil
+		}
+	case 5: // branch
+		off := int32(word<<8) >> 8 // sign-extend imm24
+		target := int64(addr) + 8 + int64(off)*4
+		in.Imm = int32(uint32(target))
+		if word&(1<<24) != 0 {
+			in.Op = OpBL
+		} else {
+			in.Op = OpB
+		}
+		return in, nil
+	case 7:
+		if word&0x0f000000 == 0x0f000000 {
+			in.Op = OpSVC
+			in.Imm = int32(word & 0xffffff)
+			return in, nil
+		}
+		// Media space: UBFX/SBFX.
+		if word&0x0fe00070 == 0x07e00050 || word&0x0fe00070 == 0x07a00050 {
+			if word&0x0fe00070 == 0x07e00050 {
+				in.Op = OpUBFX
+			} else {
+				in.Op = OpSBFX
+			}
+			in.Width = uint8(word>>16&0x1f) + 1
+			in.Rd = Reg(word >> 12 & 0xf)
+			in.Lsb = uint8(word >> 7 & 0x1f)
+			in.Rn = Reg(word & 0xf)
+			return in, nil
+		}
+	}
+	return Instr{}, fmt.Errorf("arm: cannot decode word %#08x", word)
+}
+
+// decode00x handles the 00x space: data processing, multiplies, extras,
+// extensions, BX, CLZ.
+func decode00x(in Instr, word uint32) (Instr, error) {
+	// Fixed patterns first.
+	switch {
+	case word&0x0ffffff0 == 0x012fff10:
+		in.Op = OpBX
+		in.Rm = Reg(word & 0xf)
+		return in, nil
+	case word&0x0fff0ff0 == 0x016f0f10:
+		in.Op = OpCLZ
+		in.Rd = Reg(word >> 12 & 0xf)
+		in.Rm = Reg(word & 0xf)
+		return in, nil
+	case word&0x0fff0ff0 == 0x06ff0070:
+		in.Op = OpUXTH
+	case word&0x0fff0ff0 == 0x06bf0070:
+		in.Op = OpSXTH
+	case word&0x0fff0ff0 == 0x06ef0070:
+		in.Op = OpUXTB
+	case word&0x0fff0ff0 == 0x06af0070:
+		in.Op = OpSXTB
+	}
+	switch in.Op {
+	case OpUXTH, OpSXTH, OpUXTB, OpSXTB:
+		in.Rd = Reg(word >> 12 & 0xf)
+		in.Rm = Reg(word & 0xf)
+		return in, nil
+	}
+
+	// Multiplies: bits [7:4] == 1001 in the 000 space.
+	if word&0x0e0000f0 == 0x00000090 {
+		switch word >> 21 & 0xf {
+		case 0:
+			in.Op = OpMUL
+			in.Rd = Reg(word >> 16 & 0xf)
+		case 1:
+			in.Op = OpMLA
+			in.Rd = Reg(word >> 16 & 0xf)
+			in.Ra = Reg(word >> 12 & 0xf)
+		case 4:
+			in.Op = OpUMULL
+			in.Ra = Reg(word >> 16 & 0xf)
+			in.Rd = Reg(word >> 12 & 0xf)
+		default:
+			return Instr{}, fmt.Errorf("arm: unsupported multiply %#08x", word)
+		}
+		in.SetFlags = word&(1<<20) != 0
+		in.Rm = Reg(word >> 8 & 0xf)
+		in.Rn = Reg(word & 0xf)
+		return in, nil
+	}
+
+	// Extra load/stores: bit7 and bit4 set with a non-zero op2.
+	if word&(1<<25) == 0 && word&0x90 == 0x90 && word&0x60 != 0 {
+		return decodeExtra(in, word)
+	}
+
+	// Data processing.
+	opc := word >> 21 & 0xf
+	op, ok := dpOpcodeRev[opc]
+	if !ok {
+		return Instr{}, fmt.Errorf("arm: unsupported data-processing %#08x", word)
+	}
+	in.Op = op
+	in.SetFlags = word&(1<<20) != 0
+	in.Rn = Reg(word >> 16 & 0xf)
+	in.Rd = Reg(word >> 12 & 0xf)
+	switch op {
+	case OpCMP, OpCMN, OpTST, OpTEQ:
+		if !in.SetFlags {
+			// Compare opcodes with S=0 are the miscellaneous space
+			// (MSR/MRS and friends), not in the subset.
+			return Instr{}, fmt.Errorf("arm: miscellaneous-space word %#08x", word)
+		}
+		in.SetFlags = false // implicit; the symbolic form leaves it unset
+	}
+	if word&(1<<25) != 0 {
+		imm8 := word & 0xff
+		rot := (word >> 8 & 0xf) * 2
+		v := imm8
+		if rot != 0 {
+			v = imm8>>rot | imm8<<(32-rot)
+		}
+		in.UseImm = true
+		in.Imm = int32(v)
+		return in, nil
+	}
+	in.Rm = Reg(word & 0xf)
+	if word&(1<<4) != 0 {
+		// Register-specified shifts are only supported as the explicit
+		// shift operations, i.e. when the data-processing opcode is MOV;
+		// register-shifted operands on other opcodes are outside the
+		// subset (bit7 must also be clear for this form).
+		if op != OpMOV || word&(1<<7) != 0 {
+			return Instr{}, fmt.Errorf("arm: unsupported register-shift operand %#08x", word)
+		}
+		amountReg := Reg(word >> 8 & 0xf)
+		switch word >> 5 & 3 {
+		case 0:
+			in.Op = OpLSL
+		case 1:
+			in.Op = OpLSR
+		case 2:
+			in.Op = OpASR
+		default:
+			return Instr{}, fmt.Errorf("arm: unsupported register shift %#08x", word)
+		}
+		in.Rn = in.Rm
+		in.Rm = amountReg
+		in.Rd = Reg(word >> 12 & 0xf)
+		return in, nil
+	}
+	amount := word >> 7 & 0x1f
+	kind := shiftKindFromBits(word>>5&3, amount)
+	if op == OpMOV && kind != ShiftNone {
+		// "mov rd, rn, lsl #n" round-trips as the explicit shift ops
+		// only when amount > 0; keep MOV-with-shift form.
+		in.Shift = Shift{Kind: kind, Amount: uint8(amount)}
+		return in, nil
+	}
+	in.Shift = Shift{Kind: kind, Amount: uint8(amount)}
+	return in, nil
+}
+
+func decodeWordByte(in Instr, word uint32) (Instr, error) {
+	// Media space: register form (bit25) with bit4 set is not a
+	// register-offset transfer; the extension instructions live here.
+	if word&(1<<25) != 0 && word&(1<<4) != 0 {
+		switch {
+		case word&0x0fff0ff0 == 0x06ff0070:
+			in.Op = OpUXTH
+		case word&0x0fff0ff0 == 0x06bf0070:
+			in.Op = OpSXTH
+		case word&0x0fff0ff0 == 0x06ef0070:
+			in.Op = OpUXTB
+		case word&0x0fff0ff0 == 0x06af0070:
+			in.Op = OpSXTB
+		default:
+			return Instr{}, fmt.Errorf("arm: unsupported media instruction %#08x", word)
+		}
+		in.Rd = Reg(word >> 12 & 0xf)
+		in.Rm = Reg(word & 0xf)
+		return in, nil
+	}
+	load := word&(1<<20) != 0
+	byteOp := word&(1<<22) != 0
+	switch {
+	case load && byteOp:
+		in.Op = OpLDRB
+	case load:
+		in.Op = OpLDR
+	case byteOp:
+		in.Op = OpSTRB
+	default:
+		in.Op = OpSTR
+	}
+	in.Rn = Reg(word >> 16 & 0xf)
+	in.Rd = Reg(word >> 12 & 0xf)
+	p := word&(1<<24) != 0
+	wbit := word&(1<<21) != 0
+	switch {
+	case p && wbit:
+		in.Idx = IdxPre
+	case p:
+		in.Idx = IdxOffset
+	case wbit:
+		// P=0, W=1 is the unprivileged (LDRT/STRT) form; not in the
+		// subset.
+		return Instr{}, fmt.Errorf("arm: unprivileged transfer %#08x", word)
+	default:
+		in.Idx = IdxPost
+	}
+	if word&(1<<25) == 0 {
+		in.UseImm = true
+		off := int32(word & 0xfff)
+		if word&(1<<23) == 0 {
+			off = -off
+		}
+		in.Imm = off
+		return in, nil
+	}
+	if word&(1<<23) == 0 {
+		// Subtracting register offsets are not representable.
+		return Instr{}, fmt.Errorf("arm: negative register offset %#08x", word)
+	}
+	in.Rm = Reg(word & 0xf)
+	amount := word >> 7 & 0x1f
+	in.Shift = Shift{Kind: shiftKindFromBits(word>>5&3, amount), Amount: uint8(amount)}
+	return in, nil
+}
+
+func decodeExtra(in Instr, word uint32) (Instr, error) {
+	load := word&(1<<20) != 0
+	switch word >> 4 & 0xf {
+	case 0xb:
+		if load {
+			in.Op = OpLDRH
+		} else {
+			in.Op = OpSTRH
+		}
+	case 0xd:
+		if load {
+			in.Op = OpLDRSB
+		} else {
+			in.Op = OpLDRD
+		}
+	case 0xf:
+		if load {
+			in.Op = OpLDRSH
+		} else {
+			in.Op = OpSTRD
+		}
+	default:
+		return Instr{}, fmt.Errorf("arm: unsupported extra transfer %#08x", word)
+	}
+	in.Rn = Reg(word >> 16 & 0xf)
+	in.Rd = Reg(word >> 12 & 0xf)
+	if in.Op == OpLDRD || in.Op == OpSTRD {
+		in.Ra = in.Rd + 1 // the architecture pairs Rt with Rt+1
+	}
+	p := word&(1<<24) != 0
+	wbit := word&(1<<21) != 0
+	switch {
+	case p && wbit:
+		in.Idx = IdxPre
+	case p:
+		in.Idx = IdxOffset
+	default:
+		in.Idx = IdxPost
+	}
+	if word&(1<<22) != 0 {
+		in.UseImm = true
+		off := int32(word>>8&0xf)<<4 | int32(word&0xf)
+		if word&(1<<23) == 0 {
+			off = -off
+		}
+		in.Imm = off
+		return in, nil
+	}
+	if word>>8&0xf != 0 {
+		// Register-form extras keep bits [11:8] zero; anything else is
+		// another space (or an invalid word).
+		return Instr{}, fmt.Errorf("arm: malformed extra transfer %#08x", word)
+	}
+	if word&(1<<23) == 0 {
+		// Subtracting register offsets are not representable.
+		return Instr{}, fmt.Errorf("arm: negative register offset %#08x", word)
+	}
+	in.Rm = Reg(word & 0xf)
+	return in, nil
+}

@@ -1,0 +1,35 @@
+package arm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzDecode feeds arbitrary words to the decoder: it must never panic,
+// and every word it accepts must re-encode to exactly the same word
+// (decode/encode is a partial bijection).
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0xe0810002, 0xe5912000, 0xe1a00000, 0xebfffffe, 0xe12fff1e,
+		0xef000000, 0xe7f000f0, 0xe92d4001, 0xe8bd8001, 0x00000000,
+		0xffffffff, 0xe6ff0071,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, word uint32) {
+		const addr = mem.Addr(0x8000)
+		in, err := Decode(word, addr)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in, addr)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %v but cannot re-encode: %v", word, in, err)
+		}
+		if w2 != word {
+			t.Fatalf("decode/encode not stable: %#08x → %v → %#08x", word, in, w2)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in conventional ARM assembly syntax, e.g.
+// "ldr r1, [r5, r3, lsl #2]" or "strh r6, [r0, r4]". It is used by trace
+// dumps and error messages.
+func (in Instr) String() string {
+	mn := in.Op.String() + in.Cond.String()
+	if in.SetFlags {
+		mn += "s"
+	}
+	switch in.Op {
+	case OpNOP:
+		return mn
+	case OpMOV, OpMVN:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.op2())
+	case OpADD, OpADC, OpSUB, OpSBC, OpRSB, OpAND, OpORR, OpEOR, OpBIC:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, in.op2())
+	case OpCMP, OpCMN, OpTST, OpTEQ:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rn, in.op2())
+	case OpMUL:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, in.Rm)
+	case OpMLA:
+		return fmt.Sprintf("%s %s, %s, %s, %s", mn, in.Rd, in.Rn, in.Rm, in.Ra)
+	case OpUMULL:
+		return fmt.Sprintf("%s %s, %s, %s, %s", mn, in.Rd, in.Ra, in.Rn, in.Rm)
+	case OpLSL, OpLSR, OpASR:
+		if in.UseImm {
+			return fmt.Sprintf("%s %s, %s, #%d", mn, in.Rd, in.Rn, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, in.Rm)
+	case OpUBFX, OpSBFX:
+		return fmt.Sprintf("%s %s, %s, #%d, #%d", mn, in.Rd, in.Rn, in.Lsb, in.Width)
+	case OpUXTH, OpSXTH, OpUXTB, OpSXTB, OpCLZ:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.Rm)
+	case OpLDR, OpLDRB, OpLDRH, OpLDRSB, OpLDRSH, OpSTR, OpSTRB, OpSTRH:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.memOperand())
+	case OpLDRD, OpSTRD:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Ra, in.memOperand())
+	case OpLDM, OpSTM:
+		return fmt.Sprintf("%s %s!, {%s}", mn, in.Rn, regList(in.RegList))
+	case OpB, OpBL:
+		return fmt.Sprintf("%s 0x%x", mn, uint32(in.Imm))
+	case OpBX:
+		return fmt.Sprintf("%s %s", mn, in.Rm)
+	case OpSVC:
+		return fmt.Sprintf("%s #%d", mn, in.Imm)
+	case OpBRIDGE:
+		return fmt.Sprintf("%s #%d", mn, in.Imm)
+	}
+	return mn
+}
+
+// op2 renders the flexible second operand.
+func (in Instr) op2() string {
+	if in.UseImm {
+		return fmt.Sprintf("#%d", in.Imm)
+	}
+	if in.Shift.Kind == ShiftNone {
+		return in.Rm.String()
+	}
+	return fmt.Sprintf("%s, %s #%d", in.Rm, in.Shift.Kind, in.Shift.Amount)
+}
+
+// memOperand renders the addressing mode.
+func (in Instr) memOperand() string {
+	var inner string
+	if in.UseImm {
+		if in.Imm == 0 && in.Idx == IdxOffset {
+			return fmt.Sprintf("[%s]", in.Rn)
+		}
+		inner = fmt.Sprintf("%s, #%d", in.Rn, in.Imm)
+	} else if in.Shift.Kind == ShiftNone {
+		inner = fmt.Sprintf("%s, %s", in.Rn, in.Rm)
+	} else {
+		inner = fmt.Sprintf("%s, %s, %s #%d", in.Rn, in.Rm, in.Shift.Kind, in.Shift.Amount)
+	}
+	switch in.Idx {
+	case IdxPre:
+		return "[" + inner + "]!"
+	case IdxPost:
+		if in.UseImm {
+			return fmt.Sprintf("[%s], #%d", in.Rn, in.Imm)
+		}
+		return fmt.Sprintf("[%s], %s", in.Rn, in.Rm)
+	}
+	return "[" + inner + "]"
+}
+
+func regList(list uint16) string {
+	var parts []string
+	for r := Reg(0); r < NumRegs; r++ {
+		if list&(1<<r) != 0 {
+			parts = append(parts, r.String())
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,209 @@
+package arm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestDisasmAllOps renders one instance of every opcode and checks the
+// mnemonic appears — a regression net for the listing format.
+func TestDisasmAllOps(t *testing.T) {
+	cases := []Instr{
+		Nop(),
+		MovImm(R0, 1),
+		{Op: OpMVN, Rd: R0, Rm: R1},
+		Add(R0, R1, R2),
+		{Op: OpADC, Rd: R0, Rn: R1, Rm: R2},
+		Sub(R0, R1, R2),
+		{Op: OpSBC, Rd: R0, Rn: R1, Rm: R2},
+		RsbImm(R0, R1, 0),
+		And(R0, R1, R2),
+		Orr(R0, R1, R2),
+		Eor(R0, R1, R2),
+		{Op: OpBIC, Rd: R0, Rn: R1, Rm: R2},
+		Cmp(R0, R1),
+		{Op: OpCMN, Rn: R0, Rm: R1},
+		{Op: OpTST, Rn: R0, Rm: R1},
+		{Op: OpTEQ, Rn: R0, Rm: R1},
+		Mul(R0, R1, R2),
+		Mla(R0, R1, R2, R3),
+		Umull(R0, R1, R2, R3),
+		LslImm(R0, R1, 2),
+		LsrImm(R0, R1, 2),
+		AsrImm(R0, R1, 2),
+		Ubfx(R0, R1, 8, 4),
+		{Op: OpSBFX, Rd: R0, Rn: R1, Lsb: 8, Width: 4},
+		Uxth(R0, R1),
+		Sxth(R0, R1),
+		Uxtb(R0, R1),
+		{Op: OpSXTB, Rd: R0, Rm: R1},
+		{Op: OpCLZ, Rd: R0, Rm: R1},
+		Ldr(R0, R1, 4),
+		Ldrb(R0, R1, 4),
+		Ldrh(R0, R1, 4),
+		{Op: OpLDRSB, Rd: R0, Rn: R1, UseImm: true},
+		{Op: OpLDRSH, Rd: R0, Rn: R1, UseImm: true},
+		Ldrd(R0, R1, R2, 0),
+		Pop(R0, R1),
+		Str(R0, R1, 4),
+		Strb(R0, R1, 4),
+		Strh(R0, R1, 4),
+		Strd(R0, R1, R2, 0),
+		Push(R0, R1),
+		{Op: OpB, Imm: 0x1000},
+		{Op: OpBL, Imm: 0x1000},
+		BxLR(),
+		Svc(1),
+		Bridge(2),
+	}
+	for _, in := range cases {
+		out := in.String()
+		if out == "" || strings.Contains(out, "op?") {
+			t.Errorf("disasm of %v produced %q", in.Op, out)
+		}
+		if !strings.HasPrefix(out, in.Op.String()) {
+			t.Errorf("%q does not start with mnemonic %q", out, in.Op.String())
+		}
+	}
+}
+
+func TestDisasmAddressingModes(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Ldr(R0, R1, 0), "ldr r0, [r1]"},
+		{Ldr(R0, R1, -4), "ldr r0, [r1, #-4]"},
+		{LdrhPre(R7, R4, 2), "ldrh r7, [r4, #2]!"},
+		{Instr{Op: OpLDRH, Rd: R0, Rn: R1, Imm: 2, UseImm: true, Idx: IdxPost},
+			"ldrh r0, [r1], #2"},
+		{Instr{Op: OpSTRH, Rd: R0, Rn: R1, Rm: R2, Shift: Shift{Kind: ShiftLSL, Amount: 1}},
+			"strh r0, [r1, r2, lsl #1]"},
+		{Instr{Op: OpLDR, Rd: R0, Rn: R1, Rm: R2}, "ldr r0, [r1, r2]"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("disasm = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestDisasmConditionsAndFlags(t *testing.T) {
+	in := AddImm(R0, R0, 1)
+	in.Cond = GE
+	if got := in.String(); !strings.HasPrefix(got, "addge") {
+		t.Errorf("conditional = %q", got)
+	}
+	in = SubsImm(R0, R0, 1)
+	if got := in.String(); !strings.HasPrefix(got, "subs") {
+		t.Errorf("flag-setting = %q", got)
+	}
+	in = MovImm(R0, 1)
+	in.Cond = CC
+	in.SetFlags = true
+	if got := in.String(); !strings.HasPrefix(got, "movccs") {
+		t.Errorf("cond+flags = %q", got)
+	}
+}
+
+func TestCondStrings(t *testing.T) {
+	conds := []Cond{AL, EQ, NE, CS, CC, MI, PL, VS, VC, HI, LS, GE, LT, GT, LE}
+	seen := map[string]bool{}
+	for _, c := range conds {
+		s := c.String()
+		if seen[s] {
+			t.Errorf("duplicate condition suffix %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRemainingExecPaths(t *testing.T) {
+	m := mem.NewMemory()
+	var s State
+
+	// CLZ.
+	s.R[R1] = 0x00010000
+	run(t, &s, m, Instr{Op: OpCLZ, Rd: R0, Rm: R1})
+	if s.R[R0] != 15 {
+		t.Errorf("clz = %d", s.R[R0])
+	}
+	s.R[R1] = 0
+	run(t, &s, m, Instr{Op: OpCLZ, Rd: R0, Rm: R1})
+	if s.R[R0] != 32 {
+		t.Errorf("clz(0) = %d", s.R[R0])
+	}
+
+	// SBFX sign-extends the extracted field.
+	s.R[R1] = 0x0000f00
+	run(t, &s, m, Instr{Op: OpSBFX, Rd: R0, Rn: R1, Lsb: 8, Width: 4})
+	if int32(s.R[R0]) != -1 {
+		t.Errorf("sbfx = %d", int32(s.R[R0]))
+	}
+
+	// ROR shifter operand.
+	s.R[R1] = 0x000000ff
+	run(t, &s, m, Instr{Op: OpMOV, Rd: R0, Rm: R1, Shift: Shift{Kind: ShiftROR, Amount: 8}})
+	if s.R[R0] != 0xff000000 {
+		t.Errorf("ror = %#x", s.R[R0])
+	}
+
+	// TEQ and TST set flags without writing a register.
+	s.R[R0], s.R[R1] = 5, 5
+	run(t, &s, m, Instr{Op: OpTEQ, Rn: R0, Rm: R1})
+	if !s.Flags.Z {
+		t.Error("teq of equal values must set Z")
+	}
+	s.R[R1] = 4
+	run(t, &s, m, Instr{Op: OpTST, Rn: R0, Rm: R1})
+	if s.Flags.Z {
+		t.Error("tst 5&4 != 0 must clear Z")
+	}
+
+	// CMN (compare negative).
+	s.R[R0] = 5
+	run(t, &s, m, Instr{Op: OpCMN, Rn: R0, Imm: -5, UseImm: true})
+	if !s.Flags.Z {
+		t.Error("cmn 5, -5 must set Z")
+	}
+
+	// ADC/SBC with immediate.
+	s.Flags.C = true
+	s.R[R0] = 10
+	run(t, &s, m, Instr{Op: OpADC, Rd: R1, Rn: R0, Imm: 5, UseImm: true})
+	if s.R[R1] != 16 {
+		t.Errorf("adc with carry = %d", s.R[R1])
+	}
+
+	// MOV to PC branches.
+	s.R[R2] = 0x2000
+	mv := Mov(PC, R2)
+	var res Result
+	Exec(&s, &mv, m, &res)
+	if !res.Branched || res.Target != 0x2000 {
+		t.Errorf("mov pc: %+v", res)
+	}
+
+	// LDR into PC branches.
+	m.Store32(0x7000, 0x3000)
+	s.R[R3] = 0x7000
+	ld := Ldr(PC, R3, 0)
+	Exec(&s, &ld, m, &res)
+	if !res.Branched || res.Target != 0x3000 {
+		t.Errorf("ldr pc: %+v", res)
+	}
+}
+
+func TestMulsSetsFlags(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[R1], s.R[R2] = 0, 5
+	in := Mul(R0, R1, R2)
+	in.SetFlags = true
+	run(t, &s, m, in)
+	if !s.Flags.Z {
+		t.Error("muls of zero must set Z")
+	}
+}

@@ -1,0 +1,369 @@
+package arm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Binary encoding to and from real ARM A32 instruction words. The machine
+// executes the symbolic Instr form directly, but the encoder lets code
+// images be materialized into simulated memory as genuine ARM words (for
+// debuggers and round-trip tooling) and lets real A32 words be decoded into
+// the simulator's form.
+//
+// Fidelity notes:
+//   - Data-processing immediates must be expressible as an 8-bit value
+//     rotated right by an even amount, as on real ARM; Encode returns an
+//     error otherwise (real compilers would use a literal pool or
+//     movw/movt, which this subset does not model).
+//   - OpBRIDGE uses the permanently-undefined UDF space (cond=AL,
+//     0xE7F...F...) with the bridge ID in the immediate.
+//   - B/BL immediates are PC-relative on the wire; Encode/Decode take the
+//     instruction's own address to convert from/to the absolute targets
+//     the symbolic form carries.
+
+// EncodeError reports an instruction that has no encoding in this subset.
+type EncodeError struct {
+	In     Instr
+	Reason string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("arm: cannot encode %q: %s", e.In.String(), e.Reason)
+}
+
+func encErr(in Instr, reason string) error { return &EncodeError{In: in, Reason: reason} }
+
+// encodeRotImm expresses v as (imm8 ror 2*rot); ok is false if impossible.
+func encodeRotImm(v uint32) (imm8, rot uint32, ok bool) {
+	for rot = 0; rot < 16; rot++ {
+		r := 2 * rot
+		// v == imm8 ROR r  ⇔  imm8 == v ROL r.
+		rolled := v
+		if r != 0 {
+			rolled = v<<r | v>>(32-r)
+		}
+		if rolled <= 0xff {
+			return rolled, rot, true
+		}
+	}
+	return 0, 0, false
+}
+
+// dpOpcode maps data-processing operations to their 4-bit opcode.
+var dpOpcode = map[Op]uint32{
+	OpAND: 0x0, OpEOR: 0x1, OpSUB: 0x2, OpRSB: 0x3,
+	OpADD: 0x4, OpADC: 0x5, OpSBC: 0x6,
+	OpTST: 0x8, OpTEQ: 0x9, OpCMP: 0xa, OpCMN: 0xb,
+	OpORR: 0xc, OpMOV: 0xd, OpBIC: 0xe, OpMVN: 0xf,
+}
+
+var dpOpcodeRev = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(dpOpcode))
+	for op, c := range dpOpcode {
+		m[c] = op
+	}
+	return m
+}()
+
+func shiftTypeBits(k ShiftKind) uint32 {
+	switch k {
+	case ShiftLSL, ShiftNone:
+		return 0
+	case ShiftLSR:
+		return 1
+	case ShiftASR:
+		return 2
+	case ShiftROR:
+		return 3
+	}
+	return 0
+}
+
+func shiftKindFromBits(b uint32, amount uint32) ShiftKind {
+	switch b {
+	case 0:
+		if amount == 0 {
+			return ShiftNone
+		}
+		return ShiftLSL
+	case 1:
+		return ShiftLSR
+	case 2:
+		return ShiftASR
+	default:
+		return ShiftROR
+	}
+}
+
+// Encode produces the A32 word for in, located at addr (needed for
+// PC-relative branches).
+func Encode(in Instr, addr mem.Addr) (uint32, error) {
+	cond := uint32(condBits(in.Cond)) << 28
+	s := uint32(0)
+	if in.SetFlags {
+		s = 1 << 20
+	}
+
+	switch in.Op {
+	case OpNOP:
+		// MOV r0, r0 is the classic ARM NOP.
+		return cond | 0x01a00000, nil
+
+	case OpMOV, OpMVN, OpAND, OpORR, OpEOR, OpBIC, OpADD, OpADC, OpSUB,
+		OpSBC, OpRSB, OpCMP, OpCMN, OpTST, OpTEQ:
+		opc := dpOpcode[in.Op] << 21
+		switch in.Op {
+		case OpCMP, OpCMN, OpTST, OpTEQ:
+			s = 1 << 20 // compare ops always set flags
+		}
+		base := cond | opc | s | uint32(in.Rn)<<16 | uint32(in.Rd)<<12
+		if in.UseImm {
+			imm8, rot, ok := encodeRotImm(uint32(in.Imm))
+			if !ok {
+				return 0, encErr(in, "immediate not expressible as rotated imm8")
+			}
+			return base | 1<<25 | rot<<8 | imm8, nil
+		}
+		sh := shiftTypeBits(in.Shift.Kind)<<5 | uint32(in.Shift.Amount)<<7
+		return base | sh | uint32(in.Rm), nil
+
+	case OpLSL, OpLSR, OpASR:
+		// Encoded as MOV with a shifted operand.
+		var k ShiftKind
+		switch in.Op {
+		case OpLSL:
+			k = ShiftLSL
+		case OpLSR:
+			k = ShiftLSR
+		default:
+			k = ShiftASR
+		}
+		base := cond | dpOpcode[OpMOV]<<21 | s | uint32(in.Rd)<<12
+		if in.UseImm {
+			return base | uint32(in.Imm&31)<<7 | shiftTypeBits(k)<<5 | uint32(in.Rn), nil
+		}
+		// Register-specified shift: bits [7:4] = amount-reg 0 1 1 1? —
+		// Rs in [11:8], bit4 = 1.
+		return base | uint32(in.Rm)<<8 | shiftTypeBits(k)<<5 | 1<<4 | uint32(in.Rn), nil
+
+	case OpMUL:
+		return cond | s | uint32(in.Rd)<<16 | uint32(in.Rm)<<8 | 0x90 | uint32(in.Rn), nil
+	case OpMLA:
+		return cond | 1<<21 | s | uint32(in.Rd)<<16 | uint32(in.Ra)<<12 |
+			uint32(in.Rm)<<8 | 0x90 | uint32(in.Rn), nil
+	case OpUMULL:
+		return cond | 1<<23 | uint32(in.Ra)<<16 | uint32(in.Rd)<<12 |
+			uint32(in.Rm)<<8 | 0x90 | uint32(in.Rn), nil
+
+	case OpUBFX, OpSBFX:
+		if in.Width == 0 {
+			return 0, encErr(in, "zero-width bit field")
+		}
+		u := uint32(0x7a)
+		if in.Op == OpUBFX {
+			u = 0x7e
+		}
+		return cond | u<<21 | uint32(in.Width-1)<<16 | uint32(in.Rd)<<12 |
+			uint32(in.Lsb)<<7 | 0x50 | uint32(in.Rn), nil
+
+	case OpUXTH:
+		return cond | 0x06ff0070 | uint32(in.Rd)<<12 | uint32(in.Rm), nil
+	case OpSXTH:
+		return cond | 0x06bf0070 | uint32(in.Rd)<<12 | uint32(in.Rm), nil
+	case OpUXTB:
+		return cond | 0x06ef0070 | uint32(in.Rd)<<12 | uint32(in.Rm), nil
+	case OpSXTB:
+		return cond | 0x06af0070 | uint32(in.Rd)<<12 | uint32(in.Rm), nil
+	case OpCLZ:
+		return cond | 0x016f0f10 | uint32(in.Rd)<<12 | uint32(in.Rm), nil
+
+	case OpLDR, OpLDRB, OpSTR, OpSTRB:
+		return encodeWordByte(in, cond)
+	case OpLDRH, OpLDRSB, OpLDRSH, OpSTRH, OpLDRD, OpSTRD:
+		return encodeExtra(in, cond)
+
+	case OpLDM: // ldmia rn!, {list}
+		return cond | 0x08b00000 | uint32(in.Rn)<<16 | uint32(in.RegList), nil
+	case OpSTM: // stmdb rn!, {list}
+		return cond | 0x09200000 | uint32(in.Rn)<<16 | uint32(in.RegList), nil
+
+	case OpB, OpBL:
+		offset := int64(int32(in.Imm)) - int64(addr) - 8
+		if offset&3 != 0 {
+			return 0, encErr(in, "misaligned branch target")
+		}
+		imm24 := uint32(offset>>2) & 0xffffff
+		if offset>>2 > 0x7fffff || offset>>2 < -0x800000 {
+			return 0, encErr(in, "branch target out of range")
+		}
+		w := cond | 0x0a000000 | imm24
+		if in.Op == OpBL {
+			w |= 1 << 24
+		}
+		return w, nil
+	case OpBX:
+		return cond | 0x012fff10 | uint32(in.Rm), nil
+
+	case OpSVC:
+		return cond | 0x0f000000 | uint32(in.Imm)&0xffffff, nil
+	case OpBRIDGE:
+		// UDF space: 0xe7fXXXfX with a 16-bit immediate.
+		id := uint32(in.Imm) & 0xffff
+		return 0xe7f000f0 | (id>>4)<<8 | id&0xf, nil
+	}
+	return 0, encErr(in, "no encoding in this subset")
+}
+
+func condBits(c Cond) uint8 {
+	// Our enum order differs from the architectural one (AL first);
+	// translate.
+	switch c {
+	case EQ:
+		return 0x0
+	case NE:
+		return 0x1
+	case CS:
+		return 0x2
+	case CC:
+		return 0x3
+	case MI:
+		return 0x4
+	case PL:
+		return 0x5
+	case VS:
+		return 0x6
+	case VC:
+		return 0x7
+	case HI:
+		return 0x8
+	case LS:
+		return 0x9
+	case GE:
+		return 0xa
+	case LT:
+		return 0xb
+	case GT:
+		return 0xc
+	case LE:
+		return 0xd
+	default: // AL
+		return 0xe
+	}
+}
+
+func condFromBits(b uint32) Cond {
+	switch b {
+	case 0x0:
+		return EQ
+	case 0x1:
+		return NE
+	case 0x2:
+		return CS
+	case 0x3:
+		return CC
+	case 0x4:
+		return MI
+	case 0x5:
+		return PL
+	case 0x6:
+		return VS
+	case 0x7:
+		return VC
+	case 0x8:
+		return HI
+	case 0x9:
+		return LS
+	case 0xa:
+		return GE
+	case 0xb:
+		return LT
+	case 0xc:
+		return GT
+	case 0xd:
+		return LE
+	default:
+		return AL
+	}
+}
+
+// encodeWordByte handles LDR/STR/LDRB/STRB (single word/byte transfers).
+func encodeWordByte(in Instr, cond uint32) (uint32, error) {
+	w := cond | 1<<26
+	if in.Op == OpLDR || in.Op == OpLDRB {
+		w |= 1 << 20
+	}
+	if in.Op == OpLDRB || in.Op == OpSTRB {
+		w |= 1 << 22
+	}
+	w |= uint32(in.Rn)<<16 | uint32(in.Rd)<<12
+	// P/U/W from addressing mode.
+	switch in.Idx {
+	case IdxOffset:
+		w |= 1 << 24
+	case IdxPre:
+		w |= 1<<24 | 1<<21
+	case IdxPost:
+		// P=0, W=0
+	}
+	if in.UseImm {
+		off := in.Imm
+		u := uint32(1)
+		if off < 0 {
+			u = 0
+			off = -off
+		}
+		if off > 0xfff {
+			return 0, encErr(in, "offset exceeds 12 bits")
+		}
+		return w | u<<23 | uint32(off), nil
+	}
+	// Register offset (always U=1 in this subset).
+	return w | 1<<25 | 1<<23 |
+		uint32(in.Shift.Amount)<<7 | shiftTypeBits(in.Shift.Kind)<<5 | uint32(in.Rm), nil
+}
+
+// encodeExtra handles halfword/signed/dual transfers.
+func encodeExtra(in Instr, cond uint32) (uint32, error) {
+	var sh uint32
+	load := uint32(0)
+	switch in.Op {
+	case OpLDRH:
+		sh, load = 0xb, 1
+	case OpLDRSB:
+		sh, load = 0xd, 1
+	case OpLDRSH:
+		sh, load = 0xf, 1
+	case OpSTRH:
+		sh = 0xb
+	case OpLDRD:
+		sh = 0xd // LDRD encodes as L=0, op2=1101
+	case OpSTRD:
+		sh = 0xf // STRD: L=0, op2=1111
+	}
+	w := cond | load<<20 | uint32(in.Rn)<<16 | uint32(in.Rd)<<12 | sh<<4
+	switch in.Idx {
+	case IdxOffset:
+		w |= 1 << 24
+	case IdxPre:
+		w |= 1<<24 | 1<<21
+	case IdxPost:
+	}
+	if in.UseImm {
+		off := in.Imm
+		u := uint32(1)
+		if off < 0 {
+			u = 0
+			off = -off
+		}
+		if off > 0xff {
+			return 0, encErr(in, "offset exceeds 8 bits")
+		}
+		return w | 1<<22 | u<<23 | (uint32(off)>>4)<<8 | uint32(off)&0xf, nil
+	}
+	if in.Shift.Kind != ShiftNone {
+		return 0, encErr(in, "halfword transfers take unshifted register offsets")
+	}
+	return w | 1<<23 | uint32(in.Rm), nil
+}

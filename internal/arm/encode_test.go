@@ -1,0 +1,209 @@
+package arm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestEncodeGoldenWords checks hand-assembled A32 words.
+func TestEncodeGoldenWords(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		addr mem.Addr
+		want uint32
+	}{
+		{Add(R0, R1, R2), 0, 0xe0810002},                   // add r0, r1, r2
+		{AddImm(R0, R1, 1), 0, 0xe2810001},                 // add r0, r1, #1
+		{Sub(R3, R4, R5), 0, 0xe0443005},                   // sub r3, r4, r5
+		{MovImm(R0, 0), 0, 0xe3a00000},                     // mov r0, #0
+		{Nop(), 0, 0xe1a00000},                             // mov r0, r0
+		{Ldr(R2, R1, 0), 0, 0xe5912000},                    // ldr r2, [r1]
+		{Str(R2, R1, 4), 0, 0xe5812004},                    // str r2, [r1, #4]
+		{Ldrb(R0, R1, 0), 0, 0xe5d10000},                   // ldrb r0, [r1]
+		{BxLR(), 0, 0xe12fff1e},                            // bx lr
+		{Svc(0), 0, 0xef000000},                            // svc #0
+		{Instr{Op: OpB, Imm: 0x1008}, 0x1000, 0xea000000},  // b .+8
+		{Instr{Op: OpBL, Imm: 0x1000}, 0x1000, 0xebfffffe}, // bl .
+		{Mul(R0, R1, R2), 0, 0xe0000291},                   // mul r0, r1, r2
+		{Push(R0, LR), 0, 0xe92d4001},                      // push {r0, lr}
+		{Pop(R0, PC), 0, 0xe8bd8001},                       // pop {r0, pc}
+	}
+	for _, tc := range cases {
+		got, err := Encode(tc.in, tc.addr)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Encode(%v) = %#08x, want %#08x", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestEncodeDecodeWordRoundTrip: for every encodable instruction form,
+// Encode(Decode(w)) must reproduce the word exactly.
+func TestEncodeDecodeWordRoundTrip(t *testing.T) {
+	addr := mem.Addr(0x4000)
+	forms := []Instr{
+		MovImm(R0, 42),
+		MovImm(R3, 0xff000000>>2), // rotated immediate
+		Mov(R1, R2),
+		MovShift(R3, R7, ShiftLSR, 12),
+		Add(R0, R1, R2),
+		AddImm(R9, R10, 0xf0),
+		AddsImm(R3, R3, 1),
+		AddShift(R9, R9, R2, ShiftLSL, 1),
+		Sub(R0, R1, R2),
+		SubsImm(R4, R4, 2),
+		RsbImm(R0, R1, 0),
+		And(R0, R1, R2),
+		AndImm(R12, R7, 255),
+		Orr(R5, R6, R7),
+		Eor(R1, R2, R3),
+		Cmp(R0, R1),
+		CmpImm(R9, 32),
+		Instr{Op: OpCMN, Rn: R0, Imm: 4, UseImm: true},
+		Instr{Op: OpTST, Rn: R0, Rm: R1},
+		Instr{Op: OpTEQ, Rn: R0, Rm: R1},
+		Instr{Op: OpMVN, Rd: R0, Rm: R1},
+		Instr{Op: OpBIC, Rd: R2, Rn: R1, Imm: 0xff, UseImm: true},
+		Mul(R0, R1, R2),
+		Mla(R0, R1, R2, R3),
+		Umull(R2, R3, R0, R1),
+		Ubfx(R9, R7, 8, 4),
+		Instr{Op: OpSBFX, Rd: R0, Rn: R1, Lsb: 4, Width: 8},
+		Uxth(R0, R1),
+		Sxth(R2, R3),
+		Uxtb(R4, R5),
+		Instr{Op: OpSXTB, Rd: R6, Rm: R7},
+		Instr{Op: OpCLZ, Rd: R0, Rm: R1},
+		Ldr(R0, R1, 8),
+		Ldr(R0, R1, -8),
+		LdrReg(R1, R5, R3, ShiftLSL, 2),
+		Str(R0, R1, 0xfc),
+		Strb(R0, R1, 1),
+		Ldrb(R2, R3, 0),
+		Ldrh(R0, R1, 2),
+		LdrhPre(R7, R4, 2),
+		Strh(R0, R1, 6),
+		Instr{Op: OpLDRSB, Rd: R0, Rn: R1, Imm: 3, UseImm: true, Idx: IdxOffset},
+		Instr{Op: OpLDRSH, Rd: R0, Rn: R1, Imm: 2, UseImm: true, Idx: IdxOffset},
+		Instr{Op: OpLDRH, Rd: R0, Rn: R1, Imm: 2, UseImm: true, Idx: IdxPost},
+		Ldrd(R0, R1, R2, 8), // paired registers for architectural fidelity
+		Strd(R4, R5, R6, 0),
+		Pop(R0, R1, R2),
+		Push(R4, R5, LR),
+		Instr{Op: OpB, Imm: 0x4100},
+		Instr{Op: OpBL, Imm: 0x3000},
+		Instr{Op: OpB, Cond: NE, Imm: 0x4010},
+		BxLR(),
+		Svc(7),
+		Bridge(42),
+		Nop(),
+	}
+	for _, in := range forms {
+		w, err := Encode(in, addr)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		back, err := Decode(w, addr)
+		if err != nil {
+			t.Errorf("Decode(%#08x) [%v]: %v", w, in, err)
+			continue
+		}
+		w2, err := Encode(back, addr)
+		if err != nil {
+			t.Errorf("re-Encode(%v) [from %v]: %v", back, in, err)
+			continue
+		}
+		if w2 != w {
+			t.Errorf("word round trip: %v → %#08x → %v → %#08x", in, w, back, w2)
+		}
+	}
+}
+
+// TestDecodedSemanticsMatch executes original and decoded instructions side
+// by side on identical states: architectural behaviour must agree even when
+// the symbolic forms differ (e.g. lsl-as-mov).
+func TestDecodedSemanticsMatch(t *testing.T) {
+	addr := mem.Addr(0x4000)
+	forms := []Instr{
+		LslImm(R0, R1, 3),
+		LsrImm(R2, R3, 7),
+		AsrImm(R4, R5, 1),
+		Instr{Op: OpLSL, Rd: R0, Rn: R1, Rm: R2},
+		Instr{Op: OpASR, Rd: R3, Rn: R4, Rm: R5},
+		AddShift(R0, R1, R2, ShiftLSR, 4),
+		MovShift(R6, R7, ShiftASR, 31),
+	}
+	for _, in := range forms {
+		w, err := Encode(in, addr)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", in, err)
+			continue
+		}
+		back, err := Decode(w, addr)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", w, err)
+			continue
+		}
+		var s1, s2 State
+		for r := Reg(0); r < NumRegs; r++ {
+			s1.R[r] = uint32(r) * 0x01010101
+			s2.R[r] = uint32(r) * 0x01010101
+		}
+		m := mem.NewMemory()
+		var res Result
+		Exec(&s1, &in, m, &res)
+		Exec(&s2, &back, m, &res)
+		if s1 != s2 {
+			t.Errorf("semantics diverge for %v (decoded %v)", in, back)
+		}
+	}
+}
+
+func TestEncodeRejectsUnencodable(t *testing.T) {
+	cases := []Instr{
+		MovImm(R0, 0x12345678), // not a rotated imm8
+		Ldr(R0, R1, 0x2000),    // 12-bit offset exceeded
+		Ldrh(R0, R1, 0x400),    // 8-bit offset exceeded
+		StrhReg(R0, R1, R2),    // fine...
+	}
+	// StrhReg IS encodable; replace with a shifted halfword offset.
+	cases[3] = Instr{Op: OpSTRH, Rd: R0, Rn: R1, Rm: R2,
+		Shift: Shift{Kind: ShiftLSL, Amount: 1}}
+	for _, in := range cases {
+		if _, err := Encode(in, 0); err == nil {
+			t.Errorf("Encode(%v) should fail", in)
+		}
+	}
+	// Branch out of range.
+	if _, err := Encode(Instr{Op: OpB, Imm: 0x7fffff00}, 0); err == nil {
+		t.Error("far branch should fail to encode")
+	}
+}
+
+func TestEncodeRotatedImmediates(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0xff, 0x100, 0x3f8, 0xff000000, 0x000ff000, 0xf000000f} {
+		imm8, rot, ok := encodeRotImm(v)
+		if !ok {
+			t.Errorf("%#x should be encodable", v)
+			continue
+		}
+		r := 2 * rot
+		back := imm8
+		if r != 0 {
+			back = imm8>>r | imm8<<(32-r)
+		}
+		if back != v {
+			t.Errorf("%#x: imm8=%#x rot=%d decodes to %#x", v, imm8, rot, back)
+		}
+	}
+	for _, v := range []uint32{0x101, 0x12345678, 0xff1} {
+		if _, _, ok := encodeRotImm(v); ok {
+			t.Errorf("%#x should not be encodable", v)
+		}
+	}
+}

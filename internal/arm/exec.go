@@ -1,0 +1,414 @@
+package arm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Memory is the data-memory interface the executor needs. *mem.Memory
+// satisfies it; the CPU wraps it to observe accesses.
+type Memory interface {
+	Load(addr mem.Addr, size int) uint64
+	Store(addr mem.Addr, size int, v uint64)
+}
+
+// reg reads a register as an operand value. Reading PC yields the address
+// of the current instruction plus 8, as on a real ARM pipeline.
+func (s *State) reg(r Reg) uint32 {
+	if r == PC {
+		return s.R[PC] + 8
+	}
+	return s.R[r]
+}
+
+// shifterOperand computes the barrel-shifted second operand and its
+// carry-out (valid reports whether the shift produced a carry at all).
+func (s *State) shifterOperand(in *Instr) (val uint32, carry, valid bool) {
+	if in.UseImm {
+		return uint32(in.Imm), false, false
+	}
+	v := s.reg(in.Rm)
+	amt := uint32(in.Shift.Amount)
+	switch in.Shift.Kind {
+	case ShiftNone:
+		return v, false, false
+	case ShiftLSL:
+		if amt == 0 {
+			return v, false, false
+		}
+		if amt > 32 {
+			return 0, false, true
+		}
+		carry = v&(1<<(32-amt)) != 0
+		if amt == 32 {
+			return 0, carry, true
+		}
+		return v << amt, carry, true
+	case ShiftLSR:
+		if amt == 0 || amt > 32 {
+			return 0, false, amt != 0
+		}
+		carry = v&(1<<(amt-1)) != 0
+		if amt == 32 {
+			return 0, carry, true
+		}
+		return v >> amt, carry, true
+	case ShiftASR:
+		if amt == 0 {
+			return v, false, false
+		}
+		if amt >= 32 {
+			if int32(v) < 0 {
+				return 0xffffffff, true, true
+			}
+			return 0, false, true
+		}
+		carry = v&(1<<(amt-1)) != 0
+		return uint32(int32(v) >> amt), carry, true
+	case ShiftROR:
+		amt %= 32
+		if amt == 0 {
+			return v, false, false
+		}
+		out := v>>amt | v<<(32-amt)
+		return out, out&0x80000000 != 0, true
+	}
+	return v, false, false
+}
+
+func (s *State) setNZ(v uint32) {
+	s.Flags.N = int32(v) < 0
+	s.Flags.Z = v == 0
+}
+
+func (s *State) addWithCarry(a, b uint32, carryIn bool) uint32 {
+	var cin uint64
+	if carryIn {
+		cin = 1
+	}
+	sum := uint64(a) + uint64(b) + cin
+	res := uint32(sum)
+	s.Flags.C = sum > 0xffffffff
+	s.Flags.V = (a^b)&0x80000000 == 0 && (a^res)&0x80000000 != 0
+	s.setNZ(res)
+	return res
+}
+
+// Exec executes one instruction against the state and memory, recording
+// side effects in res. It does not advance PC; the CPU driving the
+// execution owns control flow (res.Branched overrides the default PC+4).
+func Exec(s *State, in *Instr, m Memory, res *Result) {
+	res.reset()
+	if !in.Cond.Passes(s.Flags) {
+		res.Executed = false
+		return
+	}
+
+	switch in.Op {
+	case OpNOP:
+
+	case OpMOV, OpMVN, OpAND, OpORR, OpEOR, OpBIC, OpTST, OpTEQ:
+		execLogical(s, in, res)
+
+	case OpADD, OpADC, OpSUB, OpSBC, OpRSB, OpCMP, OpCMN:
+		execArith(s, in, res)
+
+	case OpMUL:
+		v := s.reg(in.Rn) * s.reg(in.Rm)
+		s.R[in.Rd] = v
+		if in.SetFlags {
+			s.setNZ(v)
+		}
+	case OpMLA:
+		v := s.reg(in.Rn)*s.reg(in.Rm) + s.reg(in.Ra)
+		s.R[in.Rd] = v
+		if in.SetFlags {
+			s.setNZ(v)
+		}
+	case OpUMULL:
+		p := uint64(s.reg(in.Rn)) * uint64(s.reg(in.Rm))
+		s.R[in.Rd] = uint32(p)
+		s.R[in.Ra] = uint32(p >> 32)
+
+	case OpLSL, OpLSR, OpASR:
+		execShift(s, in, res)
+
+	case OpUBFX:
+		v := s.reg(in.Rn) >> in.Lsb
+		if in.Width < 32 {
+			v &= 1<<in.Width - 1
+		}
+		s.R[in.Rd] = v
+	case OpSBFX:
+		v := s.reg(in.Rn) >> in.Lsb
+		if in.Width < 32 {
+			v &= 1<<in.Width - 1
+			if v&(1<<(in.Width-1)) != 0 {
+				v |= ^uint32(0) << in.Width
+			}
+		}
+		s.R[in.Rd] = v
+	case OpUXTH:
+		s.R[in.Rd] = s.reg(in.Rm) & 0xffff
+	case OpSXTH:
+		s.R[in.Rd] = uint32(int32(int16(s.reg(in.Rm))))
+	case OpUXTB:
+		s.R[in.Rd] = s.reg(in.Rm) & 0xff
+	case OpSXTB:
+		s.R[in.Rd] = uint32(int32(int8(s.reg(in.Rm))))
+	case OpCLZ:
+		v := s.reg(in.Rm)
+		n := uint32(0)
+		for ; n < 32 && v&0x80000000 == 0; n++ {
+			v <<= 1
+		}
+		s.R[in.Rd] = n
+
+	case OpLDR, OpLDRB, OpLDRH, OpLDRSB, OpLDRSH, OpLDRD:
+		execLoad(s, in, m, res)
+
+	case OpSTR, OpSTRB, OpSTRH, OpSTRD:
+		execStore(s, in, m, res)
+
+	case OpLDM:
+		base := s.reg(in.Rn)
+		addr := base
+		for r := Reg(0); r < NumRegs; r++ {
+			if in.RegList&(1<<r) == 0 {
+				continue
+			}
+			v := uint32(m.Load(addr, 4))
+			res.addAccess(false, mem.MakeRange(addr, 4))
+			if r == PC {
+				res.Branched = true
+				res.Target = v
+			} else {
+				s.R[r] = v
+			}
+			addr += 4
+		}
+		s.R[in.Rn] = addr // ldmia rn!, {...}
+
+	case OpSTM:
+		count := uint32(0)
+		for r := Reg(0); r < NumRegs; r++ {
+			if in.RegList&(1<<r) != 0 {
+				count++
+			}
+		}
+		base := s.reg(in.Rn) - 4*count // stmdb rn!, {...}
+		addr := base
+		for r := Reg(0); r < NumRegs; r++ {
+			if in.RegList&(1<<r) == 0 {
+				continue
+			}
+			m.Store(addr, 4, uint64(s.reg(r)))
+			res.addAccess(true, mem.MakeRange(addr, 4))
+			addr += 4
+		}
+		s.R[in.Rn] = base
+
+	case OpB:
+		res.Branched = true
+		res.Target = uint32(in.Imm)
+	case OpBL:
+		s.R[LR] = s.R[PC] + 4
+		res.Branched = true
+		res.Target = uint32(in.Imm)
+	case OpBX:
+		res.Branched = true
+		res.Target = s.reg(in.Rm)
+
+	case OpSVC:
+		res.SVC = true
+		res.SVCNum = in.Imm
+	case OpBRIDGE:
+		res.Bridge = true
+		res.BridgeID = in.Imm
+
+	default:
+		panic(fmt.Sprintf("arm: unimplemented op %v", in.Op))
+	}
+}
+
+func execLogical(s *State, in *Instr, res *Result) {
+	op2, carry, carryValid := s.shifterOperand(in)
+	var v uint32
+	switch in.Op {
+	case OpMOV:
+		v = op2
+	case OpMVN:
+		v = ^op2
+	case OpAND, OpTST:
+		v = s.reg(in.Rn) & op2
+	case OpORR:
+		v = s.reg(in.Rn) | op2
+	case OpEOR, OpTEQ:
+		v = s.reg(in.Rn) ^ op2
+	case OpBIC:
+		v = s.reg(in.Rn) &^ op2
+	}
+	if in.Op != OpTST && in.Op != OpTEQ {
+		if in.Rd == PC {
+			res.Branched = true
+			res.Target = v
+		} else {
+			s.R[in.Rd] = v
+		}
+	}
+	if in.SetFlags || in.Op == OpTST || in.Op == OpTEQ {
+		s.setNZ(v)
+		if carryValid {
+			s.Flags.C = carry
+		}
+	}
+}
+
+func execArith(s *State, in *Instr, res *Result) {
+	op2, _, _ := s.shifterOperand(in)
+	a := s.reg(in.Rn)
+	saved := s.Flags
+	var v uint32
+	switch in.Op {
+	case OpADD:
+		v = s.addWithCarry(a, op2, false)
+	case OpADC:
+		v = s.addWithCarry(a, op2, saved.C)
+	case OpSUB, OpCMP:
+		v = s.addWithCarry(a, ^op2, true)
+	case OpSBC:
+		v = s.addWithCarry(a, ^op2, saved.C)
+	case OpRSB:
+		v = s.addWithCarry(op2, ^a, true)
+	case OpCMN:
+		v = s.addWithCarry(a, op2, false)
+	}
+	flagsOut := s.Flags
+	if !in.SetFlags && in.Op != OpCMP && in.Op != OpCMN {
+		s.Flags = saved // plain add/sub without S leaves flags alone
+	} else {
+		s.Flags = flagsOut
+	}
+	if in.Op == OpCMP || in.Op == OpCMN {
+		return
+	}
+	if in.Rd == PC {
+		res.Branched = true
+		res.Target = v
+	} else {
+		s.R[in.Rd] = v
+	}
+}
+
+func execShift(s *State, in *Instr, res *Result) {
+	v := s.reg(in.Rn)
+	var amt uint32
+	if in.UseImm {
+		amt = uint32(in.Imm)
+	} else {
+		amt = s.reg(in.Rm) & 0xff
+	}
+	var out uint32
+	switch in.Op {
+	case OpLSL:
+		if amt >= 32 {
+			out = 0
+		} else {
+			out = v << amt
+		}
+	case OpLSR:
+		if amt >= 32 {
+			out = 0
+		} else {
+			out = v >> amt
+		}
+	case OpASR:
+		if amt >= 32 {
+			amt = 31
+		}
+		out = uint32(int32(v) >> amt)
+	}
+	s.R[in.Rd] = out
+	if in.SetFlags {
+		s.setNZ(out)
+	}
+	_ = res
+}
+
+// effectiveAddr computes the data address for a single-register memory op
+// and applies base-register writeback per the addressing mode.
+func effectiveAddr(s *State, in *Instr) mem.Addr {
+	base := s.reg(in.Rn)
+	var off uint32
+	if in.UseImm {
+		off = uint32(in.Imm)
+	} else {
+		v := s.reg(in.Rm)
+		switch in.Shift.Kind {
+		case ShiftLSL:
+			v <<= in.Shift.Amount
+		case ShiftLSR:
+			v >>= in.Shift.Amount
+		case ShiftASR:
+			v = uint32(int32(v) >> in.Shift.Amount)
+		}
+		off = v
+	}
+	switch in.Idx {
+	case IdxOffset:
+		return base + off
+	case IdxPre:
+		addr := base + off
+		s.R[in.Rn] = addr
+		return addr
+	case IdxPost:
+		s.R[in.Rn] = base + off
+		return base
+	}
+	return base + off
+}
+
+func execLoad(s *State, in *Instr, m Memory, res *Result) {
+	addr := effectiveAddr(s, in)
+	size := in.Op.AccessSize()
+	res.addAccess(false, mem.MakeRange(addr, size))
+	switch in.Op {
+	case OpLDR:
+		v := uint32(m.Load(addr, 4))
+		if in.Rd == PC {
+			res.Branched = true
+			res.Target = v
+			return
+		}
+		s.R[in.Rd] = v
+	case OpLDRB:
+		s.R[in.Rd] = uint32(m.Load(addr, 1))
+	case OpLDRH:
+		s.R[in.Rd] = uint32(m.Load(addr, 2))
+	case OpLDRSB:
+		s.R[in.Rd] = uint32(int32(int8(m.Load(addr, 1))))
+	case OpLDRSH:
+		s.R[in.Rd] = uint32(int32(int16(m.Load(addr, 2))))
+	case OpLDRD:
+		s.R[in.Rd] = uint32(m.Load(addr, 4))
+		s.R[in.Ra] = uint32(m.Load(addr+4, 4))
+	}
+}
+
+func execStore(s *State, in *Instr, m Memory, res *Result) {
+	addr := effectiveAddr(s, in)
+	size := in.Op.AccessSize()
+	res.addAccess(true, mem.MakeRange(addr, size))
+	switch in.Op {
+	case OpSTR:
+		m.Store(addr, 4, uint64(s.reg(in.Rd)))
+	case OpSTRB:
+		m.Store(addr, 1, uint64(s.reg(in.Rd)))
+	case OpSTRH:
+		m.Store(addr, 2, uint64(s.reg(in.Rd)))
+	case OpSTRD:
+		m.Store(addr, 4, uint64(s.reg(in.Rd)))
+		m.Store(addr+4, 4, uint64(s.reg(in.Ra)))
+	}
+}

@@ -1,0 +1,225 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestUmull(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[R0], s.R[R1] = 0xffffffff, 0xffffffff
+	run(t, &s, m, Umull(R2, R3, R0, R1))
+	// 0xffffffff^2 = 0xfffffffe00000001
+	if s.R[R2] != 0x00000001 || s.R[R3] != 0xfffffffe {
+		t.Fatalf("umull = %#x:%#x", s.R[R3], s.R[R2])
+	}
+}
+
+func TestUmullMatchesGoQuick(t *testing.T) {
+	m := mem.NewMemory()
+	f := func(a, b uint32) bool {
+		var s State
+		s.R[R0], s.R[R1] = a, b
+		run(t, &s, m, Umull(R2, R3, R0, R1))
+		p := uint64(a) * uint64(b)
+		return s.R[R2] == uint32(p) && s.R[R3] == uint32(p>>32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdcSbcChains(t *testing.T) {
+	// 64-bit add via adds/adc, as the add-long template does.
+	var s State
+	m := mem.NewMemory()
+	s.R[R0], s.R[R1] = 0xffffffff, 0 // lo, hi of a = 2^32-1
+	s.R[R2], s.R[R3] = 1, 0          // b = 1
+	run(t, &s, m,
+		Instr{Op: OpADD, Rd: R0, Rn: R0, Rm: R2, SetFlags: true},
+		Instr{Op: OpADC, Rd: R1, Rn: R1, Rm: R3},
+	)
+	if s.R[R0] != 0 || s.R[R1] != 1 {
+		t.Fatalf("64-bit add = %#x:%#x, want 1:0", s.R[R1], s.R[R0])
+	}
+	// 64-bit subtract via subs/sbc.
+	s.R[R0], s.R[R1] = 0, 1 // a = 2^32
+	s.R[R2], s.R[R3] = 1, 0 // b = 1
+	run(t, &s, m,
+		Subs(R0, R0, R2),
+		Instr{Op: OpSBC, Rd: R1, Rn: R1, Rm: R3},
+	)
+	if s.R[R0] != 0xffffffff || s.R[R1] != 0 {
+		t.Fatalf("64-bit sub = %#x:%#x", s.R[R1], s.R[R0])
+	}
+}
+
+func TestLdmStmRegisterOrder(t *testing.T) {
+	// STM stores the register list in ascending register order at
+	// ascending addresses, regardless of argument order.
+	var s State
+	m := mem.NewMemory()
+	s.R[SP] = 0x8000
+	s.R[R2], s.R[R7], s.R[R9] = 0x22, 0x77, 0x99
+	push := Push(R9, R2, R7) // order in the call must not matter
+	var res Result
+	Exec(&s, &push, m, &res)
+	if m.Load32(0x8000-12) != 0x22 || m.Load32(0x8000-8) != 0x77 || m.Load32(0x8000-4) != 0x99 {
+		t.Fatalf("stm layout: %x %x %x",
+			m.Load32(0x8000-12), m.Load32(0x8000-8), m.Load32(0x8000-4))
+	}
+	s.R[R2], s.R[R7], s.R[R9] = 0, 0, 0
+	pop := Pop(R2, R7, R9)
+	Exec(&s, &pop, m, &res)
+	if s.R[R2] != 0x22 || s.R[R7] != 0x77 || s.R[R9] != 0x99 {
+		t.Fatalf("ldm restore: %x %x %x", s.R[R2], s.R[R7], s.R[R9])
+	}
+	if res.NAcc != 3 || res.Acc[0].Range.Start != 0x8000-12 {
+		t.Fatalf("ldm accesses: %+v", res.Acc[:res.NAcc])
+	}
+}
+
+func TestConditionalMemoryOpSkipsAccess(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	m.Store32(0x5000, 0xdead)
+	s.R[R1] = 0x5000
+	ld := Ldr(R0, R1, 0)
+	ld.Cond = NE
+	s.Flags.Z = true // NE fails
+	var res Result
+	Exec(&s, &ld, m, &res)
+	if res.Executed {
+		t.Fatal("skipped load marked executed")
+	}
+	if res.NAcc != 0 {
+		t.Fatal("skipped load still produced an access event")
+	}
+	if s.R[R0] != 0 {
+		t.Fatal("skipped load wrote the register")
+	}
+}
+
+func TestShifterCarryOut(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	// movs r0, r1, lsr #1 with r1 odd → carry out set.
+	s.R[R1] = 3
+	in := MovShift(R0, R1, ShiftLSR, 1)
+	in.SetFlags = true
+	var res Result
+	Exec(&s, &in, m, &res)
+	if s.R[R0] != 1 || !s.Flags.C {
+		t.Fatalf("lsrs: r0=%d C=%v", s.R[R0], s.Flags.C)
+	}
+	// lsl #1 of a value with the top bit set → carry out set.
+	s.R[R1] = 0x80000001
+	in = MovShift(R0, R1, ShiftLSL, 1)
+	in.SetFlags = true
+	Exec(&s, &in, m, &res)
+	if s.R[R0] != 2 || !s.Flags.C {
+		t.Fatalf("lsls: r0=%#x C=%v", s.R[R0], s.Flags.C)
+	}
+}
+
+func TestRegisterShiftAmounts(t *testing.T) {
+	// Register-specified shifts clamp the way the wide templates rely on:
+	// lsl/lsr by >=32 give 0; asr by >=32 gives the sign fill.
+	var s State
+	m := mem.NewMemory()
+	s.R[R1] = 0x80000000
+	s.R[R2] = 32
+	run(t, &s, m,
+		Instr{Op: OpLSL, Rd: R3, Rn: R1, Rm: R2},
+		Instr{Op: OpLSR, Rd: R4, Rn: R1, Rm: R2},
+		Instr{Op: OpASR, Rd: R5, Rn: R1, Rm: R2},
+	)
+	if s.R[R3] != 0 || s.R[R4] != 0 {
+		t.Fatalf("lsl/lsr by 32 = %#x/%#x", s.R[R3], s.R[R4])
+	}
+	if s.R[R5] != 0xffffffff {
+		t.Fatalf("asr by 32 = %#x", s.R[R5])
+	}
+	s.R[R2] = 0
+	run(t, &s, m, Instr{Op: OpLSR, Rd: R6, Rn: R1, Rm: R2})
+	if s.R[R6] != 0x80000000 {
+		t.Fatalf("lsr by 0 = %#x", s.R[R6])
+	}
+}
+
+func TestMvnAndBic(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[R1] = 0x0f0f0f0f
+	run(t, &s, m,
+		Instr{Op: OpMVN, Rd: R0, Rm: R1},
+		Instr{Op: OpBIC, Rd: R2, Rn: R1, Imm: 0xff, UseImm: true},
+	)
+	if s.R[R0] != 0xf0f0f0f0 {
+		t.Fatalf("mvn = %#x", s.R[R0])
+	}
+	if s.R[R2] != 0x0f0f0f00 {
+		t.Fatalf("bic = %#x", s.R[R2])
+	}
+}
+
+func TestAdcSbcQuick(t *testing.T) {
+	// 64-bit add/sub composed from 32-bit ops matches Go int64 math.
+	m := mem.NewMemory()
+	f := func(a, b int64) bool {
+		var s State
+		s.R[R0], s.R[R1] = uint32(uint64(a)), uint32(uint64(a)>>32)
+		s.R[R2], s.R[R3] = uint32(uint64(b)), uint32(uint64(b)>>32)
+		run(t, &s, m,
+			Instr{Op: OpADD, Rd: R4, Rn: R0, Rm: R2, SetFlags: true},
+			Instr{Op: OpADC, Rd: R5, Rn: R1, Rm: R3},
+			Subs(R6, R0, R2),
+			Instr{Op: OpSBC, Rd: R7, Rn: R1, Rm: R3},
+		)
+		sum := uint64(s.R[R5])<<32 | uint64(s.R[R4])
+		diff := uint64(s.R[R7])<<32 | uint64(s.R[R6])
+		return int64(sum) == a+b && int64(diff) == a-b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLdrshSignExtension(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	m.Store16(0x5000, 0x8001)
+	m.StoreByte(0x5002, 0x80)
+	s.R[R1] = 0x5000
+	run(t, &s, m,
+		Instr{Op: OpLDRSH, Rd: R0, Rn: R1, UseImm: true},
+		Instr{Op: OpLDRSB, Rd: R2, Rn: R1, Imm: 2, UseImm: true},
+	)
+	if int32(s.R[R0]) != -32767 {
+		t.Fatalf("ldrsh = %d", int32(s.R[R0]))
+	}
+	if int32(s.R[R2]) != -128 {
+		t.Fatalf("ldrsb = %d", int32(s.R[R2]))
+	}
+}
+
+func TestPostIndexAddressing(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	m.Store16(0x6000, 0xaa)
+	m.Store16(0x6002, 0xbb)
+	s.R[R1] = 0x6000
+	post := Instr{Op: OpLDRH, Rd: R0, Rn: R1, Imm: 2, UseImm: true, Idx: IdxPost}
+	var res Result
+	Exec(&s, &post, m, &res)
+	if s.R[R0] != 0xaa || s.R[R1] != 0x6002 {
+		t.Fatalf("post-index 1: r0=%#x r1=%#x", s.R[R0], s.R[R1])
+	}
+	Exec(&s, &post, m, &res)
+	if s.R[R0] != 0xbb || s.R[R1] != 0x6004 {
+		t.Fatalf("post-index 2: r0=%#x r1=%#x", s.R[R0], s.R[R1])
+	}
+}

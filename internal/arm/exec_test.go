@@ -1,0 +1,408 @@
+package arm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func run(t *testing.T, s *State, m Memory, ins ...Instr) *Result {
+	t.Helper()
+	var res Result
+	for i := range ins {
+		Exec(s, &ins[i], m, &res)
+	}
+	return &res
+}
+
+func TestMovAdd(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	run(t, &s, m,
+		MovImm(R0, 40),
+		MovImm(R1, 2),
+		Add(R2, R0, R1),
+	)
+	if s.R[R2] != 42 {
+		t.Fatalf("r2 = %d, want 42", s.R[R2])
+	}
+}
+
+func TestSubFlags(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	run(t, &s, m, MovImm(R0, 5), SubsImm(R1, R0, 5))
+	if !s.Flags.Z || s.R[R1] != 0 {
+		t.Fatalf("subs 5-5: Z=%v r1=%d", s.Flags.Z, s.R[R1])
+	}
+	if !s.Flags.C {
+		t.Fatal("subs with no borrow must set C")
+	}
+	run(t, &s, m, MovImm(R0, 3), SubsImm(R1, R0, 5))
+	if !s.Flags.N || s.Flags.C {
+		t.Fatalf("subs 3-5: N=%v C=%v, want N set, C clear", s.Flags.N, s.Flags.C)
+	}
+	if int32(s.R[R1]) != -2 {
+		t.Fatalf("3-5 = %d", int32(s.R[R1]))
+	}
+}
+
+func TestCmpConditions(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	run(t, &s, m, MovImm(R0, 10), CmpImm(R0, 10))
+	for _, tc := range []struct {
+		cond Cond
+		want bool
+	}{
+		{EQ, true}, {NE, false}, {GE, true}, {GT, false}, {LE, true}, {LT, false},
+	} {
+		if got := tc.cond.Passes(s.Flags); got != tc.want {
+			t.Errorf("after cmp 10,10: %v passes = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+	run(t, &s, m, CmpImm(R0, 20)) // 10 - 20: negative
+	if !LT.Passes(s.Flags) || GE.Passes(s.Flags) {
+		t.Error("10 < 20 must satisfy LT, not GE")
+	}
+}
+
+func TestSignedComparisonNearOverflow(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	// -2147483648 < 1 signed, although unsigned it is larger.
+	s.R[R0] = 0x80000000
+	run(t, &s, m, CmpImm(R0, 1))
+	if !LT.Passes(s.Flags) {
+		t.Error("INT_MIN cmp 1 must be LT (uses V flag)")
+	}
+	if CS.Passes(s.Flags) != true {
+		t.Error("unsigned INT_MIN >= 1, C must be set")
+	}
+}
+
+func TestConditionalExecutionSkips(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	ne := MovImm(R3, 99)
+	ne.Cond = NE
+	run(t, &s, m, MovImm(R0, 1), CmpImm(R0, 1), ne)
+	if s.R[R3] != 0 {
+		t.Fatalf("movne executed although Z set: r3=%d", s.R[R3])
+	}
+}
+
+func TestShifterOperand(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	run(t, &s, m,
+		MovImm(R1, 0x0000f300),
+		MovShift(R2, R1, ShiftLSR, 12), // mterp "mov r3, rINST, lsr #12"
+	)
+	if s.R[R2] != 0xf {
+		t.Fatalf("lsr#12 = %#x, want 0xf", s.R[R2])
+	}
+	run(t, &s, m, MovShift(R3, R1, ShiftLSL, 4))
+	if s.R[R3] != 0x000f3000 {
+		t.Fatalf("lsl#4 = %#x", s.R[R3])
+	}
+	s.R[R4] = 0x80000000
+	run(t, &s, m, MovShift(R5, R4, ShiftASR, 31))
+	if s.R[R5] != 0xffffffff {
+		t.Fatalf("asr#31 of INT_MIN = %#x", s.R[R5])
+	}
+}
+
+func TestUbfx(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[R7] = 0x12345678
+	run(t, &s, m, Ubfx(R9, R7, 8, 4)) // mterp "ubfx r9, rINST, #8, #4"
+	if s.R[R9] != 0x6 {
+		t.Fatalf("ubfx #8,#4 = %#x, want 6", s.R[R9])
+	}
+	run(t, &s, m, Ubfx(R9, R7, 8, 11))
+	if s.R[R9] != 0x456 {
+		t.Fatalf("ubfx #8,#11 = %#x, want 0x456", s.R[R9])
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[R0] = 0xffff8001
+	run(t, &s, m, Uxth(R1, R0), Sxth(R2, R0), Uxtb(R3, R0))
+	if s.R[R1] != 0x8001 {
+		t.Errorf("uxth = %#x", s.R[R1])
+	}
+	if int32(s.R[R2]) != -32767 {
+		t.Errorf("sxth = %d", int32(s.R[R2]))
+	}
+	if s.R[R3] != 0x01 {
+		t.Errorf("uxtb = %#x", s.R[R3])
+	}
+}
+
+func TestLoadStoreAddressing(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	m.Store32(0x1010, 0xcafebabe)
+
+	// Immediate offset.
+	s.R[R1] = 0x1000
+	res := run(t, &s, m, Ldr(R0, R1, 0x10))
+	if s.R[R0] != 0xcafebabe {
+		t.Fatalf("ldr imm = %#x", s.R[R0])
+	}
+	if res.NAcc != 1 || res.Acc[0].Store || res.Acc[0].Range != mem.MakeRange(0x1010, 4) {
+		t.Fatalf("access record = %+v", res.Acc[0])
+	}
+
+	// Register offset with shift: GET_VREG shape.
+	s.R[R5] = 0x1000
+	s.R[R3] = 4
+	run(t, &s, m, LdrReg(R2, R5, R3, ShiftLSL, 2))
+	if s.R[R2] != 0xcafebabe {
+		t.Fatalf("ldr [r5, r3 lsl #2] = %#x", s.R[R2])
+	}
+
+	// Pre-index writeback: FETCH_ADVANCE_INST shape.
+	m.Store16(0x2002, 0x1234)
+	s.R[R4] = 0x2000
+	run(t, &s, m, LdrhPre(R7, R4, 2))
+	if s.R[R7] != 0x1234 || s.R[R4] != 0x2002 {
+		t.Fatalf("ldrh pre: r7=%#x r4=%#x", s.R[R7], s.R[R4])
+	}
+
+	// Narrow store only touches its bytes.
+	s.R[R6] = 0xffff
+	s.R[R0], s.R[R4] = 0x3000, 2
+	run(t, &s, m, StrhReg(R6, R0, R4))
+	if v := m.Load32(0x3000); v != 0xffff0000 {
+		t.Fatalf("strh result word = %#x", v)
+	}
+}
+
+func TestLdrdStrd(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[R0], s.R[R1] = 0x11111111, 0x22222222
+	s.R[R2] = 0x4000
+	res := run(t, &s, m, Strd(R0, R1, R2, 0))
+	if res.Acc[0].Range.Size() != 8 {
+		t.Fatalf("strd range = %v", res.Acc[0].Range)
+	}
+	var s2 State
+	s2.R[R2] = 0x4000
+	run(t, &s2, m, Ldrd(R3, R4, R2, 0))
+	if s2.R[R3] != 0x11111111 || s2.R[R4] != 0x22222222 {
+		t.Fatalf("ldrd = %#x, %#x", s2.R[R3], s2.R[R4])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[SP] = 0x8000
+	s.R[R0], s.R[R1], s.R[LR] = 1, 2, 0xdeadbeef
+	res := run(t, &s, m, Push(R0, R1, LR))
+	if s.R[SP] != 0x8000-12 {
+		t.Fatalf("sp after push = %#x", s.R[SP])
+	}
+	if res.NAcc != 3 {
+		t.Fatalf("push accesses = %d", res.NAcc)
+	}
+	s.R[R0], s.R[R1] = 0, 0
+	res = run(t, &s, m, Pop(R0, R1, PC))
+	if s.R[R0] != 1 || s.R[R1] != 2 {
+		t.Fatalf("pop restored r0=%d r1=%d", s.R[R0], s.R[R1])
+	}
+	if !res.Branched || res.Target != 0xdeadbeef {
+		t.Fatalf("pop {pc} must branch to lr value, got %+v", res)
+	}
+	if s.R[SP] != 0x8000 {
+		t.Fatalf("sp after pop = %#x", s.R[SP])
+	}
+}
+
+func TestBranchAndLink(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	s.R[PC] = 0x100
+	bl := Instr{Op: OpBL, Imm: 0x500}
+	var res Result
+	Exec(&s, &bl, m, &res)
+	if !res.Branched || res.Target != 0x500 {
+		t.Fatalf("bl: %+v", res)
+	}
+	if s.R[LR] != 0x104 {
+		t.Fatalf("lr = %#x, want 0x104", s.R[LR])
+	}
+	bx := BxLR()
+	Exec(&s, &bx, m, &res)
+	if !res.Branched || res.Target != 0x104 {
+		t.Fatalf("bx lr: %+v", res)
+	}
+}
+
+func TestSvcAndBridge(t *testing.T) {
+	var s State
+	m := mem.NewMemory()
+	var res Result
+	svc := Svc(7)
+	Exec(&s, &svc, m, &res)
+	if !res.SVC || res.SVCNum != 7 {
+		t.Fatalf("svc: %+v", res)
+	}
+	br := Bridge(42)
+	Exec(&s, &br, m, &res)
+	if !res.Bridge || res.BridgeID != 42 {
+		t.Fatalf("bridge: %+v", res)
+	}
+}
+
+func TestStringCopyLoop(t *testing.T) {
+	// Execute the paper's Figure 1 loop: copy n halfwords from src to dst.
+	// r0=dst base, r1=src base, r3=counter, r4=byte offset, r5=count.
+	m := mem.NewMemory()
+	const src, dst = 0x10000, 0x20000
+	text := "imei=356938035643809"
+	for i, c := range text {
+		m.Store16(src+mem.Addr(2*i), uint16(c))
+	}
+
+	var s State
+	s.R[R0], s.R[R1] = dst, src
+	s.R[R3], s.R[R4] = 0, 0
+	s.R[R5] = uint32(len(text))
+
+	loop := []Instr{
+		LdrhReg(R6, R1, R4),         // ldrh r6, [r1, r4]
+		AddsImm(R3, R3, 1),          // adds r3, r3, #1
+		StrhReg(R6, R0, R4),         // strh r6, [r0, r4]
+		AddsImm(R4, R4, 2),          // adds r4, r4, #2
+		Cmp(R3, R5),                 // cmp r3, r5
+		{Op: OpB, Cond: LT, Imm: 0}, // blt loop (handled manually below)
+	}
+	var res Result
+	for {
+		done := true
+		for i := range loop {
+			Exec(&s, &loop[i], m, &res)
+			if i == len(loop)-1 && res.Branched {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for i, c := range text {
+		if got := m.Load16(dst + mem.Addr(2*i)); got != uint16(c) {
+			t.Fatalf("dst[%d] = %#x, want %q", i, got, c)
+		}
+	}
+}
+
+// Property: ADD/SUB/AND/ORR/EOR/MUL match Go 32-bit arithmetic.
+func TestALUMatchesGoQuick(t *testing.T) {
+	m := mem.NewMemory()
+	f := func(a, b uint32) bool {
+		var s State
+		s.R[R0], s.R[R1] = a, b
+		run(t, &s, m,
+			Add(R2, R0, R1), Sub(R3, R0, R1), And(R4, R0, R1),
+			Orr(R5, R0, R1), Eor(R6, R0, R1), Mul(R7, R0, R1),
+		)
+		return s.R[R2] == a+b && s.R[R3] == a-b && s.R[R4] == a&b &&
+			s.R[R5] == a|b && s.R[R6] == a^b && s.R[R7] == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CMP flags implement correct signed and unsigned comparisons.
+func TestCmpFlagsQuick(t *testing.T) {
+	m := mem.NewMemory()
+	f := func(a, b uint32) bool {
+		var s State
+		s.R[R0], s.R[R1] = a, b
+		run(t, &s, m, Cmp(R0, R1))
+		sa, sb := int32(a), int32(b)
+		return EQ.Passes(s.Flags) == (a == b) &&
+			CS.Passes(s.Flags) == (a >= b) &&
+			HI.Passes(s.Flags) == (a > b) &&
+			LT.Passes(s.Flags) == (sa < sb) &&
+			GE.Passes(s.Flags) == (sa >= sb) &&
+			GT.Passes(s.Flags) == (sa > sb) &&
+			LE.Passes(s.Flags) == (sa <= sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{LdrReg(R1, R5, R3, ShiftLSL, 2), "ldr r1, [r5, r3, lsl #2]"},
+		{StrhReg(R6, R0, R4), "strh r6, [r0, r4]"},
+		{LdrhPre(R7, R4, 2), "ldrh r7, [r4, #2]!"},
+		{MovShift(R3, R7, ShiftLSR, 12), "mov r3, r7, lsr #12"},
+		{Ubfx(R9, R7, 8, 4), "ubfx r9, r7, #8, #4"},
+		{AddsImm(R3, R3, 1), "adds r3, r3, #1"},
+		{Mul(R0, R1, R0), "mul r0, r1, r0"},
+		{BxLR(), "bx lr"},
+		{Push(R0, LR), "stmdb sp!, {r0, lr}"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("disasm = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAssemblerLabels(t *testing.T) {
+	a := NewAssembler(0x1000)
+	a.Emit(MovImm(R0, 0))
+	a.Label("loop")
+	a.Emit(AddsImm(R0, R0, 1), CmpImm(R0, 3))
+	a.B(LT, "loop")
+	a.B(AL, "done")
+	a.Emit(MovImm(R1, 99)) // skipped
+	a.Label("done")
+	a.Emit(BxLR())
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[3].Imm != 0x1004 {
+		t.Fatalf("loop target = %#x, want 0x1004", code[3].Imm)
+	}
+	if code[4].Imm != int32(0x1000+4*6) {
+		t.Fatalf("done target = %#x", code[4].Imm)
+	}
+}
+
+func TestAssemblerUndefinedLabel(t *testing.T) {
+	a := NewAssembler(0)
+	a.B(AL, "nowhere")
+	if _, err := a.Finish(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestAssemblerDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label must panic")
+		}
+	}()
+	a := NewAssembler(0)
+	a.Label("x")
+	a.Label("x")
+}

@@ -1,0 +1,387 @@
+// Package arm defines the ARMv7-like instruction set executed by the
+// simulated CPU (internal/cpu).
+//
+// The paper evaluates PIFT on an ARM SoC simulated by gem5; PIFT itself only
+// observes the dynamic instruction stream (which instructions are memory
+// loads/stores and which byte ranges they touch). This package therefore
+// models the subset of ARMv7 that the Dalvik-to-native translation templates
+// and the runtime intrinsics need, with faithful load/store shapes
+// (byte/halfword/word/dual/multiple, all addressing modes) and enough ALU,
+// flag, and branch semantics to actually execute the workloads rather than
+// merely replaying canned traces.
+package arm
+
+import "repro/internal/mem"
+
+// Reg names one of the sixteen ARM core registers.
+type Reg uint8
+
+// Core registers. The Dalvik mterp register conventions used by the
+// translator (rPC, rFP, rSELF, rINST, rIBASE) are defined in the dalvik
+// package on top of these.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13
+	LR // R14
+	PC // R15
+)
+
+// NumRegs is the size of the core register file.
+const NumRegs = 16
+
+var regNames = [NumRegs]string{
+	"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return "r?"
+}
+
+// Op enumerates the implemented operations.
+type Op uint8
+
+const (
+	// OpNOP does nothing but still advances the per-process instruction
+	// counter, which is what the tainting window is measured in.
+	OpNOP Op = iota
+
+	// Data-processing (register/immediate operand2, optional flag update).
+	OpMOV
+	OpMVN
+	OpADD
+	OpADC
+	OpSUB
+	OpSBC
+	OpRSB
+	OpAND
+	OpORR
+	OpEOR
+	OpBIC
+	OpCMP // flags only
+	OpCMN // flags only
+	OpTST // flags only
+	OpTEQ // flags only
+
+	// Multiply. UMULL writes the full 64-bit product to Rd (low) and Ra
+	// (high); the 64-bit bytecode templates need it.
+	OpMUL
+	OpMLA
+	OpUMULL
+
+	// Shifts as explicit operations (ARM encodes them as MOV-with-shift;
+	// keeping them distinct makes templates and disassembly clearer).
+	OpLSL
+	OpLSR
+	OpASR
+
+	// Bit-field and extension ops used heavily by mterp operand decoding.
+	OpUBFX
+	OpSBFX
+	OpUXTH
+	OpSXTH
+	OpUXTB
+	OpSXTB
+	OpCLZ
+
+	// Loads. D variants move two registers (8 bytes); M variants move a
+	// register list.
+	OpLDR
+	OpLDRB
+	OpLDRH
+	OpLDRSB
+	OpLDRSH
+	OpLDRD
+	OpLDM
+
+	// Stores.
+	OpSTR
+	OpSTRB
+	OpSTRH
+	OpSTRD
+	OpSTM
+
+	// Branches. B/BL carry an absolute target (the assembler resolves
+	// labels); BX branches to a register value (function return).
+	OpB
+	OpBL
+	OpBX
+
+	// OpSVC is the supervisor call used for process exit.
+	OpSVC
+
+	// OpBRIDGE transfers control to a registered host (Go) handler: the
+	// runtime uses it for heap allocation, source registration, and sink
+	// checks — operations the paper performs in the framework/kernel
+	// layers, outside the traced CPU data path.
+	OpBRIDGE
+
+	opCount // must be last
+)
+
+var opNames = [...]string{
+	OpNOP: "nop", OpMOV: "mov", OpMVN: "mvn", OpADD: "add", OpADC: "adc",
+	OpSUB: "sub", OpSBC: "sbc", OpRSB: "rsb", OpAND: "and", OpORR: "orr",
+	OpEOR: "eor", OpBIC: "bic", OpCMP: "cmp", OpCMN: "cmn", OpTST: "tst",
+	OpTEQ: "teq", OpMUL: "mul", OpMLA: "mla", OpUMULL: "umull",
+	OpLSL: "lsl", OpLSR: "lsr",
+	OpASR: "asr", OpUBFX: "ubfx", OpSBFX: "sbfx", OpUXTH: "uxth",
+	OpSXTH: "sxth", OpUXTB: "uxtb", OpSXTB: "sxtb", OpCLZ: "clz",
+	OpLDR: "ldr", OpLDRB: "ldrb", OpLDRH: "ldrh", OpLDRSB: "ldrsb",
+	OpLDRSH: "ldrsh", OpLDRD: "ldrd", OpLDM: "ldmia", OpSTR: "str",
+	OpSTRB: "strb", OpSTRH: "strh", OpSTRD: "strd", OpSTM: "stmdb",
+	OpB: "b", OpBL: "bl", OpBX: "bx", OpSVC: "svc", OpBRIDGE: "bridge",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// IsLoad reports whether the operation reads data memory. These are exactly
+// the instructions the PIFT front-end reports as load events (paper §3.2:
+// "ldr, ldrd, ldmia", plus the narrow variants).
+func (o Op) IsLoad() bool {
+	switch o {
+	case OpLDR, OpLDRB, OpLDRH, OpLDRSB, OpLDRSH, OpLDRD, OpLDM:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the operation writes data memory ("str, strh,
+// stmdb" in the paper, plus the remaining variants).
+func (o Op) IsStore() bool {
+	switch o {
+	case OpSTR, OpSTRB, OpSTRH, OpSTRD, OpSTM:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the operation touches data memory at all.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// AccessSize returns the number of bytes a single-register memory op moves.
+// LDRD/STRD move 8; LDM/STM sizes depend on the register list and are
+// computed at execution time.
+func (o Op) AccessSize() uint32 {
+	switch o {
+	case OpLDRB, OpLDRSB, OpSTRB:
+		return 1
+	case OpLDRH, OpLDRSH, OpSTRH:
+		return 2
+	case OpLDR, OpSTR, OpLDM, OpSTM:
+		return 4
+	case OpLDRD, OpSTRD:
+		return 8
+	}
+	return 0
+}
+
+// Cond is an ARM condition code; every instruction is conditional.
+type Cond uint8
+
+const (
+	AL Cond = iota // always
+	EQ             // Z
+	NE             // !Z
+	CS             // C
+	CC             // !C
+	MI             // N
+	PL             // !N
+	VS             // V
+	VC             // !V
+	HI             // C && !Z
+	LS             // !C || Z
+	GE             // N == V
+	LT             // N != V
+	GT             // !Z && N == V
+	LE             // Z || N != V
+)
+
+var condNames = [...]string{
+	AL: "", EQ: "eq", NE: "ne", CS: "cs", CC: "cc", MI: "mi", PL: "pl",
+	VS: "vs", VC: "vc", HI: "hi", LS: "ls", GE: "ge", LT: "lt", GT: "gt",
+	LE: "le",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return "??"
+}
+
+// ShiftKind is the barrel-shifter operation applied to the Rm operand.
+type ShiftKind uint8
+
+const (
+	ShiftNone ShiftKind = iota
+	ShiftLSL
+	ShiftLSR
+	ShiftASR
+	ShiftROR
+)
+
+var shiftNames = [...]string{
+	ShiftNone: "", ShiftLSL: "lsl", ShiftLSR: "lsr",
+	ShiftASR: "asr", ShiftROR: "ror",
+}
+
+func (k ShiftKind) String() string {
+	if int(k) < len(shiftNames) {
+		return shiftNames[k]
+	}
+	return "shift?"
+}
+
+// Shift is a barrel-shifter specification: Kind by Amount bits.
+type Shift struct {
+	Kind   ShiftKind
+	Amount uint8
+}
+
+// Indexing selects the memory addressing mode.
+type Indexing uint8
+
+const (
+	// IdxOffset: address = Rn + offset; Rn unchanged.
+	IdxOffset Indexing = iota
+	// IdxPre: address = Rn + offset; Rn updated to the address ("[Rn, #x]!").
+	IdxPre
+	// IdxPost: address = Rn; Rn updated to Rn + offset ("[Rn], #x").
+	IdxPost
+)
+
+// Instr is one decoded instruction. The simulator executes this symbolic
+// form directly; there is no binary encoding step, but the fields mirror the
+// information an ARM encoding carries, and a Disasm method renders standard
+// assembly syntax.
+type Instr struct {
+	Op       Op
+	Cond     Cond
+	SetFlags bool // the "S" suffix: update NZCV
+
+	Rd Reg // destination (or first transfer register for LDRD/STRD)
+	Rn Reg // first operand / base register
+	Rm Reg // second operand register (when !UseImm) / index register
+	Ra Reg // accumulator (MLA) or second transfer register (LDRD/STRD)
+
+	Imm    int32 // immediate operand2, memory offset, branch target, SVC/BRIDGE number
+	UseImm bool  // operand2 / memory offset is Imm rather than shifted Rm
+
+	Shift Shift    // barrel shift applied to Rm
+	Idx   Indexing // addressing mode for memory ops
+
+	RegList uint16 // LDM/STM register bitmask (bit i = Ri)
+
+	Lsb, Width uint8 // UBFX/SBFX bit-field parameters
+}
+
+// Flags holds the NZCV condition flags.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// State is the architectural state of one hardware context: the register
+// file and flags. Memory is shared and passed to Exec separately.
+type State struct {
+	R     [NumRegs]uint32
+	Flags Flags
+}
+
+// Passes reports whether the condition holds under the given flags.
+func (c Cond) Passes(f Flags) bool {
+	switch c {
+	case AL:
+		return true
+	case EQ:
+		return f.Z
+	case NE:
+		return !f.Z
+	case CS:
+		return f.C
+	case CC:
+		return !f.C
+	case MI:
+		return f.N
+	case PL:
+		return !f.N
+	case VS:
+		return f.V
+	case VC:
+		return !f.V
+	case HI:
+		return f.C && !f.Z
+	case LS:
+		return !f.C || f.Z
+	case GE:
+		return f.N == f.V
+	case LT:
+		return f.N != f.V
+	case GT:
+		return !f.Z && f.N == f.V
+	case LE:
+		return f.Z || f.N != f.V
+	}
+	return false
+}
+
+// MemAccess records one data-memory access performed by an instruction:
+// exactly the information the PIFT front-end logic forwards to the hardware
+// module (access type and byte range).
+type MemAccess struct {
+	Store bool
+	Range mem.Range
+}
+
+// maxAccesses bounds the accesses a single instruction can perform
+// (LDM/STM with a full register list).
+const maxAccesses = 16
+
+// Result reports the side effects of executing one instruction. It is
+// caller-allocated and reused to keep the hot execution loop allocation-free.
+type Result struct {
+	Acc      [maxAccesses]MemAccess
+	NAcc     int
+	Executed bool // false when the condition code failed
+	Branched bool
+	Target   uint32 // valid when Branched
+	SVC      bool
+	SVCNum   int32
+	Bridge   bool
+	BridgeID int32
+}
+
+func (r *Result) reset() {
+	r.NAcc = 0
+	r.Executed = true
+	r.Branched = false
+	r.SVC = false
+	r.Bridge = false
+}
+
+func (r *Result) addAccess(store bool, rg mem.Range) {
+	if r.NAcc < maxAccesses {
+		r.Acc[r.NAcc] = MemAccess{Store: store, Range: rg}
+		r.NAcc++
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// EvictPolicy selects what the range-cache hardware does when a new entry
+// must be stored and every slot is valid (paper §3.3).
+type EvictPolicy uint8
+
+const (
+	// EvictLRU writes the least-recently-used entry back to a secondary
+	// store in main memory, "as in [17]"; lookups that miss on chip then
+	// consult the secondary store (modeled as a backing IdealStore, with
+	// the miss counted).
+	EvictLRU EvictPolicy = iota
+	// EvictDrop simply discards the new range: "the latter case does not
+	// exhibit a performance overhead, however it may increase the
+	// possibility of false negative".
+	EvictDrop
+)
+
+func (p EvictPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictDrop:
+		return "drop"
+	}
+	return "policy?"
+}
+
+// CacheStats counts the range-cache traffic, the basis of the paper's
+// overhead argument (on-chip hits are constant-time; secondary-storage
+// accesses are the "cache miss" delays of §3.3).
+type CacheStats struct {
+	Lookups     uint64
+	Hits        uint64
+	BackingHits uint64 // missed on chip, found in secondary storage
+	Evictions   uint64 // entries written back to secondary storage
+	Drops       uint64 // entries discarded (EvictDrop)
+}
+
+// cacheEntry mirrors one row of Figure 6: process ID, start, end, valid,
+// plus the LRU clock the replacement policy needs.
+type cacheEntry struct {
+	pid     uint32
+	r       mem.Range
+	valid   bool
+	lastUse uint64
+}
+
+// RangeCache models the on-chip taint storage of Figure 6: a fixed number
+// of arbitrary-length range entries searched in parallel. Each entry costs
+// 12 bytes (start, end, PID) as computed in §3.3, so the paper's example
+// 32 KiB memory holds ~2730 entries.
+type RangeCache struct {
+	entries []cacheEntry
+	policy  EvictPolicy
+	backing *IdealStore // secondary storage for EvictLRU; nil for EvictDrop
+	clock   uint64
+	stats   CacheStats
+}
+
+// EntryBytes is the on-chip cost of one range entry (4-byte start and end
+// addresses plus 4-byte process ID; the valid bit is not counted, §3.3).
+const EntryBytes = 12
+
+// NewRangeCache builds a cache with the given number of entries.
+func NewRangeCache(capacity int, policy EvictPolicy) *RangeCache {
+	if capacity < 1 {
+		panic(fmt.Sprintf("core: range cache capacity %d", capacity))
+	}
+	c := &RangeCache{
+		entries: make([]cacheEntry, capacity),
+		policy:  policy,
+	}
+	if policy == EvictLRU {
+		c.backing = NewIdealStore()
+	}
+	return c
+}
+
+// NewRangeCacheBytes sizes the cache from an on-chip memory budget, e.g.
+// 32*1024 → 2730 entries as in the paper.
+func NewRangeCacheBytes(budget int, policy EvictPolicy) *RangeCache {
+	return NewRangeCache(budget/EntryBytes, policy)
+}
+
+// Capacity returns the number of entry slots.
+func (c *RangeCache) Capacity() int { return len(c.entries) }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *RangeCache) Stats() CacheStats { return c.stats }
+
+// Overlaps implements Store: the parallel lookup of Figure 6. An entry hits
+// when it is valid, carries the same process ID, and its range overlaps the
+// query.
+func (c *RangeCache) Overlaps(pid uint32, r mem.Range) bool {
+	c.stats.Lookups++
+	c.clock++
+	hit := false
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.pid == pid && e.r.Overlaps(r) {
+			e.lastUse = c.clock
+			hit = true
+		}
+	}
+	if hit {
+		c.stats.Hits++
+		return true
+	}
+	if c.backing != nil && c.backing.Overlaps(pid, r) {
+		c.stats.BackingHits++
+		return true
+	}
+	return false
+}
+
+// Add implements Store. Overlapping or adjacent same-process entries are
+// coalesced into the new range so the cache stays canonical, then the
+// result is stored, evicting per policy when no slot is free.
+func (c *RangeCache) Add(pid uint32, r mem.Range) {
+	c.clock++
+	merged := r
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.pid == pid && (e.r.Overlaps(merged) || e.r.Adjacent(merged)) {
+			merged = merged.Union(e.r)
+			e.valid = false
+		}
+	}
+	if c.backing != nil {
+		// Keep secondary storage consistent: the merged region now
+		// lives on chip.
+		c.backing.Add(pid, merged)
+		c.backing.Remove(pid, merged)
+	}
+	c.insert(cacheEntry{pid: pid, r: merged, valid: true, lastUse: c.clock})
+}
+
+func (c *RangeCache) insert(ne cacheEntry) {
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.valid {
+			*e = ne
+			return
+		}
+		if e.lastUse < oldest {
+			oldest = e.lastUse
+			victim = i
+		}
+	}
+	switch c.policy {
+	case EvictLRU:
+		v := c.entries[victim]
+		c.backing.Add(v.pid, v.r)
+		c.stats.Evictions++
+		c.entries[victim] = ne
+	case EvictDrop:
+		c.stats.Drops++
+	}
+}
+
+// Remove implements Store: untainting shrinks, splits, or invalidates
+// overlapping entries. A middle split produces an extra entry, which may
+// itself force an eviction — the hardware cost of untainting.
+func (c *RangeCache) Remove(pid uint32, r mem.Range) bool {
+	c.clock++
+	removed := false
+	for i := range c.entries {
+		e := &c.entries[i]
+		if !e.valid || e.pid != pid || !e.r.Overlaps(r) {
+			continue
+		}
+		removed = true
+		left, hasLeft := mem.Range{}, false
+		right, hasRight := mem.Range{}, false
+		if e.r.Start < r.Start {
+			left, hasLeft = mem.Range{Start: e.r.Start, End: r.Start - 1}, true
+		}
+		if e.r.End > r.End {
+			right, hasRight = mem.Range{Start: r.End + 1, End: e.r.End}, true
+		}
+		switch {
+		case hasLeft && hasRight:
+			e.r = left
+			c.insert(cacheEntry{pid: pid, r: right, valid: true, lastUse: c.clock})
+		case hasLeft:
+			e.r = left
+		case hasRight:
+			e.r = right
+		default:
+			e.valid = false
+		}
+	}
+	if c.backing != nil && c.backing.Remove(pid, r) {
+		removed = true
+	}
+	return removed
+}
+
+// RangeCount implements Store (on-chip entries plus secondary storage).
+func (c *RangeCache) RangeCount() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].valid {
+			n++
+		}
+	}
+	if c.backing != nil {
+		n += c.backing.RangeCount()
+	}
+	return n
+}
+
+// TaintedBytes implements Store. Entries of one process never overlap (Add
+// coalesces), so summation is exact.
+func (c *RangeCache) TaintedBytes() uint64 {
+	var n uint64
+	for i := range c.entries {
+		if c.entries[i].valid {
+			n += c.entries[i].r.Size()
+		}
+	}
+	if c.backing != nil {
+		n += c.backing.TaintedBytes()
+	}
+	return n
+}
+
+// Reset implements Store.
+func (c *RangeCache) Reset() {
+	for i := range c.entries {
+		c.entries[i] = cacheEntry{}
+	}
+	if c.backing != nil {
+		c.backing.Reset()
+	}
+	c.clock = 0
+	c.stats = CacheStats{}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"repro/internal/mem"
+)
+
+// MondrianStore is the multi-level address-space-partitioning alternative
+// the paper points to in §3.3: "Witchel et al. [20] presents a multi-level
+// address space partitioning method that can associate an arbitrary range
+// with a tag by a series of power-of-two sized ranges."
+//
+// Taint is held in a 4-ary trie over the 32-bit address space (16 levels of
+// 2 bits). A fully tainted subtree collapses into a single leaf, so large
+// ranges cost O(log n) nodes, and lookup walks at most 16 levels —
+// the hardware analogue being a Mondrian-style multi-level permissions
+// table. Unlike the fixed-granularity word store it is exact to the byte;
+// unlike the linear range cache its lookup cost is bounded by depth rather
+// than entry count.
+type MondrianStore struct {
+	roots map[uint32]*mondNode
+}
+
+type mondState uint8
+
+const (
+	mondClean mondState = iota
+	mondTainted
+	mondMixed
+)
+
+type mondNode struct {
+	state mondState
+	kids  *[4]*mondNode // non-nil iff state == mondMixed
+}
+
+const (
+	mondBits   = 2
+	mondLevels = 16 // 16 levels × 2 bits = 32-bit address space
+)
+
+// NewMondrianStore returns an empty store.
+func NewMondrianStore() *MondrianStore {
+	return &MondrianStore{roots: make(map[uint32]*mondNode)}
+}
+
+func (s *MondrianStore) root(pid uint32, create bool) *mondNode {
+	n := s.roots[pid]
+	if n == nil && create {
+		n = &mondNode{}
+		s.roots[pid] = n
+	}
+	return n
+}
+
+// childSpan returns the byte span one child covers at the given level
+// (level 0 = root).
+func childSpan(level int) uint64 {
+	return 1 << (mondBits * (mondLevels - level - 1))
+}
+
+// mondSet marks [start, end] within the node covering [base, base+span-1]
+// as tainted (v=true) or clean (v=false). It returns the node's resulting
+// state so parents can coalesce.
+func mondSet(n *mondNode, level int, base uint64, start, end uint64, v bool) mondState {
+	span := uint64(1) << (mondBits * (mondLevels - level))
+	nodeEnd := base + span - 1
+	// Full coverage: collapse.
+	if start <= base && end >= nodeEnd {
+		n.kids = nil
+		if v {
+			n.state = mondTainted
+		} else {
+			n.state = mondClean
+		}
+		return n.state
+	}
+	// Partial coverage: expand uniform nodes into children first.
+	if n.kids == nil {
+		uniform := n.state
+		if (uniform == mondTainted) == v {
+			return n.state // already uniformly at the target value
+		}
+		n.kids = new([4]*mondNode)
+		for i := range n.kids {
+			n.kids[i] = &mondNode{state: uniform}
+		}
+		n.state = mondMixed
+	}
+	cs := childSpan(level)
+	for i := 0; i < 4; i++ {
+		cb := base + uint64(i)*cs
+		ce := cb + cs - 1
+		if end < cb || start > ce {
+			continue
+		}
+		mondSet(n.kids[i], level+1, cb, start, end, v)
+	}
+	// Coalesce if all children agree.
+	first := n.kids[0].state
+	if first != mondMixed {
+		same := true
+		for i := 1; i < 4; i++ {
+			if n.kids[i].state != first {
+				same = false
+				break
+			}
+		}
+		if same {
+			n.state = first
+			n.kids = nil
+			return n.state
+		}
+	}
+	n.state = mondMixed
+	return n.state
+}
+
+// mondOverlaps reports whether any byte of [start, end] is tainted under n.
+func mondOverlaps(n *mondNode, level int, base uint64, start, end uint64) bool {
+	switch n.state {
+	case mondClean:
+		return false
+	case mondTainted:
+		return true
+	}
+	cs := childSpan(level)
+	for i := 0; i < 4; i++ {
+		cb := base + uint64(i)*cs
+		ce := cb + cs - 1
+		if end < cb || start > ce {
+			continue
+		}
+		if mondOverlaps(n.kids[i], level+1, cb, start, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// mondCount tallies (nodes, taintedBytes) under n.
+func mondCount(n *mondNode, level int) (nodes int, bytes uint64) {
+	nodes = 1
+	switch n.state {
+	case mondTainted:
+		bytes = uint64(1) << (mondBits * (mondLevels - level))
+	case mondMixed:
+		for i := 0; i < 4; i++ {
+			cn, cb := mondCount(n.kids[i], level+1)
+			nodes += cn
+			bytes += cb
+		}
+	}
+	return nodes, bytes
+}
+
+// Add implements Store.
+func (s *MondrianStore) Add(pid uint32, r mem.Range) {
+	mondSet(s.root(pid, true), 0, 0, uint64(r.Start), uint64(r.End), true)
+}
+
+// Remove implements Store.
+func (s *MondrianStore) Remove(pid uint32, r mem.Range) bool {
+	n := s.root(pid, false)
+	if n == nil || !mondOverlaps(n, 0, 0, uint64(r.Start), uint64(r.End)) {
+		return false
+	}
+	mondSet(n, 0, 0, uint64(r.Start), uint64(r.End), false)
+	return true
+}
+
+// Overlaps implements Store.
+func (s *MondrianStore) Overlaps(pid uint32, r mem.Range) bool {
+	n := s.root(pid, false)
+	return n != nil && mondOverlaps(n, 0, 0, uint64(r.Start), uint64(r.End))
+}
+
+// RangeCount implements Store; for a trie the natural storage metric is the
+// node count.
+func (s *MondrianStore) RangeCount() int {
+	total := 0
+	for _, n := range s.roots {
+		c, _ := mondCount(n, 0)
+		total += c
+	}
+	return total
+}
+
+// TaintedBytes implements Store (exact).
+func (s *MondrianStore) TaintedBytes() uint64 {
+	var total uint64
+	for _, n := range s.roots {
+		_, b := mondCount(n, 0)
+		total += b
+	}
+	return total
+}
+
+// Reset implements Store.
+func (s *MondrianStore) Reset() {
+	s.roots = make(map[uint32]*mondNode)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestMondrianBasics(t *testing.T) {
+	s := NewMondrianStore()
+	s.Add(1, mem.MakeRange(0x1000, 256))
+	if !s.Overlaps(1, mem.MakeRange(0x10ff, 1)) {
+		t.Error("last byte missed")
+	}
+	if s.Overlaps(1, mem.MakeRange(0x1100, 1)) {
+		t.Error("byte past end hit")
+	}
+	if s.Overlaps(2, mem.MakeRange(0x1000, 4)) {
+		t.Error("cross-pid hit")
+	}
+	if got := s.TaintedBytes(); got != 256 {
+		t.Errorf("bytes = %d", got)
+	}
+	if !s.Remove(1, mem.MakeRange(0x1000, 256)) {
+		t.Error("remove returned false")
+	}
+	if s.TaintedBytes() != 0 {
+		t.Error("bytes remain after remove")
+	}
+	if s.Remove(1, mem.MakeRange(0x9000, 4)) {
+		t.Error("remove of clean range returned true")
+	}
+}
+
+func TestMondrianExactByteBoundaries(t *testing.T) {
+	s := NewMondrianStore()
+	// An unaligned 3-byte range: the trie must be byte-exact, unlike the
+	// word store.
+	s.Add(1, mem.MakeRange(0x1001, 3))
+	if s.Overlaps(1, mem.MakeRange(0x1000, 1)) {
+		t.Error("byte before start tainted")
+	}
+	if !s.Overlaps(1, mem.MakeRange(0x1001, 1)) || !s.Overlaps(1, mem.MakeRange(0x1003, 1)) {
+		t.Error("interior bytes missed")
+	}
+	if s.Overlaps(1, mem.MakeRange(0x1004, 1)) {
+		t.Error("byte after end tainted")
+	}
+}
+
+func TestMondrianCoalescing(t *testing.T) {
+	s := NewMondrianStore()
+	// Fill a 64-byte aligned block byte by byte: the subtree must
+	// collapse back to one node per PID once uniform.
+	for i := uint32(0); i < 64; i++ {
+		s.Add(1, mem.MakeRange(0x2000+i, 1))
+	}
+	if s.TaintedBytes() != 64 {
+		t.Fatalf("bytes = %d", s.TaintedBytes())
+	}
+	nodes := s.RangeCount()
+	// A collapsed aligned 64-byte block costs the root path only: 13
+	// mixed levels × 4 children + the tainted leaf = 53 nodes. Without
+	// coalescing the block's own subtree would add another ~80.
+	if nodes != 53 {
+		t.Errorf("coalescing suboptimal: %d nodes for one aligned block, want 53", nodes)
+	}
+}
+
+func TestMondrianHole(t *testing.T) {
+	s := NewMondrianStore()
+	s.Add(1, mem.MakeRange(0x4000, 0x100))
+	s.Remove(1, mem.MakeRange(0x4040, 0x10))
+	if s.TaintedBytes() != 0x100-0x10 {
+		t.Fatalf("bytes after hole = %d", s.TaintedBytes())
+	}
+	if s.Overlaps(1, mem.MakeRange(0x4045, 2)) {
+		t.Error("hole still tainted")
+	}
+	if !s.Overlaps(1, mem.MakeRange(0x403f, 1)) || !s.Overlaps(1, mem.MakeRange(0x4050, 1)) {
+		t.Error("edges of hole lost")
+	}
+}
+
+// TestMondrianMatchesRangeSet drives identical random workloads through
+// the trie and the interval set: queries and byte counts must agree.
+func TestMondrianMatchesRangeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	mond := NewMondrianStore()
+	ideal := NewIdealStore()
+	for i := 0; i < 5000; i++ {
+		pid := uint32(rng.Intn(2) + 1)
+		r := mem.MakeRange(mem.Addr(rng.Intn(1<<16)), uint32(rng.Intn(64)+1))
+		switch rng.Intn(3) {
+		case 0:
+			mond.Add(pid, r)
+			ideal.Add(pid, r)
+		case 1:
+			mr := mond.Remove(pid, r)
+			ir := ideal.Remove(pid, r)
+			if mr != ir {
+				t.Fatalf("step %d: Remove disagreement on %v", i, r)
+			}
+		case 2:
+			if mond.Overlaps(pid, r) != ideal.Overlaps(pid, r) {
+				t.Fatalf("step %d: Overlaps disagreement on %v", i, r)
+			}
+		}
+		if mond.TaintedBytes() != ideal.TaintedBytes() {
+			t.Fatalf("step %d: bytes %d vs %d", i, mond.TaintedBytes(), ideal.TaintedBytes())
+		}
+	}
+}
+
+func TestMondrianAsTrackerStore(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 2, Untaint: true}, NewMondrianStore())
+	tr.Event(source(1, 0x1000, 16))
+	tr.Event(load(1, 10, 0x1000, 2))
+	tr.Event(store(1, 12, 0x2000, 2))
+	if !tr.Check(1, mem.MakeRange(0x2000, 2)) {
+		t.Error("propagation through the trie store failed")
+	}
+	tr.Event(store(1, 100, 0x2000, 2))
+	if tr.Check(1, mem.MakeRange(0x2000, 2)) {
+		t.Error("untainting through the trie store failed")
+	}
+	tr.Reset()
+	if tr.TaintedBytes() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestMondrianFullAddressSpaceEdges(t *testing.T) {
+	s := NewMondrianStore()
+	top := mem.Range{Start: 0xfffffff0, End: 0xffffffff}
+	s.Add(1, top)
+	if !s.Overlaps(1, mem.MakeRange(0xffffffff, 1)) {
+		t.Error("top byte of address space missed")
+	}
+	if s.TaintedBytes() != 16 {
+		t.Errorf("bytes = %d", s.TaintedBytes())
+	}
+	s.Add(1, mem.MakeRange(0, 8))
+	if !s.Overlaps(1, mem.MakeRange(0, 1)) {
+		t.Error("address zero missed")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Ports models Figure 5's software command path: "PIFT software module
+// sends commands and receives responses through an array of memory-mapped
+// ports of PIFT HW" — source registration, sink queries, and configuration
+// (parameter setting NT and NI) all travel over ordinary stores to a small
+// register window, which the hardware module snoops off the same bus the
+// front-end events arrive on.
+//
+// Register layout (word offsets from Base):
+//
+//	+0x00  START   range start address
+//	+0x04  END     range end address (inclusive)
+//	+0x08  CMD     command doorbell: writing executes the command
+//	+0x0c  RESULT  hardware response (taint query answer)
+//
+// Ports wraps a Tracker as a cpu.EventSink: stores inside the window are
+// consumed as commands (they never reach the taint heuristic); everything
+// else is forwarded untouched.
+type Ports struct {
+	Base    mem.Addr
+	Mem     *mem.Memory
+	Tracker *Tracker
+}
+
+// Port register offsets and commands.
+const (
+	PortStart  = 0x00
+	PortEnd    = 0x04
+	PortCmd    = 0x08
+	PortResult = 0x0c
+	portSize   = 0x10
+
+	// CmdRegister taints [START, END] for the writing process.
+	CmdRegister uint32 = 1
+	// CmdCheck queries [START, END] and writes 1/0 to RESULT.
+	CmdCheck uint32 = 2
+	// CmdSetNI / CmdSetNT reconfigure the tainting window; the new value
+	// is taken from START.
+	CmdSetNI uint32 = 3
+	CmdSetNT uint32 = 4
+)
+
+// NewPorts builds a port window at base over the tracker.
+func NewPorts(base mem.Addr, m *mem.Memory, tracker *Tracker) *Ports {
+	return &Ports{Base: base, Mem: m, Tracker: tracker}
+}
+
+// window returns the full port range.
+func (p *Ports) window() mem.Range {
+	return mem.Range{Start: p.Base, End: p.Base + portSize - 1}
+}
+
+// Event implements cpu.EventSink.
+func (p *Ports) Event(ev cpu.Event) {
+	if (ev.Kind == cpu.EvStore || ev.Kind == cpu.EvLoad) && ev.Range.Overlaps(p.window()) {
+		// Port traffic: never part of the tracked data stream.
+		if ev.Kind == cpu.EvStore && ev.Range.Contains(p.Base+PortCmd) {
+			p.execute(ev)
+		}
+		return
+	}
+	p.Tracker.Event(ev)
+}
+
+// execute runs the doorbelled command. The data values were already written
+// to memory by the time the bus event arrives, so the hardware reads its
+// registers directly.
+func (p *Ports) execute(ev cpu.Event) {
+	start := p.Mem.Load32(p.Base + PortStart)
+	end := p.Mem.Load32(p.Base + PortEnd)
+	rg := mem.Range{Start: start, End: end}
+	switch p.Mem.Load32(p.Base + PortCmd) {
+	case CmdRegister:
+		p.Tracker.Event(cpu.Event{
+			Kind: cpu.EvSourceRegister, PID: ev.PID, Seq: ev.Seq, Range: rg,
+		})
+	case CmdCheck:
+		var result uint32
+		if p.Tracker.Check(ev.PID, rg) {
+			result = 1
+		}
+		p.Mem.Store32(p.Base+PortResult, result)
+	case CmdSetNI:
+		cfg := p.Tracker.Config()
+		cfg.NI = uint64(start)
+		p.Tracker.SetConfig(cfg)
+	case CmdSetNT:
+		cfg := p.Tracker.Config()
+		cfg.NT = int(start)
+		p.Tracker.SetConfig(cfg)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+const portBase mem.Addr = 0xf000_0000
+
+// portProgram drives the hardware entirely from native code: register a
+// source range, copy a word of it (load→store within the window), then
+// query the copy through the CHECK port.
+func portProgram(t *testing.T) (*cpu.Machine, *cpu.Proc, *Tracker) {
+	t.Helper()
+	a := arm.NewAssembler(0x1000)
+	a.Emit(
+		arm.MovImm(arm.R8, portImm()),
+		// Register [0x5000, 0x500f] as a source.
+		arm.MovImm(arm.R0, 0x5000),
+		arm.Str(arm.R0, arm.R8, PortStart),
+		arm.MovImm(arm.R0, 0x500f),
+		arm.Str(arm.R0, arm.R8, PortEnd),
+		arm.MovImm(arm.R0, int32(CmdRegister)),
+		arm.Str(arm.R0, arm.R8, PortCmd), // doorbell
+		// Copy a sensitive word: tainted load, store at distance 2.
+		arm.MovImm(arm.R1, 0x5000),
+		arm.MovImm(arm.R2, 0x6000),
+		arm.Ldr(arm.R3, arm.R1, 0),
+		arm.Nop(),
+		arm.Str(arm.R3, arm.R2, 0),
+		// Query the copy.
+		arm.MovImm(arm.R0, 0x6000),
+		arm.Str(arm.R0, arm.R8, PortStart),
+		arm.MovImm(arm.R0, 0x6003),
+		arm.Str(arm.R0, arm.R8, PortEnd),
+		arm.MovImm(arm.R0, int32(CmdCheck)),
+		arm.Str(arm.R0, arm.R8, PortCmd),
+		// Read the answer back into r9.
+		arm.Ldr(arm.R9, arm.R8, PortResult),
+		arm.Svc(0),
+	)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := cpu.NewMachine()
+	tracker := NewTracker(Config{NI: 5, NT: 2, Untaint: true}, nil)
+	machine.AttachSink(NewPorts(portBase, machine.Mem, tracker))
+	proc := cpu.NewProc(1, &cpu.Image{Base: 0x1000, Code: code}, 0x1000)
+	return machine, proc, tracker
+}
+
+func TestPortsEndToEnd(t *testing.T) {
+	machine, proc, tracker := portProgram(t)
+	if _, err := machine.Run(proc, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if proc.State.R[arm.R9] != 1 {
+		t.Fatalf("CHECK result = %d, want 1 (taint propagated to the copy)", proc.State.R[arm.R9])
+	}
+	if !tracker.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Fatal("tracker state inconsistent with port answer")
+	}
+	// Port traffic itself must never enter the taint state.
+	if tracker.Check(1, mem.MakeRange(uint32(portBase), portSize)) {
+		t.Fatal("port registers got tainted")
+	}
+}
+
+func TestPortsCheckMiss(t *testing.T) {
+	machine := cpu.NewMachine()
+	tracker := NewTracker(Config{NI: 5, NT: 2, Untaint: true}, nil)
+	ports := NewPorts(portBase, machine.Mem, tracker)
+	machine.AttachSink(ports)
+
+	a := arm.NewAssembler(0x1000)
+	a.Emit(
+		arm.MovImm(arm.R8, portImm()),
+		arm.MovImm(arm.R0, 0x7000),
+		arm.Str(arm.R0, arm.R8, PortStart),
+		arm.MovImm(arm.R0, 0x7003),
+		arm.Str(arm.R0, arm.R8, PortEnd),
+		arm.MovImm(arm.R0, int32(CmdCheck)),
+		arm.Str(arm.R0, arm.R8, PortCmd),
+		arm.Ldr(arm.R9, arm.R8, PortResult),
+		arm.Svc(0),
+	)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := cpu.NewProc(1, &cpu.Image{Base: 0x1000, Code: code}, 0x1000)
+	if _, err := machine.Run(proc, 100); err != nil {
+		t.Fatal(err)
+	}
+	if proc.State.R[arm.R9] != 0 {
+		t.Fatalf("CHECK of clean range = %d", proc.State.R[arm.R9])
+	}
+}
+
+func TestPortsReconfigure(t *testing.T) {
+	m := mem.NewMemory()
+	tracker := NewTracker(Config{NI: 5, NT: 2, Untaint: true}, nil)
+	ports := NewPorts(portBase, m, tracker)
+
+	// Software sets NI=13 then NT=3 through the ports.
+	m.Store32(portBase+PortStart, 13)
+	m.Store32(portBase+PortCmd, CmdSetNI)
+	ports.Event(cpu.Event{Kind: cpu.EvStore, PID: 1, Seq: 1,
+		Range: mem.MakeRange(portBase+PortCmd, 4)})
+	m.Store32(portBase+PortStart, 3)
+	m.Store32(portBase+PortCmd, CmdSetNT)
+	ports.Event(cpu.Event{Kind: cpu.EvStore, PID: 1, Seq: 2,
+		Range: mem.MakeRange(portBase+PortCmd, 4)})
+
+	if cfg := tracker.Config(); cfg.NI != 13 || cfg.NT != 3 {
+		t.Fatalf("reconfigured to %v", cfg)
+	}
+}
+
+func TestSetConfigRejectsInvalid(t *testing.T) {
+	tracker := NewTracker(Config{NI: 5, NT: 2}, nil)
+	if err := tracker.SetConfig(Config{NI: 0, NT: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if tracker.Config().NI != 5 {
+		t.Fatal("failed SetConfig mutated the tracker")
+	}
+}
+
+func TestPortsForwardOrdinaryTraffic(t *testing.T) {
+	m := mem.NewMemory()
+	tracker := NewTracker(Config{NI: 5, NT: 2, Untaint: true}, nil)
+	ports := NewPorts(portBase, m, tracker)
+	ports.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 1, Seq: 0,
+		Range: mem.MakeRange(0x100, 4)})
+	ports.Event(cpu.Event{Kind: cpu.EvLoad, PID: 1, Seq: 10,
+		Range: mem.MakeRange(0x100, 4)})
+	ports.Event(cpu.Event{Kind: cpu.EvStore, PID: 1, Seq: 12,
+		Range: mem.MakeRange(0x200, 4)})
+	if !tracker.Check(1, mem.MakeRange(0x200, 4)) {
+		t.Fatal("ordinary events not forwarded through the ports")
+	}
+}
+
+// portImm converts the (high) port base to the signed immediate MovImm
+// carries; the ALU's mod-2^32 arithmetic recovers it.
+func portImm() int32 {
+	pb := portBase
+	return int32(pb)
+}

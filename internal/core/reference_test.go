@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// refTracker is a deliberately naive byte-map implementation of
+// Algorithm 1, used as a correctness model for the production tracker.
+type refTracker struct {
+	cfg     Config
+	tainted map[uint32]map[mem.Addr]bool // pid → tainted bytes
+	windows map[uint32]*refWindow
+	verdict []bool
+}
+
+type refWindow struct {
+	open bool
+	ltlt uint64
+	nt   int
+}
+
+func newRefTracker(cfg Config) *refTracker {
+	return &refTracker{
+		cfg:     cfg,
+		tainted: make(map[uint32]map[mem.Addr]bool),
+		windows: make(map[uint32]*refWindow),
+	}
+}
+
+func (r *refTracker) bytes(pid uint32) map[mem.Addr]bool {
+	b := r.tainted[pid]
+	if b == nil {
+		b = make(map[mem.Addr]bool)
+		r.tainted[pid] = b
+	}
+	return b
+}
+
+func (r *refTracker) win(pid uint32) *refWindow {
+	w := r.windows[pid]
+	if w == nil {
+		w = &refWindow{}
+		r.windows[pid] = w
+	}
+	return w
+}
+
+func (r *refTracker) overlaps(pid uint32, rg mem.Range) bool {
+	b := r.bytes(pid)
+	for a := rg.Start; ; a++ {
+		if b[a] {
+			return true
+		}
+		if a == rg.End {
+			break
+		}
+	}
+	return false
+}
+
+func (r *refTracker) setRange(pid uint32, rg mem.Range, v bool) {
+	b := r.bytes(pid)
+	for a := rg.Start; ; a++ {
+		if v {
+			b[a] = true
+		} else {
+			delete(b, a)
+		}
+		if a == rg.End {
+			break
+		}
+	}
+}
+
+func (r *refTracker) event(ev cpu.Event) {
+	switch ev.Kind {
+	case cpu.EvLoad:
+		if r.overlaps(ev.PID, ev.Range) {
+			w := r.win(ev.PID)
+			w.open = true
+			w.ltlt = ev.Seq
+			w.nt = 0
+		}
+	case cpu.EvStore:
+		w := r.win(ev.PID)
+		if w.open && ev.Seq <= w.ltlt+r.cfg.NI && w.nt < r.cfg.NT {
+			r.setRange(ev.PID, ev.Range, true)
+			w.nt++
+		} else if r.cfg.Untaint {
+			r.setRange(ev.PID, ev.Range, false)
+		}
+	case cpu.EvSourceRegister:
+		r.setRange(ev.PID, ev.Range, true)
+	case cpu.EvSinkCheck:
+		r.verdict = append(r.verdict, r.overlaps(ev.PID, ev.Range))
+	}
+}
+
+func (r *refTracker) taintedBytes() uint64 {
+	var n uint64
+	for _, b := range r.tainted {
+		n += uint64(len(b))
+	}
+	return n
+}
+
+// TestTrackerMatchesReference drives random event streams through the
+// production tracker and the byte-map model and requires identical taint
+// state, sink verdicts, and byte counts at every step.
+func TestTrackerMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		cfg := Config{
+			NI:      uint64(rng.Intn(20) + 1),
+			NT:      rng.Intn(5) + 1,
+			Untaint: rng.Intn(2) == 0,
+		}
+		tr := NewTracker(cfg, nil)
+		ref := newRefTracker(cfg)
+		seq := map[uint32]uint64{}
+		for step := 0; step < 400; step++ {
+			pid := uint32(rng.Intn(2) + 1)
+			seq[pid] += uint64(rng.Intn(4) + 1)
+			rg := mem.MakeRange(mem.Addr(rng.Intn(200)), uint32(rng.Intn(8)+1))
+			var kind cpu.EventKind
+			switch v := rng.Intn(20); {
+			case v == 0:
+				kind = cpu.EvSourceRegister
+			case v == 1:
+				kind = cpu.EvSinkCheck
+			case v < 9:
+				kind = cpu.EvLoad
+			default:
+				kind = cpu.EvStore
+			}
+			ev := cpu.Event{Kind: kind, PID: pid, Seq: seq[pid], Range: rg, Tag: step}
+			tr.Event(ev)
+			ref.event(ev)
+
+			if got, want := tr.TaintedBytes(), ref.taintedBytes(); got != want {
+				t.Fatalf("trial %d step %d (%v): tainted bytes %d, model %d",
+					trial, step, cfg, got, want)
+			}
+		}
+		verdicts := tr.Verdicts()
+		if len(verdicts) != len(ref.verdict) {
+			t.Fatalf("trial %d: verdict counts differ: %d vs %d",
+				trial, len(verdicts), len(ref.verdict))
+		}
+		for i := range verdicts {
+			if verdicts[i].Tainted != ref.verdict[i] {
+				t.Fatalf("trial %d verdict %d: tracker %v, model %v (cfg %v)",
+					trial, i, verdicts[i].Tainted, ref.verdict[i], cfg)
+			}
+		}
+	}
+}
+
+// TestTrackerMatchesReferenceWithCache repeats the model check with the
+// Figure 6 range cache as the backing store (large enough not to drop):
+// hardware structure must not change semantics.
+func TestTrackerMatchesReferenceWithCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{NI: uint64(rng.Intn(15) + 1), NT: rng.Intn(4) + 1, Untaint: true}
+		tr := NewTracker(cfg, NewRangeCache(512, EvictLRU))
+		ref := newRefTracker(cfg)
+		seq := uint64(0)
+		for step := 0; step < 300; step++ {
+			seq += uint64(rng.Intn(3) + 1)
+			rg := mem.MakeRange(mem.Addr(rng.Intn(150)), uint32(rng.Intn(6)+1))
+			var kind cpu.EventKind
+			switch v := rng.Intn(20); {
+			case v == 0:
+				kind = cpu.EvSourceRegister
+			case v == 1:
+				kind = cpu.EvSinkCheck
+			case v < 9:
+				kind = cpu.EvLoad
+			default:
+				kind = cpu.EvStore
+			}
+			ev := cpu.Event{Kind: kind, PID: 1, Seq: seq, Range: rg, Tag: step}
+			tr.Event(ev)
+			ref.event(ev)
+			if got, want := tr.TaintedBytes(), ref.taintedBytes(); got != want {
+				t.Fatalf("trial %d step %d: cache-backed bytes %d, model %d",
+					trial, step, got, want)
+			}
+		}
+		verdicts := tr.Verdicts()
+		for i := range verdicts {
+			if verdicts[i].Tainted != ref.verdict[i] {
+				t.Fatalf("trial %d verdict %d differs with cache store", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package core implements the paper's contribution: the PIFT predictive
+// taint tracker (Algorithm 1) and the models of its hardware taint storage
+// (Figures 5 and 6).
+//
+// The tracker consumes the front-end event stream produced by internal/cpu
+// — memory loads and stores with process ID, per-process instruction
+// counter, and byte range — plus the software commands issued through the
+// kernel module: source registrations and sink taint queries. It never sees
+// registers or non-memory instructions; that restriction is the paper's
+// design point.
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/taint"
+)
+
+// Store is the taint storage the tracker operates on: the hardware "taint
+// storage" block of Figure 5. Entries are tagged with the process-specific
+// ID, as in Figure 6.
+type Store interface {
+	// Add taints the range for the process.
+	Add(pid uint32, r mem.Range)
+	// Remove untaints the range and reports whether any byte was
+	// actually untainted (used to count real untainting operations).
+	Remove(pid uint32, r mem.Range) bool
+	// Overlaps is the lookup of Figure 6: does any tainted entry of this
+	// process overlap r?
+	Overlaps(pid uint32, r mem.Range) bool
+	// RangeCount returns the total number of distinct tainted ranges
+	// currently stored (all processes).
+	RangeCount() int
+	// TaintedBytes returns the total tainted bytes currently stored.
+	TaintedBytes() uint64
+	// Reset clears all taint state.
+	Reset()
+}
+
+// IdealStore is an unbounded taint store backed by one normalized RangeSet
+// per process. It models a taint storage large enough that no eviction ever
+// happens — the configuration the paper's accuracy results assume (§5.2
+// argues ≤100 ranges suffice for NI ≤ 10, so a small on-chip memory behaves
+// like this ideal).
+type IdealStore struct {
+	sets map[uint32]*taint.RangeSet
+}
+
+// NewIdealStore returns an empty unbounded store.
+func NewIdealStore() *IdealStore {
+	return &IdealStore{sets: make(map[uint32]*taint.RangeSet)}
+}
+
+func (s *IdealStore) set(pid uint32, create bool) *taint.RangeSet {
+	rs := s.sets[pid]
+	if rs == nil && create {
+		rs = &taint.RangeSet{}
+		s.sets[pid] = rs
+	}
+	return rs
+}
+
+// Add implements Store.
+func (s *IdealStore) Add(pid uint32, r mem.Range) { s.set(pid, true).Add(r) }
+
+// Remove implements Store.
+func (s *IdealStore) Remove(pid uint32, r mem.Range) bool {
+	rs := s.set(pid, false)
+	if rs == nil || !rs.Overlaps(r) {
+		return false
+	}
+	rs.Remove(r)
+	return true
+}
+
+// Overlaps implements Store.
+func (s *IdealStore) Overlaps(pid uint32, r mem.Range) bool {
+	rs := s.set(pid, false)
+	return rs != nil && rs.Overlaps(r)
+}
+
+// RangeCount implements Store.
+func (s *IdealStore) RangeCount() int {
+	n := 0
+	for _, rs := range s.sets {
+		n += rs.Count()
+	}
+	return n
+}
+
+// TaintedBytes implements Store.
+func (s *IdealStore) TaintedBytes() uint64 {
+	var n uint64
+	for _, rs := range s.sets {
+		n += rs.Bytes()
+	}
+	return n
+}
+
+// Reset implements Store.
+func (s *IdealStore) Reset() { s.sets = make(map[uint32]*taint.RangeSet) }
+
+// Ranges exposes the normalized ranges of one process for tests and
+// diagnostics.
+func (s *IdealStore) Ranges(pid uint32) []mem.Range {
+	rs := s.set(pid, false)
+	if rs == nil {
+		return nil
+	}
+	return rs.Ranges()
+}

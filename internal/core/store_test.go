@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestIdealStoreBasics(t *testing.T) {
+	s := NewIdealStore()
+	s.Add(1, mem.MakeRange(0x100, 8))
+	s.Add(1, mem.MakeRange(0x200, 8))
+	s.Add(2, mem.MakeRange(0x100, 4))
+	if !s.Overlaps(1, mem.MakeRange(0x104, 2)) {
+		t.Error("overlap missed")
+	}
+	if s.Overlaps(2, mem.MakeRange(0x200, 8)) {
+		t.Error("cross-pid overlap")
+	}
+	if s.RangeCount() != 3 || s.TaintedBytes() != 20 {
+		t.Fatalf("count=%d bytes=%d", s.RangeCount(), s.TaintedBytes())
+	}
+	if !s.Remove(1, mem.MakeRange(0x100, 8)) {
+		t.Error("remove of tainted range returned false")
+	}
+	if s.Remove(1, mem.MakeRange(0x900, 8)) {
+		t.Error("remove of clean range returned true")
+	}
+	s.Reset()
+	if s.RangeCount() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestRangeCacheHitAndMerge(t *testing.T) {
+	c := NewRangeCache(4, EvictLRU)
+	c.Add(1, mem.MakeRange(0x100, 8))
+	c.Add(1, mem.MakeRange(0x108, 8)) // adjacent → coalesce
+	if c.RangeCount() != 1 {
+		t.Fatalf("coalesce failed: %d entries", c.RangeCount())
+	}
+	if c.TaintedBytes() != 16 {
+		t.Fatalf("bytes = %d", c.TaintedBytes())
+	}
+	if !c.Overlaps(1, mem.MakeRange(0x10f, 1)) {
+		t.Error("lookup missed")
+	}
+	if c.Overlaps(2, mem.MakeRange(0x100, 8)) {
+		t.Error("PID tag ignored")
+	}
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRangeCacheLRUEviction(t *testing.T) {
+	c := NewRangeCache(2, EvictLRU)
+	c.Add(1, mem.MakeRange(0x100, 4))
+	c.Add(1, mem.MakeRange(0x200, 4))
+	c.Overlaps(1, mem.MakeRange(0x100, 4)) // touch first → second is LRU
+	c.Add(1, mem.MakeRange(0x300, 4))      // evicts 0x200 to backing
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+	// The evicted range must still be findable (secondary storage).
+	if !c.Overlaps(1, mem.MakeRange(0x200, 4)) {
+		t.Error("evicted range lost")
+	}
+	if c.Stats().BackingHits != 1 {
+		t.Fatalf("backing hits = %d", c.Stats().BackingHits)
+	}
+	// Nothing lost overall.
+	if c.TaintedBytes() != 12 {
+		t.Fatalf("total bytes = %d", c.TaintedBytes())
+	}
+}
+
+func TestRangeCacheDropPolicy(t *testing.T) {
+	c := NewRangeCache(2, EvictDrop)
+	c.Add(1, mem.MakeRange(0x100, 4))
+	c.Add(1, mem.MakeRange(0x200, 4))
+	c.Add(1, mem.MakeRange(0x300, 4)) // dropped
+	if c.Stats().Drops != 1 {
+		t.Fatalf("drops = %d", c.Stats().Drops)
+	}
+	if c.Overlaps(1, mem.MakeRange(0x300, 4)) {
+		t.Error("dropped range should be lost (possible false negative)")
+	}
+	if c.RangeCount() != 2 {
+		t.Fatalf("count = %d", c.RangeCount())
+	}
+}
+
+func TestRangeCacheRemoveSplit(t *testing.T) {
+	c := NewRangeCache(4, EvictLRU)
+	c.Add(1, mem.MakeRange(0x100, 0x100))
+	if !c.Remove(1, mem.MakeRange(0x140, 0x10)) {
+		t.Fatal("remove returned false")
+	}
+	if c.RangeCount() != 2 {
+		t.Fatalf("split produced %d entries", c.RangeCount())
+	}
+	if c.Overlaps(1, mem.MakeRange(0x140, 0x10)) {
+		t.Error("hole still tainted")
+	}
+	if !c.Overlaps(1, mem.MakeRange(0x100, 0x40)) || !c.Overlaps(1, mem.MakeRange(0x150, 0xb0)) {
+		t.Error("split lost surviving taint")
+	}
+	if c.TaintedBytes() != 0x100-0x10 {
+		t.Fatalf("bytes after split = %d", c.TaintedBytes())
+	}
+}
+
+func TestRangeCacheBytesSizing(t *testing.T) {
+	c := NewRangeCacheBytes(32*1024, EvictLRU)
+	// §3.3: "a small on-chip memory, for example, of 32KB can accommodate
+	// approximately 2730 ranges".
+	if c.Capacity() != 2730 {
+		t.Fatalf("32KB capacity = %d entries, want 2730", c.Capacity())
+	}
+}
+
+func TestWordStoreGranularity(t *testing.T) {
+	s := NewWordStore(2) // 4-byte blocks
+	s.Add(1, mem.MakeRange(0x102, 1))
+	// The whole containing word is tainted.
+	if !s.Overlaps(1, mem.MakeRange(0x100, 1)) {
+		t.Error("block-mate byte should appear tainted (over-taint)")
+	}
+	if s.Overlaps(1, mem.MakeRange(0x104, 1)) {
+		t.Error("next block must be clean")
+	}
+	if s.TaintedBytes() != 4 || s.RangeCount() != 1 {
+		t.Fatalf("bytes=%d count=%d", s.TaintedBytes(), s.RangeCount())
+	}
+	// A range spanning blocks taints each.
+	s.Add(1, mem.MakeRange(0x1fe, 4))
+	if s.RangeCount() != 3 {
+		t.Fatalf("span count = %d", s.RangeCount())
+	}
+	if !s.Remove(1, mem.MakeRange(0x200, 1)) {
+		t.Error("remove missed block")
+	}
+	if s.Overlaps(1, mem.MakeRange(0x201, 1)) {
+		t.Error("whole-block remove must clear block-mates (under-taint)")
+	}
+}
+
+// TestStoresAgree cross-checks the three Store implementations on a random
+// workload where the cache is large enough never to evict: they must give
+// identical query answers at matching granularity (word store compared at
+// its own block granularity).
+func TestStoresAgree(t *testing.T) {
+	ideal := NewIdealStore()
+	cache := NewRangeCache(4096, EvictLRU)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		r := mem.MakeRange(mem.Addr(rng.Intn(4096)), uint32(rng.Intn(16)+1))
+		pid := uint32(rng.Intn(3))
+		switch rng.Intn(3) {
+		case 0:
+			ideal.Add(pid, r)
+			cache.Add(pid, r)
+		case 1:
+			ideal.Remove(pid, r)
+			cache.Remove(pid, r)
+		case 2:
+			if ideal.Overlaps(pid, r) != cache.Overlaps(pid, r) {
+				t.Fatalf("step %d: ideal and cache disagree on %v pid %d", i, r, pid)
+			}
+		}
+	}
+	if ideal.TaintedBytes() != cache.TaintedBytes() {
+		t.Fatalf("bytes: ideal=%d cache=%d", ideal.TaintedBytes(), cache.TaintedBytes())
+	}
+}

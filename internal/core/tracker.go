@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Config holds the tainting-window parameters of Algorithm 1.
+type Config struct {
+	// NI is the tainting-window size, measured in instructions from the
+	// last tainted load.
+	NI uint64
+	// NT is the maximum number of taint propagations per window.
+	NT int
+	// Untaint enables the untainting rule: a store outside the window
+	// removes its target range from the taint set.
+	Untaint bool
+}
+
+// Validate reports configuration errors. NI=0 or NT=0 disables all
+// propagation, which is never what an experiment means.
+func (c Config) Validate() error {
+	if c.NI < 1 {
+		return fmt.Errorf("core: NI must be >= 1, got %d", c.NI)
+	}
+	if c.NT < 1 {
+		return fmt.Errorf("core: NT must be >= 1, got %d", c.NT)
+	}
+	return nil
+}
+
+func (c Config) String() string {
+	u := "untaint=off"
+	if c.Untaint {
+		u = "untaint=on"
+	}
+	return fmt.Sprintf("NI=%d NT=%d %s", c.NI, c.NT, u)
+}
+
+// Stats aggregates the tracker-side overhead metrics the paper evaluates in
+// §5.2. Maxima are tracked continuously so heatmap experiments (Figures 14
+// and 17) can read them after a run.
+type Stats struct {
+	Loads        uint64 // load events seen
+	Stores       uint64 // store events seen
+	TaintedLoads uint64 // loads that hit the taint store (opened a window)
+	TaintOps     uint64 // store targets tainted (LINE 18 executions)
+	UntaintOps   uint64 // stores that actually removed taint (LINE 21)
+	SourceRegs   uint64 // software source registrations
+	SinkChecks   uint64 // software sink queries
+	TaintedSinks uint64 // sink queries that found taint
+
+	MaxBytes  uint64 // maximum tainted bytes at any instant
+	MaxRanges int    // maximum distinct ranges at any instant
+}
+
+// SinkVerdict records the outcome of one sink taint query, identified by
+// the tag assigned at injection time so replays can match verdicts to
+// sink calls.
+type SinkVerdict struct {
+	Tag     int
+	PID     uint32
+	Seq     uint64
+	Tainted bool
+}
+
+// window is the per-process tainting-window state of Algorithm 1:
+// LTLT (last tainted-load time) and nt (propagations so far).
+type window struct {
+	open bool
+	ltlt uint64
+	nt   int
+}
+
+// Tracker is the PIFT taint-propagation engine. It implements
+// cpu.EventSink, so it can be attached directly to a live machine or fed a
+// recorded trace event by event.
+type Tracker struct {
+	cfg      Config
+	store    Store
+	windows  map[uint32]*window
+	stats    Stats
+	verdicts []SinkVerdict
+}
+
+// NewTracker builds a tracker over the given store; a nil store gets a
+// fresh unbounded IdealStore. Invalid configs panic: they are experiment
+// bugs, not runtime conditions.
+func NewTracker(cfg Config, store Store) *Tracker {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if store == nil {
+		store = NewIdealStore()
+	}
+	return &Tracker{
+		cfg:     cfg,
+		store:   store,
+		windows: make(map[uint32]*window),
+	}
+}
+
+// Config returns the tracker's window parameters.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// SetConfig reconfigures the window parameters at run time — the paper's
+// Figure 5 exposes NI and NT as software-settable hardware registers.
+// Invalid configurations are rejected and the current one kept.
+func (t *Tracker) SetConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	t.cfg = cfg
+	return nil
+}
+
+// Store returns the underlying taint store.
+func (t *Tracker) Store() Store { return t.store }
+
+// Stats returns a snapshot of the counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// Verdicts returns all sink verdicts recorded so far, in order.
+func (t *Tracker) Verdicts() []SinkVerdict { return t.verdicts }
+
+// TaintedBytes returns the current total tainted bytes (Figure 15 samples
+// this while pumping a trace).
+func (t *Tracker) TaintedBytes() uint64 { return t.store.TaintedBytes() }
+
+// RangeCount returns the current number of distinct tainted ranges.
+func (t *Tracker) RangeCount() int { return t.store.RangeCount() }
+
+// Ops returns the cumulative tainting+untainting operation count
+// (Figure 16 samples this).
+func (t *Tracker) Ops() uint64 { return t.stats.TaintOps + t.stats.UntaintOps }
+
+// Check answers a synchronous taint query, as the kernel module does for
+// the software stack, without recording a verdict.
+func (t *Tracker) Check(pid uint32, r mem.Range) bool {
+	return t.store.Overlaps(pid, r)
+}
+
+// Event implements cpu.EventSink: Algorithm 1, TAINT PROPAGATION HEURISTIC.
+func (t *Tracker) Event(ev cpu.Event) {
+	switch ev.Kind {
+	case cpu.EvLoad:
+		t.stats.Loads++
+		// LINE 10–15: a load overlapping the taint set starts (or
+		// restarts) the tainting window.
+		if t.store.Overlaps(ev.PID, ev.Range) {
+			t.stats.TaintedLoads++
+			w := t.win(ev.PID)
+			w.open = true
+			w.ltlt = ev.Seq
+			w.nt = 0
+		}
+
+	case cpu.EvStore:
+		t.stats.Stores++
+		w := t.win(ev.PID)
+		// LINE 17–19: inside the window with propagation budget left —
+		// taint the store target.
+		if w.open && ev.Seq <= w.ltlt+t.cfg.NI && w.nt < t.cfg.NT {
+			t.store.Add(ev.PID, ev.Range)
+			w.nt++
+			t.stats.TaintOps++
+			t.noteHighWater()
+			return
+		}
+		// LINE 20–22: otherwise untaint (if enabled). Only actual
+		// removals count as operations; a store to clean memory costs
+		// the hardware a lookup miss, not a state change.
+		if t.cfg.Untaint {
+			if t.store.Remove(ev.PID, ev.Range) {
+				t.stats.UntaintOps++
+			}
+		}
+
+	case cpu.EvSourceRegister:
+		t.stats.SourceRegs++
+		t.store.Add(ev.PID, ev.Range)
+		t.noteHighWater()
+
+	case cpu.EvSinkCheck:
+		t.stats.SinkChecks++
+		tainted := t.store.Overlaps(ev.PID, ev.Range)
+		if tainted {
+			t.stats.TaintedSinks++
+		}
+		t.verdicts = append(t.verdicts, SinkVerdict{
+			Tag: ev.Tag, PID: ev.PID, Seq: ev.Seq, Tainted: tainted,
+		})
+	}
+}
+
+func (t *Tracker) win(pid uint32) *window {
+	w := t.windows[pid]
+	if w == nil {
+		w = &window{}
+		t.windows[pid] = w
+	}
+	return w
+}
+
+func (t *Tracker) noteHighWater() {
+	if b := t.store.TaintedBytes(); b > t.stats.MaxBytes {
+		t.stats.MaxBytes = b
+	}
+	if n := t.store.RangeCount(); n > t.stats.MaxRanges {
+		t.stats.MaxRanges = n
+	}
+}
+
+// Reset clears taint state, window state, statistics, and verdicts, keeping
+// the configuration. Replay harnesses reuse trackers across traces.
+func (t *Tracker) Reset() {
+	t.store.Reset()
+	t.windows = make(map[uint32]*window)
+	t.stats = Stats{}
+	t.verdicts = nil
+}

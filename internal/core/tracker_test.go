@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func load(pid uint32, seq uint64, start mem.Addr, size uint32) cpu.Event {
+	return cpu.Event{Kind: cpu.EvLoad, PID: pid, Seq: seq, Range: mem.MakeRange(start, size)}
+}
+
+func store(pid uint32, seq uint64, start mem.Addr, size uint32) cpu.Event {
+	return cpu.Event{Kind: cpu.EvStore, PID: pid, Seq: seq, Range: mem.MakeRange(start, size)}
+}
+
+func source(pid uint32, start mem.Addr, size uint32) cpu.Event {
+	return cpu.Event{Kind: cpu.EvSourceRegister, PID: pid, Range: mem.MakeRange(start, size)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{NI: 0, NT: 1}).Validate() == nil {
+		t.Error("NI=0 must be invalid")
+	}
+	if (Config{NI: 1, NT: 0}).Validate() == nil {
+		t.Error("NT=0 must be invalid")
+	}
+	if err := (Config{NI: 13, NT: 3}).Validate(); err != nil {
+		t.Errorf("paper config rejected: %v", err)
+	}
+}
+
+// TestFigure4 walks the paper's Figure 4 scenario with NT=2:
+//
+//	[k+0] ldr  from a tainted range     → window opens
+//	[k+p] str  → tainted (1st propagation)
+//	[k+q] strd → tainted (2nd propagation)
+//	[k+r] str  → NOT tainted (budget exhausted), untainted if enabled
+//	[k+s] strh → outside window, untaint
+//	[k+t] ldrd → non-tainted load: window does NOT restart
+//	[k+u] str  → outside window, untaint
+func TestFigure4(t *testing.T) {
+	const NI, NT = 8, 2
+	tr := NewTracker(Config{NI: NI, NT: NT, Untaint: true}, nil)
+
+	tr.Event(source(1, 0x1000, 4))
+	k := uint64(100)
+	tr.Event(load(1, k, 0x1000, 4)) // tainted load: window [k, k+NI]
+
+	tr.Event(store(1, k+2, 0x2000, 4))  // p=2: taint
+	tr.Event(store(1, k+5, 0x3000, 8))  // q=5: taint
+	tr.Event(store(1, k+7, 0x4000, 4))  // r=7: in window but budget gone
+	tr.Event(store(1, k+12, 0x5000, 2)) // s=12: outside window
+
+	if !tr.Check(1, mem.MakeRange(0x2000, 4)) {
+		t.Error("first store in window must be tainted")
+	}
+	if !tr.Check(1, mem.MakeRange(0x3000, 8)) {
+		t.Error("second store in window must be tainted")
+	}
+	if tr.Check(1, mem.MakeRange(0x4000, 4)) {
+		t.Error("third store must not be tainted (NT=2)")
+	}
+	if tr.Check(1, mem.MakeRange(0x5000, 2)) {
+		t.Error("store outside window must not be tainted")
+	}
+
+	// Non-tainted load must not restart the window.
+	tr.Event(load(1, k+14, 0x9000, 8))
+	tr.Event(store(1, k+15, 0x6000, 4))
+	if tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("store after non-tainted load must not be tainted")
+	}
+
+	st := tr.Stats()
+	if st.TaintOps != 2 {
+		t.Errorf("TaintOps = %d, want 2", st.TaintOps)
+	}
+	if st.TaintedLoads != 1 {
+		t.Errorf("TaintedLoads = %d, want 1", st.TaintedLoads)
+	}
+}
+
+func TestWindowRestartOnTaintedLoad(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 1, Untaint: false}, nil)
+	tr.Event(source(1, 0x1000, 4))
+
+	tr.Event(load(1, 10, 0x1000, 4))  // window [10,15], budget 1
+	tr.Event(store(1, 12, 0x2000, 4)) // consumes the budget
+	tr.Event(load(1, 14, 0x1000, 4))  // tainted load restarts: budget refilled
+	tr.Event(store(1, 18, 0x3000, 4)) // within new window
+	if !tr.Check(1, mem.MakeRange(0x3000, 4)) {
+		t.Error("restarted window must refill the propagation budget")
+	}
+}
+
+func TestWindowBoundaryInclusive(t *testing.T) {
+	// Algorithm 1 LINE 17: k <= LTLT + NI, an inclusive bound.
+	tr := NewTracker(Config{NI: 5, NT: 3}, nil)
+	tr.Event(source(1, 0x1000, 4))
+	tr.Event(load(1, 10, 0x1000, 4))
+	tr.Event(store(1, 15, 0x2000, 4)) // exactly LTLT+NI
+	tr.Event(store(1, 16, 0x3000, 4)) // one past
+	if !tr.Check(1, mem.MakeRange(0x2000, 4)) {
+		t.Error("store at LTLT+NI is inside the window")
+	}
+	if tr.Check(1, mem.MakeRange(0x3000, 4)) {
+		t.Error("store at LTLT+NI+1 is outside the window")
+	}
+}
+
+func TestUntaintRemovesStaleData(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 2, Untaint: true}, nil)
+	tr.Event(source(1, 0x1000, 4))
+	tr.Event(load(1, 10, 0x1000, 4))
+	tr.Event(store(1, 12, 0x2000, 4)) // tainted
+	// Much later, the location is overwritten outside any window.
+	tr.Event(store(1, 100, 0x2000, 4))
+	if tr.Check(1, mem.MakeRange(0x2000, 4)) {
+		t.Error("overwritten location must be untainted")
+	}
+	if tr.Stats().UntaintOps != 1 {
+		t.Errorf("UntaintOps = %d, want 1", tr.Stats().UntaintOps)
+	}
+}
+
+func TestUntaintDisabledKeepsData(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 2, Untaint: false}, nil)
+	tr.Event(source(1, 0x1000, 4))
+	tr.Event(load(1, 10, 0x1000, 4))
+	tr.Event(store(1, 12, 0x2000, 4))
+	tr.Event(store(1, 100, 0x2000, 4))
+	if !tr.Check(1, mem.MakeRange(0x2000, 4)) {
+		t.Error("without untainting the location must stay tainted")
+	}
+	if tr.Stats().UntaintOps != 0 {
+		t.Error("untainting disabled must record no untaint ops")
+	}
+}
+
+func TestUntaintOpsCountOnlyRealRemovals(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 1, Untaint: true}, nil)
+	for seq := uint64(1); seq <= 100; seq++ {
+		tr.Event(store(1, seq, mem.Addr(0x9000+seq*8), 4))
+	}
+	if ops := tr.Stats().UntaintOps; ops != 0 {
+		t.Errorf("stores to clean memory caused %d untaint ops", ops)
+	}
+}
+
+func TestPerProcessIsolation(t *testing.T) {
+	tr := NewTracker(Config{NI: 10, NT: 3}, nil)
+	tr.Event(source(1, 0x1000, 4))
+	// Process 2 loads the same physical range: its taint set is separate.
+	tr.Event(load(2, 5, 0x1000, 4))
+	tr.Event(store(2, 6, 0x2000, 4))
+	if tr.Check(2, mem.MakeRange(0x2000, 4)) {
+		t.Error("process 2 must not see process 1's taint")
+	}
+	// Process 1's own window must be unaffected by process 2's events.
+	tr.Event(load(1, 5, 0x1000, 4))
+	tr.Event(load(2, 7, 0x5000, 4))
+	tr.Event(store(1, 8, 0x3000, 4))
+	if !tr.Check(1, mem.MakeRange(0x3000, 4)) {
+		t.Error("interleaved process 2 events broke process 1's window")
+	}
+}
+
+func TestChainedPropagation(t *testing.T) {
+	// The paper's core mechanism: "repeating this prediction process
+	// creates a chain of load–store operations", source → A → B → sink.
+	tr := NewTracker(Config{NI: 5, NT: 1}, nil)
+	tr.Event(source(1, 0x1000, 16))
+	tr.Event(load(1, 10, 0x1000, 2))
+	tr.Event(store(1, 12, 0x2000, 2)) // hop 1
+	tr.Event(load(1, 20, 0x2000, 2))
+	tr.Event(store(1, 22, 0x3000, 2)) // hop 2
+	tr.Event(cpu.Event{Kind: cpu.EvSinkCheck, PID: 1, Seq: 30,
+		Range: mem.MakeRange(0x3000, 2), Tag: 7})
+	v := tr.Verdicts()
+	if len(v) != 1 || !v[0].Tainted || v[0].Tag != 7 {
+		t.Fatalf("verdicts = %+v", v)
+	}
+	if tr.Stats().TaintedSinks != 1 {
+		t.Error("TaintedSinks not counted")
+	}
+}
+
+func TestPartialOverlapOpensWindow(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 1}, nil)
+	tr.Event(source(1, 0x1002, 2))
+	tr.Event(load(1, 10, 0x1000, 4)) // word load straddling the tainted pair
+	tr.Event(store(1, 12, 0x2000, 4))
+	if !tr.Check(1, mem.MakeRange(0x2000, 4)) {
+		t.Error("partially-overlapping load must open the window")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := NewTracker(Config{NI: 5, NT: 1}, nil)
+	tr.Event(source(1, 0x1000, 4))
+	tr.Event(load(1, 1, 0x1000, 4))
+	tr.Event(store(1, 2, 0x2000, 4))
+	tr.Reset()
+	if tr.TaintedBytes() != 0 || tr.RangeCount() != 0 || len(tr.Verdicts()) != 0 {
+		t.Error("reset left state behind")
+	}
+	if tr.Stats() != (Stats{}) {
+		t.Error("reset left stats behind")
+	}
+	// Window state must also be gone.
+	tr.Event(store(1, 3, 0x3000, 4))
+	if tr.Check(1, mem.MakeRange(0x3000, 4)) {
+		t.Error("window survived reset")
+	}
+}
+
+func TestHighWaterMarks(t *testing.T) {
+	tr := NewTracker(Config{NI: 100, NT: 10, Untaint: true}, nil)
+	tr.Event(source(1, 0x1000, 100))
+	tr.Event(load(1, 1, 0x1000, 4))
+	tr.Event(store(1, 2, 0x2000, 50))
+	if st := tr.Stats(); st.MaxBytes != 150 || st.MaxRanges != 2 {
+		t.Fatalf("high water = %d bytes / %d ranges, want 150/2", st.MaxBytes, st.MaxRanges)
+	}
+	// Untaint everything; maxima must persist.
+	tr.Event(store(1, 500, 0x2000, 50))
+	tr.Event(store(1, 501, 0x1000, 100))
+	if st := tr.Stats(); st.MaxBytes != 150 {
+		t.Fatalf("high water after untaint = %d", st.MaxBytes)
+	}
+	if tr.TaintedBytes() != 0 {
+		t.Fatal("current bytes should be 0 after untainting all")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracker with NI=0 must panic")
+		}
+	}()
+	NewTracker(Config{NI: 0, NT: 1}, nil)
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// WordStore is the fixed-granularity alternative of §3.3: instead of
+// arbitrary ranges it taints whole 2^Shift-byte blocks ("we can taint a
+// block as a whole if any part of the block is being tainted"), storing
+// only the (32−r) most significant address bits per entry. Entries are
+// 4 bytes (8 with a process ID), queries are cheaper, but tainting
+// overshoots block boundaries — the over-tainting trade-off the paper
+// describes — and untainting a partially-covered block clears the whole
+// block, which can also under-taint.
+type WordStore struct {
+	shift  uint8
+	blocks map[uint32]map[mem.Addr]struct{} // pid → set of block indices
+}
+
+// NewWordStore builds a store with 2^shift-byte granularity; shift=2 gives
+// the word granularity the paper discusses.
+func NewWordStore(shift uint8) *WordStore {
+	if shift > 12 {
+		panic(fmt.Sprintf("core: word store shift %d out of range", shift))
+	}
+	return &WordStore{
+		shift:  shift,
+		blocks: make(map[uint32]map[mem.Addr]struct{}),
+	}
+}
+
+// Granularity returns the block size in bytes.
+func (s *WordStore) Granularity() uint32 { return 1 << s.shift }
+
+func (s *WordStore) pidBlocks(pid uint32, create bool) map[mem.Addr]struct{} {
+	b := s.blocks[pid]
+	if b == nil && create {
+		b = make(map[mem.Addr]struct{})
+		s.blocks[pid] = b
+	}
+	return b
+}
+
+func (s *WordStore) blockSpan(r mem.Range) (first, last mem.Addr) {
+	return r.Start >> s.shift, r.End >> s.shift
+}
+
+// Add implements Store, tainting every block the range touches.
+func (s *WordStore) Add(pid uint32, r mem.Range) {
+	b := s.pidBlocks(pid, true)
+	first, last := s.blockSpan(r)
+	for blk := first; ; blk++ {
+		b[blk] = struct{}{}
+		if blk == last {
+			break
+		}
+	}
+}
+
+// Remove implements Store, clearing every block the range touches (whole
+// blocks: fixed granularity cannot split).
+func (s *WordStore) Remove(pid uint32, r mem.Range) bool {
+	b := s.pidBlocks(pid, false)
+	if b == nil {
+		return false
+	}
+	removed := false
+	first, last := s.blockSpan(r)
+	for blk := first; ; blk++ {
+		if _, ok := b[blk]; ok {
+			delete(b, blk)
+			removed = true
+		}
+		if blk == last {
+			break
+		}
+	}
+	return removed
+}
+
+// Overlaps implements Store.
+func (s *WordStore) Overlaps(pid uint32, r mem.Range) bool {
+	b := s.pidBlocks(pid, false)
+	if b == nil {
+		return false
+	}
+	first, last := s.blockSpan(r)
+	for blk := first; ; blk++ {
+		if _, ok := b[blk]; ok {
+			return true
+		}
+		if blk == last {
+			break
+		}
+	}
+	return false
+}
+
+// RangeCount implements Store; each tainted block is one entry.
+func (s *WordStore) RangeCount() int {
+	n := 0
+	for _, b := range s.blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// TaintedBytes implements Store; whole blocks count, reflecting the
+// over-tainting of fixed granularity.
+func (s *WordStore) TaintedBytes() uint64 {
+	return uint64(s.RangeCount()) << s.shift
+}
+
+// Reset implements Store.
+func (s *WordStore) Reset() {
+	s.blocks = make(map[uint32]map[mem.Addr]struct{})
+}

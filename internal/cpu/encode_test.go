@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+func TestImageEncodeInto(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R0, 7),
+			arm.AddImm(arm.R1, arm.R0, 1),
+			arm.Ldr(arm.R2, arm.R1, 4),
+			arm.Str(arm.R2, arm.R1, 8),
+			arm.Svc(0),
+		)
+	})
+	m := mem.NewMemory()
+	encoded, skipped := im.EncodeInto(m)
+	if encoded != 5 || skipped != 0 {
+		t.Fatalf("encoded=%d skipped=%d", encoded, skipped)
+	}
+	// Every word in memory must decode back to an instruction with the
+	// same disassembly.
+	for i := range im.Code {
+		addr := im.Base + mem.Addr(4*i)
+		word := m.Load32(addr)
+		back, err := arm.Decode(word, addr)
+		if err != nil {
+			t.Fatalf("decode at %#x: %v", addr, err)
+		}
+		if back.String() != im.Code[i].String() {
+			t.Errorf("at %#x: %q decoded as %q", addr, im.Code[i], back)
+		}
+	}
+}
+
+func TestImageEncodeIntoSkipsBigImmediates(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R0, 0x12345678), // needs movw/movt: unencodable
+			arm.MovImm(arm.R1, 0xff),       // fine
+			arm.Svc(0),
+		)
+	})
+	m := mem.NewMemory()
+	encoded, skipped := im.EncodeInto(m)
+	if skipped != 1 || encoded != 2 {
+		t.Fatalf("encoded=%d skipped=%d", encoded, skipped)
+	}
+}

@@ -1,0 +1,220 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+// Image is a linked native-code image: instructions at consecutive word
+// addresses starting at Base. Instruction fetch goes through the image, not
+// through data memory, matching the front end's view (only data accesses
+// become taint events; the Dalvik *bytecode* stream, which the interpreter
+// templates do fetch via data loads, lives in data memory).
+type Image struct {
+	Base mem.Addr
+	Code []arm.Instr
+}
+
+// At returns the instruction at addr, or nil when addr is outside the image.
+func (im *Image) At(addr mem.Addr) *arm.Instr {
+	if addr < im.Base || addr&3 != 0 {
+		return nil
+	}
+	idx := (addr - im.Base) / 4
+	if idx >= mem.Addr(len(im.Code)) {
+		return nil
+	}
+	return &im.Code[idx]
+}
+
+// End returns the first address past the image.
+func (im *Image) End() mem.Addr { return im.Base + mem.Addr(4*len(im.Code)) }
+
+// EncodeInto writes the image's instructions as real A32 words into data
+// memory at their own addresses, so debuggers (and curious programs) can
+// inspect the code bytes the way they would on the real platform.
+// Instructions outside the binary subset (large immediates, shifted
+// halfword offsets) are skipped; the counts are returned. Execution always
+// uses the symbolic image, so skipped encodings are cosmetic.
+func (im *Image) EncodeInto(m *mem.Memory) (encoded, skipped int) {
+	for i := range im.Code {
+		addr := im.Base + mem.Addr(4*i)
+		w, err := arm.Encode(im.Code[i], addr)
+		if err != nil {
+			skipped++
+			continue
+		}
+		m.Store32(addr, w)
+		encoded++
+	}
+	return encoded, skipped
+}
+
+// Proc is one schedulable process: a register context, its code image, and
+// the per-process instruction counter the PIFT front end maintains
+// ("indexed by a process-specific ID such as PID or TTBR").
+type Proc struct {
+	PID        uint32
+	State      arm.State
+	Image      *Image
+	InstrCount uint64
+	Halted     bool
+	ExitCode   int32
+}
+
+// NewProc creates a process that will begin execution at entry.
+func NewProc(pid uint32, im *Image, entry mem.Addr) *Proc {
+	p := &Proc{PID: pid, Image: im}
+	p.State.R[arm.PC] = entry
+	return p
+}
+
+// BridgeFunc is a host handler bound to an OpBRIDGE instruction. Handlers
+// model work the paper performs outside the traced CPU data path (framework
+// and kernel layers): heap allocation, source registration, sink checks.
+// Memory writes a handler performs are intentionally invisible to the
+// front end, like kernel/driver writes on the real system.
+type BridgeFunc func(m *Machine, p *Proc)
+
+// Machine executes processes over a shared memory and fans front-end
+// events out to the attached sinks.
+type Machine struct {
+	Mem     *mem.Memory
+	sinks   []EventSink
+	hooks   []InstrHook
+	bridges map[int32]BridgeFunc
+
+	res      arm.Result
+	stepErr  error
+	sinkTags int
+}
+
+// InstrHook observes every retired instruction with full architectural
+// detail. The DIFT baseline (exact register-level tracking) attaches here;
+// PIFT itself never needs this level of visibility — that asymmetry is the
+// paper's point.
+type InstrHook interface {
+	Retired(p *Proc, in *arm.Instr, res *arm.Result)
+}
+
+// NewMachine returns a machine over fresh memory.
+func NewMachine() *Machine {
+	return &Machine{
+		Mem:     mem.NewMemory(),
+		bridges: make(map[int32]BridgeFunc),
+	}
+}
+
+// AttachSink adds a front-end event consumer.
+func (m *Machine) AttachSink(s EventSink) { m.sinks = append(m.sinks, s) }
+
+// AttachHook adds a full-detail instruction observer.
+func (m *Machine) AttachHook(h InstrHook) { m.hooks = append(m.hooks, h) }
+
+// RegisterBridge binds a host handler to a bridge ID. Rebinding an ID is a
+// programming error and panics.
+func (m *Machine) RegisterBridge(id int32, fn BridgeFunc) {
+	if _, dup := m.bridges[id]; dup {
+		panic(fmt.Sprintf("cpu: duplicate bridge id %d", id))
+	}
+	m.bridges[id] = fn
+}
+
+// Emit delivers an event to every attached sink.
+func (m *Machine) Emit(ev Event) {
+	for _, s := range m.sinks {
+		s.Event(ev)
+	}
+}
+
+// RegisterSource injects an EvSourceRegister for the range, stamped with
+// the process's current instruction counter.
+func (m *Machine) RegisterSource(p *Proc, r mem.Range) {
+	m.Emit(Event{Kind: EvSourceRegister, PID: p.PID, Seq: p.InstrCount, Range: r})
+}
+
+// CheckSink injects an EvSinkCheck for the range and returns the tag
+// assigned to this sink call (tags are unique per machine so replayed
+// verdicts can be matched to sink calls).
+func (m *Machine) CheckSink(p *Proc, r mem.Range) int {
+	m.sinkTags++
+	tag := m.sinkTags
+	m.Emit(Event{Kind: EvSinkCheck, PID: p.PID, Seq: p.InstrCount, Range: r, Tag: tag})
+	return tag
+}
+
+// Step executes one instruction of p. It returns false once p is halted or
+// a fault occurs (fault details via Err).
+func (m *Machine) Step(p *Proc) bool {
+	if p.Halted || m.stepErr != nil {
+		return false
+	}
+	pc := p.State.R[arm.PC]
+	in := p.Image.At(pc)
+	if in == nil {
+		m.stepErr = fmt.Errorf("cpu: pid %d: fetch fault at 0x%08x", p.PID, pc)
+		p.Halted = true
+		return false
+	}
+
+	arm.Exec(&p.State, in, m.Mem, &m.res)
+	p.InstrCount++
+
+	// Front-end logic: forward every data access.
+	for i := 0; i < m.res.NAcc; i++ {
+		acc := &m.res.Acc[i]
+		kind := EvLoad
+		if acc.Store {
+			kind = EvStore
+		}
+		m.Emit(Event{Kind: kind, PID: p.PID, Seq: p.InstrCount, Range: acc.Range})
+	}
+	for _, h := range m.hooks {
+		h.Retired(p, in, &m.res)
+	}
+
+	switch {
+	case m.res.SVC:
+		p.Halted = true
+		p.ExitCode = m.res.SVCNum
+	case m.res.Bridge:
+		fn := m.bridges[m.res.BridgeID]
+		if fn == nil {
+			m.stepErr = fmt.Errorf("cpu: pid %d: unbound bridge %d at 0x%08x",
+				p.PID, m.res.BridgeID, pc)
+			p.Halted = true
+			return false
+		}
+		p.State.R[arm.PC] = pc + 4
+		fn(m, p)
+	case m.res.Branched:
+		p.State.R[arm.PC] = m.res.Target
+	default:
+		p.State.R[arm.PC] = pc + 4
+	}
+	return !p.Halted
+}
+
+// Run executes p until it halts or the instruction budget is exhausted.
+// It returns the number of instructions retired and a non-nil error on a
+// fault or budget exhaustion (a runaway program is a bug in the workload).
+func (m *Machine) Run(p *Proc, budget uint64) (uint64, error) {
+	start := p.InstrCount
+	for !p.Halted {
+		if p.InstrCount-start >= budget {
+			return p.InstrCount - start, fmt.Errorf(
+				"cpu: pid %d: instruction budget %d exhausted at pc 0x%08x",
+				p.PID, budget, p.State.R[arm.PC])
+		}
+		m.Step(p)
+	}
+	if m.stepErr != nil {
+		return p.InstrCount - start, m.stepErr
+	}
+	return p.InstrCount - start, nil
+}
+
+// Err returns the sticky fault, if any.
+func (m *Machine) Err() error { return m.stepErr }

@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+// buildImage links the given assembler body at base 0x1000.
+func buildImage(t *testing.T, build func(a *arm.Assembler)) *Image {
+	t.Helper()
+	a := arm.NewAssembler(0x1000)
+	build(a)
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Image{Base: 0x1000, Code: code}
+}
+
+type eventLog struct{ events []Event }
+
+func (l *eventLog) Event(ev Event) { l.events = append(l.events, ev) }
+
+func TestRunStraightLine(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R0, 21),
+			arm.AddImm(arm.R0, arm.R0, 21),
+			arm.Svc(0),
+		)
+	})
+	m := NewMachine()
+	p := NewProc(1, im, im.Base)
+	n, err := m.Run(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("retired %d instructions, want 3", n)
+	}
+	if p.State.R[arm.R0] != 42 {
+		t.Fatalf("r0 = %d", p.State.R[arm.R0])
+	}
+	if !p.Halted || p.ExitCode != 0 {
+		t.Fatalf("halt state: %+v", p)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(arm.MovImm(arm.R0, 0), arm.MovImm(arm.R1, 0))
+		a.Label("loop")
+		a.Emit(arm.AddImm(arm.R1, arm.R1, 5), arm.AddsImm(arm.R0, arm.R0, 1),
+			arm.CmpImm(arm.R0, 10))
+		a.B(arm.LT, "loop")
+		a.Emit(arm.Svc(0))
+	})
+	m := NewMachine()
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if p.State.R[arm.R1] != 50 {
+		t.Fatalf("r1 = %d, want 50", p.State.R[arm.R1])
+	}
+}
+
+func TestFrontEndEvents(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.MovImm(arm.R0, 7),
+			arm.Str(arm.R0, arm.R1, 0), // store word at 0x5000, seq 3
+			arm.Nop(),
+			arm.Ldr(arm.R2, arm.R1, 0),  // load word, seq 5
+			arm.Strh(arm.R2, arm.R1, 8), // store halfword at 0x5008, seq 6
+			arm.Svc(0),
+		)
+	})
+	m := NewMachine()
+	log := &eventLog{}
+	m.AttachSink(log)
+	p := NewProc(3, im, im.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: EvStore, PID: 3, Seq: 3, Range: mem.MakeRange(0x5000, 4)},
+		{Kind: EvLoad, PID: 3, Seq: 5, Range: mem.MakeRange(0x5000, 4)},
+		{Kind: EvStore, PID: 3, Seq: 6, Range: mem.MakeRange(0x5008, 2)},
+	}
+	if len(log.events) != len(want) {
+		t.Fatalf("got %d events: %v", len(log.events), log.events)
+	}
+	for i, ev := range want {
+		if log.events[i] != ev {
+			t.Errorf("event %d = %+v, want %+v", i, log.events[i], ev)
+		}
+	}
+}
+
+func TestBridgeHandler(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(arm.MovImm(arm.R0, 5), arm.Bridge(1), arm.Svc(0))
+	})
+	m := NewMachine()
+	m.RegisterBridge(1, func(mm *Machine, p *Proc) {
+		p.State.R[arm.R0] *= 3 // host handler doubles as "framework call"
+	})
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if p.State.R[arm.R0] != 15 {
+		t.Fatalf("r0 = %d, want 15", p.State.R[arm.R0])
+	}
+}
+
+func TestUnboundBridgeFaults(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(arm.Bridge(99), arm.Svc(0))
+	})
+	m := NewMachine()
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 100); err == nil {
+		t.Fatal("expected fault for unbound bridge")
+	}
+}
+
+func TestFetchFault(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(arm.MovImm(arm.R0, 0x9999000), Bx(arm.R0))
+	})
+	m := NewMachine()
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 100); err == nil {
+		t.Fatal("expected fetch fault")
+	}
+}
+
+// Bx builds "bx rm" (test helper; arm exposes only BxLR).
+func Bx(rm arm.Reg) arm.Instr { return arm.Instr{Op: arm.OpBX, Rm: rm} }
+
+func TestInstructionBudget(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Label("spin")
+		a.B(arm.AL, "spin")
+	})
+	m := NewMachine()
+	p := NewProc(1, im, im.Base)
+	n, err := m.Run(p, 50)
+	if err == nil {
+		t.Fatal("expected budget exhaustion error")
+	}
+	if n != 50 {
+		t.Fatalf("retired %d, want 50", n)
+	}
+}
+
+func TestSubroutineCall(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(arm.MovImm(arm.SP, 0x8000), arm.MovImm(arm.R0, 4))
+		a.BL("double")
+		a.Emit(arm.Svc(0))
+		a.Label("double")
+		a.Emit(arm.Push(arm.LR),
+			arm.Add(arm.R0, arm.R0, arm.R0),
+			arm.Pop(arm.PC))
+	})
+	m := NewMachine()
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if p.State.R[arm.R0] != 8 {
+		t.Fatalf("r0 = %d, want 8", p.State.R[arm.R0])
+	}
+}
+
+func TestPerProcessCounters(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(arm.MovImm(arm.R1, 0x5000), arm.Ldr(arm.R0, arm.R1, 0), arm.Svc(0))
+	})
+	m := NewMachine()
+	log := &eventLog{}
+	m.AttachSink(log)
+	p1 := NewProc(1, im, im.Base)
+	p2 := NewProc(2, im, im.Base)
+	// Interleave: one step each, alternating.
+	for !p1.Halted || !p2.Halted {
+		m.Step(p1)
+		m.Step(p2)
+	}
+	if len(log.events) != 2 {
+		t.Fatalf("events = %v", log.events)
+	}
+	for _, ev := range log.events {
+		if ev.Seq != 2 {
+			t.Errorf("pid %d load at seq %d, want per-process seq 2", ev.PID, ev.Seq)
+		}
+	}
+	if log.events[0].PID == log.events[1].PID {
+		t.Error("expected events from two distinct PIDs")
+	}
+}
+
+func TestSourceAndSinkInjection(t *testing.T) {
+	m := NewMachine()
+	log := &eventLog{}
+	m.AttachSink(log)
+	p := &Proc{PID: 9, InstrCount: 123}
+	m.RegisterSource(p, mem.MakeRange(0x100, 16))
+	tag := m.CheckSink(p, mem.MakeRange(0x200, 8))
+	if tag != 1 {
+		t.Fatalf("first sink tag = %d", tag)
+	}
+	if tag2 := m.CheckSink(p, mem.MakeRange(0x300, 8)); tag2 != 2 {
+		t.Fatalf("second sink tag = %d", tag2)
+	}
+	if log.events[0].Kind != EvSourceRegister || log.events[0].Seq != 123 {
+		t.Fatalf("source event = %+v", log.events[0])
+	}
+	if log.events[1].Kind != EvSinkCheck || log.events[1].Tag != 1 {
+		t.Fatalf("sink event = %+v", log.events[1])
+	}
+}

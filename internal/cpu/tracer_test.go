@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+)
+
+func TestTracerListing(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0),
+			arm.Strh(arm.R0, arm.R1, 8),
+			arm.Svc(0),
+		)
+	})
+	var sb strings.Builder
+	m := NewMachine()
+	tr := NewTracer(&sb, 0)
+	m.AttachHook(tr)
+	p := NewProc(7, im, im.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if tr.Count() != 4 {
+		t.Fatalf("lines = %d, want 4\n%s", tr.Count(), out)
+	}
+	for _, want := range []string{
+		"[pid 7 #1] 0x00001000: mov r1, #20480",
+		"ldr r0, [r1]   ; <- mem[0x00005000,0x00005003]",
+		"strh r0, [r1, #8]   ; -> mem[0x00005008,0x00005009]",
+		"svc #0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		for i := 0; i < 10; i++ {
+			a.Emit(arm.Nop())
+		}
+		a.Emit(arm.Svc(0))
+	})
+	var sb strings.Builder
+	m := NewMachine()
+	tr := NewTracer(&sb, 3)
+	m.AttachHook(tr)
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 3 {
+		t.Fatalf("limit ignored: %d lines", tr.Count())
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 3 {
+		t.Fatalf("output has %d lines", n)
+	}
+}
+
+func TestTracerMarksSkipped(t *testing.T) {
+	im := buildImage(t, func(a *arm.Assembler) {
+		skipped := arm.MovImm(arm.R2, 9)
+		skipped.Cond = arm.NE
+		a.Emit(
+			arm.MovImm(arm.R0, 0),
+			arm.CmpImm(arm.R0, 0), // Z set → NE fails
+			skipped,
+			arm.Svc(0),
+		)
+	})
+	var sb strings.Builder
+	m := NewMachine()
+	m.AttachHook(NewTracer(&sb, 0))
+	p := NewProc(1, im, im.Base)
+	if _, err := m.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(skipped)") {
+		t.Fatalf("skipped conditional not marked:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,85 @@
+package dalvik
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dump renders the program as a dexdump-style listing: classes with field
+// offsets, statics with slots, and each method's numbered bytecode with
+// label annotations.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (entry %s)\n", p.Name, p.Entry)
+
+	if len(p.Classes) > 0 {
+		var names []string
+		for n := range p.Classes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			cls := p.Classes[n]
+			fmt.Fprintf(&b, "  class %s", n)
+			for i, f := range cls.Fields {
+				fmt.Fprintf(&b, " %s@%d", f, 4*i)
+			}
+			b.WriteString("\n")
+		}
+	}
+	for i, s := range p.Statics {
+		fmt.Fprintf(&b, "  static %s -> slot %d (0x%08x)\n", s, i, StaticAddr(i))
+	}
+
+	for _, name := range p.MethodNames() {
+		m := p.Methods[name]
+		fmt.Fprintf(&b, "  method %s (registers=%d, in=%d)\n",
+			name, m.Registers, m.InArgs)
+		// Invert the label map for annotation.
+		labels := map[int][]string{}
+		for l, idx := range m.Labels {
+			labels[idx] = append(labels[idx], l)
+		}
+		for idx := range labels {
+			sort.Strings(labels[idx])
+		}
+		for i, in := range m.Insns {
+			for _, l := range labels[i] {
+				fmt.Fprintf(&b, "    :%s\n", l)
+			}
+			fmt.Fprintf(&b, "    %04d  %v\n", i, in)
+		}
+	}
+	return b.String()
+}
+
+// Stats summarizes a program's static structure.
+type ProgramStats struct {
+	Methods      int
+	Instructions int
+	DataMovers   int // instructions whose opcode can move data (Figure 10)
+	Invokes      int
+	Branches     int
+}
+
+// Stats computes the static summary.
+func (p *Program) Stats() ProgramStats {
+	var s ProgramStats
+	for _, name := range p.MethodNames() {
+		s.Methods++
+		for _, in := range p.Methods[name].Insns {
+			s.Instructions++
+			if in.Op.MovesData() {
+				s.DataMovers++
+			}
+			if in.Op.IsInvoke() {
+				s.Invokes++
+			}
+			if in.Op.IsBranch() {
+				s.Branches++
+			}
+		}
+	}
+	return s
+}

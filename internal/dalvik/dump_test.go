@@ -1,0 +1,68 @@
+package dalvik
+
+import (
+	"strings"
+	"testing"
+)
+
+func dumpFixture(t *testing.T) *Program {
+	t.Helper()
+	b := NewProgram("dumpme")
+	b.Class("Holder", "data", "count")
+	b.Statics("out")
+	m := b.Method("Main.main", 8, 0)
+	m.Const4(0, 3)
+	m.Label("loop")
+	m.AddIntLit8(0, 0, -1)
+	m.IfGtz(0, "loop")
+	m.InvokeStatic("Main.helper", 0)
+	m.MoveResult(1)
+	m.Sput(1, "out")
+	m.ReturnVoid()
+	h := b.Method("Main.helper", 4, 1)
+	h.Return(3)
+	b.Entry("Main.main")
+	prog, err := b.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDumpListing(t *testing.T) {
+	out := dumpFixture(t).Dump()
+	for _, want := range []string{
+		"program dumpme (entry Main.main)",
+		"class Holder data@0 count@4",
+		"static out -> slot 0",
+		"method Main.main (registers=8, in=0)",
+		":loop",
+		"if-gtz v0, :loop",
+		"invoke-static {v0}, Main.helper",
+		"sput v1, out",
+		"method Main.helper (registers=4, in=1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramStats(t *testing.T) {
+	s := dumpFixture(t).Stats()
+	if s.Methods != 2 {
+		t.Errorf("methods = %d", s.Methods)
+	}
+	if s.Instructions != 8 {
+		t.Errorf("instructions = %d", s.Instructions)
+	}
+	if s.Invokes != 1 {
+		t.Errorf("invokes = %d", s.Invokes)
+	}
+	if s.Branches != 1 {
+		t.Errorf("branches = %d", s.Branches)
+	}
+	if s.DataMovers == 0 {
+		t.Error("no data movers counted")
+	}
+}

@@ -1,0 +1,218 @@
+package dalvik
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/cpu"
+)
+
+// runProgramMode is runProgram with an explicit translation tier.
+func runProgramMode(t *testing.T, prog *Program, mode Mode) *cpu.Machine {
+	t.Helper()
+	asm := arm.NewAssembler(CodeBase)
+	rt := newStubRuntime(asm)
+	tr, err := TranslateMode(prog, asm, rt, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := asm.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := cpu.NewMachine()
+	tr.Materialize(machine.Mem)
+	entry, _ := asm.LabelAddr(tr.EntryLabel)
+	proc := cpu.NewProc(1, &cpu.Image{Base: CodeBase, Code: code}, entry)
+	if _, err := machine.Run(proc, 10_000_000); err != nil {
+		t.Fatalf("mode %v: %v", mode, err)
+	}
+	return machine
+}
+
+// modePrograms are semantic smoke programs whose static-0 result must be
+// identical under every translation tier.
+func modePrograms(t *testing.T) map[string]*Program {
+	t.Helper()
+	progs := map[string]*Program{}
+
+	// Iterative loop with branches.
+	b := NewProgram("loop")
+	b.Statics("out")
+	m := b.Method("Main.main", 8, 0)
+	m.Const4(0, 0)
+	m.Const16(1, 25)
+	m.Label("loop")
+	m.IfLez(1, "done")
+	m.Binop(OpAddInt, 0, 0, 1)
+	m.AddIntLit8(1, 1, -1)
+	m.Goto("loop")
+	m.Label("done")
+	m.Sput(0, "out")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs["loop"] = prog
+
+	// Recursion through frames.
+	b = NewProgram("rec")
+	b.Statics("out")
+	f := b.Method("Main.fact", 6, 1)
+	f.Const4(0, 1)
+	f.If(OpIfLe, 5, 0, "base")
+	f.AddIntLit8(1, 5, -1)
+	f.InvokeStatic("Main.fact", 1)
+	f.MoveResult(2)
+	f.Binop(OpMulInt, 0, 5, 2)
+	f.Return(0)
+	f.Label("base")
+	f.Const4(0, 1)
+	f.Return(0)
+	m = b.Method("Main.main", 4, 0)
+	m.Const4(0, 7)
+	m.InvokeStatic("Main.fact", 0)
+	m.MoveResult(1)
+	m.Sput(1, "out")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	if progs["rec"], err = b.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Switch dispatch.
+	b = NewProgram("sw")
+	b.Statics("out")
+	m = b.Method("Main.main", 4, 0)
+	m.Const4(0, 1)
+	m.PackedSwitch(0,
+		SwitchCase{Value: 0, Target: "a"},
+		SwitchCase{Value: 1, Target: "b"},
+	)
+	m.Const16(1, 0)
+	m.Goto("end")
+	m.Label("a")
+	m.Const16(1, 10)
+	m.Goto("end")
+	m.Label("b")
+	m.Const16(1, 20)
+	m.Goto("end")
+	m.Label("end")
+	m.Sput(1, "out")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	if progs["sw"], err = b.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wide arithmetic.
+	b = NewProgram("wide")
+	b.Statics("out")
+	m = b.Method("Main.main", 10, 0)
+	m.ConstWide16(0, 1000)
+	m.ConstWide16(2, 999)
+	m.MulLong(4, 0, 2)
+	m.LongToInt(6, 4)
+	m.Sput(6, "out")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	if progs["wide"], err = b.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	return progs
+}
+
+// TestModesAreSemanticallyEquivalent runs each smoke program under all
+// three tiers and requires identical results — the JIT and AOT transforms
+// must never change program behaviour.
+func TestModesAreSemanticallyEquivalent(t *testing.T) {
+	want := map[string]uint32{"loop": 325, "rec": 5040, "sw": 20, "wide": 999000}
+	for name, prog := range modePrograms(t) {
+		for _, mode := range []Mode{ModeInterp, ModeJIT, ModeAOT} {
+			machine := runProgramMode(t, prog, mode)
+			if got := machine.Mem.Load32(StaticAddr(0)); got != want[name] {
+				t.Errorf("%s under %v = %d, want %d", name, mode, got, want[name])
+			}
+		}
+	}
+}
+
+// TestAOTHasNoBytecodeFetches verifies the defining property of the AOT
+// tier: no loads from the bytecode region appear in the event stream.
+func TestAOTHasNoBytecodeFetches(t *testing.T) {
+	prog := modePrograms(t)["loop"]
+	for _, tc := range []struct {
+		mode    Mode
+		fetches bool
+	}{
+		{ModeInterp, true},
+		{ModeJIT, true},
+		{ModeAOT, false},
+	} {
+		asm := arm.NewAssembler(CodeBase)
+		rt := newStubRuntime(asm)
+		tr, err := TranslateMode(prog, asm, rt, tc.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := asm.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine := cpu.NewMachine()
+		log := &eventCollector{}
+		machine.AttachSink(log)
+		tr.Materialize(machine.Mem)
+		entry, _ := asm.LabelAddr(tr.EntryLabel)
+		proc := cpu.NewProc(1, &cpu.Image{Base: CodeBase, Code: code}, entry)
+		if _, err := machine.Run(proc, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		fetches := 0
+		for _, ev := range log.events {
+			if ev.Kind == cpu.EvLoad && ev.Range.Start >= BytecodeBase && ev.Range.Start < CodeBase {
+				fetches++
+			}
+		}
+		if tc.fetches && fetches == 0 {
+			t.Errorf("%v: expected bytecode fetches", tc.mode)
+		}
+		if !tc.fetches && fetches != 0 {
+			t.Errorf("%v: %d bytecode fetches in compiled code", tc.mode, fetches)
+		}
+	}
+}
+
+// TestModeShortensInstructionStream checks the tier ordering on dynamic
+// instruction count: interp > jit > aot.
+func TestModeShortensInstructionStream(t *testing.T) {
+	prog := modePrograms(t)["loop"]
+	counts := map[Mode]uint64{}
+	for _, mode := range []Mode{ModeInterp, ModeJIT, ModeAOT} {
+		asm := arm.NewAssembler(CodeBase)
+		rt := newStubRuntime(asm)
+		tr, err := TranslateMode(prog, asm, rt, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := asm.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine := cpu.NewMachine()
+		tr.Materialize(machine.Mem)
+		entry, _ := asm.LabelAddr(tr.EntryLabel)
+		proc := cpu.NewProc(1, &cpu.Image{Base: CodeBase, Code: code}, entry)
+		n, err := machine.Run(proc, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[mode] = n
+	}
+	if !(counts[ModeInterp] > counts[ModeJIT] && counts[ModeJIT] > counts[ModeAOT]) {
+		t.Fatalf("tier instruction counts not descending: %v", counts)
+	}
+}

@@ -1,0 +1,307 @@
+// Package dalvik models the register-based bytecode virtual machine the
+// paper's analysis targets (§4): a Dalvik-like instruction set whose
+// bytecodes are translated into fixed native-code templates in the style of
+// the Android mterp interpreter. Virtual registers live in a memory frame
+// addressed through rFP, so every data movement between them is a native
+// load/store pair at a template-determined distance — the structural
+// property PIFT's tainting window exploits (Table 1 of the paper).
+package dalvik
+
+// Opcode enumerates the implemented Dalvik-like bytecodes.
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Moves between virtual registers.
+	OpMove             // vA ← vB (distance 3)
+	OpMoveFrom16       // vA ← vB, 16-bit B form (distance 2)
+	OpMove16           // vA ← vB, 16/16 form (distance 2)
+	OpMoveObject       // object ref move (distance 3)
+	OpMoveObjectFrom16 // (distance 2)
+
+	// Result/return plumbing through the thread's retval slot.
+	OpMoveResult       // vA ← retval (distance 2)
+	OpMoveResultObject // vA ← retval ref (distance 2)
+	OpReturnVoid
+	OpReturn       // retval ← vA (distance 1)
+	OpReturnObject // (distance 1)
+
+	// Constants.
+	OpConst4
+	OpConst16
+	OpConst
+	OpConstString // vA ← interned string reference
+
+	// Control flow.
+	OpGoto
+	OpIfEq
+	OpIfNe
+	OpIfLt
+	OpIfGe
+	OpIfGt
+	OpIfLe
+	OpIfEqz
+	OpIfNez
+	OpIfLtz
+	OpIfGez
+	OpIfGtz
+	OpIfLez
+	OpPackedSwitch
+
+	// Integer arithmetic, three-address form (distance 5).
+	OpAddInt
+	OpSubInt
+	OpMulInt
+	OpAndInt
+	OpOrInt
+	OpXorInt
+	OpShlInt
+	OpShrInt
+
+	// Two-address form, "/2addr" (distance 5).
+	OpAddInt2Addr
+	OpSubInt2Addr
+	OpMulInt2Addr
+	OpAndInt2Addr
+	OpOrInt2Addr
+	OpXorInt2Addr
+	OpShlInt2Addr
+	OpShrInt2Addr
+
+	// Literal forms (distance 5).
+	OpAddIntLit8
+	OpMulIntLit8
+	OpAndIntLit8
+	OpRsubIntLit8
+	OpXorIntLit8
+
+	// Division family: translated to calls of ARM ABI helper routines
+	// (__aeabi_idiv and friends), so the within-template distance is
+	// "unknown" in Table 1's sense.
+	OpDivInt
+	OpRemInt
+	OpDivIntLit8
+	OpRemIntLit8
+
+	// Unary ops.
+	OpNegInt    // distance 4
+	OpNotInt    // distance 4
+	OpIntToChar // distance 6
+	OpIntToByte // distance 6
+
+	// Arrays.
+	OpNewArray
+	OpArrayLength // distance 3
+	OpAget        // distance 2
+	OpAput        // distance 2
+	OpAgetChar    // distance 2
+	OpAputChar    // distance 2
+	OpAgetObject  // distance 2
+	OpAputObject  // distance 10 (type check before the store)
+
+	// Instance fields.
+	OpIget       // distance 5
+	OpIput       // distance 4
+	OpIgetObject // distance 5
+	OpIputObject // distance 5
+
+	// Static fields.
+	OpSget       // distance 3
+	OpSput       // distance 2
+	OpSgetObject // distance 3
+	OpSputObject // distance 2
+
+	// Objects and calls.
+	OpNewInstance
+	OpCheckCast
+	OpInvokeVirtual
+	OpInvokeStatic
+	OpInvokeDirect
+	OpInvokeInterface
+
+	// Wide (64-bit long) operations: values occupy register pairs
+	// (vA, vA+1) and move through memory as 8-byte ldrd/strd accesses.
+	// These fill Table 1's long rows: return-wide (1), int-to-long (5),
+	// sub-long (6), and the 9–12 group (mul-long, shr-long).
+	OpMoveWide       // distance 3
+	OpMoveWideFrom16 // distance 2
+	OpMoveResultWide // distance 2
+	OpReturnWide     // distance 1
+	OpConstWide16
+	OpAddLong   // distance 6
+	OpSubLong   // distance 6
+	OpMulLong   // distance 9
+	OpShlLong   // distance 11
+	OpShrLong   // distance 11
+	OpIntToLong // distance 5
+	OpLongToInt // distance 3
+	OpCmpLong   // distance 11
+
+	opcodeCount // must be last
+)
+
+// opInfo carries the static properties the translator and the analyses
+// need per opcode.
+type opInfo struct {
+	name string
+	// movesData marks the bytecodes that can move data, "irrespective of
+	// being a real data or a reference to it" — the highlighted rows of
+	// the paper's Figure 10.
+	movesData bool
+	// distance is the within-template native load→store distance the
+	// translation rules produce (paper Table 1): the instruction count
+	// from the first load of actual data to the store of the result.
+	// 0 = not applicable (no load→store pair); -1 = unknown (the
+	// template calls an ABI helper routine).
+	distance int
+}
+
+var opTable = [opcodeCount]opInfo{
+	OpNop:              {name: "nop"},
+	OpMove:             {name: "move", movesData: true, distance: 3},
+	OpMoveFrom16:       {name: "move/from16", movesData: true, distance: 2},
+	OpMove16:           {name: "move/16", movesData: true, distance: 2},
+	OpMoveObject:       {name: "move-object", movesData: true, distance: 3},
+	OpMoveObjectFrom16: {name: "move-object/from16", movesData: true, distance: 2},
+	OpMoveResult:       {name: "move-result", movesData: true, distance: 2},
+	OpMoveResultObject: {name: "move-result-object", movesData: true, distance: 2},
+	OpReturnVoid:       {name: "return-void"},
+	OpReturn:           {name: "return", movesData: true, distance: 1},
+	OpReturnObject:     {name: "return-object", movesData: true, distance: 1},
+	OpConst4:           {name: "const/4"},
+	OpConst16:          {name: "const/16"},
+	OpConst:            {name: "const"},
+	OpConstString:      {name: "const-string"},
+	OpGoto:             {name: "goto"},
+	OpIfEq:             {name: "if-eq"},
+	OpIfNe:             {name: "if-ne"},
+	OpIfLt:             {name: "if-lt"},
+	OpIfGe:             {name: "if-ge"},
+	OpIfGt:             {name: "if-gt"},
+	OpIfLe:             {name: "if-le"},
+	OpIfEqz:            {name: "if-eqz"},
+	OpIfNez:            {name: "if-nez"},
+	OpIfLtz:            {name: "if-ltz"},
+	OpIfGez:            {name: "if-gez"},
+	OpIfGtz:            {name: "if-gtz"},
+	OpIfLez:            {name: "if-lez"},
+	OpPackedSwitch:     {name: "packed-switch"},
+	OpAddInt:           {name: "add-int", movesData: true, distance: 5},
+	OpSubInt:           {name: "sub-int", movesData: true, distance: 5},
+	OpMulInt:           {name: "mul-int", movesData: true, distance: 5},
+	OpAndInt:           {name: "and-int", movesData: true, distance: 5},
+	OpOrInt:            {name: "or-int", movesData: true, distance: 5},
+	OpXorInt:           {name: "xor-int", movesData: true, distance: 5},
+	OpShlInt:           {name: "shl-int", movesData: true, distance: 5},
+	OpShrInt:           {name: "shr-int", movesData: true, distance: 5},
+	OpAddInt2Addr:      {name: "add-int/2addr", movesData: true, distance: 5},
+	OpSubInt2Addr:      {name: "sub-int/2addr", movesData: true, distance: 5},
+	OpMulInt2Addr:      {name: "mul-int/2addr", movesData: true, distance: 5},
+	OpAndInt2Addr:      {name: "and-int/2addr", movesData: true, distance: 5},
+	OpOrInt2Addr:       {name: "or-int/2addr", movesData: true, distance: 5},
+	OpXorInt2Addr:      {name: "xor-int/2addr", movesData: true, distance: 5},
+	OpShlInt2Addr:      {name: "shl-int/2addr", movesData: true, distance: 5},
+	OpShrInt2Addr:      {name: "shr-int/2addr", movesData: true, distance: 5},
+	OpAddIntLit8:       {name: "add-int/lit8", movesData: true, distance: 5},
+	OpMulIntLit8:       {name: "mul-int/lit8", movesData: true, distance: 5},
+	OpAndIntLit8:       {name: "and-int/lit8", movesData: true, distance: 5},
+	OpRsubIntLit8:      {name: "rsub-int/lit8", movesData: true, distance: 5},
+	OpXorIntLit8:       {name: "xor-int/lit8", movesData: true, distance: 5},
+	OpDivInt:           {name: "div-int", movesData: true, distance: -1},
+	OpRemInt:           {name: "rem-int", movesData: true, distance: -1},
+	OpDivIntLit8:       {name: "div-int/lit8", movesData: true, distance: -1},
+	OpRemIntLit8:       {name: "rem-int/lit8", movesData: true, distance: -1},
+	OpNegInt:           {name: "neg-int", movesData: true, distance: 4},
+	OpNotInt:           {name: "not-int", movesData: true, distance: 4},
+	OpIntToChar:        {name: "int-to-char", movesData: true, distance: 6},
+	OpIntToByte:        {name: "int-to-byte", movesData: true, distance: 6},
+	OpNewArray:         {name: "new-array"},
+	OpArrayLength:      {name: "array-length", movesData: true, distance: 3},
+	OpAget:             {name: "aget", movesData: true, distance: 2},
+	OpAput:             {name: "aput", movesData: true, distance: 2},
+	OpAgetChar:         {name: "aget-char", movesData: true, distance: 2},
+	OpAputChar:         {name: "aput-char", movesData: true, distance: 2},
+	OpAgetObject:       {name: "aget-object", movesData: true, distance: 2},
+	OpAputObject:       {name: "aput-object", movesData: true, distance: 10},
+	OpIget:             {name: "iget", movesData: true, distance: 5},
+	OpIput:             {name: "iput", movesData: true, distance: 4},
+	OpIgetObject:       {name: "iget-object", movesData: true, distance: 5},
+	OpIputObject:       {name: "iput-object", movesData: true, distance: 5},
+	OpSget:             {name: "sget", movesData: true, distance: 3},
+	OpSput:             {name: "sput", movesData: true, distance: 2},
+	OpSgetObject:       {name: "sget-object", movesData: true, distance: 3},
+	OpSputObject:       {name: "sput-object", movesData: true, distance: 2},
+	OpNewInstance:      {name: "new-instance"},
+	OpCheckCast:        {name: "check-cast"},
+	OpInvokeVirtual:    {name: "invoke-virtual"},
+	OpInvokeStatic:     {name: "invoke-static"},
+	OpInvokeDirect:     {name: "invoke-direct"},
+	OpInvokeInterface:  {name: "invoke-interface"},
+	OpMoveWide:         {name: "move-wide", movesData: true, distance: 3},
+	OpMoveWideFrom16:   {name: "move-wide/from16", movesData: true, distance: 2},
+	OpMoveResultWide:   {name: "move-result-wide", movesData: true, distance: 2},
+	OpReturnWide:       {name: "return-wide", movesData: true, distance: 1},
+	OpConstWide16:      {name: "const-wide/16"},
+	OpAddLong:          {name: "add-long", movesData: true, distance: 6},
+	OpSubLong:          {name: "sub-long", movesData: true, distance: 6},
+	OpMulLong:          {name: "mul-long", movesData: true, distance: 9},
+	OpShlLong:          {name: "shl-long", movesData: true, distance: 11},
+	OpShrLong:          {name: "shr-long", movesData: true, distance: 11},
+	OpIntToLong:        {name: "int-to-long", movesData: true, distance: 5},
+	OpLongToInt:        {name: "long-to-int", movesData: true, distance: 3},
+	OpCmpLong:          {name: "cmp-long", movesData: true, distance: 11},
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return "op?"
+}
+
+// MovesData reports whether the bytecode can move data between memory
+// locations (the highlighted bytecodes of Figure 10).
+func (o Opcode) MovesData() bool {
+	return int(o) < len(opTable) && opTable[o].movesData
+}
+
+// TableDistance returns the paper-documented native load–store distance for
+// the bytecode: the Table 1 value our translation templates are built to
+// reproduce. ok is false for bytecodes with no load→store pair;
+// distance -1 means "unknown" (ABI helper call).
+func (o Opcode) TableDistance() (distance int, ok bool) {
+	if int(o) >= len(opTable) {
+		return 0, false
+	}
+	d := opTable[o].distance
+	return d, d != 0
+}
+
+// Opcodes returns all defined opcodes in order; analyses iterate this.
+func Opcodes() []Opcode {
+	out := make([]Opcode, 0, opcodeCount)
+	for o := Opcode(0); o < opcodeCount; o++ {
+		out = append(out, o)
+	}
+	return out
+}
+
+// IsInvoke reports whether the opcode is a method invocation.
+func (o Opcode) IsInvoke() bool {
+	switch o {
+	case OpInvokeVirtual, OpInvokeStatic, OpInvokeDirect, OpInvokeInterface:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the opcode transfers control.
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case OpGoto, OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe,
+		OpIfEqz, OpIfNez, OpIfLtz, OpIfGez, OpIfGtz, OpIfLez, OpPackedSwitch:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,680 @@
+package dalvik
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SwitchCase is one arm of a packed-switch.
+type SwitchCase struct {
+	Value  int32
+	Target string
+}
+
+// Insn is one bytecode instruction. Operands are virtual-register indices;
+// Str carries symbol references (string literals, "Class.field" field
+// references, static-field names, method names); Target is a branch label.
+type Insn struct {
+	Op     Opcode
+	A      int
+	B      int
+	C      int
+	Lit    int32
+	Str    string
+	Target string
+	Cases  []SwitchCase
+	Args   []int // invoke argument registers
+}
+
+func (in Insn) String() string {
+	switch in.Op {
+	case OpNop, OpReturnVoid:
+		return in.Op.String()
+	case OpGoto:
+		return fmt.Sprintf("goto :%s", in.Target)
+	case OpPackedSwitch:
+		return fmt.Sprintf("packed-switch v%d (%d cases)", in.A, len(in.Cases))
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe:
+		return fmt.Sprintf("%v v%d, v%d, :%s", in.Op, in.A, in.B, in.Target)
+	case OpIfEqz, OpIfNez, OpIfLtz, OpIfGez, OpIfGtz, OpIfLez:
+		return fmt.Sprintf("%v v%d, :%s", in.Op, in.A, in.Target)
+	case OpConstString:
+		return fmt.Sprintf("const-string v%d, %q", in.A, in.Str)
+	case OpConst4, OpConst16, OpConst, OpConstWide16:
+		return fmt.Sprintf("%v v%d, #%d", in.Op, in.A, in.Lit)
+	case OpIget, OpIput, OpIgetObject, OpIputObject:
+		return fmt.Sprintf("%v v%d, v%d, %s", in.Op, in.A, in.B, in.Str)
+	case OpSget, OpSput, OpSgetObject, OpSputObject:
+		return fmt.Sprintf("%v v%d, %s", in.Op, in.A, in.Str)
+	case OpNewInstance, OpCheckCast:
+		return fmt.Sprintf("%v v%d, %s", in.Op, in.A, in.Str)
+	case OpNewArray:
+		elem := "int"
+		if in.Str == "char" {
+			elem = "char"
+		}
+		return fmt.Sprintf("new-array v%d, v%d, %s[]", in.A, in.B, elem)
+	case OpMoveResult, OpMoveResultObject, OpMoveResultWide,
+		OpReturn, OpReturnObject, OpReturnWide:
+		return fmt.Sprintf("%v v%d", in.Op, in.A)
+	case OpMove, OpMoveFrom16, OpMove16, OpMoveObject, OpMoveObjectFrom16,
+		OpMoveWide, OpMoveWideFrom16, OpNegInt, OpNotInt, OpIntToChar,
+		OpIntToByte, OpIntToLong, OpLongToInt, OpArrayLength:
+		return fmt.Sprintf("%v v%d, v%d", in.Op, in.A, in.B)
+	case OpAddIntLit8, OpMulIntLit8, OpAndIntLit8, OpRsubIntLit8,
+		OpXorIntLit8, OpDivIntLit8, OpRemIntLit8:
+		return fmt.Sprintf("%v v%d, v%d, #%d", in.Op, in.A, in.B, in.Lit)
+	case OpAddInt2Addr, OpSubInt2Addr, OpMulInt2Addr, OpAndInt2Addr,
+		OpOrInt2Addr, OpXorInt2Addr, OpShlInt2Addr, OpShrInt2Addr:
+		return fmt.Sprintf("%v v%d, v%d", in.Op, in.A, in.B)
+	}
+	switch {
+	case in.Op.IsInvoke():
+		return fmt.Sprintf("%v {%s}, %s", in.Op, regList(in.Args), in.Str)
+	default:
+		return fmt.Sprintf("%v v%d, v%d, v%d", in.Op, in.A, in.B, in.C)
+	}
+}
+
+func regList(regs []int) string {
+	parts := make([]string, len(regs))
+	for i, r := range regs {
+		parts[i] = fmt.Sprintf("v%d", r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Method is one bytecode method. Arguments arrive in the last InArgs
+// virtual registers, as in Dalvik.
+type Method struct {
+	Name      string
+	Registers int
+	InArgs    int
+	Insns     []Insn
+	Labels    map[string]int // label → instruction index
+}
+
+// Class declares instance fields; field i lives at byte offset 4*i in the
+// object.
+type Class struct {
+	Name   string
+	Fields []string
+}
+
+// FieldOffset returns the byte offset of a field, or an error for an
+// unknown field.
+func (c *Class) FieldOffset(field string) (int32, error) {
+	for i, f := range c.Fields {
+		if f == field {
+			return int32(4 * i), nil
+		}
+	}
+	return 0, fmt.Errorf("dalvik: class %s has no field %q", c.Name, field)
+}
+
+// Size returns the object size in bytes.
+func (c *Class) Size() int32 { return int32(4 * len(c.Fields)) }
+
+// Program is a complete application: classes, methods, static fields, and
+// an entry method.
+type Program struct {
+	Name    string
+	Classes map[string]*Class
+	Methods map[string]*Method
+	Statics []string
+	Entry   string
+}
+
+// MethodNames returns method names in sorted order for deterministic
+// layout and output.
+func (p *Program) MethodNames() []string {
+	names := make([]string, 0, len(p.Methods))
+	for n := range p.Methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StaticIndex returns the slot index of a static field.
+func (p *Program) StaticIndex(name string) (int, error) {
+	for i, s := range p.Statics {
+		if s == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("dalvik: unknown static field %q", name)
+}
+
+// Builder assembles a Program with validation deferred to Build.
+type Builder struct {
+	prog *Program
+	errs []error
+}
+
+// NewProgram starts a program named name.
+func NewProgram(name string) *Builder {
+	return &Builder{prog: &Program{
+		Name:    name,
+		Classes: make(map[string]*Class),
+		Methods: make(map[string]*Method),
+	}}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("dalvik: "+format, args...))
+}
+
+// Class declares a class with instance fields.
+func (b *Builder) Class(name string, fields ...string) *Builder {
+	if _, dup := b.prog.Classes[name]; dup {
+		b.errf("duplicate class %q", name)
+		return b
+	}
+	b.prog.Classes[name] = &Class{Name: name, Fields: fields}
+	return b
+}
+
+// Statics declares program-level static fields.
+func (b *Builder) Statics(names ...string) *Builder {
+	b.prog.Statics = append(b.prog.Statics, names...)
+	return b
+}
+
+// Entry names the entry method.
+func (b *Builder) Entry(method string) *Builder {
+	b.prog.Entry = method
+	return b
+}
+
+// Method opens a method body with the given total register count and
+// trailing argument count.
+func (b *Builder) Method(name string, registers, inArgs int) *MethodBuilder {
+	if _, dup := b.prog.Methods[name]; dup {
+		b.errf("duplicate method %q", name)
+	}
+	m := &Method{
+		Name:      name,
+		Registers: registers,
+		InArgs:    inArgs,
+		Labels:    make(map[string]int),
+	}
+	b.prog.Methods[name] = m
+	return &MethodBuilder{b: b, m: m}
+}
+
+// Build validates and returns the program: the entry must exist, every
+// branch target must be a defined label, every register index must be in
+// range, and every invoked app method must exist unless declared external
+// (resolved by the runtime at link time).
+func (b *Builder) Build(externs map[string]bool) (*Program, error) {
+	p := b.prog
+	if p.Entry == "" {
+		b.errf("no entry method")
+	} else if _, ok := p.Methods[p.Entry]; !ok {
+		b.errf("entry method %q not defined", p.Entry)
+	}
+	for _, name := range p.MethodNames() {
+		m := p.Methods[name]
+		b.validateMethod(p, m, externs)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return p, nil
+}
+
+func (b *Builder) validateMethod(p *Program, m *Method, externs map[string]bool) {
+	checkReg := func(i int, v int) {
+		if v < 0 || v >= m.Registers {
+			b.errf("%s insn %d: register v%d out of range (method has %d)",
+				m.Name, i, v, m.Registers)
+		}
+	}
+	if len(m.Insns) == 0 {
+		b.errf("method %q has no instructions", m.Name)
+		return
+	}
+	for i, in := range m.Insns {
+		switch {
+		case in.Op.IsInvoke():
+			for _, a := range in.Args {
+				checkReg(i, a)
+			}
+			if _, app := p.Methods[in.Str]; !app && !externs[in.Str] {
+				b.errf("%s insn %d: unresolved method %q", m.Name, i, in.Str)
+			}
+		case in.Op == OpPackedSwitch:
+			checkReg(i, in.A)
+			for _, c := range in.Cases {
+				if _, ok := m.Labels[c.Target]; !ok {
+					b.errf("%s insn %d: undefined switch target %q", m.Name, i, c.Target)
+				}
+			}
+		case in.Op.IsBranch():
+			if in.Op != OpGoto {
+				checkReg(i, in.A)
+			}
+			switch in.Op {
+			case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe:
+				checkReg(i, in.B)
+			}
+			if _, ok := m.Labels[in.Target]; !ok {
+				b.errf("%s insn %d: undefined label %q", m.Name, i, in.Target)
+			}
+		case in.Op == OpReturnVoid, in.Op == OpNop:
+		default:
+			checkReg(i, in.A)
+			for _, v := range widePairRegs(in) {
+				checkReg(i, v)
+			}
+		}
+	}
+	last := m.Insns[len(m.Insns)-1].Op
+	switch last {
+	case OpReturnVoid, OpReturn, OpReturnObject, OpReturnWide, OpGoto:
+	default:
+		b.errf("method %q does not end in a return or goto", m.Name)
+	}
+}
+
+// widePairRegs returns the extra registers a wide instruction touches
+// beyond vA (the pair high halves and non-wide side operands), so
+// validation can range-check them.
+func widePairRegs(in Insn) []int {
+	switch in.Op {
+	case OpMoveWide, OpMoveWideFrom16:
+		return []int{in.A + 1, in.B, in.B + 1}
+	case OpMoveResultWide, OpReturnWide, OpConstWide16:
+		return []int{in.A + 1}
+	case OpAddLong, OpSubLong, OpMulLong:
+		return []int{in.A + 1, in.B, in.B + 1, in.C, in.C + 1}
+	case OpCmpLong: // vA holds the int result
+		return []int{in.B, in.B + 1, in.C, in.C + 1}
+	case OpShlLong, OpShrLong:
+		return []int{in.A + 1, in.B, in.B + 1, in.C}
+	case OpIntToLong:
+		return []int{in.A + 1, in.B}
+	case OpLongToInt:
+		return []int{in.B, in.B + 1}
+	}
+	return nil
+}
+
+// MethodBuilder appends instructions to one method. Each call mirrors the
+// Dalvik mnemonic it emits.
+type MethodBuilder struct {
+	b *Builder
+	m *Method
+}
+
+func (mb *MethodBuilder) add(in Insn) *MethodBuilder {
+	mb.m.Insns = append(mb.m.Insns, in)
+	return mb
+}
+
+// Label defines a branch target at the next instruction.
+func (mb *MethodBuilder) Label(name string) *MethodBuilder {
+	if _, dup := mb.m.Labels[name]; dup {
+		mb.b.errf("%s: duplicate label %q", mb.m.Name, name)
+	}
+	mb.m.Labels[name] = len(mb.m.Insns)
+	return mb
+}
+
+// Nop emits nop.
+func (mb *MethodBuilder) Nop() *MethodBuilder { return mb.add(Insn{Op: OpNop}) }
+
+// Move emits move vA, vB.
+func (mb *MethodBuilder) Move(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMove, A: vA, B: vB})
+}
+
+// MoveFrom16 emits move/from16 vA, vB.
+func (mb *MethodBuilder) MoveFrom16(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveFrom16, A: vA, B: vB})
+}
+
+// Move16 emits move/16 vA, vB.
+func (mb *MethodBuilder) Move16(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMove16, A: vA, B: vB})
+}
+
+// MoveObject emits move-object vA, vB.
+func (mb *MethodBuilder) MoveObject(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveObject, A: vA, B: vB})
+}
+
+// MoveObjectFrom16 emits move-object/from16 vA, vB.
+func (mb *MethodBuilder) MoveObjectFrom16(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveObjectFrom16, A: vA, B: vB})
+}
+
+// MoveResult emits move-result vA.
+func (mb *MethodBuilder) MoveResult(vA int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveResult, A: vA})
+}
+
+// MoveResultObject emits move-result-object vA.
+func (mb *MethodBuilder) MoveResultObject(vA int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveResultObject, A: vA})
+}
+
+// ReturnVoid emits return-void.
+func (mb *MethodBuilder) ReturnVoid() *MethodBuilder { return mb.add(Insn{Op: OpReturnVoid}) }
+
+// Return emits return vA.
+func (mb *MethodBuilder) Return(vA int) *MethodBuilder {
+	return mb.add(Insn{Op: OpReturn, A: vA})
+}
+
+// ReturnObject emits return-object vA.
+func (mb *MethodBuilder) ReturnObject(vA int) *MethodBuilder {
+	return mb.add(Insn{Op: OpReturnObject, A: vA})
+}
+
+// Const4 emits const/4 vA, #lit.
+func (mb *MethodBuilder) Const4(vA int, lit int32) *MethodBuilder {
+	return mb.add(Insn{Op: OpConst4, A: vA, Lit: lit})
+}
+
+// Const16 emits const/16 vA, #lit.
+func (mb *MethodBuilder) Const16(vA int, lit int32) *MethodBuilder {
+	return mb.add(Insn{Op: OpConst16, A: vA, Lit: lit})
+}
+
+// Const emits const vA, #lit.
+func (mb *MethodBuilder) Const(vA int, lit int32) *MethodBuilder {
+	return mb.add(Insn{Op: OpConst, A: vA, Lit: lit})
+}
+
+// ConstString emits const-string vA, "s".
+func (mb *MethodBuilder) ConstString(vA int, s string) *MethodBuilder {
+	return mb.add(Insn{Op: OpConstString, A: vA, Str: s})
+}
+
+// Goto emits goto :label.
+func (mb *MethodBuilder) Goto(label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpGoto, Target: label})
+}
+
+// If emits the two-register conditional branch for the given opcode.
+func (mb *MethodBuilder) If(op Opcode, vA, vB int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: op, A: vA, B: vB, Target: label})
+}
+
+// IfEqz emits if-eqz vA, :label.
+func (mb *MethodBuilder) IfEqz(vA int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIfEqz, A: vA, Target: label})
+}
+
+// IfNez emits if-nez vA, :label.
+func (mb *MethodBuilder) IfNez(vA int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIfNez, A: vA, Target: label})
+}
+
+// IfLtz emits if-ltz vA, :label.
+func (mb *MethodBuilder) IfLtz(vA int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIfLtz, A: vA, Target: label})
+}
+
+// IfGez emits if-gez vA, :label.
+func (mb *MethodBuilder) IfGez(vA int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIfGez, A: vA, Target: label})
+}
+
+// IfGtz emits if-gtz vA, :label.
+func (mb *MethodBuilder) IfGtz(vA int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIfGtz, A: vA, Target: label})
+}
+
+// IfLez emits if-lez vA, :label.
+func (mb *MethodBuilder) IfLez(vA int, label string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIfLez, A: vA, Target: label})
+}
+
+// PackedSwitch emits packed-switch vA with the given cases.
+func (mb *MethodBuilder) PackedSwitch(vA int, cases ...SwitchCase) *MethodBuilder {
+	return mb.add(Insn{Op: OpPackedSwitch, A: vA, Cases: cases})
+}
+
+// Binop emits a three-address integer op: op vA, vB, vC.
+func (mb *MethodBuilder) Binop(op Opcode, vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: op, A: vA, B: vB, C: vC})
+}
+
+// Binop2Addr emits a two-address integer op: op vA, vB.
+func (mb *MethodBuilder) Binop2Addr(op Opcode, vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: op, A: vA, B: vB})
+}
+
+// BinopLit8 emits a literal-operand op: op vA, vB, #lit.
+func (mb *MethodBuilder) BinopLit8(op Opcode, vA, vB int, lit int32) *MethodBuilder {
+	return mb.add(Insn{Op: op, A: vA, B: vB, Lit: lit})
+}
+
+// AddInt2Addr emits add-int/2addr vA, vB.
+func (mb *MethodBuilder) AddInt2Addr(vA, vB int) *MethodBuilder {
+	return mb.Binop2Addr(OpAddInt2Addr, vA, vB)
+}
+
+// MulInt2Addr emits mul-int/2addr vA, vB.
+func (mb *MethodBuilder) MulInt2Addr(vA, vB int) *MethodBuilder {
+	return mb.Binop2Addr(OpMulInt2Addr, vA, vB)
+}
+
+// AddIntLit8 emits add-int/lit8 vA, vB, #lit.
+func (mb *MethodBuilder) AddIntLit8(vA, vB int, lit int32) *MethodBuilder {
+	return mb.BinopLit8(OpAddIntLit8, vA, vB, lit)
+}
+
+// XorIntLit8 emits xor-int/lit8 vA, vB, #lit.
+func (mb *MethodBuilder) XorIntLit8(vA, vB int, lit int32) *MethodBuilder {
+	return mb.BinopLit8(OpXorIntLit8, vA, vB, lit)
+}
+
+// DivIntLit8 emits div-int/lit8 vA, vB, #lit.
+func (mb *MethodBuilder) DivIntLit8(vA, vB int, lit int32) *MethodBuilder {
+	return mb.BinopLit8(OpDivIntLit8, vA, vB, lit)
+}
+
+// RemIntLit8 emits rem-int/lit8 vA, vB, #lit.
+func (mb *MethodBuilder) RemIntLit8(vA, vB int, lit int32) *MethodBuilder {
+	return mb.BinopLit8(OpRemIntLit8, vA, vB, lit)
+}
+
+// NegInt emits neg-int vA, vB.
+func (mb *MethodBuilder) NegInt(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpNegInt, A: vA, B: vB})
+}
+
+// IntToChar emits int-to-char vA, vB.
+func (mb *MethodBuilder) IntToChar(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpIntToChar, A: vA, B: vB})
+}
+
+// NewArray emits new-array vA, vB (length in vB) with 4-byte elements.
+func (mb *MethodBuilder) NewArray(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpNewArray, A: vA, B: vB})
+}
+
+// NewCharArray emits new-array vA, vB with 2-byte char elements.
+func (mb *MethodBuilder) NewCharArray(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpNewArray, A: vA, B: vB, Str: "char"})
+}
+
+// ArrayLength emits array-length vA, vB.
+func (mb *MethodBuilder) ArrayLength(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpArrayLength, A: vA, B: vB})
+}
+
+// Aget emits aget vA, vB, vC.
+func (mb *MethodBuilder) Aget(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAget, A: vA, B: vB, C: vC})
+}
+
+// Aput emits aput vA, vB, vC (value vA into array vB at index vC).
+func (mb *MethodBuilder) Aput(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAput, A: vA, B: vB, C: vC})
+}
+
+// AgetChar emits aget-char vA, vB, vC.
+func (mb *MethodBuilder) AgetChar(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAgetChar, A: vA, B: vB, C: vC})
+}
+
+// AputChar emits aput-char vA, vB, vC.
+func (mb *MethodBuilder) AputChar(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAputChar, A: vA, B: vB, C: vC})
+}
+
+// AgetObject emits aget-object vA, vB, vC.
+func (mb *MethodBuilder) AgetObject(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAgetObject, A: vA, B: vB, C: vC})
+}
+
+// AputObject emits aput-object vA, vB, vC.
+func (mb *MethodBuilder) AputObject(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAputObject, A: vA, B: vB, C: vC})
+}
+
+// Iget emits iget vA, vB, Class.field.
+func (mb *MethodBuilder) Iget(vA, vB int, field string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIget, A: vA, B: vB, Str: field})
+}
+
+// Iput emits iput vA, vB, Class.field.
+func (mb *MethodBuilder) Iput(vA, vB int, field string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIput, A: vA, B: vB, Str: field})
+}
+
+// IgetObject emits iget-object vA, vB, Class.field.
+func (mb *MethodBuilder) IgetObject(vA, vB int, field string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIgetObject, A: vA, B: vB, Str: field})
+}
+
+// IputObject emits iput-object vA, vB, Class.field.
+func (mb *MethodBuilder) IputObject(vA, vB int, field string) *MethodBuilder {
+	return mb.add(Insn{Op: OpIputObject, A: vA, B: vB, Str: field})
+}
+
+// Sget emits sget vA, static.
+func (mb *MethodBuilder) Sget(vA int, static string) *MethodBuilder {
+	return mb.add(Insn{Op: OpSget, A: vA, Str: static})
+}
+
+// Sput emits sput vA, static.
+func (mb *MethodBuilder) Sput(vA int, static string) *MethodBuilder {
+	return mb.add(Insn{Op: OpSput, A: vA, Str: static})
+}
+
+// SgetObject emits sget-object vA, static.
+func (mb *MethodBuilder) SgetObject(vA int, static string) *MethodBuilder {
+	return mb.add(Insn{Op: OpSgetObject, A: vA, Str: static})
+}
+
+// SputObject emits sput-object vA, static.
+func (mb *MethodBuilder) SputObject(vA int, static string) *MethodBuilder {
+	return mb.add(Insn{Op: OpSputObject, A: vA, Str: static})
+}
+
+// NewInstance emits new-instance vA, Class.
+func (mb *MethodBuilder) NewInstance(vA int, class string) *MethodBuilder {
+	return mb.add(Insn{Op: OpNewInstance, A: vA, Str: class})
+}
+
+// CheckCast emits check-cast vA, Class.
+func (mb *MethodBuilder) CheckCast(vA int, class string) *MethodBuilder {
+	return mb.add(Insn{Op: OpCheckCast, A: vA, Str: class})
+}
+
+// MoveWide emits move-wide vA, vB (register pairs).
+func (mb *MethodBuilder) MoveWide(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveWide, A: vA, B: vB})
+}
+
+// MoveWideFrom16 emits move-wide/from16 vA, vB.
+func (mb *MethodBuilder) MoveWideFrom16(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveWideFrom16, A: vA, B: vB})
+}
+
+// MoveResultWide emits move-result-wide vA.
+func (mb *MethodBuilder) MoveResultWide(vA int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMoveResultWide, A: vA})
+}
+
+// ReturnWide emits return-wide vA.
+func (mb *MethodBuilder) ReturnWide(vA int) *MethodBuilder {
+	return mb.add(Insn{Op: OpReturnWide, A: vA})
+}
+
+// ConstWide16 emits const-wide/16 vA, #lit (sign-extended to 64 bits).
+func (mb *MethodBuilder) ConstWide16(vA int, lit int32) *MethodBuilder {
+	return mb.add(Insn{Op: OpConstWide16, A: vA, Lit: lit})
+}
+
+// AddLong emits add-long vA, vB, vC.
+func (mb *MethodBuilder) AddLong(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpAddLong, A: vA, B: vB, C: vC})
+}
+
+// SubLong emits sub-long vA, vB, vC.
+func (mb *MethodBuilder) SubLong(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpSubLong, A: vA, B: vB, C: vC})
+}
+
+// MulLong emits mul-long vA, vB, vC.
+func (mb *MethodBuilder) MulLong(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpMulLong, A: vA, B: vB, C: vC})
+}
+
+// ShlLong emits shl-long vA, vB, vC (shift count is the int in vC).
+func (mb *MethodBuilder) ShlLong(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpShlLong, A: vA, B: vB, C: vC})
+}
+
+// ShrLong emits shr-long vA, vB, vC (arithmetic).
+func (mb *MethodBuilder) ShrLong(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpShrLong, A: vA, B: vB, C: vC})
+}
+
+// IntToLong emits int-to-long vA, vB.
+func (mb *MethodBuilder) IntToLong(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpIntToLong, A: vA, B: vB})
+}
+
+// LongToInt emits long-to-int vA, vB.
+func (mb *MethodBuilder) LongToInt(vA, vB int) *MethodBuilder {
+	return mb.add(Insn{Op: OpLongToInt, A: vA, B: vB})
+}
+
+// CmpLong emits cmp-long vA, vB, vC (vA gets -1, 0, or 1).
+func (mb *MethodBuilder) CmpLong(vA, vB, vC int) *MethodBuilder {
+	return mb.add(Insn{Op: OpCmpLong, A: vA, B: vB, C: vC})
+}
+
+// Invoke emits the given invoke opcode for method with argument registers.
+func (mb *MethodBuilder) Invoke(op Opcode, method string, args ...int) *MethodBuilder {
+	return mb.add(Insn{Op: op, Str: method, Args: args})
+}
+
+// InvokeVirtual emits invoke-virtual {args}, method.
+func (mb *MethodBuilder) InvokeVirtual(method string, args ...int) *MethodBuilder {
+	return mb.Invoke(OpInvokeVirtual, method, args...)
+}
+
+// InvokeStatic emits invoke-static {args}, method.
+func (mb *MethodBuilder) InvokeStatic(method string, args ...int) *MethodBuilder {
+	return mb.Invoke(OpInvokeStatic, method, args...)
+}
+
+// InvokeDirect emits invoke-direct {args}, method.
+func (mb *MethodBuilder) InvokeDirect(method string, args ...int) *MethodBuilder {
+	return mb.Invoke(OpInvokeDirect, method, args...)
+}
+
+// InvokeInterface emits invoke-interface {args}, method.
+func (mb *MethodBuilder) InvokeInterface(method string, args ...int) *MethodBuilder {
+	return mb.Invoke(OpInvokeInterface, method, args...)
+}

@@ -1,0 +1,1033 @@
+package dalvik
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+// Runtime is what the translator needs from the runtime layer (internal/jrt
+// plus the framework): interned string objects and native entry labels for
+// external methods (intrinsics, framework calls, ABI helpers, allocation).
+// The runtime emits its routines into the same assembler before translation,
+// so labels resolve at Finish time.
+type Runtime interface {
+	// InternString returns the address of the String object for a literal.
+	InternString(s string) mem.Addr
+	// ExternEntry returns the native label of an external method or
+	// helper routine ("rt.alloc", "__aeabi_idiv", "StringBuilder.append",
+	// framework methods, ...).
+	ExternEntry(name string) (label string, ok bool)
+}
+
+// Extern names the translator itself depends on.
+const (
+	ExternAlloc      = "rt.alloc"      // r0=size → r0=address
+	ExternAllocArray = "rt.allocArray" // r0=length, r1=elem size → r0=address
+	ExternIDiv       = "__aeabi_idiv"  // r0/r1 → r0
+	ExternIRem       = "__aeabi_irem"  // r0%r1 → r0
+)
+
+// InsnMeta records, for one translated bytecode instance, where its native
+// template landed and which native instructions are the template's
+// measured data load and data store. The Table 1 analysis and the template
+// unit tests are built on this.
+type InsnMeta struct {
+	Method      string
+	Index       int
+	Op          Opcode
+	NativeStart int // image instruction index of the template's first instruction
+	NativeEnd   int // one past the template's last instruction
+	MeasureLoad int // image index of the load of actual data, -1 if none
+	DataStore   int // image index of the data store, -1 if none
+	HelperCall  bool
+}
+
+// Distance returns the template's load→store distance in instructions, or
+// false when the template has no such pair (or it spans a helper call,
+// making the distance unknown).
+func (m InsnMeta) Distance() (int, bool) {
+	if m.MeasureLoad < 0 || m.DataStore < 0 || m.HelperCall {
+		return 0, false
+	}
+	return m.DataStore - m.MeasureLoad, true
+}
+
+// Translated is the output of Translate: label names for entry points, the
+// bytecode words and switch tables to materialize in data memory, and
+// per-instruction metadata.
+type Translated struct {
+	Prog         *Program
+	EntryLabel   string
+	ExitLabel    string
+	MethodLabels map[string]string
+	Words        []uint16 // bytecode units, at BytecodeBase
+	TableWords   []uint32 // packed-switch tables, at TableBase
+	Meta         []InsnMeta
+
+	unitBase map[string]int
+}
+
+// MethodUnitAddr returns the data-memory address of a method's first
+// bytecode unit.
+func (tr *Translated) MethodUnitAddr(method string) mem.Addr {
+	return BytecodeBase + mem.Addr(2*tr.unitBase[method])
+}
+
+// Materialize writes the bytecode stream and switch tables into memory;
+// the harness calls this before starting the process. These writes model
+// the loader mapping the dex file, not program stores.
+func (tr *Translated) Materialize(m interface {
+	Store16(mem.Addr, uint16)
+	Store32(mem.Addr, uint32)
+}) {
+	for i, w := range tr.Words {
+		m.Store16(BytecodeBase+mem.Addr(2*i), w)
+	}
+	for i, w := range tr.TableWords {
+		m.Store32(TableBase+mem.Addr(4*i), w)
+	}
+}
+
+// Mode selects the translation strategy, mirroring the execution tiers of
+// the paper's §4.1.
+type Mode uint8
+
+const (
+	// ModeInterp is the baseline mterp interpreter shape: full dispatch
+	// (operand decode, bytecode fetch-advance, opcode extract, handler
+	// branch) around every template. All Table 1 distances are measured
+	// in this mode.
+	ModeInterp Mode = iota
+	// ModeJIT fuses the opcode extraction and the dispatch branch of
+	// straight-line templates, as Dalvik's trace JIT does for hot code.
+	// The bytecode fetch loads remain (the trace cache re-checks rINST).
+	ModeJIT
+	// ModeAOT is the ART ahead-of-time shape: compiled methods carry no
+	// interpreter state at all — no rPC, no bytecode fetches, no
+	// dispatch. Only the data loads and stores remain.
+	ModeAOT
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInterp:
+		return "interp"
+	case ModeJIT:
+		return "jit"
+	case ModeAOT:
+		return "aot"
+	}
+	return "mode?"
+}
+
+type translator struct {
+	prog *Program
+	asm  *arm.Assembler
+	rt   Runtime
+	out  *Translated
+	mode Mode
+
+	method *Method
+	meta   *InsnMeta
+	uniq   int
+}
+
+// Translate lowers every method of the program into native templates in the
+// shared assembler and returns the linkage metadata. The caller finishes
+// the assembler afterwards.
+func Translate(prog *Program, asm *arm.Assembler, rt Runtime) (*Translated, error) {
+	return TranslateMode(prog, asm, rt, ModeInterp)
+}
+
+// TranslateOptimized lowers with the Dalvik-JIT optimizations (ModeJIT).
+// §4.1 of the paper reports JIT has no effect on the memory-operation
+// patterns, which the JIT ablation experiment verifies.
+func TranslateOptimized(prog *Program, asm *arm.Assembler, rt Runtime) (*Translated, error) {
+	return TranslateMode(prog, asm, rt, ModeJIT)
+}
+
+// TranslateMode lowers with an explicit execution tier.
+func TranslateMode(prog *Program, asm *arm.Assembler, rt Runtime, mode Mode) (*Translated, error) {
+	t := &translator{
+		prog: prog,
+		asm:  asm,
+		rt:   rt,
+		mode: mode,
+		out: &Translated{
+			Prog:         prog,
+			EntryLabel:   "boot",
+			ExitLabel:    "exit",
+			MethodLabels: make(map[string]string),
+			unitBase:     make(map[string]int),
+		},
+	}
+
+	// Layout pass: assign bytecode unit indices so invoke templates can
+	// materialize callee rPC values.
+	units := 0
+	for _, name := range prog.MethodNames() {
+		t.out.unitBase[name] = units
+		units += len(prog.Methods[name].Insns)
+	}
+	t.out.Words = make([]uint16, units)
+
+	if err := t.emitBootstrap(); err != nil {
+		return nil, err
+	}
+	for _, name := range prog.MethodNames() {
+		if err := t.emitMethod(prog.Methods[name]); err != nil {
+			return nil, err
+		}
+	}
+	return t.out, nil
+}
+
+func methodLabel(name string) string { return "m$" + name }
+
+func insnLabel(method string, idx int) string {
+	return fmt.Sprintf("m$%s$%d", method, idx)
+}
+
+func (t *translator) newLabel(hint string) string {
+	t.uniq++
+	return fmt.Sprintf("L$%s$%d", hint, t.uniq)
+}
+
+func voff(v int) int32 { return int32(4 * v) }
+
+// addrImm reinterprets an address as the signed immediate MovImm carries;
+// addresses above 0x7fffffff wrap, and the ALU's mod-2^32 arithmetic
+// recovers them.
+func addrImm(a mem.Addr) int32 { return int32(a) }
+
+func (t *translator) emitBootstrap() error {
+	entry := t.prog.Methods[t.prog.Entry]
+	if entry == nil {
+		return fmt.Errorf("dalvik: entry method %q missing", t.prog.Entry)
+	}
+	a := t.asm
+	a.Label(t.out.EntryLabel)
+	fp := addrImm(FrameTop - mem.Addr(frameBytes(entry.Registers)))
+	save := fp + int32(4*entry.Registers)
+	a.Emit(
+		arm.MovImm(arm.SP, addrImm(StackTop)),
+		arm.MovImm(RSELF, int32(SelfBase)),
+		arm.MovImm(RIBASE, int32(CodeBase)),
+		arm.MovImm(arm.R10, fp),
+		arm.MovImm(arm.R0, 0),
+		arm.Str(arm.R0, arm.R10, int32(4*entry.Registers)+saveCallerFP),
+		arm.Str(arm.R0, arm.R10, int32(4*entry.Registers)+saveCallerPC),
+	)
+	a.MovLabel(arm.R2, t.out.ExitLabel)
+	a.Emit(
+		arm.Str(arm.R2, arm.R10, save-fp+saveReturnPC),
+		arm.Mov(RFP, arm.R10),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(
+			arm.MovImm(RPC, int32(t.out.MethodUnitAddr(t.prog.Entry))),
+			arm.Ldrh(RINST, RPC, 0),
+			arm.AndImm(arm.R12, RINST, 255),
+		)
+	}
+	a.B(arm.AL, methodLabel(t.prog.Entry))
+	a.Label(t.out.ExitLabel)
+	a.Emit(arm.Svc(0))
+	return nil
+}
+
+func (t *translator) emitMethod(m *Method) error {
+	t.method = m
+	t.out.MethodLabels[m.Name] = methodLabel(m.Name)
+	t.asm.Label(methodLabel(m.Name))
+	for i := range m.Insns {
+		t.asm.Label(insnLabel(m.Name, i))
+		t.out.Words[t.out.unitBase[m.Name]+i] = encodeUnit(&m.Insns[i])
+		t.out.Meta = append(t.out.Meta, InsnMeta{
+			Method:      m.Name,
+			Index:       i,
+			Op:          m.Insns[i].Op,
+			NativeStart: t.asm.Len(),
+			MeasureLoad: -1,
+			DataStore:   -1,
+		})
+		t.meta = &t.out.Meta[len(t.out.Meta)-1]
+		if err := t.emitInsn(m, i, &m.Insns[i]); err != nil {
+			return fmt.Errorf("dalvik: %s insn %d (%v): %w", m.Name, i, m.Insns[i].Op, err)
+		}
+		t.meta.NativeEnd = t.asm.Len()
+	}
+	return nil
+}
+
+// encodeUnit packs a bytecode unit as the interpreter fetch sees it:
+// opcode in the low byte, the A operand in the high byte.
+func encodeUnit(in *Insn) uint16 {
+	return uint16(in.Op) | uint16(in.A&0xff)<<8
+}
+
+// markMeasure tags the next emitted instruction as the template's measured
+// data load.
+func (t *translator) markMeasure() { t.meta.MeasureLoad = t.asm.Len() }
+
+// markStore tags the next emitted instruction as the template's data store.
+func (t *translator) markStore() { t.meta.DataStore = t.asm.Len() }
+
+// fetch emits FETCH_ADVANCE_INST: "ldrh rINST, [rPC, #2]!". ART-compiled
+// code has no bytecode stream to fetch.
+func (t *translator) fetch() {
+	if t.mode == ModeAOT {
+		return
+	}
+	t.asm.Emit(arm.LdrhPre(RINST, RPC, 2))
+}
+
+// and12 emits the opcode-extraction "and r12, rINST, #255"; the optimizing
+// tiers fuse it away.
+func (t *translator) and12() {
+	if t.mode != ModeInterp {
+		return
+	}
+	t.asm.Emit(arm.AndImm(arm.R12, RINST, 255))
+}
+
+// goNext branches to the next bytecode's template — the stand-in for
+// "add pc, rIBASE, r12, lsl #6". Straight-line templates are laid out
+// consecutively, so the optimizing tiers fall through instead.
+func (t *translator) goNext(idx int) {
+	if t.mode != ModeInterp {
+		return
+	}
+	t.asm.B(arm.AL, insnLabel(t.method.Name, idx+1))
+}
+
+// dispatch emits the standard template suffix: fetch, extract, branch to
+// the next template (parts elided by the optimizing tiers).
+func (t *translator) dispatch(idx int) {
+	t.fetch()
+	t.and12()
+	t.goNext(idx)
+}
+
+// dispatchBranch is the dispatch used where fall-through is impossible
+// (ahead of branch stubs): the jump to the next template is always emitted.
+func (t *translator) dispatchBranch(idx int) {
+	t.fetch()
+	t.and12()
+	t.asm.B(arm.AL, insnLabel(t.method.Name, idx+1))
+}
+
+// decodeA emits the mterp A-operand extraction "ubfx r9, rINST, #8, #8";
+// AOT code has no instruction word to decode.
+func (t *translator) decodeA() {
+	if t.mode == ModeAOT {
+		return
+	}
+	t.asm.Emit(arm.Ubfx(arm.R9, RINST, 8, 8))
+}
+
+// decodeB emits the mterp B-operand extraction "mov r3, rINST, lsr #12".
+func (t *translator) decodeB() {
+	if t.mode == ModeAOT {
+		return
+	}
+	t.asm.Emit(arm.MovShift(arm.R3, RINST, arm.ShiftLSR, 12))
+}
+
+func (t *translator) emitInsn(m *Method, idx int, in *Insn) error {
+	a := t.asm
+	switch in.Op {
+	case OpNop:
+		t.dispatch(idx)
+
+	case OpMove, OpMoveObject:
+		// Table 1 distance 3: decode, decode, LOAD, fetch, extract, STORE.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R2, RFP, voff(in.B)))
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R2, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpMoveFrom16, OpMove16, OpMoveObjectFrom16:
+		// Table 1 distance 2: shorter decode; store straight after fetch.
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R2, RFP, voff(in.B)))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R2, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpMoveResult, OpMoveResultObject:
+		// Table 1 distance 2: LOAD retval, fetch, STORE vreg.
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RSELF, RetvalOffset))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpReturn, OpReturnObject:
+		// Table 1 distance 1: LOAD vreg, STORE retval, then unwind.
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.A)))
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RSELF, RetvalOffset))
+		t.emitUnwind(m)
+
+	case OpReturnVoid:
+		t.emitUnwind(m)
+
+	case OpConst4, OpConst16, OpConst:
+		t.decodeA()
+		a.Emit(arm.MovImm(arm.R0, in.Lit))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpConstString:
+		addr := t.rt.InternString(in.Str)
+		t.decodeA()
+		a.Emit(arm.MovImm(arm.R0, int32(addr)))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpGoto:
+		t.emitTaken(m, idx, in.Target)
+
+	case OpIfEqz, OpIfNez, OpIfLtz, OpIfGez, OpIfGtz, OpIfLez:
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.A)))
+		a.Emit(arm.CmpImm(arm.R0, 0))
+		t.emitCondBranch(m, idx, in, zCond(in.Op))
+
+	case OpIfEq, OpIfNe, OpIfLt, OpIfGe, OpIfGt, OpIfLe:
+		t.decodeA()
+		t.decodeB()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.A)))
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.B)))
+		a.Emit(arm.Cmp(arm.R0, arm.R1))
+		t.emitCondBranch(m, idx, in, rrCond(in.Op))
+
+	case OpPackedSwitch:
+		t.emitPackedSwitch(m, idx, in)
+
+	case OpAddInt, OpSubInt, OpMulInt, OpAndInt, OpOrInt, OpXorInt, OpShlInt, OpShrInt:
+		// Table 1 distance 5 (Figure 9 shape): LOAD vB, LOAD vC, fetch,
+		// op, extract, STORE vA.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.B)))
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.C)))
+		t.fetch()
+		a.Emit(binopInstr(in.Op, arm.R0, arm.R1, arm.R0))
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpAddInt2Addr, OpSubInt2Addr, OpMulInt2Addr, OpAndInt2Addr,
+		OpOrInt2Addr, OpXorInt2Addr, OpShlInt2Addr, OpShrInt2Addr:
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.B)))
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.A)))
+		t.fetch()
+		a.Emit(binop2AddrInstr(in.Op))
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpAddIntLit8, OpMulIntLit8, OpAndIntLit8, OpRsubIntLit8, OpXorIntLit8:
+		// Table 1 distance 5: the literal decode fills the vC load's slot
+		// (our code units do not carry the literal, so it is materialized
+		// as an immediate).
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		a.Emit(arm.MovImm(arm.R1, in.Lit)) // literal decode
+		t.fetch()
+		a.Emit(litInstr(in.Op))
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpDivInt, OpRemInt:
+		return t.emitDiv(idx, in, false)
+	case OpDivIntLit8, OpRemIntLit8:
+		return t.emitDiv(idx, in, true)
+
+	case OpNegInt, OpNotInt:
+		// Table 1 distance 4.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		t.fetch()
+		if in.Op == OpNegInt {
+			a.Emit(arm.RsbImm(arm.R0, arm.R0, 0))
+		} else {
+			a.Emit(arm.Instr{Op: arm.OpMVN, Rd: arm.R0, Rm: arm.R0})
+		}
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpIntToChar, OpIntToByte:
+		// Table 1 distance 6: extension plus range normalization.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		t.fetch()
+		if in.Op == OpIntToChar {
+			a.Emit(arm.Uxth(arm.R0, arm.R0))
+		} else {
+			a.Emit(arm.Instr{Op: arm.OpSXTB, Rd: arm.R0, Rm: arm.R0})
+		}
+		a.Emit(arm.MovShift(arm.R9, arm.R0, arm.ShiftLSR, 16)) // range check pad
+		a.Emit(arm.CmpImm(arm.R9, 0))
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpNewArray:
+		elem := int32(4)
+		if in.Str == "char" {
+			elem = 2
+		}
+		label, ok := t.rt.ExternEntry(ExternAllocArray)
+		if !ok {
+			return fmt.Errorf("runtime provides no %s", ExternAllocArray)
+		}
+		t.decodeA()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B))) // length
+		a.Emit(arm.MovImm(arm.R1, elem))
+		a.BL(label)
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpArrayLength:
+		// Table 1 distance 3 (from the array-ref load to the vreg store).
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		a.Emit(arm.Ldr(arm.R1, arm.R0, 0)) // length word
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpAget, OpAgetObject, OpAgetChar:
+		t.emitAget(idx, in)
+	case OpAput, OpAputChar:
+		t.emitAput(idx, in)
+	case OpAputObject:
+		t.emitAputObject(idx, in)
+
+	case OpIget, OpIgetObject:
+		off, err := t.fieldOffset(in.Str)
+		if err != nil {
+			return err
+		}
+		// Table 1 distance 5: ref LOAD, null check, field LOAD, fetch,
+		// extract, STORE.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		a.Emit(arm.CmpImm(arm.R0, 0))
+		a.Emit(arm.Ldr(arm.R0, arm.R0, off))
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpIput:
+		off, err := t.fieldOffset(in.Str)
+		if err != nil {
+			return err
+		}
+		// Table 1 distance 4: value LOAD, ref LOAD, null check, fetch, STORE.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.A)))
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		a.Emit(arm.CmpImm(arm.R0, 0))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R1, arm.R0, off))
+		t.and12()
+		t.goNext(idx)
+
+	case OpIputObject:
+		off, err := t.fieldOffset(in.Str)
+		if err != nil {
+			return err
+		}
+		// Distance 5: the reference write adds a card-mark stand-in.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.A)))
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		a.Emit(arm.CmpImm(arm.R0, 0))
+		a.Emit(arm.MovShift(arm.R9, arm.R0, arm.ShiftLSR, 12)) // card index
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R1, arm.R0, off))
+		t.and12()
+		t.goNext(idx)
+
+	case OpSget, OpSgetObject:
+		slot, err := t.prog.StaticIndex(in.Str)
+		if err != nil {
+			return err
+		}
+		// Table 1 distance 3.
+		t.decodeA()
+		a.Emit(arm.MovImm(arm.R0, int32(StaticAddr(slot))))
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, arm.R0, 0))
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R1, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpSput, OpSputObject:
+		slot, err := t.prog.StaticIndex(in.Str)
+		if err != nil {
+			return err
+		}
+		// Table 1 distance 2.
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.A)))
+		a.Emit(arm.MovImm(arm.R0, int32(StaticAddr(slot))))
+		t.markStore()
+		a.Emit(arm.Str(arm.R1, arm.R0, 0))
+		t.fetch()
+		t.and12()
+		t.goNext(idx)
+
+	case OpNewInstance:
+		cls := t.prog.Classes[in.Str]
+		if cls == nil {
+			return fmt.Errorf("unknown class %q", in.Str)
+		}
+		label, ok := t.rt.ExternEntry(ExternAlloc)
+		if !ok {
+			return fmt.Errorf("runtime provides no %s", ExternAlloc)
+		}
+		size := cls.Size()
+		if size < 4 {
+			size = 4
+		}
+		t.decodeA()
+		a.Emit(arm.MovImm(arm.R0, size))
+		a.BL(label)
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpCheckCast:
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.A)))
+		a.Emit(arm.CmpImm(arm.R0, 0))
+		a.Emit(arm.MovShift(arm.R9, arm.R0, arm.ShiftLSR, 4))
+		a.Emit(arm.CmpImm(arm.R9, 0))
+		t.dispatch(idx)
+
+	case OpInvokeVirtual, OpInvokeStatic, OpInvokeDirect, OpInvokeInterface:
+		return t.emitInvoke(m, idx, in)
+
+	default:
+		if isWide(in.Op) {
+			return t.emitWideInsn(m, idx, in)
+		}
+		return fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+	return nil
+}
+
+func zCond(op Opcode) arm.Cond {
+	switch op {
+	case OpIfEqz:
+		return arm.EQ
+	case OpIfNez:
+		return arm.NE
+	case OpIfLtz:
+		return arm.LT
+	case OpIfGez:
+		return arm.GE
+	case OpIfGtz:
+		return arm.GT
+	case OpIfLez:
+		return arm.LE
+	}
+	panic("not a zero-compare branch")
+}
+
+func rrCond(op Opcode) arm.Cond {
+	switch op {
+	case OpIfEq:
+		return arm.EQ
+	case OpIfNe:
+		return arm.NE
+	case OpIfLt:
+		return arm.LT
+	case OpIfGe:
+		return arm.GE
+	case OpIfGt:
+		return arm.GT
+	case OpIfLe:
+		return arm.LE
+	}
+	panic("not a register-compare branch")
+}
+
+func binopInstr(op Opcode, rd, rn, rm arm.Reg) arm.Instr {
+	switch op {
+	case OpAddInt, OpAddInt2Addr:
+		return arm.Add(rd, rn, rm)
+	case OpSubInt, OpSubInt2Addr:
+		// Dalvik semantics: vA = vB - vC; rn holds vB, rm holds vA/vC.
+		return arm.Sub(rd, rn, rm)
+	case OpMulInt, OpMulInt2Addr:
+		return arm.Mul(rd, rn, rm)
+	case OpAndInt, OpAndInt2Addr:
+		return arm.And(rd, rn, rm)
+	case OpOrInt, OpOrInt2Addr:
+		return arm.Orr(rd, rn, rm)
+	case OpXorInt, OpXorInt2Addr:
+		return arm.Eor(rd, rn, rm)
+	case OpShlInt, OpShlInt2Addr:
+		return arm.Instr{Op: arm.OpLSL, Rd: rd, Rn: rn, Rm: rm}
+	case OpShrInt, OpShrInt2Addr:
+		return arm.Instr{Op: arm.OpASR, Rd: rd, Rn: rn, Rm: rm}
+	}
+	panic("not a binop")
+}
+
+// binop2AddrInstr computes vA op vB with vA in r0 and vB in r1; operand
+// order matters for the non-commutative ops.
+func binop2AddrInstr(op Opcode) arm.Instr {
+	switch op {
+	case OpAddInt2Addr:
+		return arm.Add(arm.R0, arm.R0, arm.R1)
+	case OpSubInt2Addr:
+		return arm.Sub(arm.R0, arm.R0, arm.R1)
+	case OpMulInt2Addr:
+		return arm.Mul(arm.R0, arm.R1, arm.R0) // Figure 8: "mul r0, r1, r0"
+	case OpAndInt2Addr:
+		return arm.And(arm.R0, arm.R0, arm.R1)
+	case OpOrInt2Addr:
+		return arm.Orr(arm.R0, arm.R0, arm.R1)
+	case OpXorInt2Addr:
+		return arm.Eor(arm.R0, arm.R0, arm.R1)
+	case OpShlInt2Addr:
+		return arm.Instr{Op: arm.OpLSL, Rd: arm.R0, Rn: arm.R0, Rm: arm.R1}
+	case OpShrInt2Addr:
+		return arm.Instr{Op: arm.OpASR, Rd: arm.R0, Rn: arm.R0, Rm: arm.R1}
+	}
+	panic("not a 2addr binop")
+}
+
+// litInstr computes vB op literal with vB in r0 and the decoded literal in
+// r1.
+func litInstr(op Opcode) arm.Instr {
+	switch op {
+	case OpAddIntLit8:
+		return arm.Add(arm.R0, arm.R0, arm.R1)
+	case OpMulIntLit8:
+		return arm.Mul(arm.R0, arm.R1, arm.R0)
+	case OpAndIntLit8:
+		return arm.And(arm.R0, arm.R0, arm.R1)
+	case OpRsubIntLit8:
+		return arm.Sub(arm.R0, arm.R1, arm.R0) // literal - vB
+	case OpXorIntLit8:
+		return arm.Eor(arm.R0, arm.R0, arm.R1)
+	}
+	panic("not a literal binop")
+}
+
+// emitTaken emits the taken-branch dispatch: adjust rPC so the fetch
+// advance lands on the target unit, fetch, and jump to the target template.
+// AOT code branches directly.
+func (t *translator) emitTaken(m *Method, idx int, target string) {
+	tIdx := m.Labels[target]
+	if t.mode != ModeAOT {
+		delta := int32(2*(tIdx-idx) - 2)
+		if delta != 0 {
+			t.asm.Emit(arm.AddImm(RPC, RPC, delta))
+		}
+	}
+	t.fetch()
+	t.and12()
+	t.asm.B(arm.AL, insnLabel(m.Name, tIdx))
+}
+
+func (t *translator) emitCondBranch(m *Method, idx int, in *Insn, cond arm.Cond) {
+	taken := t.newLabel("taken")
+	t.asm.B(cond, taken)
+	t.dispatchBranch(idx) // fallthrough: not taken (must jump over the stub)
+	t.asm.Label(taken)
+	t.emitTaken(m, idx, in.Target)
+}
+
+func (t *translator) emitPackedSwitch(m *Method, idx int, in *Insn) {
+	a := t.asm
+	tableStart := len(t.out.TableWords)
+	for _, c := range in.Cases {
+		t.out.TableWords = append(t.out.TableWords, uint32(c.Value))
+	}
+	tableAddr := TableBase + mem.Addr(4*tableStart)
+
+	t.decodeA()
+	t.markMeasure()
+	a.Emit(arm.Ldr(arm.R0, RFP, voff(in.A)))
+	a.Emit(arm.MovImm(arm.R9, int32(tableAddr)))
+	stubs := make([]string, len(in.Cases))
+	for i := range in.Cases {
+		a.Emit(arm.Ldr(arm.R1, arm.R9, int32(4*i))) // case value from table
+		a.Emit(arm.Cmp(arm.R1, arm.R0))
+		stubs[i] = t.newLabel("case")
+		a.B(arm.EQ, stubs[i])
+	}
+	t.dispatchBranch(idx) // default: must jump over the case stubs
+	for i, c := range in.Cases {
+		a.Label(stubs[i])
+		t.emitTaken(m, idx, c.Target)
+	}
+}
+
+func (t *translator) emitAget(idx int, in *Insn) {
+	a := t.asm
+	shift, ldOp := uint8(2), arm.OpLDR
+	if in.Op == OpAgetChar {
+		shift, ldOp = 1, arm.OpLDRH
+	}
+	t.decodeB()
+	t.decodeA()
+	a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B))) // array ref
+	a.Emit(arm.Ldr(arm.R1, RFP, voff(in.C))) // index
+	a.Emit(arm.AddImm(arm.R0, arm.R0, 4))    // element base
+	t.markMeasure()
+	a.Emit(arm.Instr{Op: ldOp, Rd: arm.R2, Rn: arm.R0, Rm: arm.R1,
+		Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: shift}})
+	t.fetch()
+	t.markStore()
+	a.Emit(arm.Str(arm.R2, RFP, voff(in.A)))
+	t.and12()
+	t.goNext(idx)
+}
+
+func (t *translator) emitAput(idx int, in *Insn) {
+	a := t.asm
+	shift, stOp := uint8(2), arm.OpSTR
+	if in.Op == OpAputChar {
+		shift, stOp = 1, arm.OpSTRH
+	}
+	t.decodeB()
+	t.decodeA()
+	a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+	a.Emit(arm.Ldr(arm.R1, RFP, voff(in.C)))
+	a.Emit(arm.AddImm(arm.R0, arm.R0, 4))
+	t.markMeasure()
+	a.Emit(arm.Ldr(arm.R2, RFP, voff(in.A))) // value
+	t.fetch()
+	t.markStore()
+	a.Emit(arm.Instr{Op: stOp, Rd: arm.R2, Rn: arm.R0, Rm: arm.R1,
+		Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: shift}})
+	t.and12()
+	t.goNext(idx)
+}
+
+// emitAputObject reproduces the long template of aput-object (Table 1
+// distance 10): the reference store is preceded by a bounds-and-type-check
+// sequence.
+func (t *translator) emitAputObject(idx int, in *Insn) {
+	a := t.asm
+	t.decodeB()
+	t.decodeA()
+	a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+	a.Emit(arm.Ldr(arm.R1, RFP, voff(in.C)))
+	t.markMeasure()
+	a.Emit(arm.Ldr(arm.R2, RFP, voff(in.A)))                // value ref
+	a.Emit(arm.CmpImm(arm.R2, 0))                           // null short-circuit
+	a.Emit(arm.Ldr(arm.R10, arm.R0, 0))                     // array length word
+	a.Emit(arm.Cmp(arm.R1, arm.R10))                        // bounds check
+	a.Emit(arm.MovShift(arm.R10, arm.R2, arm.ShiftLSR, 28)) // component type bits
+	a.Emit(arm.CmpImm(arm.R10, 0))
+	a.Emit(arm.MovShift(arm.R10, arm.R0, arm.ShiftLSR, 28)) // array type bits
+	a.Emit(arm.CmpImm(arm.R10, 0))
+	a.Emit(arm.AddImm(arm.R11, arm.R0, 4))
+	t.fetch()
+	t.markStore()
+	a.Emit(arm.Instr{Op: arm.OpSTR, Rd: arm.R2, Rn: arm.R11, Rm: arm.R1,
+		Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: 2}})
+	t.and12()
+	t.goNext(idx)
+}
+
+func (t *translator) emitDiv(idx int, in *Insn, lit bool) error {
+	helper := ExternIDiv
+	if in.Op == OpRemInt || in.Op == OpRemIntLit8 {
+		helper = ExternIRem
+	}
+	label, ok := t.rt.ExternEntry(helper)
+	if !ok {
+		return fmt.Errorf("runtime provides no %s", helper)
+	}
+	a := t.asm
+	t.decodeB()
+	t.decodeA()
+	t.markMeasure()
+	a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+	if lit {
+		a.Emit(arm.MovImm(arm.R1, in.Lit))
+	} else {
+		a.Emit(arm.Ldr(arm.R1, RFP, voff(in.C)))
+	}
+	a.BL(label)
+	t.meta.HelperCall = true
+	t.fetch()
+	t.markStore()
+	a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+	t.and12()
+	t.goNext(idx)
+	return nil
+}
+
+func (t *translator) fieldOffset(ref string) (int32, error) {
+	clsName, field, ok := strings.Cut(ref, ".")
+	if !ok {
+		return 0, fmt.Errorf("malformed field reference %q (want Class.field)", ref)
+	}
+	cls := t.prog.Classes[clsName]
+	if cls == nil {
+		return 0, fmt.Errorf("unresolved field reference %q: no class %q", ref, clsName)
+	}
+	return cls.FieldOffset(field)
+}
+
+// emitUnwind emits the frame teardown shared by the return templates.
+// AOT frames carry no saved bytecode pointer.
+func (t *translator) emitUnwind(m *Method) {
+	a := t.asm
+	a.Emit(
+		arm.AddImm(arm.R9, RFP, int32(4*m.Registers)),
+		arm.Ldr(arm.R1, arm.R9, saveReturnPC),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(arm.Ldr(RPC, arm.R9, saveCallerPC))
+	}
+	a.Emit(
+		arm.Ldr(RFP, arm.R9, saveCallerFP),
+		arm.Instr{Op: arm.OpBX, Rm: arm.R1},
+	)
+}
+
+func (t *translator) emitInvoke(m *Method, idx int, in *Insn) error {
+	if callee, ok := t.prog.Methods[in.Str]; ok {
+		return t.emitAppInvoke(m, idx, in, callee)
+	}
+	label, ok := t.rt.ExternEntry(in.Str)
+	if !ok {
+		return fmt.Errorf("unresolved method %q", in.Str)
+	}
+	return t.emitExternInvoke(idx, in, label)
+}
+
+// emitAppInvoke is the frame-based call: copy arguments into the callee
+// frame's trailing registers through memory (real load/store pairs, as the
+// Dalvik interpreter does), save the caller state, and enter the callee's
+// first template.
+func (t *translator) emitAppInvoke(m *Method, idx int, in *Insn, callee *Method) error {
+	if len(in.Args) != callee.InArgs {
+		return fmt.Errorf("%s expects %d args, got %d", callee.Name, callee.InArgs, len(in.Args))
+	}
+	a := t.asm
+	fb := frameBytes(callee.Registers)
+	a.Emit(arm.SubImm(arm.R10, RFP, fb))
+	for k, src := range in.Args {
+		dst := callee.Registers - callee.InArgs + k
+		a.Emit(arm.Ldr(arm.R2, RFP, voff(src)))
+		a.Emit(arm.Str(arm.R2, arm.R10, voff(dst)))
+	}
+	save := int32(4 * callee.Registers)
+	ret := t.newLabel("ret")
+	a.Emit(arm.Str(RFP, arm.R10, save+saveCallerFP))
+	if t.mode != ModeAOT {
+		a.Emit(arm.Str(RPC, arm.R10, save+saveCallerPC))
+	}
+	a.MovLabel(arm.R2, ret)
+	a.Emit(
+		arm.Str(arm.R2, arm.R10, save+saveReturnPC),
+		arm.Mov(RFP, arm.R10),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(
+			arm.MovImm(RPC, int32(t.out.MethodUnitAddr(callee.Name))),
+			arm.Ldrh(RINST, RPC, 0),
+			arm.AndImm(arm.R12, RINST, 255),
+		)
+	}
+	a.B(arm.AL, methodLabel(callee.Name))
+	a.Label(ret)
+	t.dispatch(idx)
+	return nil
+}
+
+// emitExternInvoke is the JNI-style register-convention call used for
+// runtime intrinsics and framework methods: up to four arguments are loaded
+// into r0–r3 and the routine returns through the retval slot.
+func (t *translator) emitExternInvoke(idx int, in *Insn, label string) error {
+	if len(in.Args) > 4 {
+		return fmt.Errorf("extern method %q: more than 4 args", in.Str)
+	}
+	a := t.asm
+	for k, src := range in.Args {
+		a.Emit(arm.Ldr(arm.Reg(k), RFP, voff(src)))
+	}
+	a.BL(label)
+	t.meta.HelperCall = true
+	t.dispatch(idx)
+	return nil
+}

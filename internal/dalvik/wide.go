@@ -1,0 +1,246 @@
+package dalvik
+
+import "repro/internal/arm"
+
+// Wide-value templates. A long occupies the register pair (v, v+1) in the
+// frame and moves through memory as one 8-byte ldrd/strd, exactly how the
+// Dalvik interpreter's GET_VREG_WIDE/SET_VREG_WIDE macros behave. The
+// 64-bit arithmetic is composed from 32-bit operations (adds/adc, umull,
+// cross-word shifts), which is what produces the long within-template
+// distances of Table 1's 9–12 group.
+
+// isWide reports whether the opcode belongs to the wide family.
+func isWide(op Opcode) bool {
+	switch op {
+	case OpMoveWide, OpMoveWideFrom16, OpMoveResultWide, OpReturnWide,
+		OpConstWide16, OpAddLong, OpSubLong, OpMulLong, OpShlLong,
+		OpShrLong, OpIntToLong, OpLongToInt, OpCmpLong:
+		return true
+	}
+	return false
+}
+
+func (t *translator) emitWideInsn(m *Method, idx int, in *Insn) error {
+	a := t.asm
+	switch in.Op {
+	case OpMoveWide:
+		// Distance 3, like move.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)))
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpMoveWideFrom16:
+		// Distance 2, like move/from16.
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpMoveResultWide:
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldrd(arm.R0, arm.R1, RSELF, RetvalOffset))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpReturnWide:
+		// Distance 1, like return.
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RSELF, RetvalOffset))
+		t.emitUnwind(m)
+
+	case OpConstWide16:
+		hi := int32(0)
+		if in.Lit < 0 {
+			hi = -1
+		}
+		t.decodeA()
+		a.Emit(arm.MovImm(arm.R0, in.Lit), arm.MovImm(arm.R1, hi))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpAddLong, OpSubLong:
+		// Distance 6 (Table 1: sub-long).
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(
+			arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)),
+			arm.Ldrd(arm.R2, arm.R3, RFP, voff(in.C)),
+		)
+		t.fetch()
+		if in.Op == OpAddLong {
+			a.Emit(
+				arm.Instr{Op: arm.OpADD, Rd: arm.R0, Rn: arm.R0, Rm: arm.R2, SetFlags: true},
+				arm.Instr{Op: arm.OpADC, Rd: arm.R1, Rn: arm.R1, Rm: arm.R3},
+			)
+		} else {
+			a.Emit(
+				arm.Subs(arm.R0, arm.R0, arm.R2),
+				arm.Instr{Op: arm.OpSBC, Rd: arm.R1, Rn: arm.R1, Rm: arm.R3},
+			)
+		}
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpMulLong:
+		// Distance 10 (Table 1's 9–12 group): three partial products plus
+		// an overflow probe.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(
+			arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)),
+			arm.Ldrd(arm.R2, arm.R3, RFP, voff(in.C)),
+		)
+		t.fetch()
+		a.Emit(
+			arm.Mul(arm.R9, arm.R0, arm.R3),           // b.lo * c.hi
+			arm.Mla(arm.R9, arm.R1, arm.R2, arm.R9),   // + b.hi * c.lo
+			arm.Umull(arm.R0, arm.R1, arm.R0, arm.R2), // full b.lo * c.lo
+			arm.Add(arm.R1, arm.R1, arm.R9),
+			arm.MovShift(arm.R10, arm.R1, arm.ShiftLSR, 31), // overflow probe
+			arm.CmpImm(arm.R10, 0),
+		)
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpShlLong:
+		// Distance 12: cross-word shift with the >=32 fix-up.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(
+			arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)),
+			arm.Ldr(arm.R2, RFP, voff(in.C)),
+		)
+		t.fetch()
+		a.Emit(
+			arm.AndImm(arm.R2, arm.R2, 63),
+			arm.RsbImm(arm.R3, arm.R2, 32),
+			arm.Instr{Op: arm.OpLSL, Rd: arm.R1, Rn: arm.R1, Rm: arm.R2},
+			arm.Instr{Op: arm.OpLSR, Rd: arm.R9, Rn: arm.R0, Rm: arm.R3},
+			arm.Orr(arm.R1, arm.R1, arm.R9),
+			arm.SubsImm(arm.R3, arm.R2, 32),
+			cond(arm.Instr{Op: arm.OpLSL, Rd: arm.R1, Rn: arm.R0, Rm: arm.R3}, arm.PL),
+			arm.Instr{Op: arm.OpLSL, Rd: arm.R0, Rn: arm.R0, Rm: arm.R2},
+		)
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpShrLong:
+		// Distance 12 (Table 1's 9–12 group), arithmetic.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(
+			arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)),
+			arm.Ldr(arm.R2, RFP, voff(in.C)),
+		)
+		t.fetch()
+		a.Emit(
+			arm.AndImm(arm.R2, arm.R2, 63),
+			arm.RsbImm(arm.R3, arm.R2, 32),
+			arm.Instr{Op: arm.OpLSR, Rd: arm.R0, Rn: arm.R0, Rm: arm.R2},
+			arm.Instr{Op: arm.OpLSL, Rd: arm.R9, Rn: arm.R1, Rm: arm.R3},
+			arm.Orr(arm.R0, arm.R0, arm.R9),
+			arm.SubsImm(arm.R3, arm.R2, 32),
+			cond(arm.Instr{Op: arm.OpASR, Rd: arm.R0, Rn: arm.R1, Rm: arm.R3}, arm.PL),
+			arm.Instr{Op: arm.OpASR, Rd: arm.R1, Rn: arm.R1, Rm: arm.R2},
+		)
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpIntToLong:
+		// Distance 5 (Table 1): sign extension into the pair.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B)))
+		t.fetch()
+		a.Emit(
+			arm.MovShift(arm.R1, arm.R0, arm.ShiftASR, 31),
+			arm.CmpImm(arm.R1, 0), // range probe
+		)
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Strd(arm.R0, arm.R1, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpLongToInt:
+		// Distance 3 (Table 1): truncation keeps the low word only.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RFP, voff(in.B))) // low word of the pair
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RFP, voff(in.A)))
+		t.goNext(idx)
+
+	case OpCmpLong:
+		// Distance 12: signed high-word compare, then unsigned low-word
+		// tiebreak.
+		t.decodeB()
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(
+			arm.Ldrd(arm.R0, arm.R1, RFP, voff(in.B)),
+			arm.Ldrd(arm.R2, arm.R3, RFP, voff(in.C)),
+		)
+		t.fetch()
+		done := t.newLabel("cmpl")
+		a.Emit(
+			arm.MovImm(arm.R9, 0),
+			arm.Cmp(arm.R1, arm.R3),
+			cond(arm.MovImm(arm.R9, -1), arm.LT),
+			cond(arm.MovImm(arm.R9, 1), arm.GT),
+		)
+		a.B(arm.NE, done)
+		a.Emit(
+			arm.Cmp(arm.R0, arm.R2),
+			cond(arm.MovImm(arm.R9, -1), arm.CC),
+			cond(arm.MovImm(arm.R9, 1), arm.HI),
+		)
+		a.Label(done)
+		t.markStore()
+		a.Emit(arm.Str(arm.R9, RFP, voff(in.A)))
+		t.and12()
+		t.goNext(idx)
+	}
+	return nil
+}
+
+// cond attaches a condition code to an instruction.
+func cond(in arm.Instr, c arm.Cond) arm.Instr {
+	in.Cond = c
+	return in
+}

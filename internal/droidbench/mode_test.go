@@ -1,0 +1,68 @@
+package droidbench
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/trace"
+)
+
+// TestSuiteUnderAOT runs the full suite under the ART-style ahead-of-time
+// translation (§4.1) at the paper's configuration: accuracy must not
+// degrade — no false positives, and every flow PIFT catches under the
+// interpreter is still caught when the interpreter scaffolding (and its
+// extra distance) is compiled away.
+func TestSuiteUnderAOT(t *testing.T) {
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	for _, a := range Suite() {
+		rec := trace.NewRecorder(1 << 14)
+		if _, err := android.Run(a.Prog, android.RunOptions{
+			Sinks: []cpu.EventSink{rec},
+			Mode:  dalvik.ModeAOT,
+		}); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		det := detectedAt(rec, cfg)
+		if det && !a.Leaky {
+			t.Errorf("%s: false positive under AOT", a.Name)
+		}
+		// AOT shortens every load→store distance, so any app detected
+		// under the interpreter must still be detected; the implicit
+		// flow may flip from missed to caught (distances shrink), which
+		// is fine.
+		if !det && a.Leaky && a.Name != "ImplicitSwitch" {
+			t.Errorf("%s: missed under AOT", a.Name)
+		}
+	}
+}
+
+// TestSuitePayloadsIdenticalAcrossModes spot-checks semantic equivalence
+// of the translation tiers on real applications: identical sink payloads.
+func TestSuitePayloadsIdenticalAcrossModes(t *testing.T) {
+	picks := map[string]bool{
+		"DirectImeiSms": true, "XorImeiHttp": true, "ArrayImeiSms": true,
+		"LocationHttp": true, "ImplicitSwitch": true, "LongObfuscation": true,
+	}
+	for _, a := range Suite() {
+		if !picks[a.Name] {
+			continue
+		}
+		var payloads []string
+		for _, mode := range []dalvik.Mode{dalvik.ModeInterp, dalvik.ModeJIT, dalvik.ModeAOT} {
+			res, err := android.Run(a.Prog, android.RunOptions{Mode: mode})
+			if err != nil {
+				t.Fatalf("%s under %v: %v", a.Name, mode, err)
+			}
+			if len(res.Sinks) == 0 {
+				t.Fatalf("%s under %v: no sink call", a.Name, mode)
+			}
+			payloads = append(payloads, res.Sinks[0].Payload)
+		}
+		if payloads[0] != payloads[1] || payloads[1] != payloads[2] {
+			t.Errorf("%s: payloads differ across modes: %q", a.Name, payloads)
+		}
+	}
+}

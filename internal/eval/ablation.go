@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/malware"
+	"repro/internal/trace"
+	"repro/internal/tracestat"
+)
+
+// ModeStats is the memory-operation profile of LGRoot under one execution
+// tier (§4.1: interpreter vs Dalvik JIT vs ART AOT).
+type ModeStats struct {
+	Mode      dalvik.Mode
+	Collector *tracestat.Collector
+	Instr     uint64
+	Events    int
+	Detected  bool // at the paper's (13,3)
+}
+
+// JITComparisonResult compares the profiles across the three execution
+// tiers — §4.1's "we profiled the memory operation profile as in Figure 2
+// without JIT, but the patterns were identical" and "ART does not impact
+// the accuracy of our taint-propagation algorithm".
+type JITComparisonResult struct {
+	Rows []ModeStats
+}
+
+// JITComparison runs LGRoot under every translation tier, collects each
+// Figure 2 distribution, and checks the (13,3) detection verdicts.
+func JITComparison(scale int) (*JITComparisonResult, error) {
+	res := &JITComparisonResult{}
+	for _, mode := range []dalvik.Mode{dalvik.ModeInterp, dalvik.ModeJIT, dalvik.ModeAOT} {
+		rec := trace.NewRecorder(1 << 16)
+		r, err := android.Run(malware.LGRoot(scale), android.RunOptions{
+			Sinks: []cpu.EventSink{rec},
+			Mode:  mode,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mode %v: %w", mode, err)
+		}
+		c := tracestat.NewCollector()
+		rec.Replay(c)
+		c.Finish()
+		res.Rows = append(res.Rows, ModeStats{
+			Mode:      mode,
+			Collector: c,
+			Instr:     r.Instructions,
+			Events:    rec.Len(),
+			Detected:  Detected(rec, core.Config{NI: 13, NT: 3, Untaint: true}),
+		})
+	}
+	return res, nil
+}
+
+// Baseline returns the interpreter row.
+func (r *JITComparisonResult) Baseline() ModeStats { return r.Rows[0] }
+
+// MaxCDFDelta returns the largest absolute difference between the baseline
+// store-to-last-load CDF and the given tier's, over distances 0..30 — the
+// "patterns identical" metric.
+func (r *JITComparisonResult) MaxCDFDelta(row ModeStats) float64 {
+	var max float64
+	base := r.Baseline().Collector.StoreToLastLoad
+	for d := 0; d <= 30; d++ {
+		delta := base.CDF(d) - row.Collector.StoreToLastLoad.CDF(d)
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > max {
+			max = delta
+		}
+	}
+	return max
+}
+
+// Render prints the comparison.
+func (r *JITComparisonResult) Render() string {
+	var b strings.Builder
+	b.WriteString("JIT/AOT ablation (§4.1): execution tiers on LGRoot\n")
+	b.WriteString("  tier     instructions   mem events   CDF(5)  CDF(10)  maxΔCDF  detected(13,3)\n")
+	for _, row := range r.Rows {
+		h := row.Collector.StoreToLastLoad
+		fmt.Fprintf(&b, "  %-7s  %12d  %11d   %.3f    %.3f    %.3f   %v\n",
+			row.Mode, row.Instr, row.Events, h.CDF(5), h.CDF(10),
+			r.MaxCDFDelta(row), row.Detected)
+	}
+	return b.String()
+}
+
+// DetectedStore is Detected with an explicit hardware store model.
+func DetectedStore(rec *trace.Recorder, cfg core.Config, store core.Store) bool {
+	tr := core.NewTracker(cfg, store)
+	rec.Replay(tr)
+	for _, v := range tr.Verdicts() {
+		if v.Tainted {
+			return true
+		}
+	}
+	return false
+}
+
+// StoreAblationRow is the accuracy of one taint-storage design over the
+// full 57-app suite at the paper's configuration.
+type StoreAblationRow struct {
+	Name           string
+	Correct        int
+	Total          int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Accuracy returns the fraction classified correctly.
+func (r StoreAblationRow) Accuracy() float64 { return float64(r.Correct) / float64(r.Total) }
+
+// StoreAblation compares the §3.3 storage designs: the unbounded ideal
+// store, bounded range caches (LRU with secondary storage, and drop), and
+// the fixed-granularity word store, all at (NI=13, NT=3).
+func StoreAblation(h *Harness) ([]StoreAblationRow, error) {
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	designs := []struct {
+		name string
+		mk   func() core.Store
+	}{
+		{"ideal (unbounded)", func() core.Store { return core.NewIdealStore() }},
+		{"range cache 32KiB LRU", func() core.Store { return core.NewRangeCacheBytes(32*1024, core.EvictLRU) }},
+		{"range cache 64-entry LRU", func() core.Store { return core.NewRangeCache(64, core.EvictLRU) }},
+		{"range cache 64-entry drop", func() core.Store { return core.NewRangeCache(64, core.EvictDrop) }},
+		{"range cache 8-entry drop", func() core.Store { return core.NewRangeCache(8, core.EvictDrop) }},
+		{"word-granularity (4B)", func() core.Store { return core.NewWordStore(2) }},
+		{"mondrian trie", func() core.Store { return core.NewMondrianStore() }},
+	}
+	var rows []StoreAblationRow
+	for _, d := range designs {
+		row := StoreAblationRow{Name: d.name}
+		for _, a := range h.Apps() {
+			rec, err := h.AppTrace(a)
+			if err != nil {
+				return nil, err
+			}
+			row.Total++
+			det := DetectedStore(rec, cfg, d.mk())
+			switch {
+			case det == a.Leaky:
+				row.Correct++
+			case det && !a.Leaky:
+				row.FalsePositives++
+			default:
+				row.FalseNegatives++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderStoreAblation prints the comparison.
+func RenderStoreAblation(rows []StoreAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Taint-storage ablation (§3.3) at NI=13, NT=3 over 57 apps\n")
+	b.WriteString("  design                        accuracy   FP  FN\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s  %7s  %3d %3d\n",
+			r.Name, Pct(r.Accuracy()), r.FalsePositives, r.FalseNegatives)
+	}
+	return b.String()
+}
+
+// CacheCapacityRow is one point of the capacity sweep: how a drop-policy
+// cache's size bounds detection on the long LGRoot trace.
+type CacheCapacityRow struct {
+	Capacity int
+	Detected bool
+	Drops    uint64
+	Lookups  uint64
+}
+
+// CacheCapacity sweeps drop-policy cache sizes on the LGRoot trace — the
+// §3.3 trade-off "it may increase the possibility of false negative
+// because it may lose some sensitive data flow".
+func CacheCapacity(h *Harness, capacities []int) ([]CacheCapacityRow, error) {
+	rec, err := h.LGRootTrace()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	var rows []CacheCapacityRow
+	for _, cap := range capacities {
+		store := core.NewRangeCache(cap, core.EvictDrop)
+		det := DetectedStore(rec, cfg, store)
+		st := store.Stats()
+		rows = append(rows, CacheCapacityRow{
+			Capacity: cap,
+			Detected: det,
+			Drops:    st.Drops,
+			Lookups:  st.Lookups,
+		})
+	}
+	return rows, nil
+}
+
+// RenderCacheCapacity prints the sweep.
+func RenderCacheCapacity(rows []CacheCapacityRow) string {
+	var b strings.Builder
+	b.WriteString("Range-cache capacity sweep (drop policy, LGRoot, NI=13 NT=3)\n")
+	b.WriteString("  entries   detected   drops      lookups\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %7d   %-8v   %-9d  %d\n", r.Capacity, r.Detected, r.Drops, r.Lookups)
+	}
+	return b.String()
+}

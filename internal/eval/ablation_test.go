@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJITComparison(t *testing.T) {
+	r, err := JITComparison(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base := r.Baseline()
+	if base.Collector.StoreToLastLoad.Count() == 0 {
+		t.Fatal("empty baseline distribution")
+	}
+	for _, row := range r.Rows[1:] {
+		// Each optimizing tier removes instructions but not data ops.
+		if row.Instr >= base.Instr {
+			t.Errorf("%v run not shorter: %d vs %d", row.Mode, row.Instr, base.Instr)
+		}
+		// §4.1: "the patterns were identical" / "ART does not impact the
+		// accuracy" — short distances dominate in every tier and the
+		// verdict never changes.
+		if cdf := row.Collector.StoreToLastLoad.CDF(10); cdf < 0.95 {
+			t.Errorf("%v CDF(10) = %.3f", row.Mode, cdf)
+		}
+		if delta := r.MaxCDFDelta(row); delta > 0.5 {
+			t.Errorf("%v shifted the distance CDF by %.3f", row.Mode, delta)
+		}
+		if row.Detected != base.Detected {
+			t.Errorf("%v changed the detection verdict", row.Mode)
+		}
+	}
+	// AOT removes the bytecode fetch loads entirely: far fewer events.
+	aot := r.Rows[2]
+	if aot.Events >= r.Rows[1].Events {
+		t.Errorf("AOT events %d not below JIT's %d (fetch loads should vanish)",
+			aot.Events, r.Rows[1].Events)
+	}
+	if !strings.Contains(r.Render(), "JIT/AOT ablation") {
+		t.Error("render broken")
+	}
+}
+
+func TestStoreAblation(t *testing.T) {
+	h := newTestHarness()
+	rows, err := StoreAblation(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]StoreAblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	ideal := byName["ideal (unbounded)"]
+	if ideal.FalsePositives != 0 || ideal.FalseNegatives != 1 {
+		t.Errorf("ideal store drifted: %+v", ideal)
+	}
+	// A 32KiB cache is effectively unbounded for these workloads (§3.3:
+	// ~2730 entries vs <100 live ranges).
+	big := byName["range cache 32KiB LRU"]
+	if big.Accuracy() != ideal.Accuracy() {
+		t.Errorf("32KiB cache accuracy %f != ideal %f", big.Accuracy(), ideal.Accuracy())
+	}
+	// LRU with secondary storage never loses flows; drop may.
+	lru := byName["range cache 64-entry LRU"]
+	if lru.FalseNegatives > ideal.FalseNegatives {
+		t.Errorf("LRU cache lost flows: %+v", lru)
+	}
+	tiny := byName["range cache 8-entry drop"]
+	if tiny.FalseNegatives < ideal.FalseNegatives {
+		t.Errorf("tiny drop cache cannot beat ideal: %+v", tiny)
+	}
+	// Word granularity over-taints; it must never *miss* more than the
+	// ideal store (§3.3: the risk is false positives, not negatives).
+	word := byName["word-granularity (4B)"]
+	if word.FalseNegatives > ideal.FalseNegatives {
+		t.Errorf("word store lost flows: %+v", word)
+	}
+	// The Mondrian trie is byte-exact: identical accuracy to the ideal
+	// store.
+	mond := byName["mondrian trie"]
+	if mond.Accuracy() != ideal.Accuracy() || mond.FalsePositives != 0 {
+		t.Errorf("mondrian trie drifted: %+v", mond)
+	}
+	if out := RenderStoreAblation(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestCacheCapacity(t *testing.T) {
+	h := newTestHarness()
+	rows, err := CacheCapacity(h, []int{2, 16, 128, 2730})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large caches must detect the LGRoot leak with no drops needed once
+	// capacity exceeds the live range count (<100 for NI<=13).
+	last := rows[len(rows)-1]
+	if !last.Detected {
+		t.Error("paper-sized cache (2730 entries) missed the leak")
+	}
+	// Drops decrease with capacity.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Drops > rows[i-1].Drops {
+			t.Errorf("drops not monotone: %+v", rows)
+		}
+	}
+	if out := RenderCacheCapacity(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/malware"
+	"repro/internal/trace"
+)
+
+// Figure11Result is the accuracy heatmap of the paper's Figure 11: the
+// fraction of the 48-app subset classified correctly at each (NI, NT).
+type Figure11Result struct {
+	Grid *Grid
+	// Levels are the distinct accuracy plateaus that occur, ascending —
+	// the paper's color-bar values (79.2%, 83.3%, 95.8%, 97.9%, 100%).
+	Levels []float64
+}
+
+// Figure11 sweeps the 200 window configurations over the heatmap subset.
+func Figure11(h *Harness) (*Figure11Result, error) {
+	subset := make([]appTrace, 0, 48)
+	for _, a := range h.Apps() {
+		if !a.InSubset {
+			continue
+		}
+		rec, err := h.AppTrace(a)
+		if err != nil {
+			return nil, err
+		}
+		subset = append(subset, appTrace{leaky: a.Leaky, rec: rec})
+	}
+
+	g := NewGrid()
+	g.Sweep(func(cfg core.Config) float64 {
+		correct := 0
+		for _, at := range subset {
+			if Detected(at.rec, cfg) == at.leaky {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(subset))
+	})
+
+	seen := map[string]float64{}
+	for _, row := range g.Cells {
+		for _, v := range row {
+			seen[fmt.Sprintf("%.4f", v)] = v
+		}
+	}
+	var levels []float64
+	for _, v := range seen {
+		levels = append(levels, v)
+	}
+	sortFloats(levels)
+	return &Figure11Result{Grid: g, Levels: levels}, nil
+}
+
+type appTrace struct {
+	leaky bool
+	rec   *trace.Recorder
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Render implements the experiment output.
+func (r *Figure11Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Grid.Render(
+		"Figure 11: accuracy over NI=[1,20] x NT=[1,10], 48-app subset", Pct))
+	b.WriteString("plateaus:")
+	for _, l := range r.Levels {
+		fmt.Fprintf(&b, " %s", Pct(l))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// HeadlineResult is §5.1's summary over the full 57-app suite plus the
+// seven malware samples.
+type HeadlineResult struct {
+	Config         core.Config
+	Apps           int
+	TruePositives  int
+	TrueNegatives  int
+	FalsePositives int
+	FalseNegatives int
+	MissedApps     []string
+
+	MalwareConfig   core.Config
+	MalwareDetected int
+	MalwareTotal    int
+}
+
+// Accuracy returns (TP+TN)/total.
+func (r *HeadlineResult) Accuracy() float64 {
+	return float64(r.TruePositives+r.TrueNegatives) / float64(r.Apps)
+}
+
+// Headline evaluates the paper's headline numbers: the 57 apps at
+// (NI=13, NT=3) and the malware at (NI=3, NT=2).
+func Headline(h *Harness) (*HeadlineResult, error) {
+	res := &HeadlineResult{
+		Config:        core.Config{NI: 13, NT: 3, Untaint: true},
+		MalwareConfig: core.Config{NI: 3, NT: 2, Untaint: true},
+	}
+	for _, a := range h.Apps() {
+		rec, err := h.AppTrace(a)
+		if err != nil {
+			return nil, err
+		}
+		res.Apps++
+		det := Detected(rec, res.Config)
+		switch {
+		case det && a.Leaky:
+			res.TruePositives++
+		case !det && !a.Leaky:
+			res.TrueNegatives++
+		case det && !a.Leaky:
+			res.FalsePositives++
+		default:
+			res.FalseNegatives++
+			res.MissedApps = append(res.MissedApps, a.Name)
+		}
+	}
+
+	for _, s := range malware.Samples() {
+		res.MalwareTotal++
+		tr := core.NewTracker(res.MalwareConfig, nil)
+		if _, err := android.Run(s.Prog, android.RunOptions{
+			Sinks: []cpu.EventSink{tr},
+		}); err != nil {
+			return nil, err
+		}
+		for _, v := range tr.Verdicts() {
+			if v.Tainted {
+				res.MalwareDetected++
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// CategoryRow is the per-category accuracy breakdown (DroidBench reports
+// results per flow category).
+type CategoryRow struct {
+	Category string
+	Apps     int
+	Correct  int
+}
+
+// CategoryBreakdown scores each flow category at the given configuration.
+func CategoryBreakdown(h *Harness, cfg core.Config) ([]CategoryRow, error) {
+	byCat := map[string]*CategoryRow{}
+	var order []string
+	for _, a := range h.Apps() {
+		rec, err := h.AppTrace(a)
+		if err != nil {
+			return nil, err
+		}
+		row := byCat[a.Category]
+		if row == nil {
+			row = &CategoryRow{Category: a.Category}
+			byCat[a.Category] = row
+			order = append(order, a.Category)
+		}
+		row.Apps++
+		if Detected(rec, cfg) == a.Leaky {
+			row.Correct++
+		}
+	}
+	out := make([]CategoryRow, 0, len(order))
+	for _, c := range order {
+		out = append(out, *byCat[c])
+	}
+	return out, nil
+}
+
+// RenderCategoryBreakdown prints the per-category table.
+func RenderCategoryBreakdown(rows []CategoryRow, cfg core.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-category accuracy at %v\n", cfg)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-20s %2d/%2d\n", r.Category, r.Correct, r.Apps)
+	}
+	return b.String()
+}
+
+// Render implements the experiment output.
+func (r *HeadlineResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline (§5.1) at %v over %d apps:\n", r.Config, r.Apps)
+	fmt.Fprintf(&b, "  accuracy        %s\n", Pct(r.Accuracy()))
+	fmt.Fprintf(&b, "  false positives %d (paper: 0 of 16)\n", r.FalsePositives)
+	fmt.Fprintf(&b, "  false negatives %d (paper: 1 of 41)", r.FalseNegatives)
+	if len(r.MissedApps) > 0 {
+		fmt.Fprintf(&b, " — missed: %s", strings.Join(r.MissedApps, ", "))
+	}
+	fmt.Fprintf(&b, "\n  malware at %v: %d/%d detected (paper: 7/7)\n",
+		r.MalwareConfig, r.MalwareDetected, r.MalwareTotal)
+	return b.String()
+}

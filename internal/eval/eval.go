@@ -1,0 +1,196 @@
+// Package eval contains one driver per table and figure of the paper's
+// evaluation (§2 Figure 2, §4 Table 1 and Figure 10, §5 Figures 11–19 plus
+// the headline accuracy numbers), each regenerating the corresponding
+// result from the simulated platform and rendering it as text.
+//
+// Experiments record an application's front-end event stream once and
+// replay it under many tracker configurations, mirroring how the paper fed
+// gem5 traces to "the PIFT analysis code".
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/droidbench"
+	"repro/internal/malware"
+	"repro/internal/trace"
+)
+
+// Harness caches recorded traces so the sweeps re-execute nothing.
+type Harness struct {
+	lgrootScale int
+	lgroot      *trace.Recorder
+	apps        []droidbench.App
+	appTraces   map[string]*trace.Recorder
+}
+
+// NewHarness builds a harness; scale sizes the LGRoot busy-work loops
+// (malware.DefaultScale is a good interactive value).
+func NewHarness(scale int) *Harness {
+	return &Harness{
+		lgrootScale: scale,
+		appTraces:   make(map[string]*trace.Recorder),
+	}
+}
+
+// Record executes a program and returns its event trace.
+func Record(prog *dalvik.Program) (*trace.Recorder, error) {
+	rec := trace.NewRecorder(1 << 16)
+	_, err := android.Run(prog, android.RunOptions{Sinks: []cpu.EventSink{rec}})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// LGRootTrace returns (and caches) the LGRoot execution trace used by all
+// overhead experiments.
+func (h *Harness) LGRootTrace() (*trace.Recorder, error) {
+	if h.lgroot == nil {
+		rec, err := Record(malware.LGRoot(h.lgrootScale))
+		if err != nil {
+			return nil, err
+		}
+		h.lgroot = rec
+	}
+	return h.lgroot, nil
+}
+
+// Apps returns the DroidBench-like suite (cached).
+func (h *Harness) Apps() []droidbench.App {
+	if h.apps == nil {
+		h.apps = droidbench.Suite()
+	}
+	return h.apps
+}
+
+// AppTrace returns (and caches) one app's event trace.
+func (h *Harness) AppTrace(a droidbench.App) (*trace.Recorder, error) {
+	if rec, ok := h.appTraces[a.Name]; ok {
+		return rec, nil
+	}
+	rec, err := Record(a.Prog)
+	if err != nil {
+		return nil, err
+	}
+	h.appTraces[a.Name] = rec
+	return rec, nil
+}
+
+// Detected replays a trace under the configuration and reports whether any
+// sink query found taint.
+func Detected(rec *trace.Recorder, cfg core.Config) bool {
+	tr := core.NewTracker(cfg, nil)
+	rec.Replay(tr)
+	for _, v := range tr.Verdicts() {
+		if v.Tainted {
+			return true
+		}
+	}
+	return false
+}
+
+// Grid is a dense NI × NT result matrix.
+type Grid struct {
+	NIs   []uint64
+	NTs   []int
+	Cells [][]float64 // [ntIdx][niIdx]
+}
+
+// NewGrid allocates a grid over the standard sweep of the paper's
+// heatmaps: NI = [1,20], NT = [1,10] — 200 combinations.
+func NewGrid() *Grid {
+	g := &Grid{}
+	for ni := uint64(1); ni <= 20; ni++ {
+		g.NIs = append(g.NIs, ni)
+	}
+	for nt := 1; nt <= 10; nt++ {
+		g.NTs = append(g.NTs, nt)
+	}
+	g.Cells = make([][]float64, len(g.NTs))
+	for i := range g.Cells {
+		g.Cells[i] = make([]float64, len(g.NIs))
+	}
+	return g
+}
+
+// Set writes one cell.
+func (g *Grid) Set(niIdx, ntIdx int, v float64) { g.Cells[ntIdx][niIdx] = v }
+
+// At reads the cell for specific parameter values.
+func (g *Grid) At(ni uint64, nt int) (float64, bool) {
+	for i, n := range g.NIs {
+		if n != ni {
+			continue
+		}
+		for j, m := range g.NTs {
+			if m == nt {
+				return g.Cells[j][i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Render prints the grid with NT rows (top = highest, as in the paper's
+// heatmaps) and NI columns, using the supplied cell formatter.
+func (g *Grid) Render(title string, format func(float64) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n        NI:", title)
+	for _, ni := range g.NIs {
+		fmt.Fprintf(&b, "%7d", ni)
+	}
+	b.WriteString("\n")
+	for j := len(g.NTs) - 1; j >= 0; j-- {
+		fmt.Fprintf(&b, "  NT=%-2d    ", g.NTs[j])
+		for i := range g.NIs {
+			fmt.Fprintf(&b, "%7s", format(g.Cells[j][i]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Sweep fills a grid by evaluating fn at every (NI, NT), in parallel: the
+// 200 configurations are independent replays (fn must be safe to call
+// concurrently — trackers are per-call; recorded traces are read-only).
+func (g *Grid) Sweep(fn func(cfg core.Config) float64) {
+	type cell struct{ i, j int }
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(g.NIs)*len(g.NTs) {
+		workers = len(g.NIs) * len(g.NTs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				g.Cells[c.j][c.i] = fn(core.Config{
+					NI: g.NIs[c.i], NT: g.NTs[c.j], Untaint: true,
+				})
+			}
+		}()
+	}
+	for j := range g.NTs {
+		for i := range g.NIs {
+			work <- cell{i, j}
+		}
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Count formats a numeric cell.
+func Count(v float64) string { return fmt.Sprintf("%.0f", v) }

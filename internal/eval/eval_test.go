@@ -1,0 +1,345 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dalvik"
+)
+
+// newTestHarness uses a small LGRoot scale to keep sweeps fast.
+func newTestHarness() *Harness { return NewHarness(4) }
+
+func TestFigure11KeyCells(t *testing.T) {
+	h := newTestHarness()
+	r, err := Figure11(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 97.9% at (13,3), 100% at (18,3).
+	if v, _ := r.Grid.At(13, 3); math.Abs(v-47.0/48) > 1e-9 {
+		t.Errorf("accuracy(13,3) = %.4f, want %.4f", v, 47.0/48)
+	}
+	if v, _ := r.Grid.At(18, 3); v != 1 {
+		t.Errorf("accuracy(18,3) = %.4f, want 1", v)
+	}
+	// Figure 11's color-bar plateaus: 79.2, 83.3, 95.8, 97.9, 100.
+	want := []float64{38.0 / 48, 40.0 / 48, 46.0 / 48, 47.0 / 48, 1}
+	for _, w := range want {
+		found := false
+		for _, l := range r.Levels {
+			if math.Abs(l-w) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("plateau %.3f missing from levels %v", w, r.Levels)
+		}
+	}
+}
+
+func TestFigure11Monotone(t *testing.T) {
+	h := newTestHarness()
+	r, err := Figure11(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 0 false positives, accuracy must be monotone in both NI and NT.
+	for j := range r.Grid.NTs {
+		for i := 1; i < len(r.Grid.NIs); i++ {
+			if r.Grid.Cells[j][i] < r.Grid.Cells[j][i-1]-1e-9 {
+				t.Errorf("accuracy not monotone in NI at NT=%d, NI=%d",
+					r.Grid.NTs[j], r.Grid.NIs[i])
+			}
+		}
+	}
+	for i := range r.Grid.NIs {
+		for j := 1; j < len(r.Grid.NTs); j++ {
+			if r.Grid.Cells[j][i] < r.Grid.Cells[j-1][i]-1e-9 {
+				t.Errorf("accuracy not monotone in NT at NI=%d, NT=%d",
+					r.Grid.NIs[i], r.Grid.NTs[j])
+			}
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	h := newTestHarness()
+	r, err := Headline(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Apps != 57 {
+		t.Fatalf("apps = %d", r.Apps)
+	}
+	if r.FalsePositives != 0 {
+		t.Errorf("FP = %d, want 0", r.FalsePositives)
+	}
+	if r.FalseNegatives != 1 {
+		t.Errorf("FN = %d, want 1", r.FalseNegatives)
+	}
+	if acc := r.Accuracy(); math.Abs(acc-56.0/57) > 1e-9 {
+		t.Errorf("accuracy = %.4f, want %.4f (≈98%%)", acc, 56.0/57)
+	}
+	if r.MalwareDetected != 7 || r.MalwareTotal != 7 {
+		t.Errorf("malware %d/%d, want 7/7", r.MalwareDetected, r.MalwareTotal)
+	}
+	if out := r.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	h := newTestHarness()
+	c, err := Figure2(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "the bulk of load–store distance values cluster in the range
+	// 0–5" and "the range 0–10 captures 99% of all loads and stores".
+	if cdf5 := c.StoreToLastLoad.CDF(5); cdf5 < 0.5 {
+		t.Errorf("CDF(5) = %.3f, want the bulk within 0-5", cdf5)
+	}
+	if cdf10 := c.StoreToLastLoad.CDF(10); cdf10 < 0.95 {
+		t.Errorf("CDF(10) = %.3f, want ~0.99", cdf10)
+	}
+	// Paper Fig 2b: the number of stores between consecutive loads is
+	// small.
+	if mean := c.StoresBetweenLoads.Mean(); mean > 3 {
+		t.Errorf("mean stores between loads = %.2f, want small", mean)
+	}
+	// Paper Fig 2c: loads are spread throughout execution (non-degenerate
+	// distribution with most mass at short distances).
+	if c.LoadToLoad.Count() == 0 || c.LoadToLoad.CDF(10) < 0.5 {
+		t.Errorf("load-to-load distribution degenerate: n=%d CDF(10)=%.3f",
+			c.LoadToLoad.Count(), c.LoadToLoad.CDF(10))
+	}
+}
+
+func TestFigure12DiminishingReturns(t *testing.T) {
+	h := newTestHarness()
+	c, err := Figure2(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "increasing the window size above 10 or 15 does not capture
+	// more stores" — the mean count grows sublinearly past 15.
+	m5, _ := c.StoresInWindow(5)
+	m15, _ := c.StoresInWindow(15)
+	m100, _ := c.StoresInWindow(100)
+	if m15.Mean() <= m5.Mean() {
+		t.Error("store counts should grow from NI=5 to NI=15")
+	}
+	growthSmall := m15.Mean() / m5.Mean()
+	growthLarge := m100.Mean() / m15.Mean()
+	perNIsmall := (m15.Mean() - m5.Mean()) / 10
+	perNIlarge := (m100.Mean() - m15.Mean()) / 85
+	if perNIlarge > perNIsmall {
+		t.Errorf("no diminishing returns: %.3f/NI early vs %.3f/NI late (ratios %.2f, %.2f)",
+			perNIsmall, perNIlarge, growthSmall, growthLarge)
+	}
+}
+
+func TestFigure13StoresNearLoads(t *testing.T) {
+	h := newTestHarness()
+	c, err := Figure2(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "stores are in close proximity of loads"; the k-th store
+	// means are ordered and within the window.
+	for _, w := range c.KthWindowSizes() {
+		prev := 0.0
+		for k := 1; k <= 3; k++ {
+			mean, n, ok := c.KthStoreMean(w, k)
+			if !ok {
+				t.Fatalf("no data for window %d k %d", w, k)
+			}
+			if n == 0 {
+				continue
+			}
+			if mean < prev {
+				t.Errorf("window %d: mean distance to store %d (%.2f) < store %d (%.2f)",
+					w, k, mean, k-1, prev)
+			}
+			if mean > float64(w) {
+				t.Errorf("window %d: k=%d mean %.2f exceeds window", w, k, mean)
+			}
+			prev = mean
+		}
+	}
+}
+
+func TestFigure14And17Trends(t *testing.T) {
+	h := newTestHarness()
+	g14, err := Figure14(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g17, err := Figure17(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tainted region grows with the window parameters (paper: "the
+	// increasing trend of tainted regions with tainting window
+	// parameters").
+	small14, _ := g14.At(5, 1)
+	big14, _ := g14.At(20, 3)
+	if big14 < 2*small14 {
+		t.Errorf("Fig14: bytes at (20,3)=%v not >> (5,1)=%v", big14, small14)
+	}
+	small17, _ := g17.At(5, 1)
+	big17, _ := g17.At(20, 3)
+	if big17 <= small17 {
+		t.Errorf("Fig17: ranges at (20,3)=%v not > (5,1)=%v", big17, small17)
+	}
+	// Paper §5.2: "for window sizes not larger than NI=10, there were
+	// less than 100 distinct ranges at any time instant".
+	for nt := 1; nt <= 3; nt++ {
+		for ni := uint64(1); ni <= 10; ni++ {
+			if v, _ := g17.At(ni, nt); v >= 100 {
+				t.Errorf("Fig17: %v ranges at (%d,%d), paper expects <100", v, ni, nt)
+			}
+		}
+	}
+}
+
+func TestTimeSeriesFlatThenGrowth(t *testing.T) {
+	h := newTestHarness()
+	r, err := TimeSeries(h, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bytes) != 12 || len(r.Ops) != 12 {
+		t.Fatalf("series count = %d/%d", len(r.Bytes), len(r.Ops))
+	}
+	for _, s := range r.Ops {
+		// Cumulative operations must be non-decreasing.
+		prev := uint64(0)
+		for _, p := range s.Points {
+			if p.Value < prev {
+				t.Fatalf("ops series %v decreased", s.Config)
+			}
+			prev = p.Value
+		}
+	}
+	// Larger windows accumulate at least as much taint as small ones.
+	byCfg := map[[2]uint64]uint64{}
+	for _, s := range r.Bytes {
+		byCfg[[2]uint64{s.Config.NI, uint64(s.Config.NT)}] = s.Max()
+	}
+	if byCfg[[2]uint64{20, 3}] < byCfg[[2]uint64{5, 1}] {
+		t.Errorf("max bytes (20,3)=%d < (5,1)=%d",
+			byCfg[[2]uint64{20, 3}], byCfg[[2]uint64{5, 1}])
+	}
+}
+
+func TestUntaintEffect(t *testing.T) {
+	h := newTestHarness()
+	rows, err := UntaintEffect(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper: "for the case of NI=5 and NT=3, untainting resulted in 26
+	// times smaller tainted regions" and "more than 60 times fewer
+	// ranges". The shape target: substantial reduction, strongest effect
+	// at the smallest window.
+	if rows[0].Config.NI != 5 {
+		t.Fatalf("first row NI = %d", rows[0].Config.NI)
+	}
+	if f := rows[0].BytesFactor(); f < 3 {
+		t.Errorf("untainting bytes factor at NI=5 only %.1fx", f)
+	}
+	if f := rows[0].RangesFactor(); f < 3 {
+		t.Errorf("untainting ranges factor at NI=5 only %.1fx", f)
+	}
+	// Without untainting, window size barely matters (paper: "without
+	// untainting, the varying window size does not make a considerable
+	// difference").
+	spread := float64(rows[3].BytesWithout) / float64(rows[0].BytesWithout)
+	if spread > 4 {
+		t.Errorf("without untainting, bytes spread %.1fx across NI; expected flat-ish", spread)
+	}
+}
+
+func TestTable1Groups(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDist := map[int][]string{}
+	for _, r := range rows {
+		byDist[r.Distance] = r.Opcodes
+	}
+	expect := map[int][]string{
+		1: {"return"},
+		2: {"move-result", "aget", "aput", "sput"},
+		3: {"move", "move-object", "sget"},
+		4: {"iput", "neg-int"},
+		5: {"iget", "iget-object", "add-int/lit8", "add-int/2addr"},
+		6: {"int-to-char"},
+	}
+	for d, ops := range expect {
+		for _, op := range ops {
+			found := false
+			for _, got := range byDist[d] {
+				if got == op {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("distance %d should contain %q; has %v", d, op, byDist[d])
+			}
+		}
+	}
+	if len(byDist[10]) == 0 || byDist[10][0] != "aput-object" {
+		t.Errorf("distance 10 should be aput-object, got %v", byDist[10])
+	}
+	if len(byDist[-1]) < 4 {
+		t.Errorf("unknown group too small: %v", byDist[-1])
+	}
+	if out := RenderTable1(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	h := newTestHarness()
+	r := Figure10(h, 30)
+	if len(r.Apps) == 0 || len(r.System) == 0 {
+		t.Fatal("empty corpora")
+	}
+	// Fractions are probabilities.
+	sum := 0.0
+	for _, row := range r.Apps {
+		if row.Fraction <= 0 || row.Fraction > 1 {
+			t.Errorf("bad fraction %f for %v", row.Fraction, row.Opcode)
+		}
+		sum += row.Fraction
+	}
+	if sum > 1.0001 {
+		t.Errorf("fractions sum to %f", sum)
+	}
+	// The dominant rows include the invoke/move-result plumbing, as in
+	// the paper.
+	names := map[string]bool{}
+	for i, row := range r.Apps {
+		if i < 8 {
+			names[row.Opcode.String()] = true
+		}
+	}
+	if !names["invoke-virtual"] && !names["invoke-static"] {
+		t.Error("invokes missing from the top rows")
+	}
+	if !names["move-result-object"] && !names["move-result"] {
+		t.Error("move-result plumbing missing from the top rows")
+	}
+	if out := r.Render(); len(out) == 0 {
+		t.Error("empty render")
+	}
+}
+
+var _ = dalvik.OpNop // keep the import when expectations change

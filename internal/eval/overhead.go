@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// replayStats replays the LGRoot trace under one configuration and returns
+// the tracker's final statistics.
+func replayStats(rec *trace.Recorder, cfg core.Config) core.Stats {
+	tr := core.NewTracker(cfg, nil)
+	rec.Replay(tr)
+	return tr.Stats()
+}
+
+// Figure14 sweeps the maximum tainted-address size (bytes) over the
+// NI × NT grid on the LGRoot trace.
+func Figure14(h *Harness) (*Grid, error) {
+	rec, err := h.LGRootTrace()
+	if err != nil {
+		return nil, err
+	}
+	g := NewGrid()
+	g.Sweep(func(cfg core.Config) float64 {
+		return float64(replayStats(rec, cfg).MaxBytes)
+	})
+	return g, nil
+}
+
+// Figure17 sweeps the maximum number of distinct tainted ranges over the
+// NI × NT grid on the LGRoot trace.
+func Figure17(h *Harness) (*Grid, error) {
+	rec, err := h.LGRootTrace()
+	if err != nil {
+		return nil, err
+	}
+	g := NewGrid()
+	g.Sweep(func(cfg core.Config) float64 {
+		return float64(replayStats(rec, cfg).MaxRanges)
+	})
+	return g, nil
+}
+
+// SeriesPoint is one sample of a time series.
+type SeriesPoint struct {
+	Events uint64 // events delivered so far (a proxy for instruction time)
+	Value  uint64
+}
+
+// Series is one (NI, NT) line of Figures 15 or 16.
+type Series struct {
+	Config core.Config
+	Points []SeriesPoint
+}
+
+// TimeSeriesResult carries the Figure 15 (tainted bytes over time) and
+// Figure 16 (cumulative tainting+untainting operations over time) lines.
+type TimeSeriesResult struct {
+	Bytes []Series // Figure 15
+	Ops   []Series // Figure 16
+}
+
+// timeSeriesConfigs are the paper's Figure 15/16 parameter lines:
+// NI ∈ {5, 10, 15, 20} × NT ∈ {1, 2, 3}.
+func timeSeriesConfigs() []core.Config {
+	var out []core.Config
+	for _, ni := range []uint64{5, 10, 15, 20} {
+		for _, nt := range []int{1, 2, 3} {
+			out = append(out, core.Config{NI: ni, NT: nt, Untaint: true})
+		}
+	}
+	return out
+}
+
+// TimeSeries produces Figures 15 and 16 with the given number of samples
+// along the trace.
+func TimeSeries(h *Harness, samples int) (*TimeSeriesResult, error) {
+	rec, err := h.LGRootTrace()
+	if err != nil {
+		return nil, err
+	}
+	if samples < 2 {
+		samples = 2
+	}
+	every := rec.Len() / samples
+	if every < 1 {
+		every = 1
+	}
+	res := &TimeSeriesResult{}
+	for _, cfg := range timeSeriesConfigs() {
+		tr := core.NewTracker(cfg, nil)
+		bytesLine := Series{Config: cfg}
+		opsLine := Series{Config: cfg}
+		rec.ReplaySampled(tr, every, func(delivered int) {
+			bytesLine.Points = append(bytesLine.Points, SeriesPoint{
+				Events: uint64(delivered), Value: tr.TaintedBytes(),
+			})
+			opsLine.Points = append(opsLine.Points, SeriesPoint{
+				Events: uint64(delivered), Value: tr.Ops(),
+			})
+		})
+		res.Bytes = append(res.Bytes, bytesLine)
+		res.Ops = append(res.Ops, opsLine)
+	}
+	return res, nil
+}
+
+// Final returns a series' last value (0 when empty).
+func (s Series) Final() uint64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// Max returns a series' peak value.
+func (s Series) Max() uint64 {
+	var m uint64
+	for _, p := range s.Points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Render prints both figures as compact per-line tables.
+func (r *TimeSeriesResult) Render() string {
+	var b strings.Builder
+	render := func(title string, lines []Series) {
+		fmt.Fprintf(&b, "%s\n", title)
+		for _, s := range lines {
+			fmt.Fprintf(&b, "  (%2d,%d): ", s.Config.NI, s.Config.NT)
+			step := len(s.Points) / 10
+			if step < 1 {
+				step = 1
+			}
+			for i := 0; i < len(s.Points); i += step {
+				fmt.Fprintf(&b, "%8d", s.Points[i].Value)
+			}
+			fmt.Fprintf(&b, "  (final %d, max %d)\n", s.Final(), s.Max())
+		}
+	}
+	render("Figure 15: tainted bytes over time (LGRoot)", r.Bytes)
+	render("Figure 16: cumulative taint+untaint operations over time (LGRoot)", r.Ops)
+	return b.String()
+}
+
+// UntaintEffectRow compares one window size with untainting on and off.
+type UntaintEffectRow struct {
+	Config        core.Config // with Untaint=true
+	BytesWith     uint64
+	BytesWithout  uint64
+	RangesWith    int
+	RangesWithout int
+}
+
+// BytesFactor is the Figure 18 reduction factor.
+func (r UntaintEffectRow) BytesFactor() float64 {
+	if r.BytesWith == 0 {
+		return 0
+	}
+	return float64(r.BytesWithout) / float64(r.BytesWith)
+}
+
+// RangesFactor is the Figure 19 reduction factor.
+func (r UntaintEffectRow) RangesFactor() float64 {
+	if r.RangesWith == 0 {
+		return 0
+	}
+	return float64(r.RangesWithout) / float64(r.RangesWith)
+}
+
+// UntaintEffect reproduces Figures 18 and 19: maximum tainted bytes and
+// maximum distinct ranges for NI ∈ {5,10,15,20}, NT=3, with untainting
+// enabled versus disabled.
+func UntaintEffect(h *Harness) ([]UntaintEffectRow, error) {
+	rec, err := h.LGRootTrace()
+	if err != nil {
+		return nil, err
+	}
+	var rows []UntaintEffectRow
+	for _, ni := range []uint64{5, 10, 15, 20} {
+		on := replayStats(rec, core.Config{NI: ni, NT: 3, Untaint: true})
+		off := replayStats(rec, core.Config{NI: ni, NT: 3, Untaint: false})
+		rows = append(rows, UntaintEffectRow{
+			Config:        core.Config{NI: ni, NT: 3, Untaint: true},
+			BytesWith:     on.MaxBytes,
+			BytesWithout:  off.MaxBytes,
+			RangesWith:    on.MaxRanges,
+			RangesWithout: off.MaxRanges,
+		})
+	}
+	return rows, nil
+}
+
+// RenderUntaintEffect prints the Figure 18/19 comparison.
+func RenderUntaintEffect(rows []UntaintEffectRow) string {
+	var b strings.Builder
+	b.WriteString("Figures 18/19: effect of untainting (LGRoot, NT=3)\n")
+	b.WriteString("   NI   bytes(on)  bytes(off)  factor   ranges(on)  ranges(off)  factor\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %3d  %10d  %10d  %5.1fx   %10d  %11d  %5.1fx\n",
+			r.Config.NI, r.BytesWith, r.BytesWithout, r.BytesFactor(),
+			r.RangesWith, r.RangesWithout, r.RangesFactor())
+	}
+	return b.String()
+}

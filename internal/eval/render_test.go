@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGridRenderAndAt(t *testing.T) {
+	g := NewGrid()
+	if len(g.NIs) != 20 || len(g.NTs) != 10 {
+		t.Fatalf("grid dims %dx%d", len(g.NIs), len(g.NTs))
+	}
+	g.Set(12, 2, 0.979) // NI=13, NT=3
+	if v, ok := g.At(13, 3); !ok || v != 0.979 {
+		t.Fatalf("At(13,3) = %v, %v", v, ok)
+	}
+	if _, ok := g.At(99, 1); ok {
+		t.Fatal("unknown NI accepted")
+	}
+	if _, ok := g.At(1, 99); ok {
+		t.Fatal("unknown NT accepted")
+	}
+	out := g.Render("test grid", Pct)
+	if !strings.Contains(out, "test grid") || !strings.Contains(out, "97.9%") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// NT rows render top-down from the highest.
+	if strings.Index(out, "NT=10") > strings.Index(out, "NT=1 ") {
+		t.Error("NT rows not descending")
+	}
+}
+
+func TestSweepParallelDeterminism(t *testing.T) {
+	g1, g2 := NewGrid(), NewGrid()
+	fn := func(cfg core.Config) float64 {
+		return float64(cfg.NI)*100 + float64(cfg.NT)
+	}
+	g1.Sweep(fn)
+	g2.Sweep(fn)
+	for j := range g1.Cells {
+		for i := range g1.Cells[j] {
+			if g1.Cells[j][i] != g2.Cells[j][i] {
+				t.Fatalf("nondeterministic sweep at [%d][%d]", j, i)
+			}
+			want := float64(g1.NIs[i])*100 + float64(g1.NTs[j])
+			if g1.Cells[j][i] != want {
+				t.Fatalf("cell [%d][%d] = %v, want %v", j, i, g1.Cells[j][i], want)
+			}
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.979) != "97.9%" {
+		t.Errorf("Pct = %q", Pct(0.979))
+	}
+	if Count(1234.0) != "1234" {
+		t.Errorf("Count = %q", Count(1234))
+	}
+}
+
+func TestAllSampleStats(t *testing.T) {
+	rows, err := AllSampleStats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's claim must hold on every execution: "the range
+		// 0–10 captures 99% of all loads and stores".
+		if r.CDF10 < 0.99 {
+			t.Errorf("%s: CDF(10) = %.3f", r.Name, r.CDF10)
+		}
+		if r.CDF5 < 0.5 {
+			t.Errorf("%s: bulk not within 0–5 (CDF=%.3f)", r.Name, r.CDF5)
+		}
+		if r.Events == 0 {
+			t.Errorf("%s: empty trace", r.Name)
+		}
+	}
+	if out := RenderSampleStats(rows); !strings.Contains(out, "LGRoot") {
+		t.Error("render missing sample name")
+	}
+}
+
+func TestCategoryBreakdown(t *testing.T) {
+	h := newTestHarness()
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	rows, err := CategoryBreakdown(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, correct := 0, 0
+	for _, r := range rows {
+		total += r.Apps
+		correct += r.Correct
+		if r.Category == "implicit-switch" && r.Correct != 0 {
+			t.Error("implicit-switch should be the miss at (13,3)")
+		}
+		if strings.HasPrefix(r.Category, "benign") && r.Correct != r.Apps {
+			t.Errorf("benign category %s not fully correct", r.Category)
+		}
+	}
+	if total != 57 || correct != 56 {
+		t.Fatalf("breakdown sums %d/%d, want 56/57", correct, total)
+	}
+	if out := RenderCategoryBreakdown(rows, cfg); !strings.Contains(out, "direct") {
+		t.Error("render missing categories")
+	}
+}
+
+func TestTimeSeriesRender(t *testing.T) {
+	h := newTestHarness()
+	r, err := TimeSeries(h, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"Figure 15", "Figure 16", "( 5,1)", "(20,3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("time series render missing %q", want)
+		}
+	}
+}
+
+func TestFigure11Render(t *testing.T) {
+	h := newTestHarness()
+	r, err := Figure11(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "plateaus:") || !strings.Contains(out, "100.0%") {
+		t.Fatalf("figure 11 render:\n%s", out)
+	}
+}
+
+func TestSummaryAllClaimsHold(t *testing.T) {
+	h := newTestHarness()
+	rows, err := Summary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d summary rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("claim not reproduced: %s (paper %s, measured %s)",
+				r.Claim, r.Paper, r.Measured)
+		}
+	}
+	if out := RenderSummary(rows); !strings.Contains(out, "all claims reproduced") {
+		t.Error("render should confirm all claims")
+	}
+}

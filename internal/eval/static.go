@@ -1,0 +1,280 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arm"
+	"repro/internal/dalvik"
+	"repro/internal/malware"
+	"repro/internal/mem"
+)
+
+// Table1Row groups bytecodes by their within-template native load→store
+// distance, as in the paper's Table 1.
+type Table1Row struct {
+	Distance int // -1 = unknown (ABI helper call)
+	Opcodes  []string
+}
+
+// Table1 measures every translation template and groups opcodes by the
+// measured distance. The measurement is live: each opcode is translated
+// and the emitted template's data load/store positions are inspected, so a
+// template regression would change this table.
+func Table1() ([]Table1Row, error) {
+	metas, err := translateAllOps()
+	if err != nil {
+		return nil, err
+	}
+	byDist := map[int][]string{}
+	seen := map[dalvik.Opcode]bool{}
+	for _, m := range metas {
+		if seen[m.Op] {
+			continue
+		}
+		seen[m.Op] = true
+		if !m.Op.MovesData() {
+			continue
+		}
+		if m.HelperCall {
+			byDist[-1] = append(byDist[-1], m.Op.String())
+			continue
+		}
+		if d, ok := m.Distance(); ok {
+			byDist[d] = append(byDist[d], m.Op.String())
+		}
+	}
+	var dists []int
+	for d := range byDist {
+		dists = append(dists, d)
+	}
+	sort.Ints(dists)
+	// Unknown (-1) sorts first; the paper lists it last.
+	if len(dists) > 0 && dists[0] == -1 {
+		dists = append(dists[1:], -1)
+	}
+	var rows []Table1Row
+	for _, d := range dists {
+		ops := byDist[d]
+		sort.Strings(ops)
+		rows = append(rows, Table1Row{Distance: d, Opcodes: ops})
+	}
+	return rows, nil
+}
+
+// translateAllOps builds a program exercising every opcode and returns the
+// translation metadata.
+func translateAllOps() ([]dalvik.InsnMeta, error) {
+	b := dalvik.NewProgram("table1")
+	b.Class("C", "f")
+	b.Statics("s")
+	b.Method("Callee.m", 4, 1).Return(0)
+	m := b.Method("Main.main", 6, 0)
+	m.Move(0, 1)
+	m.MoveFrom16(0, 1)
+	m.Move16(0, 1)
+	m.MoveObject(0, 1)
+	m.MoveObjectFrom16(0, 1)
+	m.InvokeStatic("Callee.m", 1)
+	m.MoveResult(0)
+	m.InvokeStatic("Callee.m", 1)
+	m.MoveResultObject(0)
+	for _, op := range []dalvik.Opcode{
+		dalvik.OpAddInt, dalvik.OpSubInt, dalvik.OpMulInt, dalvik.OpAndInt,
+		dalvik.OpOrInt, dalvik.OpXorInt, dalvik.OpShlInt, dalvik.OpShrInt,
+	} {
+		m.Binop(op, 0, 1, 2)
+	}
+	for _, op := range []dalvik.Opcode{
+		dalvik.OpAddInt2Addr, dalvik.OpSubInt2Addr, dalvik.OpMulInt2Addr,
+		dalvik.OpAndInt2Addr, dalvik.OpOrInt2Addr, dalvik.OpXorInt2Addr,
+		dalvik.OpShlInt2Addr, dalvik.OpShrInt2Addr,
+	} {
+		m.Binop2Addr(op, 0, 1)
+	}
+	for _, op := range []dalvik.Opcode{
+		dalvik.OpAddIntLit8, dalvik.OpMulIntLit8, dalvik.OpAndIntLit8,
+		dalvik.OpRsubIntLit8, dalvik.OpXorIntLit8, dalvik.OpDivIntLit8,
+		dalvik.OpRemIntLit8,
+	} {
+		m.BinopLit8(op, 0, 1, 3)
+	}
+	m.Binop(dalvik.OpDivInt, 0, 1, 2)
+	m.Binop(dalvik.OpRemInt, 0, 1, 2)
+	m.NegInt(0, 1)
+	m.Binop2Addr(dalvik.OpNotInt, 0, 1)
+	m.IntToChar(0, 1)
+	m.Binop2Addr(dalvik.OpIntToByte, 0, 1)
+	m.ArrayLength(0, 1)
+	m.Aget(0, 1, 2)
+	m.Aput(0, 1, 2)
+	m.AgetChar(0, 1, 2)
+	m.AputChar(0, 1, 2)
+	m.AgetObject(0, 1, 2)
+	m.AputObject(0, 1, 2)
+	m.Iget(0, 1, "C.f")
+	m.Iput(0, 1, "C.f")
+	m.IgetObject(0, 1, "C.f")
+	m.IputObject(0, 1, "C.f")
+	m.Sget(0, "s")
+	m.Sput(0, "s")
+	m.SgetObject(0, "s")
+	m.SputObject(0, "s")
+	m.Return(0)
+	b.Entry("Main.main")
+	prog, err := b.Build(map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+
+	asm := arm.NewAssembler(dalvik.CodeBase)
+	rt := &measureRuntime{asm: asm}
+	asm.Label("measure$extern")
+	asm.Emit(arm.BxLR())
+	tr, err := dalvik.Translate(prog, asm, rt)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Meta, nil
+}
+
+// measureRuntime is the minimal dalvik.Runtime needed to translate for
+// measurement: no real heap, every extern resolves to a stub.
+type measureRuntime struct {
+	asm  *arm.Assembler
+	next mem.Addr
+}
+
+func (m *measureRuntime) InternString(string) mem.Addr {
+	m.next += 0x40
+	return dalvik.HeapBase + m.next
+}
+
+func (m *measureRuntime) ExternEntry(string) (string, bool) {
+	return "measure$extern", true
+}
+
+// RenderTable1 prints the distance groups.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: native load-store distances within Dalvik bytecodes\n")
+	b.WriteString("  Distance  Cnt  Bytecodes\n")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Distance)
+		if r.Distance == -1 {
+			label = "Unknown"
+		}
+		ops := strings.Join(r.Opcodes, ", ")
+		if len(ops) > 70 {
+			ops = ops[:67] + "..."
+		}
+		fmt.Fprintf(&b, "  %-8s  %3d  %s\n", label, len(r.Opcodes), ops)
+	}
+	return b.String()
+}
+
+// Figure10Row is one line of the bytecode-frequency table.
+type Figure10Row struct {
+	Opcode    dalvik.Opcode
+	Fraction  float64
+	MovesData bool
+	Distance  int // 0 when not applicable, -1 unknown
+}
+
+// Figure10Result holds the two static-frequency tables of the paper's
+// Figure 10. The paper scans the dex files of Google stock applications
+// and the Android system libraries; this reproduction scans the DroidBench
+// suite (the "applications" corpus) and the malware suite (standing in for
+// a second, independently-written corpus).
+type Figure10Result struct {
+	Apps   []Figure10Row
+	System []Figure10Row
+}
+
+// Figure10 computes the top-N opcode frequencies for both corpora.
+func Figure10(h *Harness, topN int) *Figure10Result {
+	appCount := map[dalvik.Opcode]int{}
+	for _, a := range h.Apps() {
+		countOps(a.Prog, appCount)
+	}
+	sysCount := map[dalvik.Opcode]int{}
+	for _, s := range malware.Samples() {
+		countOps(s.Prog, sysCount)
+	}
+	return &Figure10Result{
+		Apps:   topRows(appCount, topN),
+		System: topRows(sysCount, topN),
+	}
+}
+
+func countOps(p *dalvik.Program, into map[dalvik.Opcode]int) {
+	for _, name := range p.MethodNames() {
+		for _, in := range p.Methods[name].Insns {
+			into[in.Op]++
+		}
+	}
+}
+
+func topRows(count map[dalvik.Opcode]int, topN int) []Figure10Row {
+	total := 0
+	for _, n := range count {
+		total += n
+	}
+	type kv struct {
+		op dalvik.Opcode
+		n  int
+	}
+	var all []kv
+	for op, n := range count {
+		all = append(all, kv{op, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].op < all[j].op
+	})
+	if topN > 0 && len(all) > topN {
+		all = all[:topN]
+	}
+	var rows []Figure10Row
+	for _, e := range all {
+		row := Figure10Row{
+			Opcode:    e.op,
+			Fraction:  float64(e.n) / float64(total),
+			MovesData: e.op.MovesData(),
+		}
+		if d, ok := e.op.TableDistance(); ok {
+			row.Distance = d
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Render prints both corpora side by side in the paper's format: share of
+// appearances, with the data-moving bytecodes carrying their load-store
+// distance.
+func (r *Figure10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: bytecode frequency (top rows)\n")
+	dump := func(title string, rows []Figure10Row) {
+		fmt.Fprintf(&b, "  %s\n", title)
+		for _, row := range rows {
+			dist := ""
+			if row.MovesData {
+				if row.Distance == -1 {
+					dist = "  L-S: unknown"
+				} else if row.Distance > 0 {
+					dist = fmt.Sprintf("  L-S: %d", row.Distance)
+				}
+			}
+			fmt.Fprintf(&b, "    %-22s %6.2f%%%s\n",
+				row.Opcode, 100*row.Fraction, dist)
+		}
+	}
+	dump("(a) DroidBench applications", r.Apps)
+	dump("(b) malware corpus", r.System)
+	return b.String()
+}

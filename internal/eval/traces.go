@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/malware"
+	"repro/internal/tracestat"
+)
+
+// Figure2 computes the memory-operation distributions of the paper's
+// empirical study (Figure 2a/2b/2c) plus the stores-in-window (Figure 12)
+// and k-th store distance (Figure 13) statistics, all over the LGRoot
+// trace.
+func Figure2(h *Harness) (*tracestat.Collector, error) {
+	rec, err := h.LGRootTrace()
+	if err != nil {
+		return nil, err
+	}
+	c := tracestat.NewCollector()
+	rec.Replay(c)
+	c.Finish()
+	return c, nil
+}
+
+// RenderFigure12 prints the probability distributions of the number of
+// stores within each window size.
+func RenderFigure12(c *tracestat.Collector) string {
+	var b strings.Builder
+	b.WriteString("Figure 12: stores within window (LGRoot)\n")
+	for _, w := range c.WindowSizes() {
+		h, _ := c.StoresInWindow(w)
+		fmt.Fprintf(&b, "  NI=%-3d mean=%.2f P(0)=%.3f P(<=3)=%.3f P(<=10)=%.3f\n",
+			w, h.Mean(), h.P(0), h.CDF(3), h.CDF(10))
+	}
+	return b.String()
+}
+
+// RenderFigure13 prints the average distance to the 1st, 2nd, and 3rd
+// stores within each window size.
+func RenderFigure13(c *tracestat.Collector) string {
+	var b strings.Builder
+	b.WriteString("Figure 13: mean distance to k-th store within window (LGRoot)\n")
+	b.WriteString("   NI     1st     2nd     3rd\n")
+	for _, w := range c.KthWindowSizes() {
+		fmt.Fprintf(&b, "  %3d", w)
+		for k := 1; k <= 3; k++ {
+			mean, _, _ := c.KthStoreMean(w, k)
+			fmt.Fprintf(&b, "  %6.2f", mean)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SampleStats is the per-app distance summary of the cross-execution study
+// ("while it is possible for loads and stores to appear anywhere ... we
+// also analyzed a number of app executions").
+type SampleStats struct {
+	Name   string
+	Events int
+	CDF5   float64 // store→last-load CDF at distance 5
+	CDF10  float64 // ... at distance 10 (the paper's "99%" claim)
+	Mean   float64
+}
+
+// AllSampleStats collects the Figure 2a summary for every malware sample,
+// verifying the temporal-locality claim holds across executions, not just
+// on LGRoot.
+func AllSampleStats(scale int) ([]SampleStats, error) {
+	var out []SampleStats
+	for _, s := range malware.Samples() {
+		prog := s.Prog
+		if s.Name == "LGRoot" {
+			prog = malware.LGRoot(scale)
+		}
+		rec, err := Record(prog)
+		if err != nil {
+			return nil, err
+		}
+		c := tracestat.NewCollector()
+		rec.Replay(c)
+		c.Finish()
+		out = append(out, SampleStats{
+			Name:   s.Name,
+			Events: rec.Len(),
+			CDF5:   c.StoreToLastLoad.CDF(5),
+			CDF10:  c.StoreToLastLoad.CDF(10),
+			Mean:   c.StoreToLastLoad.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// RenderSampleStats prints the cross-sample table.
+func RenderSampleStats(rows []SampleStats) string {
+	var b strings.Builder
+	b.WriteString("Store→last-load distances across all malware executions\n")
+	b.WriteString("  sample        events    mean   CDF(5)  CDF(10)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %8d  %6.2f   %.3f    %.3f\n",
+			r.Name, r.Events, r.Mean, r.CDF5, r.CDF10)
+	}
+	return b.String()
+}

@@ -1,0 +1,515 @@
+package jrt
+
+import (
+	"repro/internal/arm"
+	"repro/internal/dalvik"
+)
+
+// External method names applications can invoke. Each is implemented as a
+// native routine with a JNI-style register calling convention: arguments in
+// r0–r3 (loaded from the caller's frame by the invoke template — those
+// frame loads are exactly where tainting windows open), result written to
+// the thread's retval slot through rSELF.
+const (
+	MethodBuilderNew    = "StringBuilder.new"        // () → builder
+	MethodAppend        = "StringBuilder.append"     // (builder, string) → builder
+	MethodAppendChar    = "StringBuilder.appendChar" // (builder, char) → builder
+	MethodAppendInt     = "StringBuilder.appendInt"  // (builder, int) → builder
+	MethodToString      = "StringBuilder.toString"   // (builder) → string
+	MethodCharAt        = "String.charAt"            // (string, index) → char
+	MethodStringLength  = "String.length"            // (string) → int
+	MethodStringEquals  = "String.equals"            // (a, b) → 0/1
+	MethodParseInt      = "Integer.parseInt"         // (string) → int
+	MethodArraycopyChar = "System.arraycopyChar"     // (src, dst, count)
+	MethodSlowCopy      = "JNI.slowCopy"             // (string) → string, §4.2 evasion
+	MethodInsertChar    = "StringBuilder.insertChar" // (builder, char) → builder
+	MethodReset         = "StringBuilder.setLength0" // (builder) → builder
+)
+
+// InsertChar's template spills a bounds check and compares against the
+// builder's capacity before the character store: the character lands
+// InsertCharLeadDistance instructions after the tainted argument load, as
+// the window's InsertCharStores-th store. Flows through it therefore need
+// NI >= 8 and NT >= 2.
+const (
+	InsertCharLeadDistance = 8
+	InsertCharStores       = 2
+)
+
+// EvasionGap is the number of dummy ALU instructions JNI.slowCopy inserts
+// between each character load and its store — the native-code-obfuscation
+// attack of §4.2. It is far beyond any evaluated tainting window.
+const EvasionGap = 64
+
+// AppendIntLeadDistance is the load→store distance of StringBuilder.
+// appendInt's digit-emit path: the number of instructions from the tainted
+// reload of the numeric value to the scratch store of a digit character.
+// It is engineered to 10 — the paper reports that leaking a GPS location
+// (a number formatted "through an ARM runtime ABI") is only detected once
+// NI ≥ 10.
+const AppendIntLeadDistance = 10
+
+// AppendIntStores is the number of stores the appendInt digit window
+// performs up to and including the digit store, so numeric leaks also need
+// NT >= AppendIntStores.
+const AppendIntStores = 3
+
+const rSELF = dalvik.RSELF
+
+// emitIntrinsics lays down every runtime routine and registers its extern
+// name. It runs once, before any application is translated.
+func (rt *Runtime) emitIntrinsics() {
+	rt.emitAllocStubs()
+	rt.emitDivHelpers()
+	rt.emitBuilderNew()
+	rt.emitAppend()
+	rt.emitAppendChar()
+	rt.emitAppendInt()
+	rt.emitToString()
+	rt.emitCharAt()
+	rt.emitStringLength()
+	rt.emitStringEquals()
+	rt.emitParseInt()
+	rt.emitArraycopyChar()
+	rt.emitSlowCopy()
+	rt.emitInsertChar()
+	rt.emitReset()
+	rt.emitStringExtras()
+}
+
+// emitReset is StringBuilder.setLength(0): long-running workloads reuse one
+// builder; stale (possibly tainted) buffer bytes remain until overwritten,
+// which is what makes the untainting rule matter over time.
+func (rt *Runtime) emitReset() {
+	a := rt.asm
+	rt.routine(MethodReset, "rt$sbReset")
+	a.Emit(
+		arm.MovImm(arm.R2, 0),
+		arm.Str(arm.R2, arm.R0, sbLenOff),
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+// emitInsertChar is StringBuilder.insertChar: like appendChar, but with a
+// bounds-check spill ahead of the character store — the shape real
+// capacity-checked inserts produce. The spill consumes one propagation slot
+// of the window opened by the caller's tainted argument load, so the flow
+// needs NT >= InsertCharStores; the character store itself sits at
+// InsertCharLeadDistance.
+func (rt *Runtime) emitInsertChar() {
+	a := rt.asm
+	rt.routine(MethodInsertChar, "rt$sbInsertChar")
+	// Distances below are from the caller's "ldr r1" argument load, which
+	// is followed by the bl and then this body.
+	a.Emit(
+		arm.Ldr(arm.R3, arm.R0, sbLenOff),                     // +2 length
+		arm.Str(arm.R3, arm.SP, -12),                          // +3 bounds spill (store 1)
+		arm.Ldr(arm.R12, arm.R0, sbCapOff),                    // +4 capacity
+		arm.Cmp(arm.R3, arm.R12),                              // +5 bounds check
+		arm.AddImm(arm.R9, arm.R0, sbCharsOff),                // +6
+		arm.AddShift(arm.R9, arm.R9, arm.R3, arm.ShiftLSL, 1), // +7
+		arm.Strh(arm.R1, arm.R9, 0),                           // +8 character (store 2)
+		arm.AddImm(arm.R3, arm.R3, 1),
+		arm.Str(arm.R3, arm.R0, sbLenOff), // length update (store 3)
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) routine(name, label string) {
+	rt.asm.Label(label)
+	rt.RegisterExtern(name, label)
+}
+
+func (rt *Runtime) emitAllocStubs() {
+	a := rt.asm
+	rt.routine(dalvik.ExternAlloc, "rt$alloc")
+	a.Emit(arm.Bridge(bridgeAlloc), arm.BxLR())
+
+	rt.routine(dalvik.ExternAllocArray, "rt$allocArray")
+	a.Emit(arm.Bridge(bridgeAllocArray), arm.BxLR())
+}
+
+// emitDivHelpers lays down __aeabi_idiv and __aeabi_irem as register-only
+// shift-subtract division loops (unsigned semantics; the workloads divide
+// non-negative values). Because the whole computation lives in registers
+// for ~200 instructions, the bytecodes that call these helpers have an
+// *unknown* load→store distance — Table 1's final row.
+func (rt *Runtime) emitDivHelpers() {
+	a := rt.asm
+
+	// Shared core: r0 = dividend, r1 = divisor → r9 = quotient,
+	// r10 = remainder.
+	a.Label("rt$udivmod")
+	a.Emit(
+		arm.MovImm(arm.R9, 0),
+		arm.MovImm(arm.R10, 0),
+		arm.MovImm(arm.R11, 0),
+	)
+	a.Label("rt$udivmod$loop")
+	a.Emit(
+		arm.Instr{Op: arm.OpADD, Rd: arm.R0, Rn: arm.R0, Rm: arm.R0, SetFlags: true}, // carry = msb
+		arm.Instr{Op: arm.OpADC, Rd: arm.R10, Rn: arm.R10, Rm: arm.R10},              // rem = rem<<1 | msb
+		arm.Cmp(arm.R10, arm.R1),
+		arm.Add(arm.R9, arm.R9, arm.R9), // quotient <<= 1 (flags untouched)
+		cond(arm.Sub(arm.R10, arm.R10, arm.R1), arm.CS),
+		cond(arm.AddImm(arm.R9, arm.R9, 1), arm.CS),
+		arm.AddImm(arm.R11, arm.R11, 1),
+		arm.CmpImm(arm.R11, 32),
+	)
+	a.B(arm.LT, "rt$udivmod$loop")
+	a.Emit(arm.BxLR())
+
+	rt.routine(dalvik.ExternIDiv, "rt$idiv")
+	a.Emit(arm.Push(arm.LR))
+	a.BL("rt$udivmod")
+	a.Emit(arm.Mov(arm.R0, arm.R9), arm.Pop(arm.PC))
+
+	rt.routine(dalvik.ExternIRem, "rt$irem")
+	a.Emit(arm.Push(arm.LR))
+	a.BL("rt$udivmod")
+	a.Emit(arm.Mov(arm.R0, arm.R10), arm.Pop(arm.PC))
+}
+
+// cond returns the instruction with a condition attached.
+func cond(in arm.Instr, c arm.Cond) arm.Instr {
+	in.Cond = c
+	return in
+}
+
+func (rt *Runtime) emitBuilderNew() {
+	a := rt.asm
+	rt.routine(MethodBuilderNew, "rt$sbNew")
+	a.Emit(
+		arm.Bridge(bridgeAllocBuilder),
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+// emitAppend is StringBuilder.append(String): the paper's Figure 1 — each
+// character is loaded into a register and stored to its destination two
+// instructions later.
+func (rt *Runtime) emitAppend() {
+	a := rt.asm
+	rt.routine(MethodAppend, "rt$sbAppend")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, sbLenOff),  // builder length
+		arm.Ldr(arm.R3, arm.R1, strLenOff), // string length
+		arm.CmpImm(arm.R3, 0),
+	)
+	a.B(arm.EQ, "rt$sbAppend$done")
+	a.Emit(
+		arm.AddImm(arm.R9, arm.R0, sbCharsOff),
+		arm.AddShift(arm.R9, arm.R9, arm.R2, arm.ShiftLSL, 1), // dst = buffer + 2*len
+		arm.AddImm(arm.R10, arm.R1, strCharsOff),              // src = chars
+		arm.MovImm(arm.R11, 0),                                // i
+		arm.MovImm(arm.R12, 0),                                // byte offset
+	)
+	a.Label("rt$sbAppend$loop")
+	a.Emit(
+		arm.LdrhReg(arm.R2, arm.R10, arm.R12), // ldrh rX, [src, off]   (Fig. 1)
+		arm.AddsImm(arm.R11, arm.R11, 1),      // adds i, i, #1
+		arm.StrhReg(arm.R2, arm.R9, arm.R12),  // strh rX, [dst, off] — distance 2
+		arm.AddsImm(arm.R12, arm.R12, 2),      // adds off, off, #2
+		arm.Cmp(arm.R11, arm.R3),              // cmp i, len
+	)
+	a.B(arm.LT, "rt$sbAppend$loop")
+	a.Label("rt$sbAppend$done")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, sbLenOff),
+		arm.Add(arm.R2, arm.R2, arm.R3),
+		arm.Str(arm.R2, arm.R0, sbLenOff),
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitAppendChar() {
+	a := rt.asm
+	rt.routine(MethodAppendChar, "rt$sbAppendChar")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, sbLenOff),
+		arm.AddImm(arm.R9, arm.R0, sbCharsOff),
+		arm.Instr{Op: arm.OpSTRH, Rd: arm.R1, Rn: arm.R9, Rm: arm.R2,
+			Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: 1}},
+		arm.AddImm(arm.R2, arm.R2, 1),
+		arm.Str(arm.R2, arm.R0, sbLenOff),
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+// emitAppendInt is StringBuilder.appendInt: decimal formatting in the style
+// of the ARM runtime ABI helpers — the argument is spilled to a stack
+// slot, digits are extracted lowest-first by a subtract loop that keeps the
+// working value in memory, and each digit's emit path runs
+// AppendIntLeadDistance instructions between the tainted reload and the
+// scratch store. This is the code path that makes numeric (GPS-style)
+// leaks invisible to tainting windows shorter than ~10.
+//
+// Register use: r0 builder (preserved), r1 work value, r2/r3 temps,
+// r9 digit count, r10 quotient accumulator, r11 digit scratch base,
+// r12 copy cursor.
+func (rt *Runtime) emitAppendInt() {
+	a := rt.asm
+	rt.routine(MethodAppendInt, "rt$sbAppendInt")
+	a.Emit(
+		arm.Str(arm.R1, arm.SP, -4),     // spill the value ("soft-float" operand slot)
+		arm.SubImm(arm.R11, arm.SP, 68), // digit scratch base
+		arm.MovImm(arm.R9, 0),           // digit count
+	)
+	a.Label("rt$sbAppendInt$digit")
+	a.Emit(arm.MovImm(arm.R10, 0)) // quotient accumulator
+	a.Label("rt$sbAppendInt$sub")
+	a.Emit(
+		arm.Ldr(arm.R1, arm.SP, -4), // tainted reload of the working value
+		arm.CmpImm(arm.R1, 10),
+	)
+	a.B(arm.LT, "rt$sbAppendInt$emit")
+	a.Emit(
+		arm.SubImm(arm.R1, arm.R1, 10),
+		arm.AddImm(arm.R10, arm.R10, 1),
+		arm.Str(arm.R1, arm.SP, -4), // writeback keeps the slot tainted (distance 4)
+	)
+	a.B(arm.AL, "rt$sbAppendInt$sub")
+
+	// Emit path: reload the digit, run the mantissa-packing flavor of an
+	// ABI float-format helper, and store the digit character. The strh
+	// lands exactly AppendIntLeadDistance instructions after the ldr, and
+	// two bookkeeping stores precede it inside the same window (the
+	// quotient writeback and the exponent spill), so the digit only
+	// propagates when NT >= AppendIntStores — the reason the paper's GPS
+	// app needs both a wide window and NT = 3.
+	a.Label("rt$sbAppendInt$emit")
+	a.Emit(
+		arm.Ldr(arm.R1, arm.SP, -4),                    // +0 tainted reload
+		arm.Str(arm.R10, arm.SP, -4),                   // +1 next value = quotient (store 1)
+		arm.MovShift(arm.R2, arm.R1, arm.ShiftLSL, 23), // +2 pack mantissa
+		arm.OrrImm(arm.R2, arm.R2, 0x3f800000),         // +3 bias exponent
+		arm.MovShift(arm.R3, arm.R2, arm.ShiftLSR, 23), // +4 unpack exponent
+		arm.Str(arm.R3, arm.SP, -8),                    // +5 exponent spill (store 2)
+		arm.AndImm(arm.R3, arm.R3, 255),                // +6
+		arm.CmpImm(arm.R3, 127),                        // +7 normalization check
+		arm.MovShift(arm.R2, arm.R2, arm.ShiftLSL, 1),  // +8 strip sign
+		arm.AddImm(arm.R3, arm.R1, '0'),                // +9 digit character
+		arm.Instr{Op: arm.OpSTRH, Rd: arm.R3, Rn: arm.R11, Rm: arm.R9,
+			Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: 1}}, // +10 digit (store 3)
+		arm.AddImm(arm.R9, arm.R9, 1),
+		arm.CmpImm(arm.R10, 0),
+	)
+	a.B(arm.NE, "rt$sbAppendInt$digit")
+
+	// Reverse-copy the digits into the builder buffer (Fig. 1 shape
+	// again: each scratch load is tainted, each buffer store is 2 away).
+	a.Emit(
+		arm.Mov(arm.R10, arm.R9), // save digit count
+		arm.Ldr(arm.R2, arm.R0, sbLenOff),
+		arm.AddImm(arm.R12, arm.R0, sbCharsOff),
+		arm.AddShift(arm.R12, arm.R12, arm.R2, arm.ShiftLSL, 1),
+	)
+	a.Label("rt$sbAppendInt$rev")
+	a.Emit(
+		arm.SubImm(arm.R9, arm.R9, 1),
+		arm.Instr{Op: arm.OpLDRH, Rd: arm.R3, Rn: arm.R11, Rm: arm.R9,
+			Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: 1}},
+		arm.Instr{Op: arm.OpSTRH, Rd: arm.R3, Rn: arm.R12, Imm: 2,
+			UseImm: true, Idx: arm.IdxPost},
+		arm.CmpImm(arm.R9, 0),
+	)
+	a.B(arm.GT, "rt$sbAppendInt$rev")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, sbLenOff),
+		arm.Add(arm.R2, arm.R2, arm.R10),
+		arm.Str(arm.R2, arm.R0, sbLenOff),
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitToString() {
+	a := rt.asm
+	rt.routine(MethodToString, "rt$sbToString")
+	a.Emit(
+		arm.Ldr(arm.R1, arm.R0, sbLenOff), // char count
+		arm.Bridge(bridgeAllocString),     // r2 = fresh String
+		arm.CmpImm(arm.R1, 0),
+	)
+	a.B(arm.EQ, "rt$sbToString$done")
+	a.Emit(
+		arm.AddImm(arm.R9, arm.R0, sbCharsOff),   // src
+		arm.AddImm(arm.R10, arm.R2, strCharsOff), // dst
+		arm.MovImm(arm.R11, 0),
+		arm.MovImm(arm.R12, 0),
+	)
+	a.Label("rt$sbToString$loop")
+	a.Emit(
+		arm.LdrhReg(arm.R3, arm.R9, arm.R12),
+		arm.AddsImm(arm.R11, arm.R11, 1),
+		arm.StrhReg(arm.R3, arm.R10, arm.R12),
+		arm.AddsImm(arm.R12, arm.R12, 2),
+		arm.Cmp(arm.R11, arm.R1),
+	)
+	a.B(arm.LT, "rt$sbToString$loop")
+	a.Label("rt$sbToString$done")
+	a.Emit(
+		arm.Str(arm.R2, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitCharAt() {
+	a := rt.asm
+	rt.routine(MethodCharAt, "rt$charAt")
+	a.Emit(
+		arm.AddImm(arm.R9, arm.R0, strCharsOff),
+		arm.Instr{Op: arm.OpLDRH, Rd: arm.R2, Rn: arm.R9, Rm: arm.R1,
+			Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: 1}},
+		arm.Str(arm.R2, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitStringLength() {
+	a := rt.asm
+	rt.routine(MethodStringLength, "rt$strLen")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, strLenOff),
+		arm.Str(arm.R2, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitStringEquals() {
+	a := rt.asm
+	rt.routine(MethodStringEquals, "rt$strEq")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, strLenOff),
+		arm.Ldr(arm.R3, arm.R1, strLenOff),
+		arm.Cmp(arm.R2, arm.R3),
+	)
+	a.B(arm.NE, "rt$strEq$ne")
+	a.Emit(
+		arm.AddImm(arm.R0, arm.R0, strCharsOff),
+		arm.AddImm(arm.R1, arm.R1, strCharsOff),
+		arm.MovImm(arm.R9, 0),  // byte offset
+		arm.MovImm(arm.R10, 0), // index
+		arm.CmpImm(arm.R2, 0),
+	)
+	a.B(arm.EQ, "rt$strEq$eq")
+	a.Label("rt$strEq$loop")
+	a.Emit(
+		arm.LdrhReg(arm.R11, arm.R0, arm.R9),
+		arm.LdrhReg(arm.R12, arm.R1, arm.R9),
+		arm.Cmp(arm.R11, arm.R12),
+	)
+	a.B(arm.NE, "rt$strEq$ne")
+	a.Emit(
+		arm.AddImm(arm.R9, arm.R9, 2),
+		arm.AddImm(arm.R10, arm.R10, 1),
+		arm.Cmp(arm.R10, arm.R2),
+	)
+	a.B(arm.LT, "rt$strEq$loop")
+	a.Label("rt$strEq$eq")
+	a.Emit(arm.MovImm(arm.R0, 1))
+	a.B(arm.AL, "rt$strEq$store")
+	a.Label("rt$strEq$ne")
+	a.Emit(arm.MovImm(arm.R0, 0))
+	a.Label("rt$strEq$store")
+	a.Emit(
+		arm.Str(arm.R0, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitParseInt() {
+	a := rt.asm
+	rt.routine(MethodParseInt, "rt$parseInt")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, strLenOff),
+		arm.AddImm(arm.R0, arm.R0, strCharsOff),
+		arm.MovImm(arm.R9, 0),  // acc
+		arm.MovImm(arm.R10, 0), // index
+		arm.MovImm(arm.R11, 0), // byte offset
+	)
+	a.Label("rt$parseInt$loop")
+	a.Emit(arm.Cmp(arm.R10, arm.R2))
+	a.B(arm.GE, "rt$parseInt$done")
+	a.Emit(
+		arm.LdrhReg(arm.R3, arm.R0, arm.R11),
+		arm.SubImm(arm.R3, arm.R3, '0'),
+		arm.AddShift(arm.R12, arm.R9, arm.R9, arm.ShiftLSL, 2), // 5*acc
+		arm.MovShift(arm.R9, arm.R12, arm.ShiftLSL, 1),         // 10*acc
+		arm.Add(arm.R9, arm.R9, arm.R3),
+		arm.AddImm(arm.R10, arm.R10, 1),
+		arm.AddImm(arm.R11, arm.R11, 2),
+	)
+	a.B(arm.AL, "rt$parseInt$loop")
+	a.Label("rt$parseInt$done")
+	a.Emit(
+		arm.Str(arm.R9, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+func (rt *Runtime) emitArraycopyChar() {
+	a := rt.asm
+	rt.routine(MethodArraycopyChar, "rt$arraycopyChar")
+	a.Emit(
+		arm.AddImm(arm.R9, arm.R0, arrDataOff),
+		arm.AddImm(arm.R10, arm.R1, arrDataOff),
+		arm.MovImm(arm.R11, 0),
+		arm.MovImm(arm.R12, 0),
+		arm.CmpImm(arm.R2, 0),
+	)
+	a.B(arm.LE, "rt$arraycopyChar$done")
+	a.Label("rt$arraycopyChar$loop")
+	a.Emit(
+		arm.LdrhReg(arm.R3, arm.R9, arm.R12),
+		arm.AddsImm(arm.R11, arm.R11, 1),
+		arm.StrhReg(arm.R3, arm.R10, arm.R12),
+		arm.AddsImm(arm.R12, arm.R12, 2),
+		arm.Cmp(arm.R11, arm.R2),
+	)
+	a.B(arm.LT, "rt$arraycopyChar$loop")
+	a.Label("rt$arraycopyChar$done")
+	a.Emit(arm.BxLR())
+}
+
+// emitSlowCopy is the §4.2 evasion attack: a JNI-style native copy that
+// inserts EvasionGap dummy instructions between each character load and
+// its store, pushing the flow outside any realistic tainting window.
+func (rt *Runtime) emitSlowCopy() {
+	a := rt.asm
+	rt.routine(MethodSlowCopy, "rt$slowCopy")
+	a.Emit(
+		arm.Ldr(arm.R1, arm.R0, strLenOff),
+		arm.Bridge(bridgeAllocString), // r2 = fresh String of r1 chars
+		arm.AddImm(arm.R9, arm.R0, strCharsOff),
+		arm.AddImm(arm.R10, arm.R2, strCharsOff),
+		arm.MovImm(arm.R11, 0),
+		arm.MovImm(arm.R12, 0),
+		arm.CmpImm(arm.R1, 0),
+	)
+	a.B(arm.EQ, "rt$slowCopy$done")
+	a.Label("rt$slowCopy$loop")
+	a.Emit(arm.LdrhReg(arm.R3, arm.R9, arm.R12))
+	for i := 0; i < EvasionGap; i++ {
+		// Dummy computation the compiler failed to optimize out; the
+		// character survives in r3.
+		a.Emit(arm.EorImm(arm.R0, arm.R3, int32(i&0xff)))
+	}
+	a.Emit(
+		arm.StrhReg(arm.R3, arm.R10, arm.R12),
+		arm.AddsImm(arm.R11, arm.R11, 1),
+		arm.AddsImm(arm.R12, arm.R12, 2),
+		arm.Cmp(arm.R11, arm.R1),
+	)
+	a.B(arm.LT, "rt$slowCopy$loop")
+	a.Label("rt$slowCopy$done")
+	a.Emit(
+		arm.Str(arm.R2, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}

@@ -1,0 +1,169 @@
+package jrt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dalvik"
+)
+
+func TestInsertChar(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		for _, c := range "pift" {
+			m.Const16(1, int32(c))
+			m.InvokeVirtual(MethodInsertChar, 0, 1)
+			m.MoveResultObject(0)
+		}
+		m.InvokeVirtual(MethodToString, 0)
+		m.MoveResultObject(2)
+		m.SputObject(2, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "pift" {
+		t.Fatalf("insertChar chain = %q", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		m.ConstString(1, "stale content")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.InvokeVirtual(MethodReset, 0)
+		m.MoveResultObject(0)
+		m.ConstString(1, "fresh")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.InvokeVirtual(MethodToString, 0)
+		m.MoveResultObject(2)
+		m.SputObject(2, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "fresh" {
+		t.Fatalf("after reset = %q", got)
+	}
+}
+
+func TestMixedAppendKinds(t *testing.T) {
+	// Interleave string, char, int, and insert appends in one builder.
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		m.ConstString(1, "v=")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.Const(2, 42)
+		m.InvokeVirtual(MethodAppendInt, 0, 2)
+		m.MoveResultObject(0)
+		m.Const16(2, ';')
+		m.InvokeVirtual(MethodAppendChar, 0, 2)
+		m.MoveResultObject(0)
+		m.Const16(2, '!')
+		m.InvokeVirtual(MethodInsertChar, 0, 2)
+		m.MoveResultObject(0)
+		m.InvokeVirtual(MethodToString, 0)
+		m.MoveResultObject(3)
+		m.SputObject(3, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "v=42;!" {
+		t.Fatalf("mixed appends = %q", got)
+	}
+}
+
+func TestSlowCopyEmptyString(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.ConstString(0, "")
+		m.InvokeStatic(MethodSlowCopy, 0)
+		m.MoveResultObject(1)
+		m.SputObject(1, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	ref := f.machine.Mem.Load32(dalvik.StaticAddr(0))
+	if ref == 0 {
+		t.Fatal("slowCopy of empty string returned null")
+	}
+	if got := f.rt.ReadString(ref); got != "" {
+		t.Fatalf("slowCopy empty = %q", got)
+	}
+}
+
+func TestBuilderReadAccessors(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		m.ConstString(1, "peek")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.SputObject(0, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	ref := f.machine.Mem.Load32(dalvik.StaticAddr(0))
+	if got := f.rt.ReadBuilder(ref); got != "peek" {
+		t.Fatalf("ReadBuilder = %q", got)
+	}
+}
+
+func TestExternNamesRegistered(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 4, 0)
+		m.Const4(0, 0)
+		m.Sput(0, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	externs := f.rt.Externs()
+	for _, name := range []string{
+		MethodBuilderNew, MethodAppend, MethodAppendChar, MethodAppendInt,
+		MethodToString, MethodCharAt, MethodStringLength, MethodStringEquals,
+		MethodParseInt, MethodArraycopyChar, MethodSlowCopy, MethodInsertChar,
+		MethodReset, dalvik.ExternAlloc, dalvik.ExternAllocArray,
+		dalvik.ExternIDiv, dalvik.ExternIRem,
+	} {
+		if !externs[name] {
+			t.Errorf("extern %q not registered", name)
+		}
+	}
+	for name := range externs {
+		if strings.Contains(name, "$") {
+			t.Errorf("label leaked as extern name: %q", name)
+		}
+	}
+}
+
+func TestDuplicateExternPanics(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 4, 0)
+		m.Const4(0, 0)
+		m.Sput(0, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate extern registration must panic")
+		}
+	}()
+	f.rt.RegisterExtern(MethodAppend, "dup")
+}

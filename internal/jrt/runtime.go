@@ -1,0 +1,223 @@
+// Package jrt is the Java-ish runtime the translated applications run on:
+// a bump-allocated heap of Strings, StringBuilders, arrays and plain
+// objects, plus the native intrinsic routines (string copy loops, number
+// formatting, ABI division helpers) whose load→store shapes drive the
+// paper's results — the Figure 1 copy loop most of all.
+//
+// Work that the real platform performs outside the traced CPU data path
+// (allocation, zeroing) goes through host bridges; everything that moves
+// character or integer *data* is real native code executed by the CPU, so
+// the taint trackers see it.
+package jrt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arm"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/mem"
+)
+
+// Object layout offsets.
+const (
+	// String: [0]=char count, chars at +4, two bytes per char (as in
+	// Java; the paper's footnote 1 leans on this).
+	strLenOff   = 0
+	strCharsOff = 4
+
+	// StringBuilder: [0]=char count, [4]=capacity, chars at +8.
+	sbLenOff   = 0
+	sbCapOff   = 4
+	sbCharsOff = 8
+
+	// Array: [0]=element count, elements at +4.
+	arrLenOff  = 0
+	arrDataOff = 4
+)
+
+// DefaultBuilderCap is the char capacity of a StringBuilder allocated by
+// StringBuilder.new.
+const DefaultBuilderCap = 512
+
+// Bridge IDs used by the runtime (the android framework layer uses IDs
+// from 100 up).
+const (
+	bridgeAlloc        = 1 // r0 = size → r0 = address
+	bridgeAllocArray   = 2 // r0 = length, r1 = elem size → r0 = address
+	bridgeAllocString  = 3 // r1 = char count → r2 = address
+	bridgeAllocBuilder = 4 // → r0 = address (DefaultBuilderCap)
+)
+
+// Runtime owns the simulated heap and the native intrinsic routines. It
+// implements dalvik.Runtime so the translator can resolve interned strings
+// and external method entries.
+type Runtime struct {
+	machine  *cpu.Machine
+	asm      *arm.Assembler
+	heapNext mem.Addr
+	interned map[string]mem.Addr
+	externs  map[string]string
+}
+
+var _ dalvik.Runtime = (*Runtime)(nil)
+
+// New creates the runtime, registers its host bridges on the machine, and
+// emits the intrinsic routines into the assembler (so apps translated
+// afterwards can BL to them).
+func New(machine *cpu.Machine, asm *arm.Assembler) *Runtime {
+	rt := &Runtime{
+		machine:  machine,
+		asm:      asm,
+		heapNext: dalvik.HeapBase,
+		interned: make(map[string]mem.Addr),
+		externs:  make(map[string]string),
+	}
+	rt.registerBridges()
+	rt.emitIntrinsics()
+	return rt
+}
+
+// Alloc reserves size bytes on the heap (8-byte aligned), zeroed by
+// construction (fresh memory reads as zero).
+func (rt *Runtime) Alloc(size uint32) mem.Addr {
+	addr := rt.heapNext
+	rt.heapNext += mem.Addr(size+7) &^ 7
+	return addr
+}
+
+// HeapUsed reports the bytes allocated so far.
+func (rt *Runtime) HeapUsed() uint64 { return uint64(rt.heapNext - dalvik.HeapBase) }
+
+// NewString allocates a String object and pokes its characters directly
+// (host write: invisible to the trackers, like a kernel copy).
+func (rt *Runtime) NewString(s string) mem.Addr {
+	runes := []rune(s)
+	addr := rt.Alloc(uint32(strCharsOff + 2*len(runes)))
+	rt.machine.Mem.Store32(addr+strLenOff, uint32(len(runes)))
+	for i, r := range runes {
+		rt.machine.Mem.Store16(addr+strCharsOff+mem.Addr(2*i), uint16(r))
+	}
+	return addr
+}
+
+// NewEmptyString allocates a String of n chars with the length set and the
+// payload zeroed.
+func (rt *Runtime) NewEmptyString(n uint32) mem.Addr {
+	addr := rt.Alloc(strCharsOff + 2*n)
+	rt.machine.Mem.Store32(addr+strLenOff, n)
+	return addr
+}
+
+// NewBuilder allocates a StringBuilder with the given char capacity.
+func (rt *Runtime) NewBuilder(capacity uint32) mem.Addr {
+	addr := rt.Alloc(sbCharsOff + 2*capacity)
+	rt.machine.Mem.Store32(addr+sbLenOff, 0)
+	rt.machine.Mem.Store32(addr+sbCapOff, capacity)
+	return addr
+}
+
+// NewArray allocates an array of count elements of elemSize bytes.
+func (rt *Runtime) NewArray(count, elemSize uint32) mem.Addr {
+	addr := rt.Alloc(arrDataOff + count*elemSize)
+	rt.machine.Mem.Store32(addr+arrLenOff, count)
+	return addr
+}
+
+// StringLen reads a String's char count.
+func (rt *Runtime) StringLen(addr mem.Addr) uint32 {
+	return rt.machine.Mem.Load32(addr + strLenOff)
+}
+
+// ReadString decodes a String object back into a Go string.
+func (rt *Runtime) ReadString(addr mem.Addr) string {
+	if addr == 0 {
+		return ""
+	}
+	n := rt.StringLen(addr)
+	var b strings.Builder
+	for i := uint32(0); i < n; i++ {
+		b.WriteRune(rune(rt.machine.Mem.Load16(addr + strCharsOff + mem.Addr(2*i))))
+	}
+	return b.String()
+}
+
+// StringChars returns the address range of a String's character payload —
+// what PIFT Native computes for source registration and sink checks
+// ("it simply obtains the pointer to the data using JNI").
+func (rt *Runtime) StringChars(addr mem.Addr) (mem.Range, bool) {
+	n := rt.StringLen(addr)
+	if n == 0 {
+		return mem.Range{}, false
+	}
+	return mem.MakeRange(addr+strCharsOff, 2*n), true
+}
+
+// ReadBuilder decodes a StringBuilder's current content.
+func (rt *Runtime) ReadBuilder(addr mem.Addr) string {
+	n := rt.machine.Mem.Load32(addr + sbLenOff)
+	var b strings.Builder
+	for i := uint32(0); i < n; i++ {
+		b.WriteRune(rune(rt.machine.Mem.Load16(addr + sbCharsOff + mem.Addr(2*i))))
+	}
+	return b.String()
+}
+
+// InternString implements dalvik.Runtime: string literals are materialized
+// once, at link time.
+func (rt *Runtime) InternString(s string) mem.Addr {
+	if addr, ok := rt.interned[s]; ok {
+		return addr
+	}
+	addr := rt.NewString(s)
+	rt.interned[s] = addr
+	return addr
+}
+
+// ExternEntry implements dalvik.Runtime.
+func (rt *Runtime) ExternEntry(name string) (string, bool) {
+	label, ok := rt.externs[name]
+	return label, ok
+}
+
+// RegisterExtern binds an external method name to a native label; the
+// framework layer (internal/android) adds its methods through this.
+func (rt *Runtime) RegisterExtern(name, label string) {
+	if _, dup := rt.externs[name]; dup {
+		panic(fmt.Sprintf("jrt: duplicate extern %q", name))
+	}
+	rt.externs[name] = label
+}
+
+// Externs returns the sorted names of all registered external methods;
+// program validation uses it.
+func (rt *Runtime) Externs() map[string]bool {
+	out := make(map[string]bool, len(rt.externs))
+	for name := range rt.externs {
+		out[name] = true
+	}
+	return out
+}
+
+// Machine returns the machine this runtime is bound to.
+func (rt *Runtime) Machine() *cpu.Machine { return rt.machine }
+
+// Asm returns the shared assembler.
+func (rt *Runtime) Asm() *arm.Assembler { return rt.asm }
+
+func (rt *Runtime) registerBridges() {
+	m := rt.machine
+	m.RegisterBridge(bridgeAlloc, func(_ *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = rt.Alloc(p.State.R[arm.R0])
+	})
+	m.RegisterBridge(bridgeAllocArray, func(_ *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = rt.NewArray(p.State.R[arm.R0], p.State.R[arm.R1])
+	})
+	m.RegisterBridge(bridgeAllocString, func(_ *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R2] = rt.NewEmptyString(p.State.R[arm.R1])
+	})
+	m.RegisterBridge(bridgeAllocBuilder, func(_ *cpu.Machine, p *cpu.Proc) {
+		p.State.R[arm.R0] = rt.NewBuilder(DefaultBuilderCap)
+	})
+}

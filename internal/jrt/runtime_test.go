@@ -1,0 +1,334 @@
+package jrt
+
+import (
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+)
+
+// fixture links a program against a fresh machine+runtime and runs it.
+type fixture struct {
+	machine *cpu.Machine
+	rt      *Runtime
+}
+
+func runApp(t *testing.T, build func(b *dalvik.Builder)) *fixture {
+	t.Helper()
+	machine := cpu.NewMachine()
+	asm := arm.NewAssembler(dalvik.CodeBase)
+	rt := New(machine, asm)
+
+	b := dalvik.NewProgram("test")
+	build(b)
+	prog, err := b.Build(rt.Externs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dalvik.Translate(prog, asm, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := asm.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Materialize(machine.Mem)
+	entry, _ := asm.LabelAddr(tr.EntryLabel)
+	proc := cpu.NewProc(1, &cpu.Image{Base: dalvik.CodeBase, Code: code}, entry)
+	if _, err := machine.Run(proc, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{machine: machine, rt: rt}
+}
+
+// staticString reads a string whose reference was sput to static slot 0.
+func (f *fixture) staticString(t *testing.T) string {
+	t.Helper()
+	ref := f.machine.Mem.Load32(dalvik.StaticAddr(0))
+	if ref == 0 {
+		t.Fatal("static slot 0 holds no reference")
+	}
+	return f.rt.ReadString(ref)
+}
+
+func (f *fixture) staticInt() uint32 {
+	return f.machine.Mem.Load32(dalvik.StaticAddr(0))
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	machine := cpu.NewMachine()
+	rt := New(machine, arm.NewAssembler(dalvik.CodeBase))
+	addr := rt.NewString("predictive πφτ tracking")
+	if got := rt.ReadString(addr); got != "predictive πφτ tracking" {
+		t.Fatalf("round trip = %q", got)
+	}
+	if rt.StringLen(addr) != 23 {
+		t.Fatalf("len = %d", rt.StringLen(addr))
+	}
+	r, ok := rt.StringChars(addr)
+	if !ok || r.Size() != 46 {
+		t.Fatalf("chars range = %v %v", r, ok)
+	}
+}
+
+func TestInterningDeduplicates(t *testing.T) {
+	machine := cpu.NewMachine()
+	rt := New(machine, arm.NewAssembler(dalvik.CodeBase))
+	a := rt.InternString("dup")
+	b := rt.InternString("dup")
+	if a != b {
+		t.Fatal("interned string allocated twice")
+	}
+}
+
+func TestAppendAndToString(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		m.ConstString(1, "hello, ")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.ConstString(1, "world")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.InvokeVirtual(MethodToString, 0)
+		m.MoveResultObject(2)
+		m.SputObject(2, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "hello, world" {
+		t.Fatalf("append result = %q", got)
+	}
+}
+
+func TestAppendEmptyString(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		m.ConstString(1, "")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.ConstString(1, "x")
+		m.InvokeVirtual(MethodAppend, 0, 1)
+		m.MoveResultObject(0)
+		m.InvokeVirtual(MethodToString, 0)
+		m.MoveResultObject(2)
+		m.SputObject(2, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "x" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestAppendChar(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.InvokeStatic(MethodBuilderNew)
+		m.MoveResultObject(0)
+		m.Const16(1, 'G')
+		m.InvokeVirtual(MethodAppendChar, 0, 1)
+		m.MoveResultObject(0)
+		m.Const16(1, 'o')
+		m.InvokeVirtual(MethodAppendChar, 0, 1)
+		m.MoveResultObject(0)
+		m.InvokeVirtual(MethodToString, 0)
+		m.MoveResultObject(2)
+		m.SputObject(2, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "Go" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestAppendInt(t *testing.T) {
+	for _, tc := range []struct {
+		value int32
+		want  string
+	}{
+		{0, "0"}, {7, "7"}, {10, "10"}, {42, "42"}, {1999, "1999"},
+		{37421, "37421"}, {122084, "122084"}, {1000001, "1000001"},
+	} {
+		f := runApp(t, func(b *dalvik.Builder) {
+			b.Statics("out")
+			m := b.Method("Main.main", 6, 0)
+			m.InvokeStatic(MethodBuilderNew)
+			m.MoveResultObject(0)
+			m.Const(1, tc.value)
+			m.InvokeVirtual(MethodAppendInt, 0, 1)
+			m.MoveResultObject(0)
+			m.InvokeVirtual(MethodToString, 0)
+			m.MoveResultObject(2)
+			m.SputObject(2, "out")
+			m.ReturnVoid()
+			b.Entry("Main.main")
+		})
+		if got := f.staticString(t); got != tc.want {
+			t.Errorf("appendInt(%d) = %q, want %q", tc.value, got, tc.want)
+		}
+	}
+}
+
+func TestCharAtAndLength(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.ConstString(0, "abcdef")
+		m.Const4(1, 3)
+		m.InvokeVirtual(MethodCharAt, 0, 1)
+		m.MoveResult(2)
+		m.InvokeVirtual(MethodStringLength, 0)
+		m.MoveResult(3)
+		m.Binop(dalvik.OpShlInt, 3, 3, 1) // len << 3 = 48
+		m.Binop(dalvik.OpAddInt, 2, 2, 3) // 'd' + 48 = 148
+		m.Sput(2, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticInt(); got != 'd'+48 {
+		t.Fatalf("charAt/length combo = %d, want %d", got, 'd'+48)
+	}
+}
+
+func TestStringEquals(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want uint32
+	}{
+		{"same", "same", 1},
+		{"same", "Same", 0},
+		{"short", "longer", 0},
+		{"", "", 1},
+	} {
+		f := runApp(t, func(b *dalvik.Builder) {
+			b.Statics("out")
+			m := b.Method("Main.main", 6, 0)
+			m.ConstString(0, tc.a)
+			m.ConstString(1, tc.b)
+			m.InvokeVirtual(MethodStringEquals, 0, 1)
+			m.MoveResult(2)
+			m.Sput(2, "out")
+			m.ReturnVoid()
+			b.Entry("Main.main")
+		})
+		if got := f.staticInt(); got != tc.want {
+			t.Errorf("equals(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.ConstString(0, "35693")
+		m.InvokeStatic(MethodParseInt, 0)
+		m.MoveResult(1)
+		m.Sput(1, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticInt(); got != 35693 {
+		t.Fatalf("parseInt = %d", got)
+	}
+}
+
+func TestDivisionHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		a, b int32
+		div  uint32
+		rem  uint32
+	}{
+		{100, 7, 14, 2},
+		{35, 5, 7, 0},
+		{3, 10, 0, 3},
+		{123456, 1000, 123, 456},
+	} {
+		f := runApp(t, func(b *dalvik.Builder) {
+			b.Statics("q", "r")
+			m := b.Method("Main.main", 6, 0)
+			m.Const(0, tc.a)
+			m.Const(1, tc.b)
+			m.Binop(dalvik.OpDivInt, 2, 0, 1)
+			m.Binop(dalvik.OpRemInt, 3, 0, 1)
+			m.Sput(2, "q")
+			m.Sput(3, "r")
+			m.ReturnVoid()
+			b.Entry("Main.main")
+		})
+		if q := f.machine.Mem.Load32(dalvik.StaticAddr(0)); q != tc.div {
+			t.Errorf("%d/%d = %d, want %d", tc.a, tc.b, q, tc.div)
+		}
+		if r := f.machine.Mem.Load32(dalvik.StaticAddr(1)); r != tc.rem {
+			t.Errorf("%d%%%d = %d, want %d", tc.a, tc.b, r, tc.rem)
+		}
+	}
+}
+
+func TestArraycopyChar(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 8, 0)
+		m.Const4(0, 4)
+		m.NewCharArray(1, 0) // src
+		m.NewCharArray(2, 0) // dst
+		// Fill src with 'a'..'d'.
+		m.Const4(3, 0)
+		m.Label("fill")
+		m.Const16(4, 'a')
+		m.Binop(dalvik.OpAddInt, 4, 4, 3)
+		m.AputChar(4, 1, 3)
+		m.AddIntLit8(3, 3, 1)
+		m.If(dalvik.OpIfLt, 3, 0, "fill")
+		m.InvokeStatic(MethodArraycopyChar, 1, 2, 0)
+		// Read dst[2] = 'c'.
+		m.Const4(3, 2)
+		m.AgetChar(5, 2, 3)
+		m.Sput(5, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticInt(); got != 'c' {
+		t.Fatalf("arraycopy dst[2] = %d, want %d", got, 'c')
+	}
+}
+
+func TestSlowCopyPreservesContent(t *testing.T) {
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 6, 0)
+		m.ConstString(0, "covert")
+		m.InvokeStatic(MethodSlowCopy, 0)
+		m.MoveResultObject(1)
+		m.SputObject(1, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticString(t); got != "covert" {
+		t.Fatalf("slowCopy = %q", got)
+	}
+}
+
+func TestHeapAllocationAlignment(t *testing.T) {
+	machine := cpu.NewMachine()
+	rt := New(machine, arm.NewAssembler(dalvik.CodeBase))
+	a := rt.Alloc(3)
+	b := rt.Alloc(5)
+	if a%8 != 0 || b%8 != 0 {
+		t.Fatalf("allocations not 8-byte aligned: %#x %#x", a, b)
+	}
+	if b <= a {
+		t.Fatal("bump allocator did not advance")
+	}
+}

@@ -1,0 +1,129 @@
+package jrt
+
+import (
+	"repro/internal/arm"
+	"repro/internal/dalvik"
+)
+
+// Additional String intrinsics: substring, indexOf, and hashCode. Like the
+// core set they are real native routines — substring is another Figure 1
+// copy loop (distance 2), indexOf and hashCode scan characters without
+// producing carrying stores until their final result write.
+const (
+	// MethodSubstring is String.substring(str, begin, end) → String.
+	MethodSubstring = "String.substring"
+	// MethodIndexOf is String.indexOf(str, char) → index or -1.
+	MethodIndexOf = "String.indexOf"
+	// MethodHashCode is String.hashCode(str) → int (the Java h*31+c hash).
+	MethodHashCode = "String.hashCode"
+)
+
+func (rt *Runtime) emitStringExtras() {
+	rt.emitSubstring()
+	rt.emitIndexOf()
+	rt.emitHashCode()
+}
+
+// emitSubstring: r0=str, r1=begin, r2=end (exclusive) → new String.
+// Characters are copied with the Figure 1 loop, so a tainted source
+// substring stays tainted at any NI >= 2.
+func (rt *Runtime) emitSubstring() {
+	a := rt.asm
+	rt.routine(MethodSubstring, "rt$substring")
+	a.Emit(
+		arm.Sub(arm.R3, arm.R2, arm.R1), // length = end - begin
+		arm.Mov(arm.R9, arm.R1),         // save begin (bridge uses r1)
+		arm.Mov(arm.R1, arm.R3),
+		arm.Bridge(bridgeAllocString), // r2 = fresh String of r1 chars
+		arm.Mov(arm.R1, arm.R3),       // length back in r1
+		arm.CmpImm(arm.R1, 0),
+	)
+	a.B(arm.LE, "rt$substring$done")
+	a.Emit(
+		// src = str chars + 2*begin; dst = new chars.
+		arm.AddImm(arm.R10, arm.R0, strCharsOff),
+		arm.AddShift(arm.R10, arm.R10, arm.R9, arm.ShiftLSL, 1),
+		arm.AddImm(arm.R11, arm.R2, strCharsOff),
+		arm.MovImm(arm.R9, 0),  // i
+		arm.MovImm(arm.R12, 0), // byte offset
+	)
+	a.Label("rt$substring$loop")
+	a.Emit(
+		arm.LdrhReg(arm.R3, arm.R10, arm.R12), // Fig. 1 shape
+		arm.AddsImm(arm.R9, arm.R9, 1),
+		arm.StrhReg(arm.R3, arm.R11, arm.R12),
+		arm.AddsImm(arm.R12, arm.R12, 2),
+		arm.Cmp(arm.R9, arm.R1),
+	)
+	a.B(arm.LT, "rt$substring$loop")
+	a.Label("rt$substring$done")
+	a.Emit(
+		arm.Str(arm.R2, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+// emitIndexOf: r0=str, r1=char → first index or -1.
+func (rt *Runtime) emitIndexOf() {
+	a := rt.asm
+	rt.routine(MethodIndexOf, "rt$indexOf")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, strLenOff),
+		arm.AddImm(arm.R9, arm.R0, strCharsOff),
+		arm.MovImm(arm.R10, 0), // index
+		arm.MovImm(arm.R11, 0), // byte offset
+	)
+	a.Label("rt$indexOf$loop")
+	a.Emit(arm.Cmp(arm.R10, arm.R2))
+	a.B(arm.GE, "rt$indexOf$miss")
+	a.Emit(
+		arm.LdrhReg(arm.R3, arm.R9, arm.R11),
+		arm.Cmp(arm.R3, arm.R1),
+	)
+	a.B(arm.EQ, "rt$indexOf$hit")
+	a.Emit(
+		arm.AddImm(arm.R10, arm.R10, 1),
+		arm.AddImm(arm.R11, arm.R11, 2),
+	)
+	a.B(arm.AL, "rt$indexOf$loop")
+	a.Label("rt$indexOf$miss")
+	a.Emit(arm.MovImm(arm.R10, -1))
+	a.Label("rt$indexOf$hit")
+	a.Emit(
+		arm.Str(arm.R10, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}
+
+// emitHashCode: r0=str → Java string hash (h = h*31 + c). The hash value
+// is data-derived, so a tainted string hashes to a tainted retval when a
+// window spans the final character load and the result store.
+func (rt *Runtime) emitHashCode() {
+	a := rt.asm
+	rt.routine(MethodHashCode, "rt$hashCode")
+	a.Emit(
+		arm.Ldr(arm.R2, arm.R0, strLenOff),
+		arm.AddImm(arm.R9, arm.R0, strCharsOff),
+		arm.MovImm(arm.R10, 0), // h
+		arm.MovImm(arm.R11, 0), // i
+		arm.MovImm(arm.R12, 0), // byte offset
+	)
+	a.Label("rt$hashCode$loop")
+	a.Emit(arm.Cmp(arm.R11, arm.R2))
+	a.B(arm.GE, "rt$hashCode$done")
+	a.Emit(
+		arm.LdrhReg(arm.R3, arm.R9, arm.R12),
+		// h = h*31 + c  =  (h<<5) - h + c.
+		arm.Instr{Op: arm.OpRSB, Rd: arm.R10, Rn: arm.R10, Rm: arm.R10,
+			Shift: arm.Shift{Kind: arm.ShiftLSL, Amount: 5}},
+		arm.Add(arm.R10, arm.R10, arm.R3),
+		arm.AddImm(arm.R11, arm.R11, 1),
+		arm.AddImm(arm.R12, arm.R12, 2),
+	)
+	a.B(arm.AL, "rt$hashCode$loop")
+	a.Label("rt$hashCode$done")
+	a.Emit(
+		arm.Str(arm.R10, rSELF, dalvik.RetvalOffset),
+		arm.BxLR(),
+	)
+}

@@ -1,0 +1,120 @@
+package jrt
+
+import (
+	"testing"
+
+	"repro/internal/dalvik"
+)
+
+func TestSubstring(t *testing.T) {
+	for _, tc := range []struct {
+		s          string
+		begin, end int32
+		want       string
+	}{
+		{"predictive", 0, 4, "pred"},
+		{"predictive", 3, 10, "dictive"},
+		{"predictive", 5, 5, ""},
+		{"x", 0, 1, "x"},
+	} {
+		f := runApp(t, func(b *dalvik.Builder) {
+			b.Statics("out")
+			m := b.Method("Main.main", 6, 0)
+			m.ConstString(0, tc.s)
+			m.Const(1, tc.begin)
+			m.Const(2, tc.end)
+			m.InvokeVirtual(MethodSubstring, 0, 1, 2)
+			m.MoveResultObject(3)
+			m.SputObject(3, "out")
+			m.ReturnVoid()
+			b.Entry("Main.main")
+		})
+		ref := f.machine.Mem.Load32(dalvik.StaticAddr(0))
+		if got := f.rt.ReadString(ref); got != tc.want {
+			t.Errorf("substring(%q,%d,%d) = %q, want %q", tc.s, tc.begin, tc.end, got, tc.want)
+		}
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		c    int32
+		want int32
+	}{
+		{"hello", 'l', 2},
+		{"hello", 'h', 0},
+		{"hello", 'o', 4},
+		{"hello", 'z', -1},
+		{"", 'a', -1},
+	} {
+		f := runApp(t, func(b *dalvik.Builder) {
+			b.Statics("out")
+			m := b.Method("Main.main", 6, 0)
+			m.ConstString(0, tc.s)
+			m.Const(1, tc.c)
+			m.InvokeVirtual(MethodIndexOf, 0, 1)
+			m.MoveResult(2)
+			m.Sput(2, "out")
+			m.ReturnVoid()
+			b.Entry("Main.main")
+		})
+		if got := int32(f.staticInt()); got != tc.want {
+			t.Errorf("indexOf(%q,%q) = %d, want %d", tc.s, tc.c, got, tc.want)
+		}
+	}
+}
+
+// javaHash is the reference Java string hash.
+func javaHash(s string) int32 {
+	var h int32
+	for _, c := range s {
+		h = h*31 + int32(c)
+	}
+	return h
+}
+
+func TestHashCode(t *testing.T) {
+	for _, s := range []string{"", "a", "hello", "356938035643809", "type=sms&imei="} {
+		f := runApp(t, func(b *dalvik.Builder) {
+			b.Statics("out")
+			m := b.Method("Main.main", 6, 0)
+			m.ConstString(0, s)
+			m.InvokeVirtual(MethodHashCode, 0)
+			m.MoveResult(1)
+			m.Sput(1, "out")
+			m.ReturnVoid()
+			b.Entry("Main.main")
+		})
+		if got := int32(f.staticInt()); got != javaHash(s) {
+			t.Errorf("hashCode(%q) = %d, want %d", s, got, javaHash(s))
+		}
+	}
+}
+
+func TestSubstringChainsTaintlessly(t *testing.T) {
+	// Pipeline: substring of a substring, then indexOf on the result —
+	// the intrinsics compose.
+	f := runApp(t, func(b *dalvik.Builder) {
+		b.Statics("out")
+		m := b.Method("Main.main", 8, 0)
+		m.ConstString(0, "information-flow")
+		m.Const4(1, 0)
+		m.Const16(2, 11)
+		m.InvokeVirtual(MethodSubstring, 0, 1, 2) // "information"
+		m.MoveResultObject(3)
+		m.Const4(1, 2)
+		m.Const4(2, 6)
+		m.InvokeVirtual(MethodSubstring, 3, 1, 2) // "form"
+		m.MoveResultObject(3)
+		m.Const16(4, 'r')
+		m.InvokeVirtual(MethodIndexOf, 3, 4)
+		m.MoveResult(5)
+		m.Sput(5, "out")
+		m.ReturnVoid()
+		b.Entry("Main.main")
+	})
+	if got := f.staticInt(); got != 2 {
+		t.Fatalf("chained substring/indexOf = %d, want 2", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package kernel models the Linux-kernel layer of the paper's Figure 3:
+// the PIFT Module that "interacts with the PIFT Hardware Module to register
+// sensitive data's address ranges and make taint queries for check
+// requests. Upon detecting any taint associated with the given address
+// range, it may generate an event to the upper layer to inform of the
+// potential leakage."
+//
+// The module owns a tracker (the hardware model), consumes the front-end
+// event stream, maintains a process table, and raises leak events to a
+// registered handler. It also exposes the deferred-analysis mode the
+// paper's introduction sketches: "the load–store stream is buffered for
+// delayed processing at a more convenient time (while trading prevention
+// for detection, of course)".
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// LeakEvent is the notification the module sends to the upper layer when a
+// sink check finds tainted data.
+type LeakEvent struct {
+	PID  uint32
+	Seq  uint64
+	Tag  int
+	Proc string // process name, if registered
+}
+
+// ProcInfo is one process-table entry with per-process accounting.
+type ProcInfo struct {
+	PID     uint32
+	Name    string
+	Sources int
+	Sinks   int
+	Leaks   int
+}
+
+// Module is the kernel-side driver of the PIFT hardware.
+type Module struct {
+	tracker *core.Tracker
+	onLeak  func(LeakEvent)
+	procs   map[uint32]*ProcInfo
+	nextPID uint32
+}
+
+// New builds a module around a fresh tracker with the given configuration
+// and hardware taint store (nil store = unbounded). onLeak may be nil.
+func New(cfg core.Config, store core.Store, onLeak func(LeakEvent)) *Module {
+	return &Module{
+		tracker: core.NewTracker(cfg, store),
+		onLeak:  onLeak,
+		procs:   make(map[uint32]*ProcInfo),
+		nextPID: 1,
+	}
+}
+
+// Tracker exposes the underlying hardware model.
+func (m *Module) Tracker() *core.Tracker { return m.tracker }
+
+// RegisterProcess allocates a PID for a named process.
+func (m *Module) RegisterProcess(name string) uint32 {
+	pid := m.nextPID
+	m.nextPID++
+	m.procs[pid] = &ProcInfo{PID: pid, Name: name}
+	return pid
+}
+
+// Processes returns the process table sorted by PID.
+func (m *Module) Processes() []ProcInfo {
+	out := make([]ProcInfo, 0, len(m.procs))
+	for _, p := range m.procs {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+func (m *Module) proc(pid uint32) *ProcInfo {
+	p := m.procs[pid]
+	if p == nil {
+		p = &ProcInfo{PID: pid, Name: fmt.Sprintf("pid%d", pid)}
+		m.procs[pid] = p
+	}
+	return p
+}
+
+// Event implements cpu.EventSink: every event is forwarded to the hardware
+// model; sink checks additionally update the process table and raise leak
+// events.
+func (m *Module) Event(ev cpu.Event) {
+	before := len(m.tracker.Verdicts())
+	m.tracker.Event(ev)
+	switch ev.Kind {
+	case cpu.EvSourceRegister:
+		m.proc(ev.PID).Sources++
+	case cpu.EvSinkCheck:
+		p := m.proc(ev.PID)
+		p.Sinks++
+		verdicts := m.tracker.Verdicts()
+		if len(verdicts) > before && verdicts[len(verdicts)-1].Tainted {
+			p.Leaks++
+			if m.onLeak != nil {
+				m.onLeak(LeakEvent{PID: ev.PID, Seq: ev.Seq, Tag: ev.Tag, Proc: p.Name})
+			}
+		}
+	}
+}
+
+// Check performs a synchronous software taint query, as the framework's
+// check path does.
+func (m *Module) Check(pid uint32, r mem.Range) bool {
+	return m.tracker.Check(pid, r)
+}
+
+// ScanDeferred runs the module over a buffered event stream — the paper's
+// off-critical-path mode, where the hardware only logs the load–store
+// stream and analysis happens later. It returns the leaks found.
+func ScanDeferred(cfg core.Config, store core.Store, rec *trace.Recorder) []LeakEvent {
+	var leaks []LeakEvent
+	m := New(cfg, store, func(e LeakEvent) { leaks = append(leaks, e) })
+	rec.Replay(m)
+	return leaks
+}

@@ -1,0 +1,194 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dalvik"
+	"repro/internal/droidbench"
+	"repro/internal/jrt"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func leakApp(t *testing.T) *dalvik.Program {
+	t.Helper()
+	b := dalvik.NewProgram("leak")
+	m := b.Method("Main.main", 8, 0)
+	m.InvokeStatic(android.MethodGetDeviceID)
+	m.MoveResultObject(0)
+	m.InvokeStatic(jrt.MethodBuilderNew)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodAppend, 1, 0)
+	m.MoveResultObject(1)
+	m.InvokeVirtual(jrt.MethodToString, 1)
+	m.MoveResultObject(2)
+	m.ConstString(3, "555")
+	m.InvokeStatic(android.MethodSendSMS, 3, 2)
+	m.ReturnVoid()
+	b.Entry("Main.main")
+	prog, err := b.Build(android.KnownExterns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestLeakEventRaised(t *testing.T) {
+	var leaks []LeakEvent
+	mod := New(core.Config{NI: 13, NT: 3, Untaint: true}, nil,
+		func(e LeakEvent) { leaks = append(leaks, e) })
+	pid := mod.RegisterProcess("leaky.apk")
+	if _, err := android.Run(leakApp(t), android.RunOptions{
+		PID:   pid,
+		Sinks: []cpu.EventSink{mod},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(leaks) != 1 {
+		t.Fatalf("leak events = %d, want 1", len(leaks))
+	}
+	if leaks[0].Proc != "leaky.apk" || leaks[0].PID != pid {
+		t.Fatalf("leak event = %+v", leaks[0])
+	}
+	procs := mod.Processes()
+	if len(procs) != 1 || procs[0].Leaks != 1 || procs[0].Sources != 1 || procs[0].Sinks != 1 {
+		t.Fatalf("process table = %+v", procs)
+	}
+}
+
+func TestNoLeakEventForBenign(t *testing.T) {
+	var leaks []LeakEvent
+	mod := New(core.Config{NI: 20, NT: 10, Untaint: true}, nil,
+		func(e LeakEvent) { leaks = append(leaks, e) })
+	for _, a := range droidbench.Suite() {
+		if a.Leaky {
+			continue
+		}
+		pid := mod.RegisterProcess(a.Name)
+		if _, err := android.Run(a.Prog, android.RunOptions{
+			PID:   pid,
+			Sinks: []cpu.EventSink{mod},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(leaks) != 0 {
+		t.Fatalf("benign apps raised %d leak events: %+v", len(leaks), leaks)
+	}
+}
+
+// TestDeferredScan exercises the off-critical-path mode: record first,
+// analyze later, same verdicts.
+func TestDeferredScan(t *testing.T) {
+	rec := trace.NewRecorder(1 << 12)
+	if _, err := android.Run(leakApp(t), android.RunOptions{
+		Sinks: []cpu.EventSink{rec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	leaks := ScanDeferred(core.Config{NI: 13, NT: 3, Untaint: true}, nil, rec)
+	if len(leaks) != 1 {
+		t.Fatalf("deferred scan found %d leaks, want 1", len(leaks))
+	}
+	// A too-small window misses the same trace.
+	leaks = ScanDeferred(core.Config{NI: 1, NT: 1, Untaint: true}, nil, rec)
+	if len(leaks) != 0 {
+		t.Fatalf("NI=1 deferred scan found %d leaks, want 0", len(leaks))
+	}
+}
+
+// TestContextSwitchIsolation interleaves a leaky and a benign process at a
+// small quantum and checks the PID tagging of Figure 6 keeps their taint
+// apart: the leaky process is still flagged, the benign one stays clean,
+// and the verdicts are identical to the un-interleaved runs.
+func TestContextSwitchIsolation(t *testing.T) {
+	leakRec := trace.NewRecorder(1 << 12)
+	if _, err := android.Run(leakApp(t), android.RunOptions{
+		PID: 1, Sinks: []cpu.EventSink{leakRec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var benign *droidbench.App
+	for _, a := range droidbench.Suite() {
+		if !a.Leaky {
+			a := a
+			benign = &a
+			break
+		}
+	}
+	benignRec := trace.NewRecorder(1 << 12)
+	if _, err := android.Run(benign.Prog, android.RunOptions{
+		PID: 2, Sinks: []cpu.EventSink{benignRec},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, quantum := range []int{1, 7, 64} {
+		merged := trace.Interleave(quantum, leakRec.Events, benignRec.Events)
+		if len(merged) != len(leakRec.Events)+len(benignRec.Events) {
+			t.Fatalf("quantum %d: interleave lost events", quantum)
+		}
+		var leaks []LeakEvent
+		mod := New(core.Config{NI: 13, NT: 3, Untaint: true}, nil,
+			func(e LeakEvent) { leaks = append(leaks, e) })
+		for _, ev := range merged {
+			mod.Event(ev)
+		}
+		if len(leaks) != 1 || leaks[0].PID != 1 {
+			t.Fatalf("quantum %d: leaks = %+v, want exactly one from PID 1",
+				quantum, leaks)
+		}
+	}
+}
+
+// TestModuleCheckPath verifies the synchronous query path the framework's
+// Check(addr) request uses.
+func TestModuleCheckPath(t *testing.T) {
+	mod := New(core.Config{NI: 5, NT: 2, Untaint: true}, nil, nil)
+	mod.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 3, Range: mem.MakeRange(0x100, 16)})
+	if !mod.Check(3, mem.MakeRange(0x108, 2)) {
+		t.Error("registered range not found")
+	}
+	if mod.Check(4, mem.MakeRange(0x108, 2)) {
+		t.Error("cross-PID query hit")
+	}
+}
+
+// TestBoundedHardwareStore runs the module over a leaky app with a tiny
+// range cache and the drop policy: §3.3's "may increase the possibility of
+// false negative" trade-off must not produce false positives.
+func TestBoundedHardwareStore(t *testing.T) {
+	for _, capacity := range []int{1, 4, 64, 4096} {
+		store := core.NewRangeCache(capacity, core.EvictDrop)
+		var leaks []LeakEvent
+		mod := New(core.Config{NI: 13, NT: 3, Untaint: true}, store,
+			func(e LeakEvent) { leaks = append(leaks, e) })
+		if _, err := android.Run(leakApp(t), android.RunOptions{
+			Sinks: []cpu.EventSink{mod},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if capacity >= 64 && len(leaks) != 1 {
+			t.Errorf("capacity %d: leak missed (drops=%d)",
+				capacity, store.Stats().Drops)
+		}
+	}
+	// LRU with backing never loses taint regardless of capacity.
+	for _, capacity := range []int{1, 4} {
+		store := core.NewRangeCache(capacity, core.EvictLRU)
+		var leaks []LeakEvent
+		mod := New(core.Config{NI: 13, NT: 3, Untaint: true}, store,
+			func(e LeakEvent) { leaks = append(leaks, e) })
+		if _, err := android.Run(leakApp(t), android.RunOptions{
+			Sinks: []cpu.EventSink{mod},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(leaks) != 1 {
+			t.Errorf("LRU capacity %d: leak missed despite secondary storage", capacity)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package mem
+
+import "fmt"
+
+// pageShift selects a 4 KiB page, the same granularity as the ARM MMU the
+// paper's platform uses. Pages are allocated lazily so a sparse 4 GiB
+// address space costs only what the workload touches.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, little-endian, byte-addressable 32-bit memory.
+//
+// It stands in for the DRAM of the simulated SoC. All accesses are
+// unaligned-tolerant (the simulator never traps on alignment) because the
+// taint machinery only cares about which byte ranges move, not about bus
+// faults.
+type Memory struct {
+	pages map[Addr]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory; every byte reads as zero until written.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[Addr]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr Addr, create bool) *[pageSize]byte {
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr Addr) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr Addr, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Load reads size bytes (1, 2, 4, or 8) at addr, little-endian.
+// Values narrower than 8 bytes are zero-extended.
+func (m *Memory) Load(addr Addr, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+Addr(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store writes the low size bytes (1, 2, 4, or 8) of v at addr,
+// little-endian.
+func (m *Memory) Store(addr Addr, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+Addr(i), byte(v>>(8*i)))
+	}
+}
+
+// Load32 reads a 32-bit word at addr.
+func (m *Memory) Load32(addr Addr) uint32 { return uint32(m.Load(addr, 4)) }
+
+// Store32 writes a 32-bit word at addr.
+func (m *Memory) Store32(addr Addr, v uint32) { m.Store(addr, 4, uint64(v)) }
+
+// Load16 reads a 16-bit halfword at addr.
+func (m *Memory) Load16(addr Addr) uint16 { return uint16(m.Load(addr, 2)) }
+
+// Store16 writes a 16-bit halfword at addr.
+func (m *Memory) Store16(addr Addr, v uint16) { m.Store(addr, 2, uint64(v)) }
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr Addr, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + Addr(i))
+	}
+	return out
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr Addr, b []byte) {
+	for i, v := range b {
+		m.StoreByte(addr+Addr(i), v)
+	}
+}
+
+// PageCount reports how many distinct 4 KiB pages have been touched;
+// useful in tests and capacity diagnostics.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Dump renders n bytes at addr as hex for debugging.
+func (m *Memory) Dump(addr Addr, n int) string {
+	b := m.ReadBytes(addr, n)
+	return fmt.Sprintf("%08x: % x", addr, b)
+}

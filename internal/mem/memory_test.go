@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := NewMemory()
+	if v := m.Load32(0x1234); v != 0 {
+		t.Fatalf("untouched memory reads %#x, want 0", v)
+	}
+	if m.PageCount() != 0 {
+		t.Fatal("read must not allocate pages")
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x1000, 0xdeadbeef)
+	if v := m.Load32(0x1000); v != 0xdeadbeef {
+		t.Fatalf("Load32 = %#x", v)
+	}
+	// Little-endian byte order.
+	if b := m.LoadByte(0x1000); b != 0xef {
+		t.Fatalf("low byte = %#x, want 0xef", b)
+	}
+	if b := m.LoadByte(0x1003); b != 0xde {
+		t.Fatalf("high byte = %#x, want 0xde", b)
+	}
+}
+
+func TestHalfwordAccess(t *testing.T) {
+	m := NewMemory()
+	m.Store16(0x2000, 0xabcd)
+	if v := m.Load16(0x2000); v != 0xabcd {
+		t.Fatalf("Load16 = %#x", v)
+	}
+	if v := m.Load32(0x2000); v != 0xabcd {
+		t.Fatalf("Load32 over halfword = %#x", v)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := Addr(pageSize - 2) // word straddles the first page boundary
+	m.Store32(addr, 0x11223344)
+	if v := m.Load32(addr); v != 0x11223344 {
+		t.Fatalf("cross-page Load32 = %#x", v)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func Test64BitAccess(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x3000, 8, 0x0102030405060708)
+	if v := m.Load(0x3000, 8); v != 0x0102030405060708 {
+		t.Fatalf("64-bit load = %#x", v)
+	}
+	if v := m.Load32(0x3004); v != 0x01020304 {
+		t.Fatalf("high word = %#x", v)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := NewMemory()
+	in := []byte("predictive information-flow tracking")
+	m.WriteBytes(0x4000, in)
+	if got := m.ReadBytes(0x4000, len(in)); !bytes.Equal(got, in) {
+		t.Fatalf("ReadBytes = %q", got)
+	}
+}
+
+// Property: for any address and word value, a 4-byte store followed by a
+// 4-byte load returns the value, and byte decomposition is little-endian.
+func TestStoreLoadQuick(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint32, v uint32) bool {
+		a := Addr(addr % 0xfffffff0)
+		m.Store32(a, v)
+		if m.Load32(a) != v {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if m.LoadByte(a+Addr(i)) != byte(v>>(8*i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: narrow stores only disturb their own bytes.
+func TestNarrowStoreIsolationQuick(t *testing.T) {
+	f := func(addr uint32, word uint32, b byte) bool {
+		m := NewMemory()
+		a := Addr(addr % 0xfffffff0)
+		m.Store32(a, word)
+		m.StoreByte(a+1, b)
+		want := word&0xffff00ff | uint32(b)<<8
+		return m.Load32(a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

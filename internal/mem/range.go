@@ -1,0 +1,81 @@
+// Package mem provides the simulated physical memory used by the CPU model
+// and the address-range type shared by every layer of the PIFT stack.
+//
+// The paper's taint machinery is defined over inclusive address ranges
+// r = [s, e] (Algorithm 1), so Range uses inclusive bounds: a single byte at
+// address a is Range{a, a}.
+package mem
+
+import "fmt"
+
+// Addr is a 32-bit physical address, matching the paper's ARMv7 target.
+type Addr = uint32
+
+// Range is an inclusive address range [Start, End].
+//
+// The zero Range is the single byte at address 0; use MakeRange to build a
+// range from a start address and a byte length.
+type Range struct {
+	Start Addr
+	End   Addr
+}
+
+// MakeRange returns the range covering size bytes starting at start.
+// size must be at least 1; MakeRange panics otherwise, since a zero-length
+// memory access is a program bug in the simulator, not a recoverable error.
+func MakeRange(start Addr, size uint32) Range {
+	if size == 0 {
+		panic("mem: MakeRange with zero size")
+	}
+	return Range{Start: start, End: start + size - 1}
+}
+
+// Size returns the number of bytes the range covers.
+func (r Range) Size() uint64 {
+	return uint64(r.End) - uint64(r.Start) + 1
+}
+
+// Contains reports whether addr lies inside r.
+func (r Range) Contains(addr Addr) bool {
+	return r.Start <= addr && addr <= r.End
+}
+
+// Overlaps reports whether r and o share at least one byte. This is the
+// paper's overlap test: max(si, sL) <= min(ei, eL).
+func (r Range) Overlaps(o Range) bool {
+	return max(r.Start, o.Start) <= min(r.End, o.End)
+}
+
+// ContainsRange reports whether o lies entirely within r.
+func (r Range) ContainsRange(o Range) bool {
+	return r.Start <= o.Start && o.End <= r.End
+}
+
+// Adjacent reports whether o begins exactly one byte past r or vice versa,
+// i.e. the two ranges can be merged into one contiguous range even though
+// they do not overlap.
+func (r Range) Adjacent(o Range) bool {
+	return (r.End != ^Addr(0) && r.End+1 == o.Start) ||
+		(o.End != ^Addr(0) && o.End+1 == r.Start)
+}
+
+// Union returns the smallest range covering both r and o. It is intended
+// for overlapping or adjacent ranges; for disjoint ranges it also covers the
+// gap between them.
+func (r Range) Union(o Range) Range {
+	return Range{Start: min(r.Start, o.Start), End: max(r.End, o.End)}
+}
+
+// Intersect returns the overlap of r and o. ok is false when they are
+// disjoint.
+func (r Range) Intersect(o Range) (Range, bool) {
+	s, e := max(r.Start, o.Start), min(r.End, o.End)
+	if s > e {
+		return Range{}, false
+	}
+	return Range{Start: s, End: e}, true
+}
+
+func (r Range) String() string {
+	return fmt.Sprintf("[0x%08x,0x%08x]", r.Start, r.End)
+}

@@ -1,0 +1,143 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRange(t *testing.T) {
+	r := MakeRange(0x1000, 4)
+	if r.Start != 0x1000 || r.End != 0x1003 {
+		t.Fatalf("MakeRange(0x1000,4) = %v", r)
+	}
+	if got := r.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	one := MakeRange(7, 1)
+	if one.Start != 7 || one.End != 7 {
+		t.Fatalf("single-byte range = %v", one)
+	}
+}
+
+func TestMakeRangeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeRange(0,0) did not panic")
+		}
+	}()
+	MakeRange(0, 0)
+}
+
+func TestContains(t *testing.T) {
+	r := Range{10, 20}
+	for _, tc := range []struct {
+		addr Addr
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {20, true}, {21, false},
+	} {
+		if got := r.Contains(tc.addr); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{Range{0, 5}, Range{5, 10}, true},  // touch at one byte
+		{Range{0, 5}, Range{6, 10}, false}, // adjacent, no shared byte
+		{Range{0, 10}, Range{3, 4}, true},  // containment
+		{Range{3, 4}, Range{0, 10}, true},  // containment, flipped
+		{Range{0, 0}, Range{0, 0}, true},   // identical single byte
+		{Range{100, 200}, Range{0, 99}, false},
+		{Range{0x7103a0a4, 0x7103a0c0}, Range{0x7103a0c0, 0x7103a0c4}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("overlap not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	if !(Range{0, 5}).Adjacent(Range{6, 10}) {
+		t.Error("[0,5] should be adjacent to [6,10]")
+	}
+	if !(Range{6, 10}).Adjacent(Range{0, 5}) {
+		t.Error("adjacency should be symmetric")
+	}
+	if (Range{0, 5}).Adjacent(Range{7, 10}) {
+		t.Error("[0,5] should not be adjacent to [7,10]")
+	}
+	if (Range{0, 5}).Adjacent(Range{5, 10}) {
+		t.Error("overlapping ranges are not adjacent")
+	}
+	// End at the top of the address space must not wrap around.
+	top := Range{^Addr(0) - 3, ^Addr(0)}
+	if top.Adjacent(Range{0, 3}) {
+		t.Error("range ending at 0xffffffff must not be adjacent to [0,3]")
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := Range{0, 10}, Range{5, 20}
+	if got := a.Union(b); got != (Range{0, 20}) {
+		t.Errorf("Union = %v", got)
+	}
+	got, ok := a.Intersect(b)
+	if !ok || got != (Range{5, 10}) {
+		t.Errorf("Intersect = %v, %v", got, ok)
+	}
+	if _, ok := (Range{0, 4}).Intersect(Range{6, 9}); ok {
+		t.Error("disjoint ranges must not intersect")
+	}
+}
+
+// Property: Overlaps is equivalent to a brute-force shared-byte check for
+// small ranges, and is symmetric.
+func TestOverlapsQuick(t *testing.T) {
+	f := func(s1 uint16, l1 uint8, s2 uint16, l2 uint8) bool {
+		a := MakeRange(Addr(s1), uint32(l1)+1)
+		b := MakeRange(Addr(s2), uint32(l2)+1)
+		brute := false
+		for x := a.Start; ; x++ {
+			if b.Contains(x) {
+				brute = true
+			}
+			if x == a.End {
+				break
+			}
+		}
+		return a.Overlaps(b) == brute && b.Overlaps(a) == brute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersect(a,b) is contained in both; Union contains both.
+func TestUnionIntersectQuick(t *testing.T) {
+	f := func(s1 uint32, l1 uint8, s2 uint32, l2 uint8) bool {
+		// Keep away from the top of the address space to avoid overflow
+		// in MakeRange.
+		a := MakeRange(s1%0xf0000000, uint32(l1)+1)
+		b := MakeRange(s2%0xf0000000, uint32(l2)+1)
+		u := a.Union(b)
+		if !u.ContainsRange(a) || !u.ContainsRange(b) {
+			return false
+		}
+		if i, ok := a.Intersect(b); ok {
+			return a.ContainsRange(i) && b.ContainsRange(i)
+		}
+		return !a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package taint
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzRangeSet drives an op-coded script against the set and its
+// invariants: every byte-level mutation is mirrored in a map model.
+// Run with `go test -fuzz FuzzRangeSet ./internal/taint` for deep fuzzing;
+// the seed corpus runs as a normal test.
+func FuzzRangeSet(f *testing.F) {
+	f.Add([]byte{0, 10, 4, 1, 12, 4, 2, 8, 8})
+	f.Add([]byte{0, 0, 255, 1, 10, 10, 0, 5, 1, 2, 0, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var s RangeSet
+		ref := map[mem.Addr]bool{}
+		for i := 0; i+2 < len(script); i += 3 {
+			op := script[i] % 3
+			start := mem.Addr(script[i+1])
+			length := uint32(script[i+2]%32) + 1
+			r := mem.MakeRange(start, length)
+			switch op {
+			case 0:
+				s.Add(r)
+				for a := r.Start; a <= r.End; a++ {
+					ref[a] = true
+				}
+			case 1:
+				s.Remove(r)
+				for a := r.Start; a <= r.End; a++ {
+					delete(ref, a)
+				}
+			case 2:
+				want := false
+				for a := r.Start; a <= r.End; a++ {
+					want = want || ref[a]
+				}
+				if got := s.Overlaps(r); got != want {
+					t.Fatalf("Overlaps(%v) = %v, model %v", r, got, want)
+				}
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("invariant broken after op %d: %v", i/3, err)
+			}
+			if s.Bytes() != uint64(len(ref)) {
+				t.Fatalf("bytes %d, model %d", s.Bytes(), len(ref))
+			}
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package taint provides the set-of-address-ranges representation shared by
+// the PIFT tracker (internal/core) and the exact DIFT baseline
+// (internal/dift).
+//
+// The paper's tracked state is R = {r1..rn}, a set of tainted inclusive
+// address ranges (Algorithm 1). RangeSet keeps R normalized — sorted,
+// non-overlapping, with adjacent ranges coalesced — so that "number of
+// distinct ranges" (Figures 17 and 19) and "size of tainted addresses"
+// (Figures 14, 15, 18) are well-defined metrics.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// RangeSet is a normalized set of inclusive address ranges. The zero value
+// is an empty set ready to use.
+type RangeSet struct {
+	// ranges is sorted by Start; entries neither overlap nor touch.
+	ranges []mem.Range
+	bytes  uint64
+}
+
+// Count returns the number of distinct (maximal) tainted ranges.
+func (s *RangeSet) Count() int { return len(s.ranges) }
+
+// Bytes returns the total number of tainted bytes.
+func (s *RangeSet) Bytes() uint64 { return s.bytes }
+
+// Empty reports whether no byte is tainted.
+func (s *RangeSet) Empty() bool { return len(s.ranges) == 0 }
+
+// Clear removes all ranges.
+func (s *RangeSet) Clear() {
+	s.ranges = s.ranges[:0]
+	s.bytes = 0
+}
+
+// Ranges returns a copy of the normalized ranges in ascending order.
+func (s *RangeSet) Ranges() []mem.Range {
+	out := make([]mem.Range, len(s.ranges))
+	copy(out, s.ranges)
+	return out
+}
+
+// searchStart returns the index of the first range with Start >= addr.
+func (s *RangeSet) searchStart(addr mem.Addr) int {
+	return sort.Search(len(s.ranges), func(i int) bool {
+		return s.ranges[i].Start >= addr
+	})
+}
+
+// Overlaps reports whether any byte of r is tainted — the paper's lookup:
+// ∃ ri ∈ R with max(si, sL) <= min(ei, eL).
+func (s *RangeSet) Overlaps(r mem.Range) bool {
+	i := s.searchStart(r.Start)
+	// A range beginning before r.Start may still cover it.
+	if i > 0 && s.ranges[i-1].End >= r.Start {
+		return true
+	}
+	return i < len(s.ranges) && s.ranges[i].Start <= r.End
+}
+
+// Contains reports whether addr is tainted.
+func (s *RangeSet) Contains(addr mem.Addr) bool {
+	return s.Overlaps(mem.Range{Start: addr, End: addr})
+}
+
+// Add taints r, merging it with any overlapping or adjacent ranges.
+func (s *RangeSet) Add(r mem.Range) {
+	// Find the window of existing ranges that r overlaps or touches.
+	lo := s.searchStart(r.Start)
+	if lo > 0 && s.ranges[lo-1].End != ^mem.Addr(0) && s.ranges[lo-1].End+1 >= r.Start {
+		lo--
+	}
+	hi := lo
+	merged := r
+	for hi < len(s.ranges) {
+		cand := s.ranges[hi]
+		touches := cand.Start <= merged.End ||
+			(merged.End != ^mem.Addr(0) && cand.Start == merged.End+1)
+		if !touches {
+			break
+		}
+		merged = merged.Union(cand)
+		s.bytes -= cand.Size()
+		hi++
+	}
+	s.bytes += merged.Size()
+	// Replace ranges[lo:hi] with merged.
+	s.ranges = append(s.ranges[:lo], append([]mem.Range{merged}, s.ranges[hi:]...)...)
+}
+
+// Remove untaints r, splitting any range it partially covers.
+func (s *RangeSet) Remove(r mem.Range) {
+	lo := s.searchStart(r.Start)
+	if lo > 0 && s.ranges[lo-1].End >= r.Start {
+		lo--
+	}
+	var replacement []mem.Range
+	hi := lo
+	for hi < len(s.ranges) && s.ranges[hi].Start <= r.End {
+		cand := s.ranges[hi]
+		s.bytes -= cand.Size()
+		if cand.Start < r.Start {
+			left := mem.Range{Start: cand.Start, End: r.Start - 1}
+			replacement = append(replacement, left)
+			s.bytes += left.Size()
+		}
+		if cand.End > r.End {
+			right := mem.Range{Start: r.End + 1, End: cand.End}
+			replacement = append(replacement, right)
+			s.bytes += right.Size()
+		}
+		hi++
+	}
+	if hi == lo {
+		return // nothing overlapped
+	}
+	s.ranges = append(s.ranges[:lo], append(replacement, s.ranges[hi:]...)...)
+}
+
+// IntersectBytes returns how many bytes of r are tainted; useful for
+// diagnostics and partial-taint reporting at sinks.
+func (s *RangeSet) IntersectBytes(r mem.Range) uint64 {
+	var n uint64
+	i := s.searchStart(r.Start)
+	if i > 0 {
+		i--
+	}
+	for ; i < len(s.ranges) && s.ranges[i].Start <= r.End; i++ {
+		if ov, ok := s.ranges[i].Intersect(r); ok {
+			n += ov.Size()
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy; the DIFT baseline snapshots register file
+// taint against it in tests.
+func (s *RangeSet) Clone() *RangeSet {
+	c := &RangeSet{bytes: s.bytes}
+	c.ranges = append(c.ranges, s.ranges...)
+	return c
+}
+
+func (s *RangeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, r := range s.ranges {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkInvariants panics if the normalization invariant is violated; tests
+// call it through Validate.
+func (s *RangeSet) checkInvariants() error {
+	var bytes uint64
+	for i, r := range s.ranges {
+		if r.Start > r.End {
+			return fmt.Errorf("range %d inverted: %v", i, r)
+		}
+		bytes += r.Size()
+		if i == 0 {
+			continue
+		}
+		prev := s.ranges[i-1]
+		if prev.End >= r.Start {
+			return fmt.Errorf("ranges %d,%d overlap: %v %v", i-1, i, prev, r)
+		}
+		if prev.End+1 == r.Start {
+			return fmt.Errorf("ranges %d,%d not coalesced: %v %v", i-1, i, prev, r)
+		}
+	}
+	if bytes != s.bytes {
+		return fmt.Errorf("byte count %d != computed %d", s.bytes, bytes)
+	}
+	return nil
+}
+
+// Validate checks the internal invariants (sorted, disjoint, coalesced,
+// byte count consistent) and returns a descriptive error on violation.
+func (s *RangeSet) Validate() error { return s.checkInvariants() }

@@ -1,0 +1,241 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func mustValid(t *testing.T, s *RangeSet) {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invariant violated: %v (%v)", err, s)
+	}
+}
+
+func TestAddDisjoint(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 10, End: 19})
+	s.Add(mem.Range{Start: 30, End: 39})
+	mustValid(t, &s)
+	if s.Count() != 2 || s.Bytes() != 20 {
+		t.Fatalf("count=%d bytes=%d", s.Count(), s.Bytes())
+	}
+}
+
+func TestAddMergesOverlap(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 10, End: 19})
+	s.Add(mem.Range{Start: 15, End: 25})
+	mustValid(t, &s)
+	if s.Count() != 1 || s.Bytes() != 16 {
+		t.Fatalf("merge: %v bytes=%d", &s, s.Bytes())
+	}
+}
+
+func TestAddMergesAdjacent(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 10, End: 19})
+	s.Add(mem.Range{Start: 20, End: 29})
+	mustValid(t, &s)
+	if s.Count() != 1 || s.Bytes() != 20 {
+		t.Fatalf("adjacent merge: %v", &s)
+	}
+}
+
+func TestAddBridgesMany(t *testing.T) {
+	var s RangeSet
+	for i := mem.Addr(0); i < 5; i++ {
+		s.Add(mem.Range{Start: i * 10, End: i*10 + 3})
+	}
+	if s.Count() != 5 {
+		t.Fatalf("setup count = %d", s.Count())
+	}
+	s.Add(mem.Range{Start: 0, End: 49}) // swallows all
+	mustValid(t, &s)
+	if s.Count() != 1 || s.Bytes() != 50 {
+		t.Fatalf("bridge: %v", &s)
+	}
+}
+
+func TestRemoveSplits(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 0, End: 99})
+	s.Remove(mem.Range{Start: 40, End: 59})
+	mustValid(t, &s)
+	if s.Count() != 2 || s.Bytes() != 80 {
+		t.Fatalf("split: %v bytes=%d", &s, s.Bytes())
+	}
+	if s.Contains(40) || s.Contains(59) || !s.Contains(39) || !s.Contains(60) {
+		t.Fatalf("split boundaries wrong: %v", &s)
+	}
+}
+
+func TestRemoveExact(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 10, End: 19})
+	s.Remove(mem.Range{Start: 10, End: 19})
+	mustValid(t, &s)
+	if !s.Empty() || s.Bytes() != 0 {
+		t.Fatalf("exact remove: %v", &s)
+	}
+}
+
+func TestRemoveDisjointNoop(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 10, End: 19})
+	s.Remove(mem.Range{Start: 50, End: 60})
+	mustValid(t, &s)
+	if s.Count() != 1 || s.Bytes() != 10 {
+		t.Fatalf("noop remove changed set: %v", &s)
+	}
+}
+
+func TestRemoveSpansMultiple(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 0, End: 9})
+	s.Add(mem.Range{Start: 20, End: 29})
+	s.Add(mem.Range{Start: 40, End: 49})
+	s.Remove(mem.Range{Start: 5, End: 44})
+	mustValid(t, &s)
+	if s.Count() != 2 || s.Bytes() != 10 {
+		t.Fatalf("span remove: %v", &s)
+	}
+}
+
+func TestOverlapsQueries(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 0x3f8510b4, End: 0x3f8510bb}) // Fig. 6 entry
+	if !s.Overlaps(mem.Range{Start: 0x3f8510b0, End: 0x3f8510b4}) {
+		t.Error("one-byte overlap at start missed")
+	}
+	if !s.Overlaps(mem.Range{Start: 0x3f8510bb, End: 0x3f8510ff}) {
+		t.Error("one-byte overlap at end missed")
+	}
+	if s.Overlaps(mem.Range{Start: 0x3f8510bc, End: 0x3f8510ff}) {
+		t.Error("false overlap past end")
+	}
+	if s.Overlaps(mem.Range{Start: 0, End: 0x3f8510b3}) {
+		t.Error("false overlap before start")
+	}
+}
+
+func TestIntersectBytes(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 10, End: 19})
+	s.Add(mem.Range{Start: 30, End: 39})
+	if n := s.IntersectBytes(mem.Range{Start: 15, End: 34}); n != 10 {
+		t.Fatalf("IntersectBytes = %d, want 10", n)
+	}
+	if n := s.IntersectBytes(mem.Range{Start: 0, End: 5}); n != 0 {
+		t.Fatalf("IntersectBytes disjoint = %d", n)
+	}
+}
+
+func TestClone(t *testing.T) {
+	var s RangeSet
+	s.Add(mem.Range{Start: 1, End: 5})
+	c := s.Clone()
+	c.Add(mem.Range{Start: 100, End: 105})
+	if s.Count() != 1 || c.Count() != 2 {
+		t.Fatalf("clone not independent: s=%v c=%v", &s, c)
+	}
+}
+
+// model is a brute-force reference: a map from address to tainted.
+type model map[mem.Addr]bool
+
+func (m model) add(r mem.Range) {
+	for a := r.Start; ; a++ {
+		m[a] = true
+		if a == r.End {
+			break
+		}
+	}
+}
+func (m model) remove(r mem.Range) {
+	for a := r.Start; ; a++ {
+		delete(m, a)
+		if a == r.End {
+			break
+		}
+	}
+}
+func (m model) overlaps(r mem.Range) bool {
+	for a := r.Start; ; a++ {
+		if m[a] {
+			return true
+		}
+		if a == r.End {
+			break
+		}
+	}
+	return false
+}
+
+// TestModelEquivalence drives random add/remove/query sequences over a
+// small address universe and checks RangeSet against the brute-force model.
+func TestModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var s RangeSet
+		ref := model{}
+		for step := 0; step < 100; step++ {
+			start := mem.Addr(rng.Intn(256))
+			length := uint32(rng.Intn(16) + 1)
+			r := mem.MakeRange(start, length)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(r)
+				ref.add(r)
+			case 1:
+				s.Remove(r)
+				ref.remove(r)
+			case 2:
+				if got, want := s.Overlaps(r), ref.overlaps(r); got != want {
+					t.Fatalf("trial %d step %d: Overlaps(%v)=%v, model=%v\nset=%v",
+						trial, step, r, got, want, &s)
+				}
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if uint64(len(ref)) != s.Bytes() {
+				t.Fatalf("trial %d step %d: bytes=%d, model=%d",
+					trial, step, s.Bytes(), len(ref))
+			}
+		}
+	}
+}
+
+// Property: after Add(r), Overlaps(r) holds and every sub-range of r is
+// covered; after Remove(r), Overlaps(r) is false.
+func TestAddRemoveQuick(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s RangeSet
+		for i := 0; i < int(ops%40)+1; i++ {
+			r := mem.MakeRange(mem.Addr(rng.Intn(1000)), uint32(rng.Intn(50)+1))
+			if rng.Intn(2) == 0 {
+				s.Add(r)
+				if !s.Overlaps(r) {
+					return false
+				}
+			} else {
+				s.Remove(r)
+				if s.Overlaps(r) {
+					return false
+				}
+			}
+			if s.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Binary trace format — the stand-in for the gem5 trace files the paper's
+// authors fed to "the PIFT analysis code". Layout (little-endian):
+//
+//	magic   [8]byte  "PIFTTRC1"
+//	count   uint64
+//	events  count × { kind u8, pid u32, seq u64, start u32, end u32, tag i32 }
+//
+// Traces round-trip exactly; ReadFrom validates the magic and bounds.
+
+var traceMagic = [8]byte{'P', 'I', 'F', 'T', 'T', 'R', 'C', '1'}
+
+// eventWireSize is the per-event record size.
+const eventWireSize = 1 + 4 + 8 + 4 + 4 + 4
+
+// WriteTo serializes the recorded trace. It implements io.WriterTo.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return written, err
+	}
+	written += 8
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(r.Events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	written += 8
+	var rec [eventWireSize]byte
+	for _, ev := range r.Events {
+		rec[0] = byte(ev.Kind)
+		binary.LittleEndian.PutUint32(rec[1:], ev.PID)
+		binary.LittleEndian.PutUint64(rec[5:], ev.Seq)
+		binary.LittleEndian.PutUint32(rec[13:], ev.Range.Start)
+		binary.LittleEndian.PutUint32(rec[17:], ev.Range.End)
+		binary.LittleEndian.PutUint32(rec[21:], uint32(int32(ev.Tag)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, err
+		}
+		written += eventWireSize
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Recorder, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const sanityCap = 1 << 31
+	if count > sanityCap {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	out := NewRecorder(int(count))
+	var rec [eventWireSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		kind := cpu.EventKind(rec[0])
+		if kind > cpu.EvSinkCheck {
+			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, kind)
+		}
+		start := binary.LittleEndian.Uint32(rec[13:])
+		end := binary.LittleEndian.Uint32(rec[17:])
+		if end < start {
+			return nil, fmt.Errorf("trace: event %d: inverted range", i)
+		}
+		out.Events = append(out.Events, cpu.Event{
+			Kind:  kind,
+			PID:   binary.LittleEndian.Uint32(rec[1:]),
+			Seq:   binary.LittleEndian.Uint64(rec[5:]),
+			Range: mem.Range{Start: start, End: end},
+			Tag:   int(int32(binary.LittleEndian.Uint32(rec[21:]))),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func randomTrace(n int, seed int64) *Recorder {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRecorder(n)
+	seq := uint64(0)
+	for i := 0; i < n; i++ {
+		seq += uint64(rng.Intn(5) + 1)
+		r.Event(cpu.Event{
+			Kind:  cpu.EventKind(rng.Intn(4)),
+			PID:   uint32(rng.Intn(3) + 1),
+			Seq:   seq,
+			Range: mem.MakeRange(mem.Addr(rng.Uint32()>>4), uint32(rng.Intn(64)+1)),
+			Tag:   rng.Intn(100) - 50,
+		})
+	}
+	return r
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := randomTrace(5000, 17)
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(orig.Events) {
+		t.Fatalf("event count %d, want %d", len(back.Events), len(orig.Events))
+	}
+	for i := range orig.Events {
+		if back.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, back.Events[i], orig.Events[i])
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewRecorder(0).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatal("empty trace gained events")
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("NOTATRCE\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	orig := randomTrace(10, 3)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{4, 12, buf.Len() - 3} {
+		if _, err := ReadFrom(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCodecRejectsCorruptEvent(t *testing.T) {
+	orig := randomTrace(3, 5)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[16] = 0xff // kind byte of the first event
+	if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt kind accepted")
+	}
+}

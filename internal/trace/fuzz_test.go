@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom feeds arbitrary bytes to the trace decoder: it must never
+// panic, and anything it accepts must re-encode to an equivalent trace.
+func FuzzReadFrom(f *testing.F) {
+	good := randomTrace(5, 1)
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PIFTTRC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := rec.WriteTo(&out); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := ReadFrom(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if len(back.Events) != len(rec.Events) {
+			t.Fatalf("round trip changed event count")
+		}
+		for i := range rec.Events {
+			if back.Events[i] != rec.Events[i] {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,105 @@
+// Package trace records front-end event streams so the paper's parameter
+// sweeps can replay one execution under many tracker configurations —
+// exactly how the authors fed gem5 traces into "the PIFT analysis code".
+package trace
+
+import "repro/internal/cpu"
+
+// Recorder captures every front-end event in order. It implements
+// cpu.EventSink and can be attached alongside live trackers.
+type Recorder struct {
+	Events []cpu.Event
+}
+
+// NewRecorder returns an empty recorder, optionally pre-sizing the buffer.
+func NewRecorder(capacityHint int) *Recorder {
+	return &Recorder{Events: make([]cpu.Event, 0, capacityHint)}
+}
+
+// Event implements cpu.EventSink.
+func (r *Recorder) Event(ev cpu.Event) { r.Events = append(r.Events, ev) }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.Events) }
+
+// Replay feeds the recorded events to a sink in order.
+func (r *Recorder) Replay(sink cpu.EventSink) {
+	for _, ev := range r.Events {
+		sink.Event(ev)
+	}
+}
+
+// ReplaySampled replays the events, invoking sample after every
+// sampleEvery events with the count of events delivered so far; samplers
+// read tracker metrics to build the paper's time-series figures.
+func (r *Recorder) ReplaySampled(sink cpu.EventSink, sampleEvery int, sample func(delivered int)) {
+	for i, ev := range r.Events {
+		sink.Event(ev)
+		if sampleEvery > 0 && (i+1)%sampleEvery == 0 {
+			sample(i + 1)
+		}
+	}
+	if len(r.Events) > 0 {
+		sample(len(r.Events))
+	}
+}
+
+// Counts summarizes the recorded stream.
+type Counts struct {
+	Loads, Stores, Sources, Sinks int
+	LastSeq                       uint64
+}
+
+// Summarize tallies the stream.
+func (r *Recorder) Summarize() Counts {
+	var c Counts
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case cpu.EvLoad:
+			c.Loads++
+		case cpu.EvStore:
+			c.Stores++
+		case cpu.EvSourceRegister:
+			c.Sources++
+		case cpu.EvSinkCheck:
+			c.Sinks++
+		}
+		if ev.Seq > c.LastSeq {
+			c.LastSeq = ev.Seq
+		}
+	}
+	return c
+}
+
+// Interleave merges several streams into one, alternating quantum events
+// from each in round-robin order — a synthetic context-switch schedule used
+// to exercise the per-process tagging of the taint storage (Figure 6).
+// Events keep their original PIDs and per-process sequence numbers, as the
+// hardware sees them.
+func Interleave(quantum int, streams ...[]cpu.Event) []cpu.Event {
+	if quantum < 1 {
+		quantum = 1
+	}
+	total := 0
+	idx := make([]int, len(streams))
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]cpu.Event, 0, total)
+	for len(out) < total {
+		progressed := false
+		for i, s := range streams {
+			n := 0
+			for idx[i] < len(s) && n < quantum {
+				out = append(out, s[idx[i]])
+				idx[i]++
+				n++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func ev(kind cpu.EventKind, pid uint32, seq uint64) cpu.Event {
+	return cpu.Event{Kind: kind, PID: pid, Seq: seq, Range: mem.MakeRange(0x1000, 4)}
+}
+
+type counter struct{ n int }
+
+func (c *counter) Event(cpu.Event) { c.n++ }
+
+func TestRecordAndReplay(t *testing.T) {
+	r := NewRecorder(8)
+	events := []cpu.Event{
+		ev(cpu.EvLoad, 1, 1),
+		ev(cpu.EvStore, 1, 2),
+		ev(cpu.EvSourceRegister, 1, 2),
+		ev(cpu.EvSinkCheck, 1, 3),
+	}
+	for _, e := range events {
+		r.Event(e)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	var got []cpu.Event
+	r.Replay(eventFunc(func(e cpu.Event) { got = append(got, e) }))
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+type eventFunc func(cpu.Event)
+
+func (f eventFunc) Event(e cpu.Event) { f(e) }
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(0)
+	r.Event(ev(cpu.EvLoad, 1, 10))
+	r.Event(ev(cpu.EvLoad, 1, 11))
+	r.Event(ev(cpu.EvStore, 1, 12))
+	r.Event(ev(cpu.EvSourceRegister, 1, 12))
+	r.Event(ev(cpu.EvSinkCheck, 1, 99))
+	c := r.Summarize()
+	if c.Loads != 2 || c.Stores != 1 || c.Sources != 1 || c.Sinks != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.LastSeq != 99 {
+		t.Fatalf("last seq = %d", c.LastSeq)
+	}
+}
+
+func TestReplaySampled(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 10; i++ {
+		r.Event(ev(cpu.EvLoad, 1, uint64(i)))
+	}
+	var samples []int
+	c := &counter{}
+	r.ReplaySampled(c, 3, func(delivered int) { samples = append(samples, delivered) })
+	if c.n != 10 {
+		t.Fatalf("delivered %d events", c.n)
+	}
+	want := []int{3, 6, 9, 10}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v", samples)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := []cpu.Event{ev(cpu.EvLoad, 1, 1), ev(cpu.EvLoad, 1, 2), ev(cpu.EvLoad, 1, 3)}
+	b := []cpu.Event{ev(cpu.EvStore, 2, 1), ev(cpu.EvStore, 2, 2)}
+	out := Interleave(2, a, b)
+	if len(out) != 5 {
+		t.Fatalf("len = %d", len(out))
+	}
+	wantPIDs := []uint32{1, 1, 2, 2, 1}
+	for i, e := range out {
+		if e.PID != wantPIDs[i] {
+			t.Fatalf("pids = %v at %d, want %v", e.PID, i, wantPIDs)
+		}
+	}
+	// Per-stream order preserved.
+	var seqs1 []uint64
+	for _, e := range out {
+		if e.PID == 1 {
+			seqs1 = append(seqs1, e.Seq)
+		}
+	}
+	for i := 1; i < len(seqs1); i++ {
+		if seqs1[i] <= seqs1[i-1] {
+			t.Fatal("stream 1 order violated")
+		}
+	}
+}
+
+func TestInterleaveDegenerate(t *testing.T) {
+	if got := Interleave(0, nil, nil); len(got) != 0 {
+		t.Fatal("empty interleave should be empty")
+	}
+	a := []cpu.Event{ev(cpu.EvLoad, 1, 1)}
+	if got := Interleave(1, a); len(got) != 1 {
+		t.Fatal("single-stream interleave lost events")
+	}
+}

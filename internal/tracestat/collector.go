@@ -1,0 +1,242 @@
+package tracestat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// DefaultWindowSizes are the Figure 12 window sizes.
+var DefaultWindowSizes = []int{5, 10, 15, 20, 40, 60, 80, 100}
+
+// DefaultKthWindowSizes are the Figure 13 window sizes.
+var DefaultKthWindowSizes = []int{5, 10, 15, 20}
+
+// kthStores is how many leading stores per window Figure 13 tracks.
+const kthStores = 3
+
+// meanAcc accumulates a mean.
+type meanAcc struct {
+	sum uint64
+	n   uint64
+}
+
+func (m *meanAcc) add(v uint64) { m.sum += v; m.n++ }
+
+// Mean returns the accumulated mean (0 when empty).
+func (m meanAcc) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return float64(m.sum) / float64(m.n)
+}
+
+// pendingLoad tracks one load's forward window until maxWindow
+// instructions have passed.
+type pendingLoad struct {
+	seq uint64
+	// distIdx[i] counts stores whose distance first fits WindowSizes[i]
+	// (cumulated at finalize time).
+	distIdx []uint16
+	dists   [kthStores]uint16
+	nd      uint8
+}
+
+// procState is the per-process scan state.
+type procState struct {
+	haveLoad        bool
+	lastLoadSeq     uint64
+	storesSinceLoad int
+	pending         []*pendingLoad
+}
+
+// Collector computes the memory-operation distributions over a front-end
+// event stream. It implements cpu.EventSink; call Finish before reading
+// results.
+type Collector struct {
+	// Figure 2a: distance from each store to the most recent load.
+	StoreToLastLoad *Hist
+	// Figure 2b: number of stores between consecutive loads.
+	StoresBetweenLoads *Hist
+	// Figure 2c: distance between consecutive loads.
+	LoadToLoad *Hist
+
+	windowSizes []int
+	kthSizes    []int
+	maxWindow   int
+
+	// Figure 12: distribution of #stores within each window size.
+	storesInWindow []*Hist
+	// Figure 13: mean distance to the k-th store within each window size.
+	kth [][]meanAcc // [kthSizeIdx][k]
+
+	procs    map[uint32]*procState
+	finished bool
+}
+
+// NewCollector builds a collector with the default window sets.
+func NewCollector() *Collector {
+	return NewCollectorWindows(DefaultWindowSizes, DefaultKthWindowSizes)
+}
+
+// NewCollectorWindows builds a collector over custom window sets; both must
+// be ascending.
+func NewCollectorWindows(windows, kthWindows []int) *Collector {
+	if !sort.IntsAreSorted(windows) || !sort.IntsAreSorted(kthWindows) {
+		panic("tracestat: window sizes must be ascending")
+	}
+	c := &Collector{
+		StoreToLastLoad:    NewHist(100),
+		StoresBetweenLoads: NewHist(50),
+		LoadToLoad:         NewHist(100),
+		windowSizes:        windows,
+		kthSizes:           kthWindows,
+		maxWindow:          windows[len(windows)-1],
+		procs:              make(map[uint32]*procState),
+	}
+	c.storesInWindow = make([]*Hist, len(windows))
+	for i := range c.storesInWindow {
+		c.storesInWindow[i] = NewHist(60)
+	}
+	c.kth = make([][]meanAcc, len(kthWindows))
+	for i := range c.kth {
+		c.kth[i] = make([]meanAcc, kthStores)
+	}
+	return c
+}
+
+func (c *Collector) proc(pid uint32) *procState {
+	p := c.procs[pid]
+	if p == nil {
+		p = &procState{}
+		c.procs[pid] = p
+	}
+	return p
+}
+
+// Event implements cpu.EventSink.
+func (c *Collector) Event(ev cpu.Event) {
+	switch ev.Kind {
+	case cpu.EvLoad:
+		p := c.proc(ev.PID)
+		c.expire(p, ev.Seq)
+		if p.haveLoad {
+			c.LoadToLoad.Add(int(ev.Seq - p.lastLoadSeq))
+			c.StoresBetweenLoads.Add(p.storesSinceLoad)
+		}
+		p.haveLoad = true
+		p.lastLoadSeq = ev.Seq
+		p.storesSinceLoad = 0
+		p.pending = append(p.pending, &pendingLoad{
+			seq:     ev.Seq,
+			distIdx: make([]uint16, len(c.windowSizes)),
+		})
+	case cpu.EvStore:
+		p := c.proc(ev.PID)
+		c.expire(p, ev.Seq)
+		if p.haveLoad {
+			c.StoreToLastLoad.Add(int(ev.Seq - p.lastLoadSeq))
+			p.storesSinceLoad++
+		}
+		for _, l := range p.pending {
+			d := ev.Seq - l.seq
+			// Index of the smallest window that admits this store.
+			i := sort.SearchInts(c.windowSizes, int(d))
+			if i < len(c.windowSizes) {
+				l.distIdx[i]++
+			}
+			if l.nd < kthStores && d <= uint64(c.maxWindow) {
+				l.dists[l.nd] = uint16(d)
+				l.nd++
+			}
+		}
+	}
+}
+
+// expire finalizes pending loads whose windows have fully elapsed.
+func (c *Collector) expire(p *procState, now uint64) {
+	kept := p.pending[:0]
+	for _, l := range p.pending {
+		if now-l.seq > uint64(c.maxWindow) {
+			c.finalize(l)
+		} else {
+			kept = append(kept, l)
+		}
+	}
+	p.pending = kept
+}
+
+func (c *Collector) finalize(l *pendingLoad) {
+	// Cumulate: stores within windowSizes[i] = sum of distIdx[0..i].
+	acc := 0
+	for i := range c.windowSizes {
+		acc += int(l.distIdx[i])
+		c.storesInWindow[i].Add(acc)
+	}
+	for wi, w := range c.kthSizes {
+		for k := 0; k < int(l.nd); k++ {
+			if int(l.dists[k]) <= w {
+				c.kth[wi][k].add(uint64(l.dists[k]))
+			}
+		}
+	}
+}
+
+// Finish flushes all pending windows; call once, after the stream ends.
+func (c *Collector) Finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	for _, p := range c.procs {
+		for _, l := range p.pending {
+			c.finalize(l)
+		}
+		p.pending = nil
+	}
+}
+
+// StoresInWindow returns the Figure 12 distribution for a window size from
+// the configured set.
+func (c *Collector) StoresInWindow(window int) (*Hist, bool) {
+	for i, w := range c.windowSizes {
+		if w == window {
+			return c.storesInWindow[i], true
+		}
+	}
+	return nil, false
+}
+
+// KthStoreMean returns the Figure 13 mean distance to the k-th store
+// (k = 1..3) within the given window size, with the sample count.
+func (c *Collector) KthStoreMean(window, k int) (mean float64, samples uint64, ok bool) {
+	if k < 1 || k > kthStores {
+		return 0, 0, false
+	}
+	for i, w := range c.kthSizes {
+		if w == window {
+			acc := c.kth[i][k-1]
+			return acc.Mean(), acc.n, true
+		}
+	}
+	return 0, 0, false
+}
+
+// WindowSizes returns the configured Figure 12 window set.
+func (c *Collector) WindowSizes() []int { return c.windowSizes }
+
+// KthWindowSizes returns the configured Figure 13 window set.
+func (c *Collector) KthWindowSizes() []int { return c.kthSizes }
+
+// RenderFigure2 renders the three Figure 2 distributions.
+func (c *Collector) RenderFigure2() string {
+	var b strings.Builder
+	b.WriteString(c.StoreToLastLoad.Render("Fig 2a: distance from store to last load", 31))
+	fmt.Fprintf(&b, "  CDF(10) = %.4f\n\n", c.StoreToLastLoad.CDF(10))
+	b.WriteString(c.StoresBetweenLoads.Render("Fig 2b: stores between consecutive loads", 11))
+	b.WriteString("\n")
+	b.WriteString(c.LoadToLoad.Render("Fig 2c: distance between consecutive loads", 31))
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package tracestat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func ld(seq uint64) cpu.Event {
+	return cpu.Event{Kind: cpu.EvLoad, PID: 1, Seq: seq, Range: mem.MakeRange(0x1000, 4)}
+}
+
+func st(seq uint64) cpu.Event {
+	return cpu.Event{Kind: cpu.EvStore, PID: 1, Seq: seq, Range: mem.MakeRange(0x2000, 4)}
+}
+
+func feed(c *Collector, evs ...cpu.Event) {
+	for _, ev := range evs {
+		c.Event(ev)
+	}
+	c.Finish()
+}
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(10)
+	for _, v := range []int{1, 2, 2, 3, 50} {
+		h.Add(v)
+	}
+	if h.Count() != 5 || h.Overflow() != 1 {
+		t.Fatalf("count=%d overflow=%d", h.Count(), h.Overflow())
+	}
+	if p := h.P(2); math.Abs(p-0.4) > 1e-9 {
+		t.Fatalf("P(2)=%f", p)
+	}
+	if cdf := h.CDF(3); math.Abs(cdf-0.8) > 1e-9 {
+		t.Fatalf("CDF(3)=%f", cdf)
+	}
+	if m := h.Mean(); math.Abs(m-(1+2+2+3+50)/5.0) > 1e-9 {
+		t.Fatalf("Mean=%f", m)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("Quantile(0.5)=%d", q)
+	}
+}
+
+func TestStoreToLastLoad(t *testing.T) {
+	c := NewCollector()
+	feed(c, ld(10), st(12), st(15), ld(20), st(21))
+	// Distances: 2, 5, 1.
+	h := c.StoreToLastLoad
+	if h.Count() != 3 {
+		t.Fatalf("samples=%d", h.Count())
+	}
+	for _, d := range []int{1, 2, 5} {
+		if h.P(d) == 0 {
+			t.Errorf("distance %d missing", d)
+		}
+	}
+}
+
+func TestStoresBetweenLoads(t *testing.T) {
+	c := NewCollector()
+	feed(c, ld(10), st(11), st(12), ld(20), ld(30), st(31))
+	// Interval 10→20: 2 stores; interval 20→30: 0 stores.
+	h := c.StoresBetweenLoads
+	if h.Count() != 2 {
+		t.Fatalf("intervals=%d", h.Count())
+	}
+	if h.P(2) == 0 || h.P(0) == 0 {
+		t.Error("expected intervals with 2 and 0 stores")
+	}
+}
+
+func TestLoadToLoad(t *testing.T) {
+	c := NewCollector()
+	feed(c, ld(10), ld(13), ld(25))
+	h := c.LoadToLoad
+	if h.Count() != 2 {
+		t.Fatalf("samples=%d", h.Count())
+	}
+	if h.P(3) == 0 || h.P(12) == 0 {
+		t.Error("expected distances 3 and 12")
+	}
+}
+
+func TestStoresInWindow(t *testing.T) {
+	c := NewCollector()
+	// One load; stores at distances 2, 7, 18, 90.
+	feed(c, ld(100), st(102), st(107), st(118), st(190))
+	for _, tc := range []struct {
+		window int
+		want   int
+	}{
+		{5, 1}, {10, 2}, {15, 2}, {20, 3}, {100, 4},
+	} {
+		h, ok := c.StoresInWindow(tc.window)
+		if !ok {
+			t.Fatalf("no histogram for window %d", tc.window)
+		}
+		if h.Count() != 1 {
+			t.Fatalf("window %d: %d loads finalized", tc.window, h.Count())
+		}
+		if h.P(tc.want) != 1 {
+			t.Errorf("window %d: expected exactly %d stores", tc.window, tc.want)
+		}
+	}
+}
+
+func TestKthStoreMean(t *testing.T) {
+	c := NewCollector()
+	// Two loads with stores at distances (2, 4) and (6,) respectively.
+	feed(c, ld(100), st(102), st(104), ld(200), st(206))
+	mean1, n1, ok := c.KthStoreMean(10, 1)
+	if !ok || n1 != 2 {
+		t.Fatalf("k=1: n=%d ok=%v", n1, ok)
+	}
+	if math.Abs(mean1-4) > 1e-9 { // (2+6)/2
+		t.Fatalf("k=1 mean=%f", mean1)
+	}
+	mean2, n2, _ := c.KthStoreMean(10, 2)
+	if n2 != 1 || math.Abs(mean2-4) > 1e-9 {
+		t.Fatalf("k=2: mean=%f n=%d", mean2, n2)
+	}
+	// Window 5 should exclude the distance-6 store.
+	_, n1w5, _ := c.KthStoreMean(5, 1)
+	if n1w5 != 1 {
+		t.Fatalf("k=1 window 5: n=%d", n1w5)
+	}
+}
+
+func TestPerProcessSeparation(t *testing.T) {
+	c := NewCollector()
+	// Interleaved PIDs: distances must be computed per process.
+	c.Event(cpu.Event{Kind: cpu.EvLoad, PID: 1, Seq: 10, Range: mem.MakeRange(0x1000, 4)})
+	c.Event(cpu.Event{Kind: cpu.EvLoad, PID: 2, Seq: 100, Range: mem.MakeRange(0x1000, 4)})
+	c.Event(cpu.Event{Kind: cpu.EvStore, PID: 1, Seq: 13, Range: mem.MakeRange(0x2000, 4)})
+	c.Event(cpu.Event{Kind: cpu.EvStore, PID: 2, Seq: 101, Range: mem.MakeRange(0x2000, 4)})
+	c.Finish()
+	if c.StoreToLastLoad.P(3) == 0 || c.StoreToLastLoad.P(1) == 0 {
+		t.Error("per-process distances wrong")
+	}
+	if c.StoreToLastLoad.Count() != 2 {
+		t.Errorf("samples=%d", c.StoreToLastLoad.Count())
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	c := NewCollector()
+	feed(c, ld(10), st(12))
+	before := c.storesInWindow[0].Count()
+	c.Finish()
+	if c.storesInWindow[0].Count() != before {
+		t.Error("double Finish changed counts")
+	}
+}
+
+func TestCollectorIgnoresSoftwareEvents(t *testing.T) {
+	c := NewCollector()
+	c.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 1, Seq: 5, Range: mem.MakeRange(0, 4)})
+	c.Event(cpu.Event{Kind: cpu.EvSinkCheck, PID: 1, Seq: 6, Range: mem.MakeRange(0, 4)})
+	c.Finish()
+	if c.StoreToLastLoad.Count() != 0 {
+		t.Error("software events polluted the distributions")
+	}
+}

@@ -1,0 +1,118 @@
+// Package tracestat computes the instruction-stream statistics of the
+// paper's empirical study: the load→store distance, stores-between-loads,
+// and load→load distance distributions of Figure 2, the stores-in-window
+// distributions of Figure 12, and the k-th-store distances of Figure 13.
+package tracestat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hist is an integer histogram over buckets [0, max]; samples above max
+// land in an overflow bucket.
+type Hist struct {
+	buckets  []uint64
+	overflow uint64
+	count    uint64
+	sum      uint64
+}
+
+// NewHist builds a histogram with buckets 0..max.
+func NewHist(max int) *Hist {
+	if max < 0 {
+		panic("tracestat: negative histogram bound")
+	}
+	return &Hist{buckets: make([]uint64, max+1)}
+}
+
+// Add records one sample.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v < len(h.buckets) {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+	}
+	h.count++
+	h.sum += uint64(v)
+}
+
+// Count returns the number of samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Overflow returns the number of samples above the bucket range.
+func (h *Hist) Overflow() uint64 { return h.overflow }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// P returns the probability mass of bucket v.
+func (h *Hist) P(v int) float64 {
+	if h.count == 0 || v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return float64(h.buckets[v]) / float64(h.count)
+}
+
+// CDF returns the cumulative probability of samples <= v.
+func (h *Hist) CDF(v int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	var acc uint64
+	for i := 0; i <= v; i++ {
+		acc += h.buckets[i]
+	}
+	return float64(acc) / float64(h.count)
+}
+
+// Quantile returns the smallest v with CDF(v) >= q, or the bucket bound if
+// the mass lives in overflow.
+func (h *Hist) Quantile(q float64) int {
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	var acc float64
+	for i, b := range h.buckets {
+		acc += float64(b)
+		if acc >= target {
+			return i
+		}
+	}
+	return len(h.buckets)
+}
+
+// Render prints the distribution as aligned "value  probability  cdf" rows
+// with an ASCII bar, capped at maxRows rows.
+func (h *Hist) Render(label string, maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d, mean=%.2f)\n", label, h.count, h.Mean())
+	rows := len(h.buckets)
+	if maxRows > 0 && rows > maxRows {
+		rows = maxRows
+	}
+	cum := 0.0
+	for v := 0; v < rows; v++ {
+		p := h.P(v)
+		cum += p
+		bar := strings.Repeat("#", int(p*60+0.5))
+		fmt.Fprintf(&b, "%4d  %6.4f  %6.4f  %s\n", v, p, cum, bar)
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "  >%d  %6.4f\n", rows-1,
+			float64(h.overflow)/float64(h.count))
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package tracestat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsRows(t *testing.T) {
+	h := NewHist(10)
+	for i := 0; i < 50; i++ {
+		h.Add(i % 5)
+	}
+	out := h.Render("test dist", 11)
+	if !strings.Contains(out, "test dist (n=50") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars rendered")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 12 { // header + 11 buckets
+		t.Fatalf("line count = %d", len(lines))
+	}
+}
+
+func TestRenderOverflowRow(t *testing.T) {
+	h := NewHist(3)
+	h.Add(1)
+	h.Add(99)
+	out := h.Render("ovf", 4)
+	if !strings.Contains(out, ">") {
+		t.Fatalf("overflow row missing:\n%s", out)
+	}
+}
+
+func TestRenderCapsRows(t *testing.T) {
+	h := NewHist(100)
+	h.Add(0)
+	out := h.Render("cap", 5)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("maxRows ignored: %d lines", len(lines))
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHist(10)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(7)
+	}
+	if q := h.Quantile(0.01); q != 7 {
+		t.Errorf("Quantile(0.01) = %d", q)
+	}
+	if q := h.Quantile(1.0); q != 7 {
+		t.Errorf("Quantile(1.0) = %d", q)
+	}
+	// All mass in overflow.
+	h2 := NewHist(3)
+	h2.Add(50)
+	if q := h2.Quantile(0.9); q != 4 {
+		t.Errorf("overflow quantile = %d, want bucket bound 4", q)
+	}
+}
+
+func TestNegativeSamplesClampToZero(t *testing.T) {
+	h := NewHist(5)
+	h.Add(-3)
+	if h.P(0) != 1 {
+		t.Error("negative sample not clamped to bucket 0")
+	}
+}
+
+func TestNewHistRejectsNegativeBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHist(-1) must panic")
+		}
+	}()
+	NewHist(-1)
+}
+
+func TestCollectorWindowValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending windows must panic")
+		}
+	}()
+	NewCollectorWindows([]int{10, 5}, []int{5})
+}
+
+func TestRenderFigure2Smoke(t *testing.T) {
+	c := NewCollector()
+	feed(c, ld(10), st(12), ld(20), st(21))
+	out := c.RenderFigure2()
+	for _, want := range []string{"Fig 2a", "Fig 2b", "Fig 2c", "CDF(10)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderFigure2 missing %q", want)
+		}
+	}
+}
+
+func TestKthStoreMeanInvalidArgs(t *testing.T) {
+	c := NewCollector()
+	if _, _, ok := c.KthStoreMean(10, 0); ok {
+		t.Error("k=0 accepted")
+	}
+	if _, _, ok := c.KthStoreMean(10, 4); ok {
+		t.Error("k=4 accepted")
+	}
+	if _, _, ok := c.KthStoreMean(99, 1); ok {
+		t.Error("unknown window accepted")
+	}
+	if _, ok := c.StoresInWindow(99); ok {
+		t.Error("unknown window histogram returned")
+	}
+}
