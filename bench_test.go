@@ -7,6 +7,7 @@
 package pift
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/malware"
 	"repro/internal/mem"
+	"repro/internal/pipeline"
 	"repro/internal/taint"
 	"repro/internal/trace"
 	"repro/internal/tracestat"
@@ -147,6 +149,32 @@ func BenchmarkFigures18And19(b *testing.B) {
 		if _, err := eval.UntaintEffect(h); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPipeline sweeps the sharded asynchronous analyzer across
+// worker counts on the multi-process Figure 10 workload (the full
+// DroidBench corpus, one PID per app, interleaved round-robin). The
+// events/sec metric is the scaling trajectory BENCH_*.json tracks.
+func BenchmarkPipeline(b *testing.B) {
+	h := eval.NewHarness(benchScale)
+	wl, err := h.SuiteWorkload(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pipeline.New(pipeline.Options{Workers: n, Config: cfg})
+				wl.Replay(p)
+				res := p.Close()
+				if res.Events != uint64(wl.Len()) {
+					b.Fatalf("dispatched %d events, want %d", res.Events, wl.Len())
+				}
+			}
+			b.ReportMetric(float64(wl.Len())*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
 }
 

@@ -4,17 +4,20 @@
 // Usage:
 //
 //	piftbench [-exp all|fig2|table1|fig10|fig11|headline|fig12|fig13|
-//	           fig14|fig15|fig16|fig17|fig18] [-scale N]
+//	           fig14|fig15|fig16|fig17|fig18|pipeline] [-scale N]
+//	          [-workers 1,2,4,8]
 //
 // -scale sizes the LGRoot workload that drives the trace-statistics and
 // overhead experiments (default 25; larger = longer trace, smoother
-// distributions).
+// distributions). -workers selects the worker counts the pipeline
+// experiment sweeps.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,8 +28,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline)")
 	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp pipeline")
 	flag.Parse()
 
 	h := eval.NewHarness(*scale)
@@ -140,6 +144,18 @@ func main() {
 		fatal(err)
 		fmt.Println(eval.RenderStoreAblation(rows))
 	}
+	if run("pipeline") {
+		ok = true
+		counts, err := parseWorkers(*workers)
+		fatal(err)
+		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+		rows, err := eval.PipelineParity(h, cfg, counts)
+		fatal(err)
+		fmt.Println(eval.RenderPipelineParity(rows, cfg))
+		srows, err := eval.PipelineScaling(h, cfg, counts, 64, 3)
+		fatal(err)
+		fmt.Println(eval.RenderPipelineScaling(srows))
+	}
 	if run("cache") {
 		ok = true
 		rows, err := eval.CacheCapacity(h, []int{2, 8, 32, 128, 512, 2730})
@@ -152,6 +168,18 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func fatal(err error) {

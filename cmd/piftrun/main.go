@@ -5,7 +5,10 @@
 // Usage:
 //
 //	piftrun -list
-//	piftrun -app DirectImeiSms [-ni 13] [-nt 3] [-untaint=true] [-dift]
+//	piftrun -app DirectImeiSms [-ni 13] [-nt 3] [-untaint=true] [-dift] [-workers N]
+//
+// -workers N routes the event stream through the sharded asynchronous
+// analysis pipeline (internal/pipeline) instead of the in-line tracker.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"repro/internal/dift"
 	"repro/internal/droidbench"
 	"repro/internal/malware"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -29,6 +33,7 @@ func main() {
 	nt := flag.Int("nt", 3, "max propagations per window NT")
 	untaint := flag.Bool("untaint", true, "enable the untainting rule")
 	withDift := flag.Bool("dift", false, "also run the exact register-level tracker")
+	workers := flag.Int("workers", 0, "analyze on the sharded asynchronous pipeline with N workers (0 = synchronous tracker)")
 	dump := flag.Bool("dump", false, "print the app's bytecode listing before running")
 	modeName := flag.String("mode", "interp", "execution tier: interp, jit, or aot (§4.1)")
 	flag.Parse()
@@ -75,8 +80,27 @@ func main() {
 	}
 
 	cfg := core.Config{NI: *ni, NT: *nt, Untaint: *untaint}
-	pift := core.NewTracker(cfg, nil)
-	opts := android.RunOptions{Sinks: []cpu.EventSink{pift}, Mode: mode}
+	// With -workers N the machine's event stream is consumed
+	// asynchronously by the sharded pipeline — the paper's decoupled
+	// analysis core — instead of the in-line sequential tracker. Both
+	// paths end with the same stats and verdicts.
+	var (
+		pift *core.Tracker
+		pipe *pipeline.Pipeline
+		sink cpu.EventSink
+	)
+	switch {
+	case *workers > 0:
+		pipe = pipeline.New(pipeline.Options{Workers: *workers, Config: cfg})
+		sink = pipe
+	case *workers < 0:
+		fmt.Fprintf(os.Stderr, "piftrun: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	default:
+		pift = core.NewTracker(cfg, nil)
+		sink = pift
+	}
+	opts := android.RunOptions{Sinks: []cpu.EventSink{sink}, Mode: mode}
 	var exact *dift.Tracker
 	if *withDift {
 		exact = dift.New()
@@ -89,11 +113,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "piftrun:", err)
 		os.Exit(1)
 	}
+	var (
+		verdicts []core.SinkVerdict
+		st       core.Stats
+	)
+	if pipe != nil {
+		merged := pipe.Close()
+		verdicts, st = merged.Verdicts, merged.Stats
+	} else {
+		verdicts, st = pift.Verdicts(), pift.Stats()
+	}
 
 	fmt.Printf("%s: %d instructions, %d sink call(s), tracker %v\n",
 		*app, res.Instructions, len(res.Sinks), cfg)
+	if pipe != nil {
+		fmt.Printf("  analyzed asynchronously on %d pipeline worker(s)\n", pipe.Workers())
+	}
 	piftByTag := map[int]bool{}
-	for _, v := range pift.Verdicts() {
+	for _, v := range verdicts {
 		piftByTag[v.Tag] = v.Tainted
 	}
 	diftByTag := map[int]bool{}
@@ -110,7 +147,6 @@ func main() {
 		}
 		fmt.Println()
 	}
-	st := pift.Stats()
 	fmt.Printf("  pift: %d loads, %d stores, %d tainted loads, %d taint ops, %d untaint ops, max %dB/%d ranges\n",
 		st.Loads, st.Stores, st.TaintedLoads, st.TaintOps, st.UntaintOps, st.MaxBytes, st.MaxRanges)
 	if exact != nil {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func TestStatsMerge(t *testing.T) {
+	tests := []struct {
+		name string
+		dst  Stats
+		src  Stats
+		want Stats
+	}{
+		{
+			name: "zero into zero",
+		},
+		{
+			name: "zero absorbs other",
+			src:  Stats{Loads: 3, Stores: 2, MaxBytes: 10, MaxRanges: 4},
+			want: Stats{Loads: 3, Stores: 2, MaxBytes: 10, MaxRanges: 4},
+		},
+		{
+			name: "counters sum",
+			dst: Stats{
+				Loads: 1, Stores: 2, TaintedLoads: 3, TaintOps: 4,
+				UntaintOps: 5, SourceRegs: 6, SinkChecks: 7, TaintedSinks: 8,
+			},
+			src: Stats{
+				Loads: 10, Stores: 20, TaintedLoads: 30, TaintOps: 40,
+				UntaintOps: 50, SourceRegs: 60, SinkChecks: 70, TaintedSinks: 80,
+			},
+			want: Stats{
+				Loads: 11, Stores: 22, TaintedLoads: 33, TaintOps: 44,
+				UntaintOps: 55, SourceRegs: 66, SinkChecks: 77, TaintedSinks: 88,
+			},
+		},
+		{
+			name: "watermarks max, not sum — dst higher",
+			dst:  Stats{MaxBytes: 100, MaxRanges: 9},
+			src:  Stats{MaxBytes: 40, MaxRanges: 3},
+			want: Stats{MaxBytes: 100, MaxRanges: 9},
+		},
+		{
+			name: "watermarks max, not sum — src higher",
+			dst:  Stats{MaxBytes: 40, MaxRanges: 3},
+			src:  Stats{MaxBytes: 100, MaxRanges: 9},
+			want: Stats{MaxBytes: 100, MaxRanges: 9},
+		},
+		{
+			name: "mixed: counters sum while watermarks max independently",
+			dst:  Stats{Loads: 5, MaxBytes: 64, MaxRanges: 2},
+			src:  Stats{Loads: 7, MaxBytes: 32, MaxRanges: 6},
+			want: Stats{Loads: 12, MaxBytes: 64, MaxRanges: 6},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.dst
+			got.Merge(tt.src)
+			if got != tt.want {
+				t.Fatalf("Merge = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+// windowStream builds a three-process stream that exercises tainted
+// loads, propagation, untainting, and sink checks in every process.
+func windowStream() []cpu.Event {
+	var evs []cpu.Event
+	for pid := uint32(1); pid <= 3; pid++ {
+		base := mem.Addr(0x1000 * uint32(pid))
+		evs = append(evs,
+			source(pid, base, 8),
+			load(pid, 1, base, 4),         // tainted load: opens window
+			store(pid, 2, base+0x100, 4),  // propagates
+			store(pid, 3, base+0x200, 4),  // propagates (NT=2 budget)
+			store(pid, 4, base+0x300, 4),  // budget exhausted: untaints (miss)
+			load(pid, 10, base+0x800, 4),  // clean load
+			store(pid, 11, base+0x100, 4), // outside window: real untaint
+			cpu.Event{Kind: cpu.EvSinkCheck, PID: pid, Seq: 12,
+				Range: mem.MakeRange(base+0x200, 4), Tag: int(pid)},
+		)
+	}
+	// Interleave processes so the stream is not PID-sorted.
+	var out []cpu.Event
+	per := len(evs) / 3
+	for i := 0; i < per; i++ {
+		for p := 0; p < 3; p++ {
+			out = append(out, evs[p*per+i])
+		}
+	}
+	return out
+}
+
+// TestStatsMergeMatchesSharding checks the semantic claim Merge is built
+// on: a tracker over the whole stream and trackers over per-PID shards
+// produce the same summed counters.
+func TestStatsMergeMatchesSharding(t *testing.T) {
+	evs := windowStream()
+	cfg := Config{NI: 4, NT: 2, Untaint: true}
+
+	whole := NewTracker(cfg, nil)
+	for _, ev := range evs {
+		whole.Event(ev)
+	}
+
+	shards := map[uint32]*Tracker{}
+	for _, ev := range evs {
+		tr := shards[ev.PID]
+		if tr == nil {
+			tr = NewTracker(cfg, nil)
+			shards[ev.PID] = tr
+		}
+		tr.Event(ev)
+	}
+	var merged Stats
+	for _, tr := range shards {
+		merged.Merge(tr.Stats())
+	}
+
+	want := whole.Stats()
+	// Counters must match exactly; watermarks are per-shard maxima, so
+	// compare them separately as a lower bound.
+	cmp := merged
+	cmp.MaxBytes, cmp.MaxRanges = want.MaxBytes, want.MaxRanges
+	if cmp != want {
+		t.Fatalf("sharded counters %+v, want %+v", merged, want)
+	}
+	if merged.MaxBytes > want.MaxBytes || merged.MaxRanges > want.MaxRanges {
+		t.Fatalf("sharded watermarks %d/%d exceed sequential %d/%d",
+			merged.MaxBytes, merged.MaxRanges, want.MaxBytes, want.MaxRanges)
+	}
+}
+
+func TestSortVerdicts(t *testing.T) {
+	vs := []SinkVerdict{
+		{Tag: 3, PID: 2, Seq: 10, Tainted: true},
+		{Tag: 2, PID: 1, Seq: 20},
+		{Tag: 1, PID: 1, Seq: 5, Tainted: true},
+		{Tag: 5, PID: 1, Seq: 5},
+		{Tag: 4, PID: 2, Seq: 1},
+	}
+	SortVerdicts(vs)
+	want := []SinkVerdict{
+		{Tag: 1, PID: 1, Seq: 5, Tainted: true},
+		{Tag: 5, PID: 1, Seq: 5},
+		{Tag: 2, PID: 1, Seq: 20},
+		{Tag: 4, PID: 2, Seq: 1},
+		{Tag: 3, PID: 2, Seq: 10, Tainted: true},
+	}
+	if !reflect.DeepEqual(vs, want) {
+		t.Fatalf("SortVerdicts = %+v, want %+v", vs, want)
+	}
+}

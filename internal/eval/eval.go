@@ -25,10 +25,11 @@ import (
 
 // Harness caches recorded traces so the sweeps re-execute nothing.
 type Harness struct {
-	lgrootScale int
-	lgroot      *trace.Recorder
-	apps        []droidbench.App
-	appTraces   map[string]*trace.Recorder
+	lgrootScale    int
+	lgroot         *trace.Recorder
+	apps           []droidbench.App
+	appTraces      map[string]*trace.Recorder
+	suiteWorkloads map[int]*trace.Recorder
 }
 
 // NewHarness builds a harness; scale sizes the LGRoot busy-work loops

@@ -1,0 +1,102 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/eval"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// TestPipelineDeterminismDroidBench is the acceptance property: every
+// DroidBench trace, analyzed by the pipeline at 1/2/4/8 workers, must
+// produce output byte-identical to the sequential tracker's — same merged
+// Stats (DroidBench traces are single-process, so even the watermarks
+// must match exactly) and same canonically ordered sink verdicts. Run
+// under -race this also exercises the concurrency layer for data races.
+func TestPipelineDeterminismDroidBench(t *testing.T) {
+	h := eval.NewHarness(4)
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	for _, app := range h.Apps() {
+		rec, err := h.AppTrace(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		seq := core.NewTracker(cfg, nil)
+		rec.Replay(seq)
+		verdicts := append([]core.SinkVerdict(nil), seq.Verdicts()...)
+		core.SortVerdicts(verdicts)
+		want := fmt.Sprintf("%#v|%#v", seq.Stats(), verdicts)
+		for _, workers := range []int{1, 2, 4, 8} {
+			p := pipeline.New(pipeline.Options{Workers: workers, Config: cfg})
+			rec.Replay(p)
+			res := p.Close()
+			got := fmt.Sprintf("%#v|%#v", res.Stats, res.Verdicts)
+			if got != want {
+				t.Errorf("%s @ %d workers diverges from sequential:\n got %s\nwant %s",
+					app.Name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestPipelineDeterminismInterleaved runs the same property on a genuine
+// multi-process stream: a subset of app traces remapped to distinct PIDs
+// and interleaved with a context-switch quantum, so events of different
+// processes really do land on different workers. Counters and verdicts
+// must still match the sequential oracle exactly; the watermarks may only
+// be bounded above by it (they become per-shard maxima).
+func TestPipelineDeterminismInterleaved(t *testing.T) {
+	h := eval.NewHarness(4)
+	apps := h.Apps()
+	if len(apps) > 12 {
+		apps = apps[:12]
+	}
+	streams := make([][]cpu.Event, 0, len(apps))
+	for i, app := range apps {
+		rec, err := h.AppTrace(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		pid := uint32(i + 1)
+		evs := make([]cpu.Event, len(rec.Events))
+		for j, ev := range rec.Events {
+			ev.PID = pid
+			evs[j] = ev
+		}
+		streams = append(streams, evs)
+	}
+	merged := trace.Interleave(64, streams...)
+	cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+	wantStats, wantVerdicts := func() (core.Stats, []core.SinkVerdict) {
+		tr := core.NewTracker(cfg, nil)
+		for _, ev := range merged {
+			tr.Event(ev)
+		}
+		vs := append([]core.SinkVerdict(nil), tr.Verdicts()...)
+		core.SortVerdicts(vs)
+		return tr.Stats(), vs
+	}()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := pipeline.New(pipeline.Options{Workers: workers, Config: cfg})
+		for _, ev := range merged {
+			p.Event(ev)
+		}
+		res := p.Close()
+		if got, want := fmt.Sprintf("%#v", res.Verdicts), fmt.Sprintf("%#v", wantVerdicts); got != want {
+			t.Errorf("interleaved @ %d workers: verdicts differ", workers)
+		}
+		cmp := res.Stats
+		cmp.MaxBytes, cmp.MaxRanges = wantStats.MaxBytes, wantStats.MaxRanges
+		if cmp != wantStats {
+			t.Errorf("interleaved @ %d workers: counters %+v, want %+v", workers, res.Stats, wantStats)
+		}
+		if res.Stats.MaxBytes > wantStats.MaxBytes || res.Stats.MaxRanges > wantStats.MaxRanges {
+			t.Errorf("interleaved @ %d workers: watermarks exceed sequential", workers)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// Default tuning parameters. The batch size amortizes channel send/receive
+// overhead across many events (one synchronization per ~256 events keeps
+// dispatch cost well under the tracker's per-event work); the queue depth
+// bounds how far a worker may fall behind before the dispatcher blocks.
+const (
+	DefaultBatchSize  = 256
+	DefaultQueueDepth = 8
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// Workers is the number of analysis goroutines; events are sharded
+	// onto them by PID. Defaults to GOMAXPROCS.
+	Workers int
+	// BatchSize is how many events the dispatcher accumulates per shard
+	// before handing the batch to the worker. Defaults to
+	// DefaultBatchSize.
+	BatchSize int
+	// QueueDepth is the per-worker channel capacity, in batches. Once a
+	// worker's queue is full the dispatcher blocks — explicit
+	// backpressure, never drops. Defaults to DefaultQueueDepth.
+	QueueDepth int
+	// Config holds the tainting-window parameters every worker's tracker
+	// runs with. Invalid configs panic in New, matching core.NewTracker.
+	Config core.Config
+	// NewStore builds each worker's taint store; nil means a fresh
+	// unbounded IdealStore per worker. Note that bounded stores size
+	// per worker: capacity-induced evictions then depend on the shard
+	// layout, unlike the exact per-PID semantics of the ideal store.
+	NewStore func() core.Store
+	// Observer, when non-nil, is invoked on the worker goroutine for
+	// every event just before the tracker consumes it. It exists for
+	// tests and metrics; it must not call back into the pipeline.
+	Observer func(worker int, ev cpu.Event)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	return o
+}

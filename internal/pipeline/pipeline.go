@@ -1,0 +1,137 @@
+// Package pipeline decouples front-end event production from taint
+// analysis, reproducing in software the split the paper builds in
+// hardware (§3): the application core streams load/store events to a
+// separate analysis core that runs the PIFT heuristic asynchronously.
+//
+// A single-threaded dispatcher shards events by PID onto N worker
+// goroutines, each running its own core.Tracker. Sharding by PID is
+// semantics-preserving because the tainting-window algorithm and the
+// taint store are both per-process (Algorithm 1 keeps one window per PID;
+// Figure 6 tags every storage entry with the PID): events of different
+// processes never read or write shared tracker state, so any per-PID-
+// order-preserving parallel schedule computes exactly what the sequential
+// tracker does. Events are delivered in batches over bounded channels —
+// batching amortizes channel synchronization, and the bound turns a slow
+// worker into dispatcher backpressure instead of unbounded buffering or
+// event loss. Close drains the workers and merges their statistics and
+// sink verdicts into a deterministic Result.
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// Pipeline is an asynchronous sharded taint analyzer. It implements
+// cpu.EventSink, so it can be attached to a live machine or fed a
+// recorded trace exactly like a sequential tracker. The producer side
+// (Event, Close) must be driven by one goroutine at a time; the analysis
+// runs concurrently behind it.
+type Pipeline struct {
+	opts    Options
+	workers []*worker
+	pending [][]cpu.Event // per-worker batch under construction
+	pool    sync.Pool     // recycles batch slices: *[]cpu.Event
+	events  uint64
+	closed  bool
+}
+
+// New builds the pipeline and starts its worker goroutines. The result
+// must be Closed to release them. Invalid configs panic, as in
+// core.NewTracker: they are experiment bugs, not runtime conditions.
+func New(opts Options) *Pipeline {
+	opts = opts.withDefaults()
+	if err := opts.Config.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Pipeline{opts: opts}
+	p.pool.New = func() any {
+		b := make([]cpu.Event, 0, opts.BatchSize)
+		return &b
+	}
+	p.workers = make([]*worker, opts.Workers)
+	p.pending = make([][]cpu.Event, opts.Workers)
+	for i := range p.workers {
+		var store core.Store
+		if opts.NewStore != nil {
+			store = opts.NewStore()
+		}
+		w := newWorker(i, core.NewTracker(opts.Config, store), opts.QueueDepth)
+		p.workers[i] = w
+		p.pending[i] = p.batch()
+		go w.run(opts.Observer, &p.pool)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pipeline) Workers() int { return len(p.workers) }
+
+// shard maps a PID to a worker index. The multiply-xorshift mix (the
+// murmur3 finalizer) spreads consecutive PIDs evenly regardless of the
+// worker count; it is a pure function of the PID, so the assignment is
+// deterministic across runs.
+func shard(pid uint32, n int) int {
+	x := pid
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return int(x % uint32(n))
+}
+
+// Event implements cpu.EventSink: route the event to its PID's shard,
+// flushing the shard's batch when full. A full worker queue blocks here —
+// that is the backpressure contract.
+func (p *Pipeline) Event(ev cpu.Event) {
+	if p.closed {
+		panic("pipeline: Event after Close")
+	}
+	i := 0
+	if len(p.workers) > 1 {
+		i = shard(ev.PID, len(p.workers))
+	}
+	b := append(p.pending[i], ev)
+	p.events++
+	if len(b) >= p.opts.BatchSize {
+		p.workers[i].ch <- b
+		b = p.batch()
+	}
+	p.pending[i] = b
+}
+
+// batch takes a fresh (or recycled) empty batch slice from the pool.
+func (p *Pipeline) batch() []cpu.Event {
+	return (*p.pool.Get().(*[]cpu.Event))[:0]
+}
+
+// Close flushes partial batches, waits for every worker to drain, and
+// merges their outputs: counters sum, watermarks max (see
+// core.Stats.Merge for the exactness argument), and sink verdicts sort
+// into the canonical (PID, Seq, Tag) order, so the merged Result is a
+// deterministic function of the input stream alone — independent of
+// worker count, batch size, and scheduling.
+func (p *Pipeline) Close() Result {
+	if p.closed {
+		panic("pipeline: double Close")
+	}
+	p.closed = true
+	for i, w := range p.workers {
+		if len(p.pending[i]) > 0 {
+			w.ch <- p.pending[i]
+		}
+		p.pending[i] = nil
+		close(w.ch)
+	}
+	res := Result{Workers: len(p.workers), Events: p.events}
+	for _, w := range p.workers {
+		<-w.done
+		res.Stats.Merge(w.tr.Stats())
+		res.Verdicts = append(res.Verdicts, w.tr.Verdicts()...)
+	}
+	core.SortVerdicts(res.Verdicts)
+	return res
+}

@@ -1,0 +1,27 @@
+package pipeline
+
+import "repro/internal/core"
+
+// Result is the merged outcome of one pipeline run. Stats counters equal
+// the sequential tracker's exactly; the watermarks are the largest any
+// shard reached (identical to sequential whenever taint lives in one
+// process at a time). Verdicts are in canonical (PID, Seq, Tag) order —
+// sort a sequential tracker's verdicts with core.SortVerdicts to compare
+// the two byte for byte.
+type Result struct {
+	Stats    core.Stats
+	Verdicts []core.SinkVerdict
+	Events   uint64 // events dispatched, all shards
+	Workers  int
+}
+
+// Detected reports whether any sink verdict found taint — the accuracy
+// predicate the DroidBench suite scores.
+func (r Result) Detected() bool {
+	for _, v := range r.Verdicts {
+		if v.Tainted {
+			return true
+		}
+	}
+	return false
+}

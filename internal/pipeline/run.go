@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"io"
+
+	"repro/internal/cpu"
+)
+
+// EventSource is a pull-based event stream terminated by io.EOF.
+// trace.Reader implements it, so a serialized trace can feed the pipeline
+// without being materialized; any other streaming producer (a socket, a
+// generator) fits the same shape.
+type EventSource interface {
+	Next() (cpu.Event, error)
+}
+
+// Run drains src through a fresh pipeline and returns the merged result.
+// On a source error the pipeline is still shut down cleanly (no leaked
+// goroutines) and the error is returned.
+func Run(src EventSource, opts Options) (Result, error) {
+	p := New(opts)
+	for {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.Close()
+			return Result{}, err
+		}
+		p.Event(ev)
+	}
+	return p.Close(), nil
+}

@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+)
+
+// worker owns one shard: a bounded batch queue feeding a private tracker.
+// All tracker state is confined to the worker goroutine between New and
+// the done signal, so no locking is needed anywhere in the hot path.
+type worker struct {
+	idx  int
+	ch   chan []cpu.Event
+	tr   *core.Tracker
+	done chan struct{}
+}
+
+func newWorker(idx int, tr *core.Tracker, queueDepth int) *worker {
+	return &worker{
+		idx:  idx,
+		ch:   make(chan []cpu.Event, queueDepth),
+		tr:   tr,
+		done: make(chan struct{}),
+	}
+}
+
+// run drains batches until the dispatcher closes the channel, returning
+// spent batch slices to the shared pool.
+func (w *worker) run(obs func(int, cpu.Event), pool *sync.Pool) {
+	defer close(w.done)
+	for batch := range w.ch {
+		for _, ev := range batch {
+			if obs != nil {
+				obs(w.idx, ev)
+			}
+			w.tr.Event(ev)
+		}
+		b := batch[:0]
+		pool.Put(&b)
+	}
+}

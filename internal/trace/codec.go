@@ -3,11 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
-
-	"repro/internal/cpu"
-	"repro/internal/mem"
 )
 
 // Binary trace format — the stand-in for the gem5 trace files the paper's
@@ -54,47 +50,23 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadFrom deserializes a trace written by WriteTo.
+// ReadFrom deserializes a trace written by WriteTo, materializing the full
+// event slice. It is a thin wrapper over the streaming Reader; pipelines
+// that should not hold whole traces in memory use NewReader directly.
 func ReadFrom(r io.Reader) (*Recorder, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
 	}
-	if magic != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
-	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
-	}
-	count := binary.LittleEndian.Uint64(hdr[:])
-	const sanityCap = 1 << 31
-	if count > sanityCap {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
-	}
-	out := NewRecorder(int(count))
-	var rec [eventWireSize]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+	out := NewRecorder(int(sr.Len()))
+	for {
+		ev, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
 		}
-		kind := cpu.EventKind(rec[0])
-		if kind > cpu.EvSinkCheck {
-			return nil, fmt.Errorf("trace: event %d: unknown kind %d", i, kind)
+		if err != nil {
+			return nil, err
 		}
-		start := binary.LittleEndian.Uint32(rec[13:])
-		end := binary.LittleEndian.Uint32(rec[17:])
-		if end < start {
-			return nil, fmt.Errorf("trace: event %d: inverted range", i)
-		}
-		out.Events = append(out.Events, cpu.Event{
-			Kind:  kind,
-			PID:   binary.LittleEndian.Uint32(rec[1:]),
-			Seq:   binary.LittleEndian.Uint64(rec[5:]),
-			Range: mem.Range{Start: start, End: end},
-			Tag:   int(int32(binary.LittleEndian.Uint32(rec[21:]))),
-		})
+		out.Events = append(out.Events, ev)
 	}
-	return out, nil
 }

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// Reader streams events out of a serialized trace one at a time, so
+// multi-gigabyte traces can feed an analysis pipeline without ever
+// materializing the full []Event slice. It validates the header eagerly
+// (in NewReader) and each record lazily (in Next).
+type Reader struct {
+	br    *bufio.Reader
+	count uint64 // declared event count from the header
+	read  uint64 // events decoded so far
+}
+
+// NewReader wraps r, reading and validating the trace header. The stream
+// must then be drained with Next; the first call after the last event
+// returns io.EOF.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const sanityCap = 1 << 31
+	if count > sanityCap {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	return &Reader{br: br, count: count}, nil
+}
+
+// Len returns the total event count declared by the trace header.
+func (d *Reader) Len() uint64 { return d.count }
+
+// Remaining returns how many events have not been decoded yet.
+func (d *Reader) Remaining() uint64 { return d.count - d.read }
+
+// Next decodes and returns the next event. It returns io.EOF once all
+// declared events have been read, and a descriptive error on truncated or
+// corrupt records.
+func (d *Reader) Next() (cpu.Event, error) {
+	if d.read >= d.count {
+		return cpu.Event{}, io.EOF
+	}
+	var rec [eventWireSize]byte
+	if _, err := io.ReadFull(d.br, rec[:]); err != nil {
+		return cpu.Event{}, fmt.Errorf("trace: event %d: %w", d.read, err)
+	}
+	kind := cpu.EventKind(rec[0])
+	if kind > cpu.EvSinkCheck {
+		return cpu.Event{}, fmt.Errorf("trace: event %d: unknown kind %d", d.read, kind)
+	}
+	start := binary.LittleEndian.Uint32(rec[13:])
+	end := binary.LittleEndian.Uint32(rec[17:])
+	if end < start {
+		return cpu.Event{}, fmt.Errorf("trace: event %d: inverted range", d.read)
+	}
+	d.read++
+	return cpu.Event{
+		Kind:  kind,
+		PID:   binary.LittleEndian.Uint32(rec[1:]),
+		Seq:   binary.LittleEndian.Uint64(rec[5:]),
+		Range: mem.Range{Start: start, End: end},
+		Tag:   int(int32(binary.LittleEndian.Uint32(rec[21:]))),
+	}, nil
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestReaderRoundTrip drains a serialized trace through the streaming
+// Reader and checks it yields exactly the events ReadFrom materializes.
+func TestReaderRoundTrip(t *testing.T) {
+	orig := randomTrace(5000, 29)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Len() != uint64(orig.Len()) {
+		t.Fatalf("header count %d, want %d", sr.Len(), orig.Len())
+	}
+	for i, want := range orig.Events {
+		ev, err := sr.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != want {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ev, want)
+		}
+	}
+	if sr.Remaining() != 0 {
+		t.Fatalf("remaining %d after drain", sr.Remaining())
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next after drain = %v, want io.EOF", err)
+	}
+	// io.EOF must be sticky.
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("second Next after drain = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewRecorder(0).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("Next on empty trace = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRCE\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderRejectsTruncation(t *testing.T) {
+	orig := randomTrace(10, 11)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{4, 12, buf.Len() - 3} {
+		data := buf.Bytes()[:cut]
+		sr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			continue // truncated inside the header: rejected eagerly
+		}
+		streamErr := error(nil)
+		for {
+			_, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				streamErr = err
+				break
+			}
+		}
+		if streamErr == nil {
+			t.Errorf("truncation at %d drained cleanly", cut)
+		}
+	}
+}
+
+func TestReaderRejectsCorruptEvent(t *testing.T) {
+	orig := randomTrace(3, 13)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[16] = 0xff // kind byte of the first event
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err == nil {
+		t.Fatal("corrupt kind accepted")
+	}
+}
