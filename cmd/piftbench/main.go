@@ -31,6 +31,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline)")
 	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp pipeline")
+	jsonOut := flag.String("json", "BENCH_pipeline.json", "path for the pipeline experiment's JSON artifact (tables + metrics snapshot); empty disables")
 	flag.Parse()
 
 	h := eval.NewHarness(*scale)
@@ -149,12 +150,20 @@ func main() {
 		counts, err := parseWorkers(*workers)
 		fatal(err)
 		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
-		rows, err := eval.PipelineParity(h, cfg, counts)
+		bench, err := eval.PipelineBench(h, cfg, counts, 64, 3)
 		fatal(err)
-		fmt.Println(eval.RenderPipelineParity(rows, cfg))
-		srows, err := eval.PipelineScaling(h, cfg, counts, 64, 3)
-		fatal(err)
-		fmt.Println(eval.RenderPipelineScaling(srows))
+		fmt.Println(eval.RenderPipelineParity(bench.Parity, cfg))
+		fmt.Println(eval.RenderPipelineScaling(bench.Scaling))
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			fatal(err)
+			err = bench.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			fatal(err)
+			fmt.Printf("(pipeline artifact written to %s)\n", *jsonOut)
+		}
 	}
 	if run("cache") {
 		ok = true

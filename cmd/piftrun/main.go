@@ -6,15 +6,24 @@
 //
 //	piftrun -list
 //	piftrun -app DirectImeiSms [-ni 13] [-nt 3] [-untaint=true] [-dift] [-workers N]
+//	        [-http :8080]
 //
 // -workers N routes the event stream through the sharded asynchronous
 // analysis pipeline (internal/pipeline) instead of the in-line tracker.
+//
+// -http ADDR serves the run's metrics registry on ADDR for the duration
+// of the process: /metrics (Prometheus text), /metrics.json, /healthz,
+// and the standard /debug/pprof endpoints. The process stays alive after
+// the run completes (for scraping) until interrupted.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/android"
 	"repro/internal/core"
@@ -23,6 +32,7 @@ import (
 	"repro/internal/dift"
 	"repro/internal/droidbench"
 	"repro/internal/malware"
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 )
 
@@ -36,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "analyze on the sharded asynchronous pipeline with N workers (0 = synchronous tracker)")
 	dump := flag.Bool("dump", false, "print the app's bytecode listing before running")
 	modeName := flag.String("mode", "interp", "execution tier: interp, jit, or aot (§4.1)")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080); keeps the process alive after the run")
 	flag.Parse()
 
 	var mode dalvik.Mode
@@ -80,6 +91,23 @@ func main() {
 	}
 
 	cfg := core.Config{NI: *ni, NT: *nt, Untaint: *untaint}
+
+	// -http instruments every layer of the run against one registry and
+	// serves it before the workload starts, so a scraper watching /metrics
+	// sees counters move live.
+	var reg *metrics.Registry
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		srv := &http.Server{Addr: *httpAddr, Handler: metrics.NewServeMux(reg)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "piftrun: http:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("serving /metrics, /healthz, /debug/pprof on %s\n", *httpAddr)
+	}
+
 	// With -workers N the machine's event stream is consumed
 	// asynchronously by the sharded pipeline — the paper's decoupled
 	// analysis core — instead of the in-line sequential tracker. Both
@@ -91,19 +119,25 @@ func main() {
 	)
 	switch {
 	case *workers > 0:
-		pipe = pipeline.New(pipeline.Options{Workers: *workers, Config: cfg})
+		pipe = pipeline.New(pipeline.Options{Workers: *workers, Config: cfg, Metrics: reg})
 		sink = pipe
 	case *workers < 0:
 		fmt.Fprintf(os.Stderr, "piftrun: -workers must be >= 0, got %d\n", *workers)
 		os.Exit(2)
 	default:
 		pift = core.NewTracker(cfg, nil)
+		if reg != nil {
+			pift.SetMetrics(core.NewTrackerMetrics(reg))
+		}
 		sink = pift
 	}
-	opts := android.RunOptions{Sinks: []cpu.EventSink{sink}, Mode: mode}
+	opts := android.RunOptions{Sinks: []cpu.EventSink{sink}, Mode: mode, Metrics: reg}
 	var exact *dift.Tracker
 	if *withDift {
 		exact = dift.New()
+		if reg != nil {
+			exact.SetMetrics(dift.NewOracleMetrics(reg))
+		}
 		opts.Sinks = append(opts.Sinks, exact)
 		opts.Hooks = append(opts.Hooks, exact)
 	}
@@ -155,5 +189,14 @@ func main() {
 			ds.Instructions,
 			float64(ds.Instructions)/float64(st.Loads+st.Stores),
 			st.Loads+st.Stores)
+	}
+
+	if *httpAddr != "" {
+		// Keep the endpoints up so the final counters can be scraped;
+		// exit on the usual signals.
+		fmt.Printf("run complete; still serving %s (interrupt to exit)\n", *httpAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }

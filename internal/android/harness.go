@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dalvik"
 	"repro/internal/jrt"
+	"repro/internal/metrics"
 )
 
 // RunOptions configures one application execution.
@@ -28,6 +29,9 @@ type RunOptions struct {
 	Optimize bool
 	// Mode selects the execution tier explicitly (interp, jit, aot).
 	Mode dalvik.Mode
+	// Metrics, when non-nil, instruments the machine's front end
+	// (instructions/loads/stores retired) against this registry.
+	Metrics *metrics.Registry
 }
 
 // RunResult is the outcome of one application execution.
@@ -59,6 +63,9 @@ func Run(prog *dalvik.Program, opts RunOptions) (*RunResult, error) {
 	}
 
 	machine := cpu.NewMachine()
+	if opts.Metrics != nil {
+		machine.SetMetrics(cpu.NewMachineMetrics(opts.Metrics))
+	}
 	for _, s := range opts.Sinks {
 		machine.AttachSink(s)
 	}

@@ -1,0 +1,62 @@
+package core
+
+import "repro/internal/metrics"
+
+// TrackerMetrics wires the tracker's hot-path transitions into live
+// counters. All fields are optional: the zero value disables
+// instrumentation, and every mutation below is nil-receiver-safe, so the
+// uninstrumented hot path pays one predicted branch per site.
+//
+// One TrackerMetrics value is typically shared by many trackers (the
+// pipeline gives each worker the same set), so counters aggregate across
+// shards and the high-water gauges track the maximum any shard reached.
+type TrackerMetrics struct {
+	// WindowOpens counts tainted loads that opened or restarted a
+	// tainting window (Algorithm 1 lines 10–15).
+	WindowOpens *metrics.Counter
+	// WindowExpirations counts windows first observed expired: a store
+	// arrived more than NI instructions after the window's last tainted
+	// load. Each open window is counted at most once.
+	WindowExpirations *metrics.Counter
+	// TaintAdds counts store targets tainted inside a window (line 18).
+	TaintAdds *metrics.Counter
+	// Untaints counts stores that actually removed taint (line 21).
+	Untaints *metrics.Counter
+	// SinkChecks counts sink taint queries; TaintedSinks those that hit.
+	SinkChecks   *metrics.Counter
+	TaintedSinks *metrics.Counter
+	// TaintedBytesHigh and TaintedRangesHigh are high-water gauges of
+	// store occupancy (bytes and distinct ranges).
+	TaintedBytesHigh  *metrics.Gauge
+	TaintedRangesHigh *metrics.Gauge
+}
+
+// NewTrackerMetrics registers the tracker metric set under its canonical
+// names. Registration is idempotent, so calling this repeatedly against
+// the same registry (one call per pipeline worker, say) shares one set of
+// counters.
+func NewTrackerMetrics(r *metrics.Registry) TrackerMetrics {
+	return TrackerMetrics{
+		WindowOpens: r.Counter("pift_tracker_window_opens_total",
+			"Tainting windows opened or restarted by a tainted load."),
+		WindowExpirations: r.Counter("pift_tracker_window_expirations_total",
+			"Tainting windows that expired (first store past NI instructions)."),
+		TaintAdds: r.Counter("pift_tracker_taint_adds_total",
+			"Store targets tainted inside a tainting window."),
+		Untaints: r.Counter("pift_tracker_untaints_total",
+			"Stores that removed taint under the untainting rule."),
+		SinkChecks: r.Counter("pift_tracker_sink_checks_total",
+			"Sink taint queries answered."),
+		TaintedSinks: r.Counter("pift_tracker_tainted_sinks_total",
+			"Sink taint queries that found taint."),
+		TaintedBytesHigh: r.Gauge("pift_tracker_tainted_bytes_highwater",
+			"High-water mark of tainted bytes in the store."),
+		TaintedRangesHigh: r.Gauge("pift_tracker_tainted_ranges_highwater",
+			"High-water mark of distinct tainted ranges in the store."),
+	}
+}
+
+// SetMetrics attaches (or, with the zero value, detaches) live metrics.
+// Reset does not clear metrics: registry counters are cumulative across a
+// process's whole run, unlike per-trace Stats.
+func (t *Tracker) SetMetrics(m TrackerMetrics) { t.m = m }

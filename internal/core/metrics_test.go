@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
+
+// TestTrackerMetrics drives a hand-built event sequence through an
+// instrumented tracker and checks every counter against the Stats the
+// same run accumulates, plus the window open/expire accounting that only
+// the metrics observe.
+func TestTrackerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tm := NewTrackerMetrics(reg)
+	tr := NewTracker(Config{NI: 4, NT: 2, Untaint: true}, nil)
+	tr.SetMetrics(tm)
+
+	tr.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 1, Seq: 0,
+		Range: mem.Range{Start: 100, End: 199}})
+
+	tr.Event(load(1, 1, 100, 4))   // tainted load: window opens
+	tr.Event(store(1, 2, 300, 4))  // inside window: taint add
+	tr.Event(store(1, 3, 310, 4))  // inside window: taint add (budget spent)
+	tr.Event(store(1, 4, 320, 4))  // budget exhausted, clean target: no-op
+	tr.Event(load(1, 5, 100, 4))   // tainted load: window restarts
+	tr.Event(store(1, 12, 300, 4)) // past NI=4: expiration + untaint
+	tr.Event(store(1, 13, 320, 4)) // window closed, clean target: no-op
+
+	tr.Event(cpu.Event{Kind: cpu.EvSinkCheck, PID: 1, Seq: 14, Tag: 1,
+		Range: mem.Range{Start: 310, End: 311}}) // still tainted
+	tr.Event(cpu.Event{Kind: cpu.EvSinkCheck, PID: 1, Seq: 15, Tag: 2,
+		Range: mem.Range{Start: 300, End: 303}}) // untainted above
+
+	st := tr.Stats()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"window opens", tm.WindowOpens.Value(), st.TaintedLoads},
+		{"window opens value", tm.WindowOpens.Value(), 2},
+		{"window expirations", tm.WindowExpirations.Value(), 1},
+		{"taint adds", tm.TaintAdds.Value(), st.TaintOps},
+		{"taint adds value", tm.TaintAdds.Value(), 2},
+		{"untaints", tm.Untaints.Value(), st.UntaintOps},
+		{"untaints value", tm.Untaints.Value(), 1},
+		{"sink checks", tm.SinkChecks.Value(), st.SinkChecks},
+		{"tainted sinks", tm.TaintedSinks.Value(), st.TaintedSinks},
+		{"tainted sinks value", tm.TaintedSinks.Value(), 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: metric %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if got, want := tm.TaintedBytesHigh.Value(), int64(st.MaxBytes); got != want {
+		t.Errorf("tainted bytes high-water: metric %d, want %d", got, want)
+	}
+	if got, want := tm.TaintedRangesHigh.Value(), int64(st.MaxRanges); got != want {
+		t.Errorf("tainted ranges high-water: metric %d, want %d", got, want)
+	}
+}
+
+// TestTrackerUninstrumentedUnchanged replays the same stream with and
+// without metrics attached and requires identical Stats and verdicts —
+// instrumentation must be observation-only.
+func TestTrackerUninstrumentedUnchanged(t *testing.T) {
+	run := func(instrument bool) (Stats, []SinkVerdict) {
+		tr := NewTracker(Config{NI: 3, NT: 2, Untaint: true}, nil)
+		if instrument {
+			tr.SetMetrics(NewTrackerMetrics(metrics.NewRegistry()))
+		}
+		tr.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 7, Seq: 0,
+			Range: mem.Range{Start: 0x1000, End: 0x10ff}})
+		seq := uint64(1)
+		for i := 0; i < 64; i++ {
+			tr.Event(load(7, seq, 0x1000+mem.Addr(i%32)*4, 4))
+			seq += uint64(i % 5)
+			tr.Event(store(7, seq, 0x2000+mem.Addr(i)*4, 4))
+			seq++
+		}
+		tr.Event(cpu.Event{Kind: cpu.EvSinkCheck, PID: 7, Seq: seq, Tag: 1,
+			Range: mem.Range{Start: 0x2000, End: 0x20ff}})
+		return tr.Stats(), tr.Verdicts()
+	}
+	plainStats, plainVerdicts := run(false)
+	instrStats, instrVerdicts := run(true)
+	if plainStats != instrStats {
+		t.Errorf("stats diverge: plain %+v, instrumented %+v", plainStats, instrStats)
+	}
+	if len(plainVerdicts) != len(instrVerdicts) {
+		t.Fatalf("verdict counts diverge")
+	}
+	for i := range plainVerdicts {
+		if plainVerdicts[i] != instrVerdicts[i] {
+			t.Errorf("verdict %d diverges: %+v vs %+v", i, plainVerdicts[i], instrVerdicts[i])
+		}
+	}
+}

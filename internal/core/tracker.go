@@ -83,6 +83,7 @@ type Tracker struct {
 	windows  map[uint32]*window
 	stats    Stats
 	verdicts []SinkVerdict
+	m        TrackerMetrics
 }
 
 // NewTracker builds a tracker over the given store; a nil store gets a
@@ -151,6 +152,7 @@ func (t *Tracker) Event(ev cpu.Event) {
 		// restarts) the tainting window.
 		if t.store.Overlaps(ev.PID, ev.Range) {
 			t.stats.TaintedLoads++
+			t.m.WindowOpens.Inc()
 			w := t.win(ev.PID)
 			w.open = true
 			w.ltlt = ev.Seq
@@ -160,12 +162,21 @@ func (t *Tracker) Event(ev cpu.Event) {
 	case cpu.EvStore:
 		t.stats.Stores++
 		w := t.win(ev.PID)
+		if w.open && ev.Seq > w.ltlt+t.cfg.NI {
+			// Per-process sequence numbers are monotone, so a window seen
+			// past its NI horizon can never taint again until a tainted
+			// load reopens it. Closing it here is observationally
+			// equivalent and lets each window expire exactly once.
+			w.open = false
+			t.m.WindowExpirations.Inc()
+		}
 		// LINE 17–19: inside the window with propagation budget left —
 		// taint the store target.
-		if w.open && ev.Seq <= w.ltlt+t.cfg.NI && w.nt < t.cfg.NT {
+		if w.open && w.nt < t.cfg.NT {
 			t.store.Add(ev.PID, ev.Range)
 			w.nt++
 			t.stats.TaintOps++
+			t.m.TaintAdds.Inc()
 			t.noteHighWater()
 			return
 		}
@@ -175,6 +186,7 @@ func (t *Tracker) Event(ev cpu.Event) {
 		if t.cfg.Untaint {
 			if t.store.Remove(ev.PID, ev.Range) {
 				t.stats.UntaintOps++
+				t.m.Untaints.Inc()
 			}
 		}
 
@@ -185,9 +197,11 @@ func (t *Tracker) Event(ev cpu.Event) {
 
 	case cpu.EvSinkCheck:
 		t.stats.SinkChecks++
+		t.m.SinkChecks.Inc()
 		tainted := t.store.Overlaps(ev.PID, ev.Range)
 		if tainted {
 			t.stats.TaintedSinks++
+			t.m.TaintedSinks.Inc()
 		}
 		t.verdicts = append(t.verdicts, SinkVerdict{
 			Tag: ev.Tag, PID: ev.PID, Seq: ev.Seq, Tainted: tainted,
@@ -207,9 +221,11 @@ func (t *Tracker) win(pid uint32) *window {
 func (t *Tracker) noteHighWater() {
 	if b := t.store.TaintedBytes(); b > t.stats.MaxBytes {
 		t.stats.MaxBytes = b
+		t.m.TaintedBytesHigh.TrackMax(int64(b))
 	}
 	if n := t.store.RangeCount(); n > t.stats.MaxRanges {
 		t.stats.MaxRanges = n
+		t.m.TaintedRangesHigh.TrackMax(int64(n))
 	}
 }
 

@@ -89,6 +89,7 @@ type Machine struct {
 	res      arm.Result
 	stepErr  error
 	sinkTags int
+	metrics  MachineMetrics
 }
 
 // InstrHook observes every retired instruction with full architectural
@@ -161,6 +162,7 @@ func (m *Machine) Step(p *Proc) bool {
 
 	arm.Exec(&p.State, in, m.Mem, &m.res)
 	p.InstrCount++
+	m.metrics.Instructions.Inc()
 
 	// Front-end logic: forward every data access.
 	for i := 0; i < m.res.NAcc; i++ {
@@ -168,6 +170,9 @@ func (m *Machine) Step(p *Proc) bool {
 		kind := EvLoad
 		if acc.Store {
 			kind = EvStore
+			m.metrics.Stores.Inc()
+		} else {
+			m.metrics.Loads.Inc()
 		}
 		m.Emit(Event{Kind: kind, PID: p.PID, Seq: p.InstrCount, Range: acc.Range})
 	}

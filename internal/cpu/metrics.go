@@ -1,0 +1,32 @@
+package cpu
+
+import "repro/internal/metrics"
+
+// MachineMetrics wires the front end's retirement stream into live
+// counters: the denominators of every PIFT-vs-DIFT work ratio. The zero
+// value disables instrumentation (all mutations are nil-receiver-safe).
+type MachineMetrics struct {
+	// Instructions counts instructions retired across all processes.
+	Instructions *metrics.Counter
+	// Loads and Stores count data-memory accesses the front end emitted —
+	// exactly the event stream PIFT shadow-processes.
+	Loads  *metrics.Counter
+	Stores *metrics.Counter
+}
+
+// NewMachineMetrics registers the machine metric set under its canonical
+// names; registration is idempotent, so several machines can share a
+// registry and aggregate.
+func NewMachineMetrics(r *metrics.Registry) MachineMetrics {
+	return MachineMetrics{
+		Instructions: r.Counter("pift_cpu_instructions_total",
+			"Instructions retired by the simulated CPU."),
+		Loads: r.Counter("pift_cpu_loads_total",
+			"Data-memory load events emitted by the front end."),
+		Stores: r.Counter("pift_cpu_stores_total",
+			"Data-memory store events emitted by the front end."),
+	}
+}
+
+// SetMetrics attaches (or, with the zero value, detaches) live metrics.
+func (m *Machine) SetMetrics(mm MachineMetrics) { m.metrics = mm }

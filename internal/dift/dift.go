@@ -54,6 +54,7 @@ type Tracker struct {
 	procs    map[uint32]*procShadow
 	stats    Stats
 	verdicts []SinkVerdict
+	m        OracleMetrics
 }
 
 // New returns an empty exact tracker.
@@ -115,6 +116,7 @@ func (t *Tracker) Event(ev cpu.Event) {
 // Retired implements cpu.InstrHook: exact propagation for one instruction.
 func (t *Tracker) Retired(p *cpu.Proc, in *arm.Instr, res *arm.Result) {
 	t.stats.Instructions++
+	t.m.Instructions.Inc()
 	if !res.Executed {
 		return
 	}
@@ -137,6 +139,7 @@ func (t *Tracker) setReg(sh *procShadow, r arm.Reg, v bool) {
 	if sh.reg[r] != v {
 		sh.reg[r] = v
 		t.stats.RegTaintOps++
+		t.m.RegTaintOps.Inc()
 	}
 }
 
@@ -150,6 +153,7 @@ func (t *Tracker) setMem(sh *procShadow, r mem.Range, v bool) {
 		sh.mem.Remove(r)
 	}
 	t.stats.MemTaintOps++
+	t.m.MemTaintOps.Inc()
 }
 
 func (t *Tracker) propagateLoad(sh *procShadow, in *arm.Instr, res *arm.Result) {

@@ -1,0 +1,31 @@
+package dift
+
+import "repro/internal/metrics"
+
+// OracleMetrics wires the exact tracker's shadow work into live counters.
+// Scraped next to the PIFT tracker and cpu metrics, it gives the live
+// PIFT-vs-DIFT event ratio (pift_dift_instructions_total over
+// pift_cpu_loads_total + pift_cpu_stores_total) that the paper's headline
+// "order of magnitude fewer events" claim is about. The zero value
+// disables instrumentation.
+type OracleMetrics struct {
+	Instructions *metrics.Counter // instructions shadow-processed
+	RegTaintOps  *metrics.Counter // register taint-bit changes
+	MemTaintOps  *metrics.Counter // memory taint adds + strong-update removes
+}
+
+// NewOracleMetrics registers the oracle metric set under its canonical
+// names; registration is idempotent.
+func NewOracleMetrics(r *metrics.Registry) OracleMetrics {
+	return OracleMetrics{
+		Instructions: r.Counter("pift_dift_instructions_total",
+			"Instructions shadow-processed by the exact DIFT oracle."),
+		RegTaintOps: r.Counter("pift_dift_reg_taint_ops_total",
+			"Register taint-bit updates that changed state."),
+		MemTaintOps: r.Counter("pift_dift_mem_taint_ops_total",
+			"Memory taint updates (adds and strong-update removes)."),
+	}
+}
+
+// SetMetrics attaches (or, with the zero value, detaches) live metrics.
+func (t *Tracker) SetMetrics(m OracleMetrics) { t.m = m }

@@ -1,0 +1,96 @@
+package eval
+
+// Machine-readable pipeline benchmark artifact: the parity and scaling
+// experiments of pipeline.go re-run with an instrumented registry, so CI
+// can archive one JSON file holding both the experiment tables and the
+// full metrics snapshot (queue depths, stall counts, batch latency
+// histograms) behind them.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+)
+
+// PipelineBenchResult is the JSON artifact piftbench -exp pipeline writes.
+// Scaling rows come from an instrumented sweep, so the embedded snapshot's
+// pipeline counters cover exactly the runs reported in Scaling.
+type PipelineBenchResult struct {
+	Config   core.Config          `json:"config"`
+	Workers  []int                `json:"workers"`
+	Quantum  int                  `json:"quantum"`
+	Repeats  int                  `json:"repeats"`
+	Parity   []PipelineParityRow  `json:"parity"`
+	Scaling  []PipelineScalingRow `json:"scaling"`
+	Snapshot metrics.Snapshot     `json:"metrics"`
+}
+
+// PipelineBench runs the parity check and an instrumented scaling sweep,
+// returning both tables plus the registry snapshot of the sweep.
+func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, repeats int) (*PipelineBenchResult, error) {
+	parity, err := PipelineParity(h, cfg, workerCounts)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := h.SuiteWorkload(quantum)
+	if err != nil {
+		return nil, err
+	}
+	if repeats < 1 {
+		repeats = 3
+	}
+	reg := metrics.NewRegistry()
+	var rows []PipelineScalingRow
+	for _, n := range workerCounts {
+		best := time.Duration(0)
+		for k := 0; k < repeats; k++ {
+			p := pipeline.New(pipeline.Options{Workers: n, Config: cfg, Metrics: reg})
+			start := time.Now()
+			wl.Replay(p)
+			res := p.Close()
+			elapsed := time.Since(start)
+			if res.Err != nil {
+				return nil, res.Err
+			}
+			if res.Events != uint64(wl.Len()) {
+				return nil, fmt.Errorf("eval: pipeline dropped events: %d of %d", res.Events, wl.Len())
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		row := PipelineScalingRow{
+			Workers:   n,
+			Events:    wl.Len(),
+			Elapsed:   best,
+			PerSecond: float64(wl.Len()) / best.Seconds(),
+		}
+		if len(rows) > 0 {
+			row.Speedup = row.PerSecond / rows[0].PerSecond
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return &PipelineBenchResult{
+		Config:   cfg,
+		Workers:  workerCounts,
+		Quantum:  quantum,
+		Repeats:  repeats,
+		Parity:   parity,
+		Scaling:  rows,
+		Snapshot: reg.Snapshot(),
+	}, nil
+}
+
+// WriteJSON serializes the artifact, indented for human diffing.
+func (r *PipelineBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

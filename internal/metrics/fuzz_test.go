@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzExposition drives the registry through an arbitrary sequence of
+// registrations and mutations decoded from the fuzz input, then renders
+// both exposition formats. Neither may panic, the JSON must parse, and
+// every Prometheus line must be well-formed — whatever names, values, and
+// bucket layouts the input produced.
+func FuzzExposition(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 'a', 0, 1, 'a', 0, 2, 'h', 3})
+	f.Add([]byte("\x00name with spaces\x00\x02\x39lead\x00\x01\xffx\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRegistry()
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			// Pull a NUL-terminated name (bounded so the corpus stays small).
+			end := bytes.IndexByte(data, 0)
+			if end < 0 || end > 64 {
+				end = min(len(data), 64)
+			}
+			name := string(data[:end])
+			data = data[min(end+1, len(data)):]
+			var v uint64
+			if len(data) >= 8 {
+				v = binary.LittleEndian.Uint64(data[:8])
+				data = data[8:]
+			}
+			switch op % 3 {
+			case 0:
+				r.Counter(name, "fuzzed counter").Add(v % (1 << 32))
+			case 1:
+				g := r.Gauge(name, "fuzzed gauge")
+				g.Set(int64(v))
+				g.TrackMax(int64(v >> 1))
+			case 2:
+				b1 := math.Float64frombits(v)
+				h := r.Histogram(name, "fuzzed histogram", []float64{b1, 1, 10, b1 * 2})
+				h.Observe(b1)
+				h.Observe(float64(v % 100))
+			}
+		}
+
+		var prom bytes.Buffer
+		if err := r.WritePrometheus(&prom); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		checkPrometheus(t, prom.String())
+
+		var js bytes.Buffer
+		if err := r.WriteJSON(&js); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !json.Valid(js.Bytes()) {
+			t.Fatalf("invalid JSON exposition: %s", js.String())
+		}
+	})
+}

@@ -1,0 +1,333 @@
+// Package metrics is the repository's observability substrate: a
+// dependency-free registry of atomic counters, gauges, and fixed-bucket
+// histograms with Prometheus-text and JSON exposition.
+//
+// The paper validates PIFT with per-stage event accounting (shadow ops,
+// window activity, storage occupancy); at production scale those numbers
+// must be live, not one-shot printed tables. Every layer of the stack —
+// cpu front end, core tracker, dift oracle, analysis pipeline — registers
+// its counters here, and cmd/piftrun serves the registry over HTTP.
+//
+// Hot-path cost budget: incrementing a counter or setting a gauge is one
+// atomic add/store and zero allocations; observing a histogram value is a
+// short bucket scan plus two atomic adds. All mutation methods are
+// nil-receiver-safe, so instrumentation points can be wired with plain
+// struct fields and cost a predicted branch when metrics are disabled.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. A nil receiver reads zero.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrement). Safe on a nil receiver (no-op).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one. Safe on a nil receiver (no-op).
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// TrackMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark pattern (store occupancy, queue depth peaks). Safe on a
+// nil receiver (no-op).
+func (g *Gauge) TrackMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. A nil receiver reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution with Prometheus semantics:
+// bucket i counts observations ≤ bounds[i], with an implicit +Inf bucket.
+// Buckets are non-cumulative internally and cumulated at exposition time,
+// so Observe is a bucket scan plus two atomic adds — no allocation, no
+// locking.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsNaN(b) && !math.IsInf(b, 0) {
+			bs = append(bs, b)
+		}
+	}
+	sort.Float64s(bs)
+	// Drop duplicates so exposition never repeats an `le` label.
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// Observe records one sample. NaN observations are dropped. Safe on a nil
+// receiver (no-op).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations. A nil receiver reads zero.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values. A nil receiver reads zero.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns cumulative bucket counts (one per bound, +Inf last),
+// the sum, and the count, read without stopping writers. The three reads
+// are not a single atomic cut, so under concurrent Observe the parts can
+// be skewed by in-flight samples; each part is individually consistent.
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+	cum = make([]uint64, len(h.counts))
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, h.Sum(), h.Count()
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics. Registration takes a lock; the returned
+// metric objects are lock-free thereafter. Registration is idempotent:
+// asking twice for the same name and kind returns the same object, which
+// is what lets independently constructed components (pipeline workers,
+// repeated experiment runs) share one set of counters.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]* so exposition is always well-formed.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := []byte(name)
+	for i, ch := range b {
+		ok := ch == '_' || ch == ':' ||
+			('a' <= ch && ch <= 'z') || ('A' <= ch && ch <= 'Z') ||
+			(i > 0 && '0' <= ch && ch <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func (r *Registry) lookup(name string, kind metricKind) (*entry, string) {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e != nil && e.kind == kind {
+		return e, name
+	}
+	return nil, name
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *entry {
+	e, name := r.lookup(name, kind)
+	if e != nil {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[name]; e != nil {
+		if e.kind == kind {
+			return e
+		}
+		// Same name, different kind: disambiguate rather than fail, so
+		// arbitrary (fuzzed) registration sequences stay total.
+		name = name + "_" + kindSuffix(kind)
+		if e2 := r.entries[name]; e2 != nil && e2.kind == kind {
+			return e2
+		}
+	}
+	e = &entry{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	}
+	r.entries[name] = e
+	return e
+}
+
+func kindSuffix(kind metricKind) string {
+	switch kind {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// Counter returns the counter registered under name, creating it with the
+// given help text on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. Later calls ignore the
+// bounds argument and return the existing histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e, sname := r.lookup(name, kindHistogram)
+	if e != nil {
+		return e.h
+	}
+	e = r.register(sname, help, kindHistogram)
+	r.mu.Lock()
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	r.mu.Unlock()
+	return e.h
+}
+
+// sorted returns the entries in name order — the deterministic exposition
+// order both encoders share.
+func (r *Registry) sorted() []*entry {
+	r.mu.RLock()
+	es := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		es = append(es, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	return es
+}
+
+// LatencyBuckets is the default bucket layout for second-denominated
+// latency histograms: 1µs to ~8s in powers of ~4.
+var LatencyBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 8,
+}
+
+// CountBuckets is the default layout for small-count distributions
+// (events per batch, distances): powers of two to 64k.
+var CountBuckets = []float64{
+	1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+}

@@ -1,0 +1,285 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "events")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("events_total", "ignored"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.TrackMax(2) // below current: no change
+	g.TrackMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge after TrackMax = %d, want 9", got)
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	g.TrackMax(3)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil metrics must read zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", "seconds", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (NaN dropped)", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", h.Sum())
+	}
+	cum, _, _ := h.snapshot()
+	want := []uint64{2, 3, 4, 5} // ≤1, ≤10, ≤100, +Inf
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], want[i], cum)
+		}
+	}
+}
+
+func TestHistogramBoundNormalization(t *testing.T) {
+	h := newHistogram([]float64{10, 1, 10, math.Inf(1), math.NaN(), 5})
+	want := []float64{1, 5, 10}
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", h.bounds, want)
+	}
+	for i := range want {
+		if h.bounds[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", h.bounds, want)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x":   "ok_name:x",
+		"":            "_",
+		"9lead":       "_lead",
+		"has space-!": "has_space__",
+		"x9":          "x9",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestKindConflictDisambiguates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	if c == nil || g == nil {
+		t.Fatal("conflicting registrations must both succeed")
+	}
+	c.Inc()
+	g.Set(-5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x 1\n") || !strings.Contains(out, "x_gauge -5\n") {
+		t.Fatalf("disambiguated exposition wrong:\n%s", out)
+	}
+}
+
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"]+"\})? (\+Inf|-Inf|NaN|-?[0-9].*))$`)
+
+// checkPrometheus asserts every line of a text exposition is well-formed.
+func checkPrometheus(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestExpositionFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a\nwith newline").Add(3)
+	r.Gauge("b", `back\slash`).Set(-2)
+	h := r.Histogram("c_seconds", "latency", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(100)
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	checkPrometheus(t, prom.String())
+	for _, want := range []string{
+		"# TYPE a_total counter", "a_total 3",
+		"# TYPE b gauge", "b -2",
+		"# TYPE c_seconds histogram",
+		`c_seconds_bucket{le="0.5"} 1`,
+		`c_seconds_bucket{le="2"} 2`,
+		`c_seconds_bucket{le="+Inf"} 3`,
+		"c_seconds_sum 101.1", "c_seconds_count 3",
+		`counts a\nwith newline`, `back\\slash`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, prom.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(js.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON exposition does not parse: %v\n%s", err, js.String())
+	}
+	if snap.Counters["a_total"] != 3 || snap.Gauges["b"] != -2 {
+		t.Fatalf("snapshot values wrong: %+v", snap)
+	}
+	hs := snap.Histograms["c_seconds"]
+	if hs.Count != 3 || hs.Counts[len(hs.Counts)-1] != 3 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+}
+
+func TestConcurrentMutation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10, 100})
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.TrackMax(int64(w*perWorker + i))
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	// Concurrent scrapes must be safe while writers run.
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker-1 {
+		t.Fatalf("gauge max = %d, want %d", g.Value(), workers*perWorker-1)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestHotPathAllocationFree is the acceptance gate for the hot path: a
+// counter increment, gauge store, and histogram observation must not
+// allocate.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LatencyBuckets)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3); g.TrackMax(9) }); n != 0 {
+		t.Fatalf("Gauge mutation allocates %v times per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.01) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v times per call", n)
+	}
+}
+
+func TestServeMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pift_tracker_taint_adds_total", "adds").Add(12)
+	mux := NewServeMux(r)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != 200 || rec.Body.String() != "ok\n" {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	rec := get("/metrics")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "pift_tracker_taint_adds_total 12") {
+		t.Fatalf("/metrics = %d %q", rec.Code, rec.Body.String())
+	}
+	checkPrometheus(t, rec.Body.String())
+	rec = get("/metrics.json")
+	if rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("/metrics.json = %d, valid JSON = %v", rec.Code, json.Valid(rec.Body.Bytes()))
+	}
+	if rec := get("/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", rec.Code)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}

@@ -1,0 +1,55 @@
+package pipeline
+
+import "repro/internal/metrics"
+
+// PipelineMetrics wires the dispatcher/worker machinery into live
+// gauges and histograms. The zero value disables instrumentation; all
+// mutations are nil-receiver-safe.
+type PipelineMetrics struct {
+	// EventsDispatched and BatchesDispatched count the producer side.
+	EventsDispatched  *metrics.Counter
+	BatchesDispatched *metrics.Counter
+	// QueueDepth is the number of batches currently sitting in worker
+	// channels: incremented at dispatch, decremented after a worker
+	// finishes a batch. QueueDepthHigh is its high-water mark.
+	QueueDepth     *metrics.Gauge
+	QueueDepthHigh *metrics.Gauge
+	// Stalls counts dispatcher sends that found the worker queue full —
+	// each one is a backpressure block on the producer.
+	Stalls *metrics.Counter
+	// BatchSeconds is the per-batch analysis latency on the worker
+	// (receive-to-done), and BatchEvents the batch-size distribution.
+	BatchSeconds *metrics.Histogram
+	BatchEvents  *metrics.Histogram
+	// MergeNanos is the duration of the last Close drain+merge.
+	MergeNanos *metrics.Gauge
+	// WorkerPanics counts batches abandoned to a worker panic.
+	WorkerPanics *metrics.Counter
+}
+
+// NewPipelineMetrics registers the pipeline metric set under its
+// canonical names; registration is idempotent, so every pipeline built
+// over the same registry shares one set.
+func NewPipelineMetrics(r *metrics.Registry) PipelineMetrics {
+	return PipelineMetrics{
+		EventsDispatched: r.Counter("pift_pipeline_events_total",
+			"Events routed to workers by the dispatcher."),
+		BatchesDispatched: r.Counter("pift_pipeline_batches_total",
+			"Batches handed to worker queues."),
+		QueueDepth: r.Gauge("pift_pipeline_queue_depth",
+			"Batches currently enqueued across all worker channels."),
+		QueueDepthHigh: r.Gauge("pift_pipeline_queue_depth_highwater",
+			"High-water mark of enqueued batches."),
+		Stalls: r.Counter("pift_pipeline_backpressure_stalls_total",
+			"Dispatcher sends that blocked on a full worker queue."),
+		BatchSeconds: r.Histogram("pift_pipeline_batch_seconds",
+			"Per-batch worker analysis latency in seconds.",
+			metrics.LatencyBuckets),
+		BatchEvents: r.Histogram("pift_pipeline_batch_events",
+			"Events per dispatched batch.", metrics.CountBuckets),
+		MergeNanos: r.Gauge("pift_pipeline_merge_duration_ns",
+			"Duration of the last Close drain and merge, in nanoseconds."),
+		WorkerPanics: r.Counter("pift_pipeline_worker_panics_total",
+			"Batches abandoned because a worker panicked."),
+	}
+}

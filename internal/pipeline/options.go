@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/metrics"
 )
 
 // Default tuning parameters. The batch size amortizes channel send/receive
@@ -41,6 +42,11 @@ type Options struct {
 	// every event just before the tracker consumes it. It exists for
 	// tests and metrics; it must not call back into the pipeline.
 	Observer func(worker int, ev cpu.Event)
+	// Metrics, when non-nil, instruments the pipeline and every worker
+	// tracker against this registry (see NewPipelineMetrics and
+	// core.NewTrackerMetrics for the metric names). Nil runs
+	// uninstrumented at zero cost beyond predicted branches.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -19,6 +19,7 @@ package pipeline
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -34,6 +35,7 @@ type Pipeline struct {
 	workers []*worker
 	pending [][]cpu.Event // per-worker batch under construction
 	pool    sync.Pool     // recycles batch slices: *[]cpu.Event
+	m       PipelineMetrics
 	events  uint64
 	closed  bool
 }
@@ -47,6 +49,14 @@ func New(opts Options) *Pipeline {
 		panic(err)
 	}
 	p := &Pipeline{opts: opts}
+	var tm core.TrackerMetrics
+	if opts.Metrics != nil {
+		// Registration is idempotent: every pipeline over this registry —
+		// and every worker within it — shares one metric set, so counters
+		// aggregate across shards and runs.
+		p.m = NewPipelineMetrics(opts.Metrics)
+		tm = core.NewTrackerMetrics(opts.Metrics)
+	}
 	p.pool.New = func() any {
 		b := make([]cpu.Event, 0, opts.BatchSize)
 		return &b
@@ -58,10 +68,12 @@ func New(opts Options) *Pipeline {
 		if opts.NewStore != nil {
 			store = opts.NewStore()
 		}
-		w := newWorker(i, core.NewTracker(opts.Config, store), opts.QueueDepth)
+		tr := core.NewTracker(opts.Config, store)
+		tr.SetMetrics(tm)
+		w := newWorker(i, tr, opts.QueueDepth)
 		p.workers[i] = w
 		p.pending[i] = p.batch()
-		go w.run(opts.Observer, &p.pool)
+		go w.run(opts.Observer, &p.pool, p.m)
 	}
 	return p
 }
@@ -83,6 +95,17 @@ func shard(pid uint32, n int) int {
 	return int(x % uint32(n))
 }
 
+// ShardOf reports which worker index a PID maps to at the given worker
+// count — the shard layout is part of the pipeline's observable contract
+// (per-worker metrics, failure isolation), so tests and operators can
+// predict placement.
+func ShardOf(pid uint32, workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	return shard(pid, workers)
+}
+
 // Event implements cpu.EventSink: route the event to its PID's shard,
 // flushing the shard's batch when full. A full worker queue blocks here —
 // that is the backpressure contract.
@@ -96,11 +119,30 @@ func (p *Pipeline) Event(ev cpu.Event) {
 	}
 	b := append(p.pending[i], ev)
 	p.events++
+	p.m.EventsDispatched.Inc()
 	if len(b) >= p.opts.BatchSize {
-		p.workers[i].ch <- b
+		p.send(p.workers[i], b)
 		b = p.batch()
 	}
 	p.pending[i] = b
+}
+
+// send hands a batch to a worker queue, accounting for dispatch and for
+// backpressure: a full queue counts one stall before the blocking send.
+func (p *Pipeline) send(w *worker, b []cpu.Event) {
+	p.m.BatchesDispatched.Inc()
+	p.m.BatchEvents.Observe(float64(len(b)))
+	// Depth counts batches handed off but not yet fully analyzed. The
+	// increment precedes the send, so it happens-before the worker's
+	// decrement and the gauge can never read negative.
+	p.m.QueueDepth.Inc()
+	p.m.QueueDepthHigh.TrackMax(p.m.QueueDepth.Value())
+	select {
+	case w.ch <- b:
+	default:
+		p.m.Stalls.Inc()
+		w.ch <- b
+	}
 }
 
 // batch takes a fresh (or recycled) empty batch slice from the pool.
@@ -113,15 +155,18 @@ func (p *Pipeline) batch() []cpu.Event {
 // core.Stats.Merge for the exactness argument), and sink verdicts sort
 // into the canonical (PID, Seq, Tag) order, so the merged Result is a
 // deterministic function of the input stream alone — independent of
-// worker count, batch size, and scheduling.
+// worker count, batch size, and scheduling. If any worker recovered a
+// panic, the first such failure is reported in Result.Err and the merged
+// output excludes whatever that worker discarded after poisoning.
 func (p *Pipeline) Close() Result {
 	if p.closed {
 		panic("pipeline: double Close")
 	}
 	p.closed = true
+	start := time.Now()
 	for i, w := range p.workers {
 		if len(p.pending[i]) > 0 {
-			w.ch <- p.pending[i]
+			p.send(w, p.pending[i])
 		}
 		p.pending[i] = nil
 		close(w.ch)
@@ -129,9 +174,13 @@ func (p *Pipeline) Close() Result {
 	res := Result{Workers: len(p.workers), Events: p.events}
 	for _, w := range p.workers {
 		<-w.done
+		if w.err != nil && res.Err == nil {
+			res.Err = w.err
+		}
 		res.Stats.Merge(w.tr.Stats())
 		res.Verdicts = append(res.Verdicts, w.tr.Verdicts()...)
 	}
 	core.SortVerdicts(res.Verdicts)
+	p.m.MergeNanos.Set(time.Since(start).Nanoseconds())
 	return res
 }

@@ -13,6 +13,10 @@ type Result struct {
 	Verdicts []core.SinkVerdict
 	Events   uint64 // events dispatched, all shards
 	Workers  int
+	// Err is the first worker failure (a recovered panic), nil on a
+	// clean run. A failed worker discards its remaining batches, so the
+	// merged Stats and Verdicts are partial when Err is non-nil.
+	Err error
 }
 
 // Detected reports whether any sink verdict found taint — the accuracy

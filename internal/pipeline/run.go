@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cpu"
@@ -16,10 +17,30 @@ type EventSource interface {
 
 // Run drains src through a fresh pipeline and returns the merged result.
 // On a source error the pipeline is still shut down cleanly (no leaked
-// goroutines) and the error is returned.
+// goroutines) and the error is returned; a worker failure surfaces the
+// same way (and in Result.Err).
 func Run(src EventSource, opts Options) (Result, error) {
+	return RunContext(context.Background(), src, opts)
+}
+
+// RunContext is Run under a context: cancellation is checked between
+// events, so an unbounded source cannot pin the dispatcher once the
+// caller gives up. A batch send already in flight still completes —
+// backpressure blocks are bounded by the workers' queue drain, which the
+// deferred Close performs regardless — and the pipeline's goroutines are
+// always released.
+func RunContext(ctx context.Context, src EventSource, opts Options) (Result, error) {
 	p := New(opts)
+	done := ctx.Done()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				p.Close()
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
 		ev, err := src.Next()
 		if err == io.EOF {
 			break
@@ -30,5 +51,6 @@ func Run(src EventSource, opts Options) (Result, error) {
 		}
 		p.Event(ev)
 	}
-	return p.Close(), nil
+	res := p.Close()
+	return res, res.Err
 }

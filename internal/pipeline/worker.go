@@ -1,7 +1,9 @@
 package pipeline
 
 import (
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -15,6 +17,10 @@ type worker struct {
 	ch   chan []cpu.Event
 	tr   *core.Tracker
 	done chan struct{}
+	// err records the first panic the worker recovered. It is written
+	// only by the worker goroutine before done is closed and read only
+	// after <-done, so it needs no lock.
+	err error
 }
 
 func newWorker(idx int, tr *core.Tracker, queueDepth int) *worker {
@@ -27,17 +33,45 @@ func newWorker(idx int, tr *core.Tracker, queueDepth int) *worker {
 }
 
 // run drains batches until the dispatcher closes the channel, returning
-// spent batch slices to the shared pool.
-func (w *worker) run(obs func(int, cpu.Event), pool *sync.Pool) {
+// spent batch slices to the shared pool. A panic out of the tracker (or
+// an observer) poisons the worker: the panic is recorded for Close to
+// report, and the worker keeps draining — discarding further batches —
+// so the dispatcher's bounded sends can never hang on a dead consumer.
+func (w *worker) run(obs func(int, cpu.Event), pool *sync.Pool, pm PipelineMetrics) {
 	defer close(w.done)
 	for batch := range w.ch {
-		for _, ev := range batch {
-			if obs != nil {
-				obs(w.idx, ev)
-			}
-			w.tr.Event(ev)
-		}
+		w.process(batch, obs, pm)
 		b := batch[:0]
 		pool.Put(&b)
+		pm.QueueDepth.Dec()
+	}
+}
+
+// process analyzes one batch, converting a panic into the worker's
+// sticky error.
+func (w *worker) process(batch []cpu.Event, obs func(int, cpu.Event), pm PipelineMetrics) {
+	defer func() {
+		if r := recover(); r != nil {
+			pm.WorkerPanics.Inc()
+			if w.err == nil {
+				w.err = fmt.Errorf("pipeline: worker %d panicked: %v", w.idx, r)
+			}
+		}
+	}()
+	if w.err != nil {
+		return // poisoned: tracker state is suspect, discard the work
+	}
+	var start time.Time
+	if pm.BatchSeconds != nil {
+		start = time.Now()
+	}
+	for _, ev := range batch {
+		if obs != nil {
+			obs(w.idx, ev)
+		}
+		w.tr.Event(ev)
+	}
+	if pm.BatchSeconds != nil {
+		pm.BatchSeconds.Observe(time.Since(start).Seconds())
 	}
 }

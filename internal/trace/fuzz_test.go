@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"testing"
 )
 
@@ -36,6 +38,74 @@ func FuzzReadFrom(f *testing.F) {
 			if back.Events[i] != rec.Events[i] {
 				t.Fatalf("round trip changed event %d", i)
 			}
+		}
+	})
+}
+
+// FuzzReader drives the streaming decoder over arbitrary bytes and checks
+// the error taxonomy: no panic; bare io.EOF if and only if every declared
+// event was decoded; a stream that runs dry early always reports
+// io.ErrUnexpectedEOF and never satisfies errors.Is(err, io.EOF); and the
+// streaming path agrees event-for-event with the materializing ReadFrom.
+func FuzzReader(f *testing.F) {
+	good := randomTrace(5, 2)
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()-3]) // mid-record truncation
+	f.Add(buf.Bytes()[:12])          // header truncation
+	f.Add([]byte("PIFTTRC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("NewReader leaked bare io.EOF: %v", err)
+			}
+			// The two paths must agree on rejection.
+			if _, err2 := ReadFrom(bytes.NewReader(data)); err2 == nil {
+				t.Fatalf("ReadFrom accepted what NewReader rejected: %v", err)
+			}
+			return
+		}
+		var events int
+		var lastErr error
+		for {
+			_, err := r.Next()
+			if err != nil {
+				lastErr = err
+				break
+			}
+			events++
+		}
+		clean := uint64(events) == r.Len()
+		if clean {
+			if lastErr != io.EOF {
+				t.Fatalf("clean drain of %d events ended with %v, want io.EOF", events, lastErr)
+			}
+		} else if errors.Is(lastErr, io.EOF) {
+			t.Fatalf("stream died after %d of %d events with an EOF-flavored error: %v",
+				events, r.Len(), lastErr)
+		}
+		// Truncation (as opposed to corruption) must carry ErrUnexpectedEOF.
+		if !clean && uint64(len(data)) < 16+r.Len()*eventWireSize &&
+			!errors.Is(lastErr, io.ErrUnexpectedEOF) {
+			// Short input can still fail on a corrupt record before running
+			// dry; only flag errors produced at the point of exhaustion.
+			if 16+uint64(events+1)*eventWireSize > uint64(len(data)) {
+				t.Fatalf("ran dry after %d events but error is %v, not ErrUnexpectedEOF",
+					events, lastErr)
+			}
+		}
+		// Streaming and materializing decoders agree.
+		rec, err2 := ReadFrom(bytes.NewReader(data))
+		if clean != (err2 == nil) {
+			t.Fatalf("Reader clean=%v but ReadFrom err=%v", clean, err2)
+		}
+		if clean && len(rec.Events) != events {
+			t.Fatalf("Reader decoded %d events, ReadFrom %d", events, len(rec.Events))
 		}
 	})
 }

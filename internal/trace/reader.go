@@ -14,6 +14,13 @@ import (
 // multi-gigabyte traces can feed an analysis pipeline without ever
 // materializing the full []Event slice. It validates the header eagerly
 // (in NewReader) and each record lazily (in Next).
+//
+// Error taxonomy: Next returns exactly io.EOF only at the clean end of
+// the stream (all declared events decoded). A stream that ends early —
+// mid-record or between records — is a truncation and reports
+// io.ErrUnexpectedEOF (wrapped with the failing event index), never a
+// bare io.EOF, so `err == io.EOF` loops cannot mistake a cut-off trace
+// for a complete one.
 type Reader struct {
 	br    *bufio.Reader
 	count uint64 // declared event count from the header
@@ -27,6 +34,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		// There is no such thing as a valid empty trace: even zero events
+		// serialize to a 16-byte header, so running dry here — including on
+		// a zero-byte stream — is a truncation, not a clean end.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if magic != traceMagic {
@@ -34,6 +47,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		// The magic was present, so a missing count is a truncated
+		// header, not a clean end of anything.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, fmt.Errorf("trace: reading count: %w", err)
 	}
 	count := binary.LittleEndian.Uint64(hdr[:])
@@ -59,6 +77,12 @@ func (d *Reader) Next() (cpu.Event, error) {
 	}
 	var rec [eventWireSize]byte
 	if _, err := io.ReadFull(d.br, rec[:]); err != nil {
+		// The header declared more events, so running dry here — whether
+		// on a record boundary (ReadFull's io.EOF) or inside a record
+		// (its io.ErrUnexpectedEOF) — is a truncated trace.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return cpu.Event{}, fmt.Errorf("trace: event %d: %w", d.read, err)
 	}
 	kind := cpu.EventKind(rec[0])

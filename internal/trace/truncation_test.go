@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestReaderErrorTaxonomy cuts a valid trace at every byte boundary and
+// checks the contract: a complete trace drains to exactly io.EOF; any
+// truncation — in the header, between records, or mid-record — reports
+// io.ErrUnexpectedEOF and never a bare (or wrapped) io.EOF.
+func TestReaderErrorTaxonomy(t *testing.T) {
+	rec := randomTrace(7, 42)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	drain := func(data []byte) (events int, err error) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		for {
+			_, err := r.Next()
+			if err != nil {
+				return events, err
+			}
+			events++
+		}
+	}
+
+	// Complete trace: all events, then exactly io.EOF (not just
+	// errors.Is-EOF — replay loops compare with ==).
+	n, err := drain(full)
+	if n != len(rec.Events) || err != io.EOF {
+		t.Fatalf("full trace: %d events, err %v; want %d events, io.EOF", n, err, len(rec.Events))
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		n, err := drain(full[:cut])
+		if err == nil {
+			t.Fatalf("cut %d: drain succeeded on truncated trace", cut)
+		}
+		if cut < 16 {
+			// Header truncation: magic (ReadFull) or count must already
+			// report unexpected EOF.
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d (header): err %v, want ErrUnexpectedEOF", cut, err)
+			}
+			continue
+		}
+		if err == io.EOF {
+			t.Fatalf("cut %d: bare io.EOF after %d events — truncation read as clean end", cut, n)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err %v, want ErrUnexpectedEOF", cut, err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("cut %d: truncation error %v wraps io.EOF", cut, err)
+		}
+		if want := (cut - 16) / eventWireSize; n != want {
+			t.Fatalf("cut %d: decoded %d whole events, want %d", cut, n, want)
+		}
+	}
+}
+
+// TestReadFromRejectsTruncation: the materializing wrapper must surface
+// the truncation error rather than silently returning a short trace.
+func TestReadFromRejectsTruncation(t *testing.T) {
+	rec := randomTrace(4, 7)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadFrom(bytes.NewReader(data)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ReadFrom(truncated) err = %v, want ErrUnexpectedEOF", err)
+	}
+}
