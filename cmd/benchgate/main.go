@@ -1,0 +1,96 @@
+// Command benchgate is the CI performance-regression gate: it compares a
+// freshly measured piftbench pipeline artifact against the committed
+// baseline and exits nonzero when the candidate regresses events/sec by
+// more than the threshold at any worker count, or when any parity row in
+// the candidate diverged from the sequential tracker.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pipeline.json -current BENCH_current.json [-threshold 0.25]
+//
+// The gate only fails on regressions — a faster candidate passes — and a
+// worker count present in the baseline but missing from the candidate is
+// a failure, since the gate cannot certify what it did not measure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline artifact")
+	current := flag.String("current", "BENCH_current.json", "freshly measured artifact")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated events/sec regression (fraction)")
+	flag.Parse()
+	if *threshold < 0 || *threshold >= 1 {
+		fmt.Fprintf(os.Stderr, "benchgate: -threshold %v out of range [0, 1)\n", *threshold)
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	fatal(err)
+	cur, err := load(*current)
+	fatal(err)
+
+	failed := false
+	for _, row := range cur.Parity {
+		if !row.Match {
+			fmt.Printf("FAIL parity: %s @ %d workers diverged from the sequential tracker\n", row.App, row.Workers)
+			failed = true
+		}
+	}
+
+	curBy := map[int]eval.PipelineScalingRow{}
+	for _, row := range cur.Scaling {
+		curBy[row.Workers] = row
+	}
+	for _, b := range base.Scaling {
+		c, ok := curBy[b.Workers]
+		if !ok {
+			fmt.Printf("FAIL %2d workers: baseline has this point, candidate did not measure it\n", b.Workers)
+			failed = true
+			continue
+		}
+		delta := c.PerSecond/b.PerSecond - 1
+		status := "ok  "
+		if delta < -*threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %2d workers: %12.0f ev/s vs baseline %12.0f (%+.1f%%, limit -%.0f%%)\n",
+			status, b.Workers, c.PerSecond, b.PerSecond, delta*100, *threshold*100)
+	}
+
+	if failed {
+		fmt.Println("benchgate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+func load(path string) (*eval.PipelineBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r eval.PipelineBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Scaling) == 0 {
+		return nil, fmt.Errorf("%s: no scaling rows", path)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

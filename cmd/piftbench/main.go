@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -155,13 +156,7 @@ func main() {
 		fmt.Println(eval.RenderPipelineParity(bench.Parity, cfg))
 		fmt.Println(eval.RenderPipelineScaling(bench.Scaling))
 		if *jsonOut != "" {
-			f, err := os.Create(*jsonOut)
-			fatal(err)
-			err = bench.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			fatal(err)
+			fatal(writeJSONAtomic(*jsonOut, bench))
 			fmt.Printf("(pipeline artifact written to %s)\n", *jsonOut)
 		}
 	}
@@ -177,6 +172,28 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSONAtomic writes the artifact to a temp file beside the target
+// and renames it into place, so an interrupted run can never leave a
+// truncated artifact for the CI perf gate to misread as a regression.
+func writeJSONAtomic(path string, bench *eval.PipelineBenchResult) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = bench.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
 }
 
 func parseWorkers(s string) ([]int, error) {

@@ -1,0 +1,107 @@
+package main
+
+// Checkpoint plumbing for -checkpoint-dir / -resume. App execution is
+// deterministic (the simulated platform replays the same instruction
+// stream every run), so resuming does not need the original event spool:
+// the app is re-executed and the events already covered by the restored
+// checkpoint are discarded before they reach the pipeline.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/pipeline"
+)
+
+// checkpointer sits between the machine and the pipeline: it skips the
+// first `skip` events (already analyzed before the restored checkpoint),
+// forwards the rest, and writes a checkpoint file every `every` events.
+// The first write error latches and disables further checkpoints; the
+// analysis itself keeps running.
+type checkpointer struct {
+	pipe  *pipeline.Pipeline
+	dir   string
+	every uint64
+	skip  uint64
+	seen  uint64
+	err   error
+}
+
+func (c *checkpointer) Event(ev cpu.Event) {
+	c.seen++
+	if c.seen <= c.skip {
+		return
+	}
+	c.pipe.Event(ev)
+	if c.every > 0 && c.seen%c.every == 0 && c.err == nil {
+		c.err = writeCheckpointFile(c.pipe, c.dir, c.seen)
+	}
+}
+
+// writeCheckpointFile writes ckpt-<offset>.pift via a temp file and
+// rename, so a crash mid-write never leaves a torn checkpoint as the
+// newest file in the directory.
+func writeCheckpointFile(p *pipeline.Pipeline, dir string, offset uint64) error {
+	f, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = p.WriteCheckpoint(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, fmt.Sprintf("ckpt-%016d.pift", offset)))
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}
+
+// latestCheckpoint returns the newest checkpoint file in dir — offsets
+// are zero-padded, so lexicographic order is numeric order.
+func latestCheckpoint(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".pift") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("no ckpt-*.pift files in %s", dir)
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// restorePipeline restores the newest checkpoint in dir. The checkpoint
+// carries the authoritative worker count and tracker config; passing the
+// command-line values through lets Restore reject a mismatch loudly
+// instead of resuming under different semantics.
+func restorePipeline(dir string, opts pipeline.Options) (*pipeline.Pipeline, string, error) {
+	path, err := latestCheckpoint(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	p, err := pipeline.Restore(f, opts)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return p, path, nil
+}

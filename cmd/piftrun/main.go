@@ -6,10 +6,15 @@
 //
 //	piftrun -list
 //	piftrun -app DirectImeiSms [-ni 13] [-nt 3] [-untaint=true] [-dift] [-workers N]
-//	        [-http :8080]
+//	        [-checkpoint-dir DIR [-checkpoint-every N] [-resume]] [-http :8080]
 //
 // -workers N routes the event stream through the sharded asynchronous
 // analysis pipeline (internal/pipeline) instead of the in-line tracker.
+//
+// -checkpoint-dir DIR writes a pipeline checkpoint (ckpt-<offset>.pift)
+// every -checkpoint-every events; -resume restores the newest one and
+// skips the events it already covers, which is sound because app
+// execution is deterministic. Both require -workers.
 //
 // -http ADDR serves the run's metrics registry on ADDR for the duration
 // of the process: /metrics (Prometheus text), /metrics.json, /healthz,
@@ -44,6 +49,9 @@ func main() {
 	untaint := flag.Bool("untaint", true, "enable the untainting rule")
 	withDift := flag.Bool("dift", false, "also run the exact register-level tracker")
 	workers := flag.Int("workers", 0, "analyze on the sharded asynchronous pipeline with N workers (0 = synchronous tracker)")
+	ckptDir := flag.String("checkpoint-dir", "", "write periodic pipeline checkpoints into this directory (requires -workers)")
+	ckptEvery := flag.Uint64("checkpoint-every", 4096, "events between checkpoints for -checkpoint-dir")
+	resume := flag.Bool("resume", false, "restore the newest checkpoint in -checkpoint-dir and skip the events it already covers")
 	dump := flag.Bool("dump", false, "print the app's bytecode listing before running")
 	modeName := flag.String("mode", "interp", "execution tier: interp, jit, or aot (§4.1)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080); keeps the process alive after the run")
@@ -117,10 +125,39 @@ func main() {
 		pipe *pipeline.Pipeline
 		sink cpu.EventSink
 	)
+	if (*ckptDir != "" || *resume) && *workers <= 0 {
+		fmt.Fprintln(os.Stderr, "piftrun: -checkpoint-dir and -resume require -workers N")
+		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "piftrun: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	var ckpt *checkpointer
 	switch {
 	case *workers > 0:
-		pipe = pipeline.New(pipeline.Options{Workers: *workers, Config: cfg, Metrics: reg})
+		popts := pipeline.Options{Workers: *workers, Config: cfg, Metrics: reg}
+		if *resume {
+			var path string
+			var err error
+			pipe, path, err = restorePipeline(*ckptDir, popts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "piftrun: resume:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("resumed from %s at event offset %d\n", path, pipe.Offset())
+		} else {
+			pipe = pipeline.New(popts)
+		}
 		sink = pipe
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "piftrun:", err)
+				os.Exit(1)
+			}
+			ckpt = &checkpointer{pipe: pipe, dir: *ckptDir, every: *ckptEvery, skip: pipe.Offset()}
+			sink = ckpt
+		}
 	case *workers < 0:
 		fmt.Fprintf(os.Stderr, "piftrun: -workers must be >= 0, got %d\n", *workers)
 		os.Exit(2)
@@ -156,6 +193,9 @@ func main() {
 		verdicts, st = merged.Verdicts, merged.Stats
 	} else {
 		verdicts, st = pift.Verdicts(), pift.Stats()
+	}
+	if ckpt != nil && ckpt.err != nil {
+		fmt.Fprintln(os.Stderr, "piftrun: checkpointing stopped:", ckpt.err)
 	}
 
 	fmt.Printf("%s: %d instructions, %d sink call(s), tracker %v\n",

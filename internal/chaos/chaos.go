@@ -1,0 +1,57 @@
+// Package chaos is the deterministic fault injector behind the
+// robustness CI matrix. Always-on tracking (the paper's deployment
+// premise, §1) is only credible if the tracking layer survives the faults
+// production throws at it — torn reads off a trace spool, bit-flipped
+// records, analysis workers dying mid-shard, shards running slow — so
+// every one of those faults is reproducible here from a single seed: the
+// same seed yields the same fault schedule on every run and every
+// machine, which is what lets a CI failure be replayed locally with one
+// flag.
+//
+// The injector attacks the pipeline at its two trust boundaries:
+//
+//   - the byte stream feeding trace.Reader (Injector.Reader — torn reads,
+//     bit flips, stalls, short reads), and
+//   - the worker goroutines (Injector.Observer — scheduled panics and
+//     slow shards, delivered through pipeline.Options.Observer).
+//
+// Schedules are derived from the seed via the stable math/rand generator,
+// never from time or global state, so a fault plan is a pure function of
+// (seed, stream shape).
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Injector derives every fault schedule from one seed.
+type Injector struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// New returns an injector whose schedules are a pure function of seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the injector's seed, for fault reports and replay
+// instructions.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Between draws a deterministic value in [lo, hi). Draws consume the
+// injector's stream in call order, so a fault plan built by a fixed
+// sequence of Between calls is reproducible from the seed alone.
+func (in *Injector) Between(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + in.rng.Int63n(hi-lo)
+}
+
+// Torn read errors wrap io.ErrUnexpectedEOF, so consumers that classify
+// truncations (trace.Reader's error taxonomy) treat an injected tear
+// exactly like a real one.
+var errTorn = fmt.Errorf("chaos: torn read: %w", io.ErrUnexpectedEOF)

@@ -1,0 +1,210 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// The chaos CI matrix runs one (seed, mode) cell per job via these flags;
+// with neither flag set, TestChaosMatrix runs the full matrix as
+// subtests.
+var (
+	flagSeed = flag.Int64("chaos.seed", 0, "run only this seed of the chaos matrix (0 = all)")
+	flagMode = flag.String("chaos.mode", "", "run only this fault mode: torn-read, corrupt-record, worker-panic ('' = all)")
+)
+
+var matrixSeeds = []int64{11, 23, 37, 41, 53, 67, 79, 97}
+var matrixModes = []string{"torn-read", "corrupt-record", "worker-panic"}
+
+var matrixCfg = core.Config{NI: 13, NT: 3, Untaint: true}
+
+const (
+	matrixWorkers    = 4
+	matrixBatch      = 64
+	checkpointEvery  = 512
+	matrixRestartCap = 1
+)
+
+// matrixWorkload serializes the multi-process DroidBench suite workload
+// once; every cell attacks the same byte stream.
+var matrixWorkload = sync.OnceValues(func() ([]byte, error) {
+	wl, err := eval.NewHarness(1).SuiteWorkload(64)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := wl.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+})
+
+func resultKey(res pipeline.Result) string {
+	return fmt.Sprintf("%#v|%#v|%d", res.Stats, res.Verdicts, res.Events)
+}
+
+// cleanRun drains the serialized workload through an unfaulted pipeline.
+func cleanRun(t *testing.T, raw []byte) pipeline.Result {
+	t.Helper()
+	src, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.New(pipeline.Options{
+		Workers: matrixWorkers, BatchSize: matrixBatch, Config: matrixCfg,
+	}).Drain(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChaosMatrix is the resumed-equals-clean acceptance proof. Each cell
+// derives a fault schedule from its seed, runs the workload with periodic
+// checkpoints until the fault kills the run, then restores the last good
+// checkpoint, skips a fresh reader to its offset, and drains the
+// remainder with no faults. The resumed result must be byte-identical to
+// an uninterrupted run — for every seed and every fault mode.
+func TestChaosMatrix(t *testing.T) {
+	raw, err := matrixWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultKey(cleanRun(t, raw))
+
+	seeds, modes := matrixSeeds, matrixModes
+	if *flagSeed != 0 {
+		seeds = []int64{*flagSeed}
+	}
+	if *flagMode != "" {
+		ok := false
+		for _, m := range matrixModes {
+			ok = ok || m == *flagMode
+		}
+		if !ok {
+			t.Fatalf("unknown -chaos.mode %q (have %v)", *flagMode, matrixModes)
+		}
+		modes = []string{*flagMode}
+	}
+	for _, mode := range modes {
+		for _, seed := range seeds {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%s/seed%d", mode, seed), func(t *testing.T) {
+				runChaosCell(t, raw, want, mode, seed)
+			})
+		}
+	}
+}
+
+func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64) {
+	in := chaos.New(seed)
+
+	// The faulted run: checkpoint every checkpointEvery events, keep the
+	// last checkpoint that succeeded. WriteCheckpoint refuses once a
+	// shard has faulted, so lastGood can only hold states the clean
+	// execution passes through.
+	var lastGood []byte
+	opts := pipeline.Options{
+		Workers: matrixWorkers, BatchSize: matrixBatch, Config: matrixCfg,
+		CheckpointEvery: checkpointEvery,
+		OnCheckpoint: func(p *pipeline.Pipeline) error {
+			var buf bytes.Buffer
+			if _, err := p.WriteCheckpoint(&buf); err != nil {
+				return err
+			}
+			lastGood = buf.Bytes()
+			return nil
+		},
+	}
+
+	stream := bytes.NewReader(raw)
+	var faultSrc pipeline.EventSource
+	switch mode {
+	case "torn-read":
+		f := chaos.NoReaderFaults()
+		// Tear anywhere past the header so the Reader constructs, and
+		// slice reads short so record boundaries never align with read
+		// boundaries.
+		f.TornAt = in.Between(trace.HeaderSize+1, int64(len(raw)))
+		f.MaxRead = 4096
+		r, err := trace.NewReader(in.Reader(stream, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultSrc = r
+	case "corrupt-record":
+		nEvents := int64(len(raw)-trace.HeaderSize) / trace.EventSize
+		k := in.Between(0, nEvents)
+		f := chaos.NoReaderFaults()
+		// Flip the high bit of record k's kind byte: always an invalid
+		// kind, so the corruption is always detected, never silently
+		// analyzed.
+		f.CorruptAt = trace.HeaderSize + k*trace.EventSize
+		r, err := trace.NewReader(in.Reader(stream, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultSrc = r
+	case "worker-panic":
+		wf := chaos.NoWorkerFaults()
+		wf.PanicWorker = int(in.Between(0, matrixWorkers))
+		wf.PanicAfter = uint64(in.Between(0, 500))
+		wf.PanicCount = matrixRestartCap + 1 // exceed the budget: permanent shard failure
+		opts.MaxRestarts = matrixRestartCap
+		opts.Observer = in.Observer(wf)
+		r, err := trace.NewReader(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultSrc = r
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+
+	_, err := pipeline.New(opts).Drain(context.Background(), faultSrc)
+	if err == nil {
+		t.Fatalf("seed %d: %s fault never fired — the cell proved nothing", seed, mode)
+	}
+	t.Logf("seed %d: faulted run died as scheduled: %v", seed, err)
+
+	// The recovery: restore the last good checkpoint (or start from
+	// scratch if the fault struck before the first boundary), skip a
+	// clean reader to its offset, drain the tail with no faults.
+	var resumed *pipeline.Pipeline
+	if lastGood == nil {
+		t.Logf("seed %d: fault preceded the first checkpoint; resuming from scratch", seed)
+		resumed = pipeline.New(pipeline.Options{
+			Workers: matrixWorkers, BatchSize: matrixBatch, Config: matrixCfg,
+		})
+	} else {
+		resumed, err = pipeline.Restore(bytes.NewReader(lastGood), pipeline.Options{BatchSize: matrixBatch})
+		if err != nil {
+			t.Fatalf("seed %d: Restore: %v", seed, err)
+		}
+	}
+	cleanSrc, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cleanSrc.Skip(resumed.Offset()); err != nil {
+		t.Fatalf("seed %d: Skip(%d): %v", seed, resumed.Offset(), err)
+	}
+	res, err := resumed.Drain(context.Background(), cleanSrc)
+	if err != nil {
+		t.Fatalf("seed %d: resumed drain: %v", seed, err)
+	}
+	if got := resultKey(res); got != want {
+		t.Fatalf("seed %d mode %s: resumed result diverges from clean run\n got %.300s\nwant %.300s",
+			seed, mode, got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"io"
+	"time"
+)
+
+// ReaderFaults schedules the stream-level faults of one wrapped reader.
+// Offsets are absolute byte positions in the wrapped stream; negative
+// offsets disable the corresponding fault.
+type ReaderFaults struct {
+	// TornAt cuts the stream: every read at or past this byte offset
+	// fails with an error wrapping io.ErrUnexpectedEOF — the torn
+	// tail of a truncated spool file or a dropped connection.
+	TornAt int64
+	// CorruptAt XORs CorruptXOR into the byte at this offset — a
+	// bit-flipped record. CorruptXOR zero defaults to 0x80, which is
+	// guaranteed to invalidate a trace record's kind byte.
+	CorruptAt  int64
+	CorruptXOR byte
+	// MaxRead caps how many bytes any single Read returns, drawn
+	// uniformly from [1, MaxRead] per call — the short, ragged reads of
+	// a slow pipe, which flush out callers that assume full buffers.
+	// 0 leaves read sizes alone.
+	MaxRead int
+	// StallEvery sleeps Stall once per that many bytes delivered — a
+	// slow producer. 0 disables stalls.
+	StallEvery int64
+	Stall      time.Duration
+}
+
+// NoReaderFaults is the identity schedule: all faults disabled.
+func NoReaderFaults() ReaderFaults {
+	return ReaderFaults{TornAt: -1, CorruptAt: -1}
+}
+
+// Reader wraps r with the fault schedule. The returned reader is
+// deterministic given the injector's seed and the wrapped stream: fault
+// positions are fixed byte offsets, and short-read sizes come from the
+// injector's seeded generator.
+func (in *Injector) Reader(r io.Reader, f ReaderFaults) io.Reader {
+	if f.CorruptXOR == 0 {
+		f.CorruptXOR = 0x80
+	}
+	return &faultReader{in: in, r: r, f: f}
+}
+
+type faultReader struct {
+	in  *Injector
+	r   io.Reader
+	f   ReaderFaults
+	off int64
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if fr.f.TornAt >= 0 && fr.off >= fr.f.TornAt {
+		return 0, errTorn
+	}
+	limit := len(p)
+	if fr.f.MaxRead > 0 {
+		max := fr.f.MaxRead
+		if max > limit {
+			max = limit
+		}
+		limit = 1 + int(fr.in.Between(0, int64(max)))
+	}
+	// Land the tear exactly on its scheduled byte.
+	if fr.f.TornAt >= 0 && fr.off+int64(limit) > fr.f.TornAt {
+		limit = int(fr.f.TornAt - fr.off)
+	}
+	n, err := fr.r.Read(p[:limit])
+	if fr.f.CorruptAt >= 0 && fr.f.CorruptAt >= fr.off && fr.f.CorruptAt < fr.off+int64(n) {
+		p[fr.f.CorruptAt-fr.off] ^= fr.f.CorruptXOR
+	}
+	if fr.f.StallEvery > 0 && fr.off/fr.f.StallEvery != (fr.off+int64(n))/fr.f.StallEvery {
+		time.Sleep(fr.f.Stall)
+	}
+	fr.off += int64(n)
+	return n, err
+}

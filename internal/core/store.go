@@ -11,6 +11,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/mem"
 	"repro/internal/taint"
 )
@@ -98,6 +100,22 @@ func (s *IdealStore) TaintedBytes() uint64 {
 
 // Reset implements Store.
 func (s *IdealStore) Reset() { s.sets = make(map[uint32]*taint.RangeSet) }
+
+// PIDs returns the processes that currently own at least one tainted
+// range, in ascending order — the canonical iteration order the snapshot
+// codec serializes taint state in. Processes whose sets have been fully
+// untainted are elided, so the listing is a pure function of the store's
+// semantic content.
+func (s *IdealStore) PIDs() []uint32 {
+	pids := make([]uint32, 0, len(s.sets))
+	for pid, rs := range s.sets {
+		if rs.Count() > 0 {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}
 
 // Ranges exposes the normalized ranges of one process for tests and
 // diagnostics.

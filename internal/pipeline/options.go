@@ -47,6 +47,24 @@ type Options struct {
 	// core.NewTrackerMetrics for the metric names). Nil runs
 	// uninstrumented at zero cost beyond predicted branches.
 	Metrics *metrics.Registry
+	// MaxRestarts is the per-shard restart budget K: a worker that
+	// panics restarts — skips the poisonous event and resumes the batch —
+	// up to K times. The panic after that marks the shard failed: its
+	// remaining batches are discarded (counted in the shard's fault
+	// report) while every other shard completes normally, and the merged
+	// Result comes back Degraded instead of the run hanging or losing
+	// everything. 0 — the default — fails a shard on its first panic.
+	MaxRestarts int
+	// CheckpointEvery asks Drain/RunContext to quiesce the pipeline and
+	// invoke OnCheckpoint every that many dispatched events (counted from
+	// stream start, so a resumed run keeps the original cadence). 0
+	// disables periodic checkpoints.
+	CheckpointEvery uint64
+	// OnCheckpoint receives the quiesced pipeline at each checkpoint
+	// boundary; it typically calls WriteCheckpoint into durable storage.
+	// An error aborts the run — a checkpoint that cannot be written must
+	// not be silently skipped.
+	OnCheckpoint func(p *Pipeline) error
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth < 1 {
 		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.MaxRestarts < 0 {
+		o.MaxRestarts = 0
 	}
 	return o
 }

@@ -31,13 +31,15 @@ import (
 // (Event, Close) must be driven by one goroutine at a time; the analysis
 // runs concurrently behind it.
 type Pipeline struct {
-	opts    Options
-	workers []*worker
-	pending [][]cpu.Event // per-worker batch under construction
-	pool    sync.Pool     // recycles batch slices: *[]cpu.Event
-	m       PipelineMetrics
-	events  uint64
-	closed  bool
+	opts     Options
+	workers  []*worker
+	pending  [][]cpu.Event  // per-worker batch under construction
+	pool     sync.Pool      // recycles batch slices: *[]cpu.Event
+	inflight sync.WaitGroup // batches dispatched but not yet fully analyzed
+	m        PipelineMetrics
+	tm       core.TrackerMetrics
+	events   uint64
+	closed   bool
 }
 
 // New builds the pipeline and starts its worker goroutines. The result
@@ -48,14 +50,28 @@ func New(opts Options) *Pipeline {
 	if err := opts.Config.Validate(); err != nil {
 		panic(err)
 	}
+	p := newShell(opts)
+	for i := range p.workers {
+		var store core.Store
+		if opts.NewStore != nil {
+			store = opts.NewStore()
+		}
+		p.start(i, core.NewTracker(opts.Config, store))
+	}
+	return p
+}
+
+// newShell allocates the pipeline chassis — metrics, pool, per-worker
+// slots — without starting workers; New and Restore differ only in where
+// each worker's tracker comes from.
+func newShell(opts Options) *Pipeline {
 	p := &Pipeline{opts: opts}
-	var tm core.TrackerMetrics
 	if opts.Metrics != nil {
 		// Registration is idempotent: every pipeline over this registry —
 		// and every worker within it — shares one metric set, so counters
 		// aggregate across shards and runs.
 		p.m = NewPipelineMetrics(opts.Metrics)
-		tm = core.NewTrackerMetrics(opts.Metrics)
+		p.tm = core.NewTrackerMetrics(opts.Metrics)
 	}
 	p.pool.New = func() any {
 		b := make([]cpu.Event, 0, opts.BatchSize)
@@ -63,19 +79,16 @@ func New(opts Options) *Pipeline {
 	}
 	p.workers = make([]*worker, opts.Workers)
 	p.pending = make([][]cpu.Event, opts.Workers)
-	for i := range p.workers {
-		var store core.Store
-		if opts.NewStore != nil {
-			store = opts.NewStore()
-		}
-		tr := core.NewTracker(opts.Config, store)
-		tr.SetMetrics(tm)
-		w := newWorker(i, tr, opts.QueueDepth)
-		p.workers[i] = w
-		p.pending[i] = p.batch()
-		go w.run(opts.Observer, &p.pool, p.m)
-	}
 	return p
+}
+
+// start installs tracker tr as shard i's analyzer and launches the shard.
+func (p *Pipeline) start(i int, tr *core.Tracker) {
+	tr.SetMetrics(p.tm)
+	w := newWorker(i, tr, p.opts.QueueDepth, p.opts.MaxRestarts)
+	p.workers[i] = w
+	p.pending[i] = p.batch()
+	go w.run(p.opts.Observer, &p.pool, &p.inflight, p.m)
 }
 
 // Workers returns the worker count.
@@ -127,9 +140,35 @@ func (p *Pipeline) Event(ev cpu.Event) {
 	p.pending[i] = b
 }
 
+// Offset returns the number of events dispatched over the pipeline's
+// lifetime, counted from the start of the stream — a restored pipeline
+// continues the count from its checkpoint. It is the resume position to
+// pair with trace.Reader.Skip.
+func (p *Pipeline) Offset() uint64 { return p.events }
+
+// Sync flushes every shard's partial batch and blocks until all
+// dispatched events have been analyzed. On return the worker trackers are
+// quiescent — the WaitGroup edge makes their state (and any fault
+// bookkeeping) safely visible to the caller's goroutine — which is what
+// makes a mid-stream checkpoint consistent. The pipeline stays usable;
+// Sync is a barrier, not a shutdown.
+func (p *Pipeline) Sync() {
+	if p.closed {
+		panic("pipeline: Sync after Close")
+	}
+	for i, w := range p.workers {
+		if len(p.pending[i]) > 0 {
+			p.send(w, p.pending[i])
+			p.pending[i] = p.batch()
+		}
+	}
+	p.inflight.Wait()
+}
+
 // send hands a batch to a worker queue, accounting for dispatch and for
 // backpressure: a full queue counts one stall before the blocking send.
 func (p *Pipeline) send(w *worker, b []cpu.Event) {
+	p.inflight.Add(1)
 	p.m.BatchesDispatched.Inc()
 	p.m.BatchEvents.Observe(float64(len(b)))
 	// Depth counts batches handed off but not yet fully analyzed. The
@@ -155,9 +194,12 @@ func (p *Pipeline) batch() []cpu.Event {
 // core.Stats.Merge for the exactness argument), and sink verdicts sort
 // into the canonical (PID, Seq, Tag) order, so the merged Result is a
 // deterministic function of the input stream alone — independent of
-// worker count, batch size, and scheduling. If any worker recovered a
-// panic, the first such failure is reported in Result.Err and the merged
-// output excludes whatever that worker discarded after poisoning.
+// worker count, batch size, and scheduling. Shards that panicked are
+// itemized in Result.Faults; a shard that exhausted its restart budget
+// marks the Result Degraded and reports the first such fault in
+// Result.Err, while the surviving shards' output is merged normally — a
+// partial result with an explicit fault report, never a hang and never a
+// silently incomplete success.
 func (p *Pipeline) Close() Result {
 	if p.closed {
 		panic("pipeline: double Close")
@@ -174,8 +216,14 @@ func (p *Pipeline) Close() Result {
 	res := Result{Workers: len(p.workers), Events: p.events}
 	for _, w := range p.workers {
 		<-w.done
-		if w.err != nil && res.Err == nil {
-			res.Err = w.err
+		if f, faulted := w.fault(); faulted {
+			res.Faults = append(res.Faults, f)
+			if f.Failed {
+				res.Degraded = true
+				if res.Err == nil {
+					res.Err = f.Err
+				}
+			}
 		}
 		res.Stats.Merge(w.tr.Stats())
 		res.Verdicts = append(res.Verdicts, w.tr.Verdicts()...)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/cpu"
@@ -30,7 +31,19 @@ func Run(src EventSource, opts Options) (Result, error) {
 // deferred Close performs regardless — and the pipeline's goroutines are
 // always released.
 func RunContext(ctx context.Context, src EventSource, opts Options) (Result, error) {
-	p := New(opts)
+	return New(opts).Drain(ctx, src)
+}
+
+// Drain feeds src into the pipeline until io.EOF, honoring the
+// checkpoint policy (Options.CheckpointEvery/OnCheckpoint), then closes
+// and returns the merged result. It is RunContext's engine, exposed so a
+// pipeline restored from a checkpoint can consume the remainder of a
+// stream: Restore, Skip the source to Offset(), Drain. Checkpoint
+// boundaries are absolute event offsets (multiples of CheckpointEvery
+// from stream start), so a resumed run keeps the original cadence. On a
+// source or checkpoint error the pipeline is shut down cleanly and the
+// error returned; the partial Result is discarded.
+func (p *Pipeline) Drain(ctx context.Context, src EventSource) (Result, error) {
 	done := ctx.Done()
 	for {
 		if done != nil {
@@ -50,6 +63,12 @@ func RunContext(ctx context.Context, src EventSource, opts Options) (Result, err
 			return Result{}, err
 		}
 		p.Event(ev)
+		if p.opts.CheckpointEvery > 0 && p.events%p.opts.CheckpointEvery == 0 && p.opts.OnCheckpoint != nil {
+			if err := p.opts.OnCheckpoint(p); err != nil {
+				p.Close()
+				return Result{}, fmt.Errorf("pipeline: checkpoint at offset %d: %w", p.events, err)
+			}
+		}
 	}
 	res := p.Close()
 	return res, res.Err

@@ -1,0 +1,100 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// TestCrashPointSweepDroidBench is the checkpoint/kill/restore sweep of
+// the acceptance criteria: a real DroidBench trace is run through the
+// pipeline with a checkpoint taken at every batch boundary; at each
+// boundary the run is "killed" (fed a little further, then discarded), a
+// fresh pipeline restored from the checkpoint bytes, the serialized trace
+// re-opened and Skip()ed to the checkpoint offset, and the tail drained.
+// Every resumed run must merge to byte-identical stats and canonically
+// sorted verdicts against the sequential oracle.
+func TestCrashPointSweepDroidBench(t *testing.T) {
+	const batchSize = 32
+	h := eval.NewHarness(1)
+	apps := h.Apps()
+	// Pick the longest trace of the suite so the sweep crosses many
+	// batch boundaries and real window/taint state.
+	var rec *trace.Recorder
+	var appName string
+	for _, a := range apps {
+		r, err := h.AppTrace(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil || r.Len() > rec.Len() {
+			rec, appName = r, a.Name
+		}
+	}
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()
+	n := rec.Len()
+	t.Logf("sweeping %s: %d events, %d crash points", appName, n, n/batchSize+1)
+
+	seq := core.NewTracker(testCfg, nil)
+	rec.Replay(seq)
+	wantVerdicts := append([]core.SinkVerdict(nil), seq.Verdicts()...)
+	core.SortVerdicts(wantVerdicts)
+	want := fmt.Sprintf("%#v|%#v", seq.Stats(), wantVerdicts)
+
+	opts := pipeline.Options{Workers: 4, BatchSize: batchSize, Config: testCfg}
+	crashPoints := []int{}
+	for b := 0; b <= n; b += batchSize {
+		crashPoints = append(crashPoints, b)
+	}
+	crashPoints = append(crashPoints, n) // resume-at-EOF edge
+	for _, cut := range crashPoints {
+		// Run to the crash point, checkpoint there.
+		p := pipeline.New(opts)
+		for _, ev := range rec.Events[:cut] {
+			p.Event(ev)
+		}
+		var ckpt bytes.Buffer
+		if _, err := p.WriteCheckpoint(&ckpt); err != nil {
+			t.Fatalf("cut %d: WriteCheckpoint: %v", cut, err)
+		}
+		// "Kill": let the doomed run continue a bit, then discard it.
+		for _, ev := range rec.Events[cut:min(cut+2*batchSize, n)] {
+			p.Event(ev)
+		}
+		p.Close()
+
+		// Restore and resume from the serialized trace at the offset.
+		r2, err := pipeline.Restore(bytes.NewReader(ckpt.Bytes()), pipeline.Options{BatchSize: batchSize})
+		if err != nil {
+			t.Fatalf("cut %d: Restore: %v", cut, err)
+		}
+		src, err := trace.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Skip(r2.Offset()); err != nil {
+			t.Fatalf("cut %d: Skip(%d): %v", cut, r2.Offset(), err)
+		}
+		res, err := r2.Drain(context.Background(), src)
+		if err != nil {
+			t.Fatalf("cut %d: resumed drain: %v", cut, err)
+		}
+		if res.Events != uint64(n) {
+			t.Fatalf("cut %d: resumed run accounts %d events, want %d", cut, res.Events, n)
+		}
+		if got := fmt.Sprintf("%#v|%#v", res.Stats, res.Verdicts); got != want {
+			t.Fatalf("cut %d: resumed result diverges from sequential oracle\n got %.300s\nwant %.300s",
+				cut, got, want)
+		}
+	}
+}

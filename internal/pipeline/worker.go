@@ -11,67 +11,145 @@ import (
 
 // worker owns one shard: a bounded batch queue feeding a private tracker.
 // All tracker state is confined to the worker goroutine between New and
-// the done signal, so no locking is needed anywhere in the hot path.
+// the done signal, so no locking is needed anywhere in the hot path. The
+// fault-bookkeeping fields are likewise written only by the worker
+// goroutine; the dispatcher reads them only after a quiesce point — the
+// inflight WaitGroup's Wait in Sync, or <-done in Close — both of which
+// establish the necessary happens-before edge.
 type worker struct {
 	idx  int
 	ch   chan []cpu.Event
 	tr   *core.Tracker
 	done chan struct{}
-	// err records the first panic the worker recovered. It is written
-	// only by the worker goroutine before done is closed and read only
-	// after <-done, so it needs no lock.
-	err error
+
+	// maxRestarts is the shard's panic budget K (Options.MaxRestarts).
+	maxRestarts int
+	// cursor tracks the index of the event currently being analyzed, so
+	// a recovered panic knows exactly where to resume the batch.
+	cursor int
+	// panics counts panics recovered on this shard; the first maxRestarts
+	// of them restart the shard, the next one fails it for good.
+	panics int
+	// failed marks the shard permanently poisoned: its tracker state is
+	// suspect and all further batches are discarded (and counted).
+	failed bool
+	// firstErr records the first recovered panic, for the fault report.
+	firstErr error
+	// droppedEvents and droppedBatches count work this shard discarded —
+	// skipped poisonous events plus everything thrown away after failure.
+	droppedEvents  uint64
+	droppedBatches uint64
 }
 
-func newWorker(idx int, tr *core.Tracker, queueDepth int) *worker {
+func newWorker(idx int, tr *core.Tracker, queueDepth, maxRestarts int) *worker {
 	return &worker{
-		idx:  idx,
-		ch:   make(chan []cpu.Event, queueDepth),
-		tr:   tr,
-		done: make(chan struct{}),
+		idx:         idx,
+		ch:          make(chan []cpu.Event, queueDepth),
+		tr:          tr,
+		done:        make(chan struct{}),
+		maxRestarts: maxRestarts,
 	}
 }
 
 // run drains batches until the dispatcher closes the channel, returning
-// spent batch slices to the shared pool. A panic out of the tracker (or
-// an observer) poisons the worker: the panic is recorded for Close to
-// report, and the worker keeps draining — discarding further batches —
-// so the dispatcher's bounded sends can never hang on a dead consumer.
-func (w *worker) run(obs func(int, cpu.Event), pool *sync.Pool, pm PipelineMetrics) {
+// spent batch slices to the shared pool and marking each batch done on
+// the inflight WaitGroup — the quiesce barrier Sync waits on. A failed
+// worker keeps draining — discarding further batches — so the
+// dispatcher's bounded sends can never hang on a dead consumer.
+func (w *worker) run(obs func(int, cpu.Event), pool *sync.Pool, inflight *sync.WaitGroup, pm PipelineMetrics) {
 	defer close(w.done)
 	for batch := range w.ch {
 		w.process(batch, obs, pm)
 		b := batch[:0]
 		pool.Put(&b)
 		pm.QueueDepth.Dec()
+		inflight.Done()
 	}
 }
 
-// process analyzes one batch, converting a panic into the worker's
-// sticky error.
+// process analyzes one batch under the restart policy: a panic out of the
+// tracker (or an observer) is recovered, the poisonous event skipped, and
+// the batch resumed — up to the shard's restart budget. The panic that
+// exhausts the budget fails the shard: the rest of this batch and every
+// later one are discarded and counted, never analyzed against the suspect
+// tracker state.
 func (w *worker) process(batch []cpu.Event, obs func(int, cpu.Event), pm PipelineMetrics) {
-	defer func() {
-		if r := recover(); r != nil {
-			pm.WorkerPanics.Inc()
-			if w.err == nil {
-				w.err = fmt.Errorf("pipeline: worker %d panicked: %v", w.idx, r)
-			}
-		}
-	}()
-	if w.err != nil {
-		return // poisoned: tracker state is suspect, discard the work
+	if w.failed {
+		w.droppedBatches++
+		w.droppedEvents += uint64(len(batch))
+		pm.DroppedEvents.Add(uint64(len(batch)))
+		return
 	}
 	var start time.Time
 	if pm.BatchSeconds != nil {
 		start = time.Now()
 	}
-	for _, ev := range batch {
+	for off := 0; off < len(batch); {
+		n, ok := w.consume(batch[off:], obs)
+		if ok {
+			break
+		}
+		// batch[off+n] panicked. Spend one unit of restart budget to skip
+		// it and resume, or fail the shard if the budget is gone.
+		pm.WorkerPanics.Inc()
+		w.panics++
+		if w.panics > w.maxRestarts {
+			w.failed = true
+			dropped := uint64(len(batch) - off - n) // the poisonous event and everything after it
+			w.droppedEvents += dropped
+			pm.DroppedEvents.Add(dropped)
+			pm.ShardFailures.Inc()
+			return
+		}
+		pm.WorkerRestarts.Inc()
+		w.droppedEvents++
+		pm.DroppedEvents.Add(1)
+		off += n + 1
+	}
+	if pm.BatchSeconds != nil {
+		pm.BatchSeconds.Observe(time.Since(start).Seconds())
+	}
+}
+
+// consume feeds events to the tracker until the slice is exhausted or a
+// panic escapes the tracker/observer. It reports how many events were
+// fully analyzed before the fault and whether the slice completed; on a
+// fault, evs[n] is the event whose analysis panicked.
+func (w *worker) consume(evs []cpu.Event, obs func(int, cpu.Event)) (n int, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if w.firstErr == nil {
+				w.firstErr = fmt.Errorf("pipeline: worker %d panicked: %v", w.idx, r)
+			}
+			n, ok = w.cursor, false
+		}
+	}()
+	for i, ev := range evs {
+		w.cursor = i
 		if obs != nil {
 			obs(w.idx, ev)
 		}
 		w.tr.Event(ev)
 	}
-	if pm.BatchSeconds != nil {
-		pm.BatchSeconds.Observe(time.Since(start).Seconds())
+	return len(evs), true
+}
+
+// fault summarizes the shard's fault state for Result.Faults; zero-value
+// when the shard never panicked.
+func (w *worker) fault() (ShardFault, bool) {
+	if w.panics == 0 {
+		return ShardFault{}, false
 	}
+	restarts := w.panics
+	if w.failed {
+		restarts--
+	}
+	return ShardFault{
+		Worker:         w.idx,
+		Restarts:       restarts,
+		Failed:         w.failed,
+		DroppedEvents:  w.droppedEvents,
+		DroppedBatches: w.droppedBatches,
+		Err:            w.firstErr,
+	}, true
 }

@@ -20,6 +20,15 @@ var traceMagic = [8]byte{'P', 'I', 'F', 'T', 'T', 'R', 'C', '1'}
 // eventWireSize is the per-event record size.
 const eventWireSize = 1 + 4 + 8 + 4 + 4 + 4
 
+// HeaderSize and EventSize expose the wire layout for offset arithmetic:
+// event i of a serialized trace begins at byte HeaderSize + i*EventSize.
+// Checkpoint/resume tooling and fault injectors use these to map an event
+// index to a byte position without decoding.
+const (
+	HeaderSize = 8 + 8 // magic + declared count
+	EventSize  = eventWireSize
+)
+
 // WriteTo serializes the recorded trace. It implements io.WriterTo.
 func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)

@@ -68,6 +68,35 @@ func (d *Reader) Len() uint64 { return d.count }
 // Remaining returns how many events have not been decoded yet.
 func (d *Reader) Remaining() uint64 { return d.count - d.read }
 
+// Offset returns the resumable stream position: the number of events
+// consumed so far (by Next or Skip). A pipeline checkpoint taken after
+// event n pairs with Offset()==n; a fresh Reader over the same bytes plus
+// Skip(n) continues the stream exactly where the checkpoint left it.
+func (d *Reader) Offset() uint64 { return d.read }
+
+// Skip discards the next n events without decoding them, advancing the
+// stream to a checkpoint's resume offset in one buffered seek. Records
+// skipped this way are not validated — resume trusts the pass that wrote
+// the checkpoint to have decoded them already. Skipping past the declared
+// event count, or into a stream physically shorter than its header
+// promises, is a truncation error.
+func (d *Reader) Skip(n uint64) error {
+	if n > d.Remaining() {
+		return fmt.Errorf("trace: skip %d events beyond remaining %d", n, d.Remaining())
+	}
+	if n == 0 {
+		return nil
+	}
+	if _, err := d.br.Discard(int(n) * eventWireSize); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("trace: skipping to event %d: %w", d.read+n, err)
+	}
+	d.read += n
+	return nil
+}
+
 // Next decodes and returns the next event. It returns io.EOF once all
 // declared events have been read, and a descriptive error on truncated or
 // corrupt records.

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func resumeTrace(t *testing.T, n int) (*Recorder, []byte) {
+	t.Helper()
+	rec := NewRecorder(n)
+	for i := 0; i < n; i++ {
+		rec.Event(cpu.Event{
+			Kind:  cpu.EventKind(i % 4),
+			PID:   uint32(i % 3),
+			Seq:   uint64(i),
+			Range: mem.MakeRange(mem.Addr(i*8), 8),
+			Tag:   i,
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rec, buf.Bytes()
+}
+
+// TestReaderSkip: Skip(n) must land exactly on event n, keep the offset
+// bookkeeping consistent, and stream the remainder identically to a
+// reader that decoded its way there.
+func TestReaderSkip(t *testing.T) {
+	const n = 1000
+	rec, raw := resumeTrace(t, n)
+	for _, skip := range []uint64{0, 1, 999, 1000, 515} {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Skip(skip); err != nil {
+			t.Fatalf("Skip(%d): %v", skip, err)
+		}
+		if r.Offset() != skip {
+			t.Fatalf("Offset after Skip(%d) = %d", skip, r.Offset())
+		}
+		if r.Remaining() != n-skip {
+			t.Fatalf("Remaining after Skip(%d) = %d", skip, r.Remaining())
+		}
+		for i := skip; ; i++ {
+			ev, err := r.Next()
+			if err == io.EOF {
+				if i != n {
+					t.Fatalf("EOF after %d events, want %d", i, n)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("Next at %d: %v", i, err)
+			}
+			if ev != rec.Events[i] {
+				t.Fatalf("Skip(%d): event %d = %+v, want %+v", skip, i, ev, rec.Events[i])
+			}
+		}
+	}
+}
+
+// TestReaderSkipInterleaved: alternating Next and Skip keeps the stream
+// position exact.
+func TestReaderSkipInterleaved(t *testing.T) {
+	rec, raw := resumeTrace(t, 100)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil { // event 0
+		t.Fatal(err)
+	}
+	if err := r.Skip(10); err != nil { // events 1..10
+		t.Fatal(err)
+	}
+	ev, err := r.Next() // event 11
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != rec.Events[11] {
+		t.Fatalf("got %+v, want event 11 %+v", ev, rec.Events[11])
+	}
+	if r.Offset() != 12 {
+		t.Fatalf("Offset = %d, want 12", r.Offset())
+	}
+}
+
+// TestReaderSkipBounds: skipping past the declared count is an error, and
+// skipping into a physically truncated stream is a truncation, not a
+// clean end.
+func TestReaderSkipBounds(t *testing.T) {
+	_, raw := resumeTrace(t, 50)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Skip(51); err == nil {
+		t.Fatal("Skip beyond declared count accepted")
+	}
+	if err := r.Skip(50); err != nil {
+		t.Fatalf("Skip to exact end: %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next after full skip = %v, want io.EOF", err)
+	}
+
+	cut, err := NewReader(bytes.NewReader(raw[:HeaderSize+10*EventSize+3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cut.Skip(20); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Skip into truncation = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestWireSizeConstants pins the exported layout constants to the actual
+// encoding, so offset arithmetic elsewhere cannot drift.
+func TestWireSizeConstants(t *testing.T) {
+	_, raw := resumeTrace(t, 7)
+	if got, want := len(raw), HeaderSize+7*EventSize; got != want {
+		t.Fatalf("7-event trace is %d bytes, constants say %d", got, want)
+	}
+}
