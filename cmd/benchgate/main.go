@@ -1,16 +1,20 @@
 // Command benchgate is the CI performance-regression gate: it compares a
 // freshly measured piftbench pipeline artifact against the committed
 // baseline and exits nonzero when the candidate regresses events/sec by
-// more than the threshold at any worker count, or when any parity row in
-// the candidate diverged from the sequential tracker.
+// more than the threshold at any worker count, when any parity row in
+// the candidate diverged from the sequential tracker, or when the
+// candidate's steady-state allocation rate exceeds the alloc budget.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_pipeline.json -current BENCH_current.json [-threshold 0.25]
+//	benchgate -baseline BENCH_pipeline.json -current BENCH_current.json \
+//	    [-threshold 0.25] [-max-allocs-per-event 0.01] [-summary out.md]
 //
 // The gate only fails on regressions — a faster candidate passes — and a
 // worker count present in the baseline but missing from the candidate is
 // a failure, since the gate cannot certify what it did not measure.
+// -summary appends a benchstat-style old/new markdown table to the given
+// file (CI passes $GITHUB_STEP_SUMMARY) in addition to the stdout report.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/eval"
 )
@@ -26,6 +31,8 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_pipeline.json", "committed baseline artifact")
 	current := flag.String("current", "BENCH_current.json", "freshly measured artifact")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated events/sec regression (fraction)")
+	maxAllocs := flag.Float64("max-allocs-per-event", 0.01, "maximum steady-state allocs per event in the candidate (the slack covers a GC emptying the batch sync.Pool mid-measurement; negative disables)")
+	summary := flag.String("summary", "", "append a markdown old/new table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if *threshold < 0 || *threshold >= 1 {
 		fmt.Fprintf(os.Stderr, "benchgate: -threshold %v out of range [0, 1)\n", *threshold)
@@ -45,6 +52,11 @@ func main() {
 		}
 	}
 
+	var md strings.Builder
+	md.WriteString("### benchgate: pipeline events/sec, old vs new\n\n")
+	md.WriteString("| workers | baseline ev/s | current ev/s | delta | status |\n")
+	md.WriteString("|--:|--:|--:|--:|:--|\n")
+
 	curBy := map[int]eval.PipelineScalingRow{}
 	for _, row := range cur.Scaling {
 		curBy[row.Workers] = row
@@ -53,6 +65,7 @@ func main() {
 		c, ok := curBy[b.Workers]
 		if !ok {
 			fmt.Printf("FAIL %2d workers: baseline has this point, candidate did not measure it\n", b.Workers)
+			fmt.Fprintf(&md, "| %d | %.0f | — | — | FAIL (unmeasured) |\n", b.Workers, b.PerSecond)
 			failed = true
 			continue
 		}
@@ -64,6 +77,27 @@ func main() {
 		}
 		fmt.Printf("%s %2d workers: %12.0f ev/s vs baseline %12.0f (%+.1f%%, limit -%.0f%%)\n",
 			status, b.Workers, c.PerSecond, b.PerSecond, delta*100, *threshold*100)
+		fmt.Fprintf(&md, "| %d | %.0f | %.0f | %+.1f%% | %s |\n",
+			b.Workers, b.PerSecond, c.PerSecond, delta*100, strings.TrimSpace(status))
+	}
+
+	allocStatus := "ok"
+	if *maxAllocs >= 0 && cur.AllocsPerEvent > *maxAllocs {
+		fmt.Printf("FAIL allocs: %.4f allocs/event steady state, budget %.4f\n", cur.AllocsPerEvent, *maxAllocs)
+		allocStatus = "FAIL"
+		failed = true
+	} else {
+		fmt.Printf("ok   allocs: %.4f allocs/event steady state (budget %.4f)\n", cur.AllocsPerEvent, *maxAllocs)
+	}
+	fmt.Fprintf(&md, "\nsteady-state allocs/event: **%.4f** (budget %.4f) — %s\n",
+		cur.AllocsPerEvent, *maxAllocs, allocStatus)
+
+	if *summary != "" {
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		fatal(err)
+		_, err = f.WriteString(md.String())
+		fatal(err)
+		fatal(f.Close())
 	}
 
 	if failed {

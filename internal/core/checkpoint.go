@@ -86,11 +86,12 @@ func (t *Tracker) WriteSnapshot(w io.Writer) (int64, error) {
 
 	tainted := ideal.PIDs()
 	cw.u32(uint32(len(tainted)))
+	var scratch []mem.Range
 	for _, pid := range tainted {
-		ranges := ideal.Ranges(pid)
+		scratch = ideal.AppendRanges(pid, scratch[:0])
 		cw.u32(pid)
-		cw.u32(uint32(len(ranges)))
-		for _, r := range ranges {
+		cw.u32(uint32(len(scratch)))
+		for _, r := range scratch {
 			cw.u32(r.Start)
 			cw.u32(r.End)
 		}

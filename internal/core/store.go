@@ -43,8 +43,20 @@ type Store interface {
 // happens — the configuration the paper's accuracy results assume (§5.2
 // argues ≤100 ranges suffice for NI ≤ 10, so a small on-chip memory behaves
 // like this ideal).
+//
+// The store maintains its cross-process aggregates (total tainted bytes
+// and distinct ranges) incrementally from the deltas each RangeSet
+// mutation returns, so TaintedBytes and RangeCount are O(1) — they sit on
+// the tracker's per-taint-add high-water path and must not rescan every
+// per-PID set. It also caches the last-hit per-PID set: event streams are
+// bursts from one process (the trace interleave switches PIDs once per
+// scheduling quantum), so consecutive operations skip the map lookup.
 type IdealStore struct {
-	sets map[uint32]*taint.RangeSet
+	sets        map[uint32]*taint.RangeSet
+	totalBytes  uint64
+	totalRanges int
+	lastPID     uint32
+	lastSet     *taint.RangeSet // nil when no lookup has hit yet
 }
 
 // NewIdealStore returns an empty unbounded store.
@@ -53,25 +65,38 @@ func NewIdealStore() *IdealStore {
 }
 
 func (s *IdealStore) set(pid uint32, create bool) *taint.RangeSet {
+	if s.lastSet != nil && s.lastPID == pid {
+		return s.lastSet
+	}
 	rs := s.sets[pid]
-	if rs == nil && create {
+	if rs == nil {
+		if !create {
+			return nil
+		}
 		rs = &taint.RangeSet{}
 		s.sets[pid] = rs
 	}
+	s.lastPID, s.lastSet = pid, rs
 	return rs
 }
 
 // Add implements Store.
-func (s *IdealStore) Add(pid uint32, r mem.Range) { s.set(pid, true).Add(r) }
+func (s *IdealStore) Add(pid uint32, r mem.Range) {
+	b, n := s.set(pid, true).Add(r)
+	s.totalBytes += b
+	s.totalRanges += n
+}
 
 // Remove implements Store.
 func (s *IdealStore) Remove(pid uint32, r mem.Range) bool {
 	rs := s.set(pid, false)
-	if rs == nil || !rs.Overlaps(r) {
+	if rs == nil {
 		return false
 	}
-	rs.Remove(r)
-	return true
+	b, n := rs.Remove(r)
+	s.totalBytes -= b
+	s.totalRanges += n
+	return b > 0
 }
 
 // Overlaps implements Store.
@@ -81,25 +106,18 @@ func (s *IdealStore) Overlaps(pid uint32, r mem.Range) bool {
 }
 
 // RangeCount implements Store.
-func (s *IdealStore) RangeCount() int {
-	n := 0
-	for _, rs := range s.sets {
-		n += rs.Count()
-	}
-	return n
-}
+func (s *IdealStore) RangeCount() int { return s.totalRanges }
 
 // TaintedBytes implements Store.
-func (s *IdealStore) TaintedBytes() uint64 {
-	var n uint64
-	for _, rs := range s.sets {
-		n += rs.Bytes()
-	}
-	return n
-}
+func (s *IdealStore) TaintedBytes() uint64 { return s.totalBytes }
 
 // Reset implements Store.
-func (s *IdealStore) Reset() { s.sets = make(map[uint32]*taint.RangeSet) }
+func (s *IdealStore) Reset() {
+	s.sets = make(map[uint32]*taint.RangeSet)
+	s.totalBytes = 0
+	s.totalRanges = 0
+	s.lastSet = nil
+}
 
 // PIDs returns the processes that currently own at least one tainted
 // range, in ascending order — the canonical iteration order the snapshot
@@ -125,4 +143,15 @@ func (s *IdealStore) Ranges(pid uint32) []mem.Range {
 		return nil
 	}
 	return rs.Ranges()
+}
+
+// AppendRanges appends one process's normalized ranges to dst and returns
+// the extended slice; the snapshot codec reuses one scratch buffer across
+// processes instead of copying each set.
+func (s *IdealStore) AppendRanges(pid uint32, dst []mem.Range) []mem.Range {
+	rs := s.set(pid, false)
+	if rs == nil {
+		return dst
+	}
+	return rs.AppendRanges(dst)
 }

@@ -84,6 +84,12 @@ type Tracker struct {
 	stats    Stats
 	verdicts []SinkVerdict
 	m        TrackerMetrics
+
+	// Last-hit window cache: traces arrive as per-process bursts, so the
+	// common case is a run of events for one PID and the map lookup in
+	// win is skipped for all but the first of each run.
+	lastPID uint32
+	lastWin *window
 }
 
 // NewTracker builds a tracker over the given store; a nil store gets a
@@ -210,11 +216,15 @@ func (t *Tracker) Event(ev cpu.Event) {
 }
 
 func (t *Tracker) win(pid uint32) *window {
+	if t.lastWin != nil && t.lastPID == pid {
+		return t.lastWin
+	}
 	w := t.windows[pid]
 	if w == nil {
 		w = &window{}
 		t.windows[pid] = w
 	}
+	t.lastPID, t.lastWin = pid, w
 	return w
 }
 
@@ -236,4 +246,5 @@ func (t *Tracker) Reset() {
 	t.windows = make(map[uint32]*window)
 	t.stats = Stats{}
 	t.verdicts = nil
+	t.lastWin = nil
 }

@@ -10,24 +10,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 )
 
 // PipelineBenchResult is the JSON artifact piftbench -exp pipeline writes.
 // Scaling rows come from an instrumented sweep, so the embedded snapshot's
 // pipeline counters cover exactly the runs reported in Scaling.
 type PipelineBenchResult struct {
-	Config   core.Config          `json:"config"`
-	Workers  []int                `json:"workers"`
-	Quantum  int                  `json:"quantum"`
-	Repeats  int                  `json:"repeats"`
-	Parity   []PipelineParityRow  `json:"parity"`
-	Scaling  []PipelineScalingRow `json:"scaling"`
-	Snapshot metrics.Snapshot     `json:"metrics"`
+	Config  core.Config          `json:"config"`
+	Workers []int                `json:"workers"`
+	Quantum int                  `json:"quantum"`
+	Repeats int                  `json:"repeats"`
+	Parity  []PipelineParityRow  `json:"parity"`
+	Scaling []PipelineScalingRow `json:"scaling"`
+	// AllocsPerEvent is the steady-state heap allocation rate of a warm
+	// single-worker pipeline (second replay of the suite workload through
+	// the same pipeline, Mallocs delta over event count). The hot path is
+	// allocation-free by design, so this sits near zero; it is nonzero only
+	// because a GC between the warm-up and the measured pass may empty the
+	// dispatcher's batch sync.Pool, forcing a bounded refill.
+	AllocsPerEvent float64          `json:"allocs_per_event"`
+	Snapshot       metrics.Snapshot `json:"metrics"`
 }
 
 // PipelineBench runs the parity check and an instrumented scaling sweep,
@@ -77,15 +86,45 @@ func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, rep
 		}
 		rows = append(rows, row)
 	}
+	allocs, err := allocsPerEvent(wl, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &PipelineBenchResult{
-		Config:   cfg,
-		Workers:  workerCounts,
-		Quantum:  quantum,
-		Repeats:  repeats,
-		Parity:   parity,
-		Scaling:  rows,
-		Snapshot: reg.Snapshot(),
+		Config:         cfg,
+		Workers:        workerCounts,
+		Quantum:        quantum,
+		Repeats:        repeats,
+		Parity:         parity,
+		Scaling:        rows,
+		AllocsPerEvent: allocs,
+		Snapshot:       reg.Snapshot(),
 	}, nil
+}
+
+// allocsPerEvent measures the steady-state allocation rate of the hot
+// path: one warm-up replay grows every reusable buffer (range-set backing
+// arrays, the dispatcher's pooled batches, worker queues) to its high-water
+// size, then a second replay through the same pipeline is bracketed by
+// MemStats reads. Sync, not Close, bounds each replay so the pipeline —
+// and its warm state — survives into the measured pass.
+func allocsPerEvent(wl *trace.Recorder, cfg core.Config) (float64, error) {
+	if wl.Len() == 0 {
+		return 0, nil
+	}
+	p := pipeline.New(pipeline.Options{Workers: 1, Config: cfg})
+	wl.Replay(p)
+	p.Sync()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	wl.Replay(p)
+	p.Sync()
+	runtime.ReadMemStats(&after)
+	res := p.Close()
+	if res.Err != nil {
+		return 0, res.Err
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(wl.Len()), nil
 }
 
 // WriteJSON serializes the artifact, indented for human diffing.

@@ -1,0 +1,99 @@
+package taint
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzRangeSetOps hammers the in-place mutation paths with random
+// Add/Remove/Overlaps sequences over a 16-bit address space (wide enough
+// to populate long range arrays and hit every shift/splice branch) and
+// validates, after every op: the normalization invariants, the byte-level
+// model, and — the part FuzzRangeSet cannot see — the per-op deltas that
+// core.IdealStore aggregates incrementally. A mutation that leaves the set
+// normalized but misreports its delta would silently skew TaintedBytes and
+// RangeCount; this target pins them to the set's own Bytes/Count.
+//
+// Run with `go test -fuzz FuzzRangeSetOps ./internal/taint` for deep
+// fuzzing; the seed corpus runs as a normal test.
+func FuzzRangeSetOps(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 4, 0, 0, 20, 4, 1, 0, 12, 16})
+	f.Add([]byte{0, 1, 0, 255, 1, 1, 100, 10, 2, 0, 50, 1, 0, 1, 0, 255})
+	f.Add([]byte{0, 255, 255, 32, 1, 255, 255, 32})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var s RangeSet
+		ref := map[mem.Addr]bool{}
+		var aggBytes uint64 // mirrors IdealStore's incremental bookkeeping
+		aggRanges := 0
+		for i := 0; i+3 < len(script); i += 4 {
+			op := script[i] % 3
+			start := mem.Addr(script[i+1])<<8 | mem.Addr(script[i+2])
+			length := uint32(script[i+3]%64) + 1
+			r := mem.MakeRange(start, length)
+			switch op {
+			case 0:
+				added, delta := s.Add(r)
+				aggBytes += added
+				aggRanges += delta
+				var want uint64
+				for a := r.Start; a <= r.End; a++ {
+					if !ref[a] {
+						want++
+					}
+					ref[a] = true
+				}
+				if added != want {
+					t.Fatalf("Add(%v) reported %d bytes added, model %d", r, added, want)
+				}
+			case 1:
+				removed, delta := s.Remove(r)
+				aggBytes -= removed
+				aggRanges += delta
+				var want uint64
+				for a := r.Start; a <= r.End; a++ {
+					if ref[a] {
+						want++
+					}
+					delete(ref, a)
+				}
+				if removed != want {
+					t.Fatalf("Remove(%v) reported %d bytes removed, model %d", r, removed, want)
+				}
+			case 2:
+				want := false
+				for a := r.Start; a <= r.End; a++ {
+					want = want || ref[a]
+				}
+				if got := s.Overlaps(r); got != want {
+					t.Fatalf("Overlaps(%v) = %v, model %v", r, got, want)
+				}
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("invariant broken after op %d: %v", i/4, err)
+			}
+			if s.Bytes() != uint64(len(ref)) {
+				t.Fatalf("bytes %d, model %d", s.Bytes(), len(ref))
+			}
+			if aggBytes != s.Bytes() {
+				t.Fatalf("delta-aggregated bytes %d, set reports %d", aggBytes, s.Bytes())
+			}
+			if aggRanges != s.Count() {
+				t.Fatalf("delta-aggregated range count %d, set reports %d", aggRanges, s.Count())
+			}
+		}
+		// AppendRanges must agree with Ranges and leave dst's prefix alone.
+		prefix := []mem.Range{{Start: 1, End: 2}}
+		got := s.AppendRanges(prefix)
+		want := s.Ranges()
+		if len(got) != 1+len(want) || got[0] != prefix[0] {
+			t.Fatalf("AppendRanges mangled dst: %v", got)
+		}
+		for i, r := range want {
+			if got[1+i] != r {
+				t.Fatalf("AppendRanges[%d] = %v, Ranges %v", i, got[1+i], r)
+			}
+		}
+	})
+}

@@ -7,22 +7,35 @@
 // non-overlapping, with adjacent ranges coalesced — so that "number of
 // distinct ranges" (Figures 17 and 19) and "size of tainted addresses"
 // (Figures 14, 15, 18) are well-defined metrics.
+//
+// Mutations are in place: Add and Remove shift the backing slice within
+// its capacity instead of building a new one, so the steady-state event
+// loop — where the set's range count oscillates around a stable working
+// size — performs no allocations. Both return the byte and range-count
+// deltas they applied, which lets callers (core.IdealStore) maintain
+// cross-set aggregates incrementally instead of rescanning every set.
 package taint
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/mem"
 )
 
 // RangeSet is a normalized set of inclusive address ranges. The zero value
-// is an empty set ready to use.
+// is an empty set ready to use. RangeSet is not safe for concurrent use:
+// even read-only queries update the internal last-hit search cache.
 type RangeSet struct {
 	// ranges is sorted by Start; entries neither overlap nor touch.
 	ranges []mem.Range
 	bytes  uint64
+	// hint caches the most recent searchStart result. The paper's
+	// locality argument (§5.1: short load→store distances) means
+	// consecutive lookups overwhelmingly land in the same range, so the
+	// cached index usually verifies in two comparisons and the binary
+	// search is skipped entirely.
+	hint int
 }
 
 // Count returns the number of distinct (maximal) tainted ranges.
@@ -38,6 +51,7 @@ func (s *RangeSet) Empty() bool { return len(s.ranges) == 0 }
 func (s *RangeSet) Clear() {
 	s.ranges = s.ranges[:0]
 	s.bytes = 0
+	s.hint = 0
 }
 
 // Ranges returns a copy of the normalized ranges in ascending order.
@@ -47,11 +61,35 @@ func (s *RangeSet) Ranges() []mem.Range {
 	return out
 }
 
+// AppendRanges appends the normalized ranges in ascending order to dst and
+// returns the extended slice. Callers that serialize or inspect many sets
+// reuse one scratch buffer across calls instead of forcing a fresh copy
+// per set the way Ranges does.
+func (s *RangeSet) AppendRanges(dst []mem.Range) []mem.Range {
+	return append(dst, s.ranges...)
+}
+
 // searchStart returns the index of the first range with Start >= addr.
 func (s *RangeSet) searchStart(addr mem.Addr) int {
-	return sort.Search(len(s.ranges), func(i int) bool {
-		return s.ranges[i].Start >= addr
-	})
+	n := len(s.ranges)
+	// Last-hit fast path: the cached index is the answer iff it still
+	// satisfies the binary-search postcondition.
+	if h := s.hint; h <= n &&
+		(h == n || s.ranges[h].Start >= addr) &&
+		(h == 0 || s.ranges[h-1].Start < addr) {
+		return h
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ranges[mid].Start >= addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s.hint = lo
+	return lo
 }
 
 // Overlaps reports whether any byte of r is tainted — the paper's lookup:
@@ -70,8 +108,11 @@ func (s *RangeSet) Contains(addr mem.Addr) bool {
 	return s.Overlaps(mem.Range{Start: addr, End: addr})
 }
 
-// Add taints r, merging it with any overlapping or adjacent ranges.
-func (s *RangeSet) Add(r mem.Range) {
+// Add taints r, merging it with any overlapping or adjacent ranges. It
+// returns the number of bytes that became tainted and the signed change in
+// the distinct-range count (a merge of k existing ranges yields 1-k; a
+// pure insert yields +1).
+func (s *RangeSet) Add(r mem.Range) (bytesAdded uint64, rangesDelta int) {
 	// Find the window of existing ranges that r overlaps or touches.
 	lo := s.searchStart(r.Start)
 	if lo > 0 && s.ranges[lo-1].End != ^mem.Addr(0) && s.ranges[lo-1].End+1 >= r.Start {
@@ -79,6 +120,7 @@ func (s *RangeSet) Add(r mem.Range) {
 	}
 	hi := lo
 	merged := r
+	var swallowed uint64
 	for hi < len(s.ranges) {
 		cand := s.ranges[hi]
 		touches := cand.Start <= merged.End ||
@@ -87,41 +129,79 @@ func (s *RangeSet) Add(r mem.Range) {
 			break
 		}
 		merged = merged.Union(cand)
-		s.bytes -= cand.Size()
+		swallowed += cand.Size()
 		hi++
 	}
-	s.bytes += merged.Size()
-	// Replace ranges[lo:hi] with merged.
-	s.ranges = append(s.ranges[:lo], append([]mem.Range{merged}, s.ranges[hi:]...)...)
+	// merged covers every swallowed range, so the difference is the
+	// newly tainted volume.
+	bytesAdded = merged.Size() - swallowed
+	s.bytes += bytesAdded
+	// Replace ranges[lo:hi] with merged, shifting in place.
+	if hi == lo {
+		// Pure insert: open one slot at lo. The append reallocates only
+		// when the working set outgrows its high-water capacity.
+		s.ranges = append(s.ranges, mem.Range{})
+		copy(s.ranges[lo+1:], s.ranges[lo:])
+	} else if hi > lo+1 {
+		n := copy(s.ranges[lo+1:], s.ranges[hi:])
+		s.ranges = s.ranges[:lo+1+n]
+	}
+	s.ranges[lo] = merged
+	s.hint = lo
+	return bytesAdded, 1 - (hi - lo)
 }
 
-// Remove untaints r, splitting any range it partially covers.
-func (s *RangeSet) Remove(r mem.Range) {
+// Remove untaints r, splitting any range it partially covers. It returns
+// the number of bytes actually untainted (0 when nothing overlapped) and
+// the signed change in the distinct-range count (+1 on a mid-range split,
+// -k when k ranges vanish entirely).
+func (s *RangeSet) Remove(r mem.Range) (bytesRemoved uint64, rangesDelta int) {
 	lo := s.searchStart(r.Start)
 	if lo > 0 && s.ranges[lo-1].End >= r.Start {
 		lo--
 	}
-	var replacement []mem.Range
+	// At most two fragments survive the cut: a left remainder from the
+	// first overlapped range and a right remainder from the last, so a
+	// fixed scratch array replaces the old per-call replacement slice.
+	var repl [2]mem.Range
+	nrepl := 0
 	hi := lo
 	for hi < len(s.ranges) && s.ranges[hi].Start <= r.End {
 		cand := s.ranges[hi]
-		s.bytes -= cand.Size()
+		bytesRemoved += cand.Size()
 		if cand.Start < r.Start {
 			left := mem.Range{Start: cand.Start, End: r.Start - 1}
-			replacement = append(replacement, left)
-			s.bytes += left.Size()
+			repl[nrepl] = left
+			nrepl++
+			bytesRemoved -= left.Size()
 		}
 		if cand.End > r.End {
 			right := mem.Range{Start: r.End + 1, End: cand.End}
-			replacement = append(replacement, right)
-			s.bytes += right.Size()
+			repl[nrepl] = right
+			nrepl++
+			bytesRemoved -= right.Size()
 		}
 		hi++
 	}
 	if hi == lo {
-		return // nothing overlapped
+		return 0, 0 // nothing overlapped
 	}
-	s.ranges = append(s.ranges[:lo], append(replacement, s.ranges[hi:]...)...)
+	s.bytes -= bytesRemoved
+	// Splice repl[:nrepl] over ranges[lo:hi] in place.
+	switch d := nrepl - (hi - lo); {
+	case d < 0:
+		copy(s.ranges[lo:], repl[:nrepl])
+		n := copy(s.ranges[lo+nrepl:], s.ranges[hi:])
+		s.ranges = s.ranges[:lo+nrepl+n]
+	case d == 0:
+		copy(s.ranges[lo:], repl[:nrepl])
+	default: // d == +1: a mid-range split needs one extra slot
+		s.ranges = append(s.ranges, mem.Range{})
+		copy(s.ranges[hi+1:], s.ranges[hi:])
+		copy(s.ranges[lo:], repl[:nrepl])
+	}
+	s.hint = lo
+	return bytesRemoved, nrepl - (hi - lo)
 }
 
 // IntersectBytes returns how many bytes of r are tainted; useful for

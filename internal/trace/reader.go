@@ -25,6 +25,7 @@ type Reader struct {
 	br    *bufio.Reader
 	count uint64 // declared event count from the header
 	read  uint64 // events decoded so far
+	buf   []byte // NextBatch block-read scratch, grown once and reused
 }
 
 // NewReader wraps r, reading and validating the trace header. The stream
@@ -84,17 +85,95 @@ func (d *Reader) Skip(n uint64) error {
 	if n > d.Remaining() {
 		return fmt.Errorf("trace: skip %d events beyond remaining %d", n, d.Remaining())
 	}
-	if n == 0 {
-		return nil
-	}
-	if _, err := d.br.Discard(int(n) * eventWireSize); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	// Discard in bounded chunks: int(n)*eventWireSize would overflow int
+	// on 32-bit platforms for large n, and bufio.Discard takes an int.
+	const skipChunk = 1 << 16 // events per Discard call
+	target := d.read + n
+	for n > 0 {
+		c := n
+		if c > skipChunk {
+			c = skipChunk
 		}
-		return fmt.Errorf("trace: skipping to event %d: %w", d.read+n, err)
+		if _, err := d.br.Discard(int(c) * eventWireSize); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return fmt.Errorf("trace: skipping to event %d: %w", target, err)
+		}
+		d.read += c
+		n -= c
 	}
-	d.read += n
 	return nil
+}
+
+// maxDecodeBatch caps how many records one NextBatch call block-reads, so
+// the scratch buffer stays modest (1.6 MiB) and the byte math can never
+// overflow int even on 32-bit platforms.
+const maxDecodeBatch = 1 << 16
+
+// NextBatch decodes up to len(dst) events into dst with one block read and
+// a tight decode loop, returning how many were produced. It is Next
+// amortized: one io.ReadFull per batch instead of per record, with no
+// allocations after the first call grows the reader's scratch buffer.
+//
+// The error taxonomy matches Next exactly. A clean end of stream returns
+// (0, io.EOF) — never events alongside io.EOF. A truncated or corrupt
+// stream returns every event decoded before the failure point together
+// with the same error Next would have produced for the failing record, so
+// callers that feed n events and then inspect err behave identically to a
+// per-event Next loop.
+func (d *Reader) NextBatch(dst []cpu.Event) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if d.read >= d.count {
+		return 0, io.EOF
+	}
+	n := uint64(len(dst))
+	if n > maxDecodeBatch {
+		n = maxDecodeBatch
+	}
+	if rem := d.count - d.read; n > rem {
+		n = rem
+	}
+	need := int(n) * eventWireSize
+	if cap(d.buf) < need {
+		d.buf = make([]byte, need)
+	}
+	buf := d.buf[:need]
+	m, rerr := io.ReadFull(d.br, buf)
+	decoded := 0
+	for i := 0; i < m/eventWireSize; i++ {
+		rec := buf[i*eventWireSize : (i+1)*eventWireSize]
+		kind := cpu.EventKind(rec[0])
+		if kind > cpu.EvSinkCheck {
+			return decoded, fmt.Errorf("trace: event %d: unknown kind %d", d.read, kind)
+		}
+		start := binary.LittleEndian.Uint32(rec[13:])
+		end := binary.LittleEndian.Uint32(rec[17:])
+		if end < start {
+			return decoded, fmt.Errorf("trace: event %d: inverted range", d.read)
+		}
+		dst[decoded] = cpu.Event{
+			Kind:  kind,
+			PID:   binary.LittleEndian.Uint32(rec[1:]),
+			Seq:   binary.LittleEndian.Uint64(rec[5:]),
+			Range: mem.Range{Start: start, End: end},
+			Tag:   int(int32(binary.LittleEndian.Uint32(rec[21:]))),
+		}
+		decoded++
+		d.read++
+	}
+	if rerr != nil {
+		// The header declared more events, so running dry mid-batch —
+		// on a record boundary or inside a record — is a truncation;
+		// other source errors pass through as Next would surface them.
+		if rerr == io.EOF {
+			rerr = io.ErrUnexpectedEOF
+		}
+		return decoded, fmt.Errorf("trace: event %d: %w", d.read, rerr)
+	}
+	return decoded, nil
 }
 
 // Next decodes and returns the next event. It returns io.EOF once all
