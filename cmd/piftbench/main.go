@@ -17,11 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/core"
 	"repro/internal/droidbench"
 	"repro/internal/eval"
@@ -174,26 +174,11 @@ func main() {
 	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
 }
 
-// writeJSONAtomic writes the artifact to a temp file beside the target
-// and renames it into place, so an interrupted run can never leave a
-// truncated artifact for the CI perf gate to misread as a regression.
+// writeJSONAtomic writes the artifact atomically, so an interrupted run
+// can never leave a truncated artifact for the CI perf gate to misread as
+// a regression.
 func writeJSONAtomic(path string, bench *eval.PipelineBenchResult) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	err = bench.WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, path)
-	}
-	if err != nil {
-		os.Remove(tmp)
-	}
-	return err
+	return atomicfile.WriteFile(path, bench.WriteJSON)
 }
 
 func parseWorkers(s string) ([]int, error) {

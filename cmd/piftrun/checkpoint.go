@@ -8,11 +8,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"repro/internal/atomicfile"
 	"repro/internal/cpu"
 	"repro/internal/pipeline"
 )
@@ -42,26 +44,15 @@ func (c *checkpointer) Event(ev cpu.Event) {
 	}
 }
 
-// writeCheckpointFile writes ckpt-<offset>.pift via a temp file and
-// rename, so a crash mid-write never leaves a torn checkpoint as the
-// newest file in the directory.
+// writeCheckpointFile writes ckpt-<offset>.pift atomically, so a crash
+// mid-write never leaves a torn checkpoint as the newest file in the
+// directory.
 func writeCheckpointFile(p *pipeline.Pipeline, dir string, offset uint64) error {
-	f, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
+	path := filepath.Join(dir, fmt.Sprintf("ckpt-%016d.pift", offset))
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := p.WriteCheckpoint(w)
 		return err
-	}
-	tmp := f.Name()
-	_, err = p.WriteCheckpoint(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, filepath.Join(dir, fmt.Sprintf("ckpt-%016d.pift", offset)))
-	}
-	if err != nil {
-		os.Remove(tmp)
-	}
-	return err
+	})
 }
 
 // latestCheckpoint returns the newest checkpoint file in dir — offsets

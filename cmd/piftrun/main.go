@@ -7,6 +7,7 @@
 //	piftrun -list
 //	piftrun -app DirectImeiSms [-ni 13] [-nt 3] [-untaint=true] [-dift] [-workers N]
 //	        [-checkpoint-dir DIR [-checkpoint-every N] [-resume]] [-http :8080]
+//	piftrun -serve -http :8080 [-spill-dir DIR] [-spill-budget BYTES] [-max-streams N]
 //
 // -workers N routes the event stream through the sharded asynchronous
 // analysis pipeline (internal/pipeline) instead of the in-line tracker.
@@ -55,7 +56,20 @@ func main() {
 	dump := flag.Bool("dump", false, "print the app's bytecode listing before running")
 	modeName := flag.String("mode", "interp", "execution tier: interp, jit, or aot (§4.1)")
 	httpAddr := flag.String("http", "", "serve /metrics, /healthz, and /debug/pprof on this address (e.g. :8080); keeps the process alive after the run")
+	serve := flag.Bool("serve", false, "run as a long-lived multi-tenant taint service on -http instead of executing one app")
+	spillDir := flag.String("spill-dir", "", "serve: directory for dehydrated session snapshots (empty = fresh temp dir)")
+	spillBudget := flag.Int64("spill-budget", 64<<20, "serve: resident-bytes budget before cold sessions spill to disk")
+	maxStreams := flag.Int("max-streams", 64, "serve: maximum concurrent ingest streams")
 	flag.Parse()
+
+	if *serve {
+		cfg := core.Config{NI: *ni, NT: *nt, Untaint: *untaint}
+		if err := runServe(*httpAddr, *spillDir, *spillBudget, *maxStreams, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "piftrun: serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var mode dalvik.Mode
 	switch *modeName {

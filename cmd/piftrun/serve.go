@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// runServe turns piftrun into the long-lived multi-tenant taint service:
+// the analysis core behind an HTTP ingestion boundary, one logical
+// tracker session per tenant, sessions spilling to disk under the memory
+// budget. The data plane shares one listener with /metrics, /healthz and
+// /debug/pprof, so the process is scrapeable out of the box.
+func runServe(addr, spillDir string, budget int64, maxStreams int, cfg core.Config) error {
+	if addr == "" {
+		return errors.New("-serve requires -http ADDR")
+	}
+	if spillDir == "" {
+		d, err := os.MkdirTemp("", "pift-spill-*")
+		if err != nil {
+			return err
+		}
+		spillDir = d
+	}
+	reg := metrics.NewRegistry()
+	srv, err := server.New(server.Config{
+		Tracker:      cfg,
+		SpillDir:     spillDir,
+		MemoryBudget: budget,
+		MaxStreams:   maxStreams,
+		Registry:     reg,
+	})
+	if err != nil {
+		return err
+	}
+	mux := metrics.NewServeMux(reg)
+	srv.Register(mux)
+
+	hs := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	_, spilled := srv.SessionCount()
+	fmt.Printf("serving taint sessions on %s (tracker %v)\n", addr, cfg)
+	fmt.Printf("  spill dir %s (budget %d bytes, %d sessions recovered)\n", spillDir, budget, spilled)
+	fmt.Printf("  POST /v1/sessions/{id}/events to ingest; /metrics for series\n")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}

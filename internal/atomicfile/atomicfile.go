@@ -1,0 +1,39 @@
+// Package atomicfile is the one implementation of the write-temp-then-
+// rename idiom the repo's durable artifacts rely on: pipeline checkpoint
+// files, benchmark JSON baselines, and server session spill files. The
+// invariant every caller buys is crash atomicity — at any instant the
+// target path either holds the complete previous contents or the complete
+// new contents, never a torn prefix — because the temp file lives in the
+// target's directory (same filesystem, so os.Rename is atomic) and is
+// renamed into place only after the producer finished without error.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes the target path atomically: write streams the contents
+// into a temp file beside path, and only a fully successful write (and
+// close) is renamed over path. On any error the temp file is removed and
+// the previous contents of path are untouched.
+func WriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+	}
+	return err
+}

@@ -1,0 +1,124 @@
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "v1" {
+		t.Fatalf("contents = %q, want v1", got)
+	}
+	// Overwrite replaces the whole file, not appends.
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "version-two")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "version-two" {
+		t.Fatalf("contents = %q, want version-two", got)
+	}
+}
+
+// TestCrashSafety is the helper's reason to exist: a producer that dies
+// mid-write (simulated by an error return after a partial write) must
+// leave the previous contents intact and no temp litter behind — the
+// "newest file in the directory is always a complete artifact" property
+// the checkpoint scanner and spill hydrator both depend on.
+func TestCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.pift")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good checkpoint")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("simulated crash mid-write")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "torn par"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer's crash error", err)
+	}
+	if got := readFile(t, path); got != "good checkpoint" {
+		t.Fatalf("crashed write damaged the target: %q", got)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want only the target", len(entries))
+	}
+}
+
+// TestConcurrentWriters: racing writers must each leave a complete value —
+// the final file is one of the candidates, never an interleaving.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shared")
+	var wg sync.WaitGroup
+	const writers = 16
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := fmt.Sprintf("writer-%02d|%s", i, strings.Repeat("x", 4096))
+			if err := WriteFile(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, payload)
+				return err
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	got := readFile(t, path)
+	if !strings.HasPrefix(got, "writer-") || len(got) != len("writer-00|")+4096 {
+		t.Fatalf("final contents are not one complete write (len %d)", len(got))
+	}
+}
+
+func TestMissingDirectory(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "f"), func(io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnFaults schedules the connection-level faults of one wrapped
+// net.Conn — the serving layer's trust boundary, where a phone on a bad
+// radio link tears uploads mid-record, dribbles them out a few bytes per
+// packet, or simply goes quiet. Offsets count bytes written through the
+// connection (headers included); negative offsets disable a fault.
+type ConnFaults struct {
+	// CutAt tears the connection: once this many bytes have been
+	// written, the underlying conn is closed and the write fails — a
+	// client vanishing mid-stream. The peer sees an abrupt EOF/reset.
+	CutAt int64
+	// MaxChunk caps how many bytes any single Write pushes, drawn
+	// uniformly from [1, MaxChunk] per chunk — the slow-loris body that
+	// arrives a handful of bytes at a time. 0 leaves writes alone.
+	MaxChunk int
+	// ChunkDelay sleeps this long before each chunk — the pacing half
+	// of slow-loris. Only meaningful with MaxChunk > 0.
+	ChunkDelay time.Duration
+}
+
+// NoConnFaults is the identity schedule: all faults disabled.
+func NoConnFaults() ConnFaults { return ConnFaults{CutAt: -1} }
+
+// Cut connection errors are distinguishable in fault reports but look
+// like any abrupt disconnect to the peer, which is the point.
+var errCut = fmt.Errorf("chaos: connection cut")
+
+// Fork derives an independent injector from this one's stream. Each
+// forked schedule is still a pure function of the root seed, but forks
+// own their generators, so concurrent connections stay deterministic
+// per-connection and race-free across connections.
+func (in *Injector) Fork() *Injector { return New(in.rng.Int63()) }
+
+// Conn wraps c with the fault schedule. Chunk sizes come from the
+// injector's seeded generator; use one injector (or Fork) per connection.
+func (in *Injector) Conn(c net.Conn, f ConnFaults) net.Conn {
+	return &faultConn{Conn: c, in: in, f: f}
+}
+
+// Dialer returns a DialContext function (drop-in for
+// http.Transport.DialContext) whose every connection carries the fault
+// schedule. Each connection gets a forked injector, so concurrent dials
+// are race-free and the k-th connection's schedule depends only on the
+// root seed and k.
+func (in *Injector) Dialer(f ConnFaults) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	var d net.Dialer
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		fork := in.Fork()
+		mu.Unlock()
+		return fork.Conn(c, f), nil
+	}
+}
+
+type faultConn struct {
+	net.Conn
+	in      *Injector
+	f       ConnFaults
+	written int64
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if fc.f.CutAt >= 0 && fc.written >= fc.f.CutAt {
+			fc.Conn.Close()
+			return total, errCut
+		}
+		limit := len(p)
+		if fc.f.MaxChunk > 0 {
+			max := fc.f.MaxChunk
+			if max > limit {
+				max = limit
+			}
+			limit = 1 + int(fc.in.Between(0, int64(max)))
+		}
+		// Land the cut exactly on its scheduled byte.
+		if fc.f.CutAt >= 0 && fc.written+int64(limit) > fc.f.CutAt {
+			limit = int(fc.f.CutAt - fc.written)
+			if limit == 0 {
+				continue // next iteration trips the cut
+			}
+		}
+		if fc.f.ChunkDelay > 0 {
+			time.Sleep(fc.f.ChunkDelay)
+		}
+		n, err := fc.Conn.Write(p[:limit])
+		total += n
+		fc.written += int64(n)
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
+}

@@ -132,6 +132,12 @@ func (t *Tracker) Stats() Stats { return t.stats }
 // Verdicts returns all sink verdicts recorded so far, in order.
 func (t *Tracker) Verdicts() []SinkVerdict { return t.verdicts }
 
+// WindowCount returns the number of per-process tainting windows the
+// tracker currently holds — one per PID that has ever produced a tainted
+// load. Session managers use it (with RangeCount and the verdict count) to
+// estimate a tracker's resident footprint for memory-budget accounting.
+func (t *Tracker) WindowCount() int { return len(t.windows) }
+
 // TaintedBytes returns the current total tainted bytes (Figure 15 samples
 // this while pumping a trace).
 func (t *Tracker) TaintedBytes() uint64 { return t.store.TaintedBytes() }

@@ -36,20 +36,25 @@ func formatFloat(v float64) string {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format, entries sorted by name.
+// format, entries sorted by (family, labels). Labeled samples of one
+// family share a single HELP/TYPE header, per the format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, e := range r.sorted() {
-		bw.WriteString("# HELP ")
-		bw.WriteString(e.name)
-		bw.WriteByte(' ')
-		bw.WriteString(escapeHelp(e.help))
-		bw.WriteByte('\n')
-		bw.WriteString("# TYPE ")
-		bw.WriteString(e.name)
-		bw.WriteByte(' ')
-		bw.WriteString(kindSuffix(e.kind))
-		bw.WriteByte('\n')
+	prevFamily := ""
+	for i, e := range r.sorted() {
+		if i == 0 || e.family != prevFamily {
+			prevFamily = e.family
+			bw.WriteString("# HELP ")
+			bw.WriteString(e.family)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(e.help))
+			bw.WriteByte('\n')
+			bw.WriteString("# TYPE ")
+			bw.WriteString(e.family)
+			bw.WriteByte(' ')
+			bw.WriteString(kindSuffix(e.kind))
+			bw.WriteByte('\n')
+		}
 		switch e.kind {
 		case kindCounter:
 			bw.WriteString(e.name)

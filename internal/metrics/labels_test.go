@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestVecIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	v1 := r.CounterVec("pift_server_bytes", "bytes ingested", "tenant")
+	v2 := r.CounterVec("pift_server_bytes", "bytes ingested", "tenant")
+	c1 := v1.With("t1")
+	c2 := v2.With("t1")
+	if c1 != c2 {
+		t.Fatal("two vecs over one registry handed out different counters for the same label")
+	}
+	c1.Add(5)
+	if c2.Value() != 5 {
+		t.Fatalf("shared counter reads %d, want 5", c2.Value())
+	}
+	if v1.With("t2") == c1 {
+		t.Fatal("distinct label values share a counter")
+	}
+
+	g1 := r.GaugeVec("pift_server_state", "session state", "tenant").With("t1")
+	g2 := r.GaugeVec("pift_server_state", "session state", "tenant").With("t1")
+	if g1 != g2 {
+		t.Fatal("gauge vec registration is not idempotent")
+	}
+}
+
+func TestVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("pift_bytes_total", "bytes per tenant", "tenant")
+	v.With("alpha").Add(10)
+	v.With("beta").Add(20)
+	r.GaugeVec("pift_live", "live flag", "tenant").With(`we"ird\val`).Set(1)
+	r.Counter("pift_plain", "unlabeled neighbour").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkPrometheus(t, out)
+
+	for _, want := range []string{
+		"# TYPE pift_bytes_total counter",
+		`pift_bytes_total{tenant="alpha"} 10`,
+		`pift_bytes_total{tenant="beta"} 20`,
+		`pift_live{tenant="we\"ird\\val"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, not per sample.
+	if n := strings.Count(out, "# TYPE pift_bytes_total counter"); n != 1 {
+		t.Fatalf("family header appears %d times, want 1\n%s", n, out)
+	}
+	// Samples of one family are adjacent and sorted by label value.
+	if strings.Index(out, `tenant="alpha"`) > strings.Index(out, `tenant="beta"`) {
+		t.Fatalf("family samples not sorted:\n%s", out)
+	}
+
+	// JSON snapshot carries the fully qualified sample names.
+	snap := r.Snapshot()
+	if snap.Counters[`pift_bytes_total{tenant="alpha"}`] != 10 {
+		t.Fatalf("snapshot missing labeled sample: %v", snap.Counters)
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var cv *CounterVec
+	var gv *GaugeVec
+	cv.With("x").Inc() // must not panic
+	gv.With("x").Set(3)
+	if cv.With("x").Value() != 0 || gv.With("x").Value() != 0 {
+		t.Fatal("nil vec returned live metrics")
+	}
+}
+
+// TestVecHotPathAllocationFree pins the serving-path budget: after a label
+// value's first use, With is lookup-only and the returned counter's
+// mutations are plain atomics — zero allocations for both.
+func TestVecHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hot", "hot path", "tenant")
+	v.With("t9").Inc() // first use allocates the entry; not measured
+	if allocs := testing.AllocsPerRun(1000, func() {
+		v.With("t9").Add(1)
+	}); allocs != 0 {
+		t.Fatalf("warm With+Add allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestVecConcurrentFirstUse(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("racefam", "raced", "tenant")
+	var wg sync.WaitGroup
+	const goroutines = 32
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.With("same").Inc()
+		}()
+	}
+	wg.Wait()
+	if got := v.With("same").Value(); got != goroutines {
+		t.Fatalf("racing first-use lost increments: %d, want %d", got, goroutines)
+	}
+}

@@ -188,12 +188,14 @@ const (
 )
 
 type entry struct {
-	name string
-	help string
-	kind metricKind
-	c    *Counter
-	g    *Gauge
-	h    *Histogram
+	name   string // unique registry key; for labeled samples family+labels
+	family string // metric name shared by every sample of one family
+	labels string // rendered `{key="value"}` suffix, "" for plain metrics
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
 }
 
 // Registry holds named metrics. Registration takes a lock; the returned
@@ -258,7 +260,7 @@ func (r *Registry) register(name, help string, kind metricKind) *entry {
 			return e2
 		}
 	}
-	e = &entry{name: name, help: help, kind: kind}
+	e = &entry{name: name, family: name, help: help, kind: kind}
 	switch kind {
 	case kindCounter:
 		e.c = &Counter{}
@@ -307,8 +309,10 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return e.h
 }
 
-// sorted returns the entries in name order — the deterministic exposition
-// order both encoders share.
+// sorted returns the entries in (family, labels) order — the deterministic
+// exposition order both encoders share. Sorting by family first keeps every
+// sample of a labeled family adjacent, so the Prometheus encoder can emit
+// one HELP/TYPE header per family, as the format requires.
 func (r *Registry) sorted() []*entry {
 	r.mu.RLock()
 	es := make([]*entry, 0, len(r.entries))
@@ -316,7 +320,12 @@ func (r *Registry) sorted() []*entry {
 		es = append(es, e)
 	}
 	r.mu.RUnlock()
-	sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].family != es[j].family {
+			return es[i].family < es[j].family
+		}
+		return es[i].labels < es[j].labels
+	})
 	return es
 }
 

@@ -122,7 +122,7 @@ func TestKindConflictDisambiguates(t *testing.T) {
 }
 
 var promLine = regexp.MustCompile(
-	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"]+"\})? (\+Inf|-Inf|NaN|-?[0-9].*))$`)
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_:][a-zA-Z0-9_:]*="(\\.|[^"\\])*"\})? (\+Inf|-Inf|NaN|-?[0-9].*))$`)
 
 // checkPrometheus asserts every line of a text exposition is well-formed.
 func checkPrometheus(t *testing.T, out string) {

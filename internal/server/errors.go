@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/trace"
+)
+
+// IngestError is the typed verdict on a failed ingest stream: a stable
+// machine-readable code, the HTTP status it maps to, and the underlying
+// cause. The taxonomy mirrors trace.Reader's sentinels so a client can
+// distinguish "my upload was cut — resend from the acknowledged offset"
+// from "my bytes are garbage — do not retry them".
+type IngestError struct {
+	Status int    // HTTP status code
+	Code   string // stable machine-readable class
+	Err    error  // underlying cause
+}
+
+func (e *IngestError) Error() string {
+	if e.Err == nil {
+		return e.Code
+	}
+	return e.Code + ": " + e.Err.Error()
+}
+
+func (e *IngestError) Unwrap() error { return e.Err }
+
+// classifyIngest maps a trace-decode or body-read failure onto the HTTP
+// taxonomy. Every class is a client-side condition: a disconnect
+// mid-record, a truncated body, or corrupt bytes are never the server's
+// fault, so nothing here maps to a 5xx — the historical failure mode this
+// exists to prevent is io.ErrUnexpectedEOF leaking out of trace.Reader
+// and turning a dropped phone connection into a 500.
+func classifyIngest(err error) *IngestError {
+	switch {
+	case errors.Is(err, trace.ErrBadMagic):
+		// Not a PIFTTRC1 stream at all: reject the request wholesale.
+		return &IngestError{Status: http.StatusBadRequest, Code: "not-a-trace", Err: err}
+	case errors.Is(err, trace.ErrTooLarge):
+		// The header promises more events than the sanity cap allows.
+		return &IngestError{Status: http.StatusRequestEntityTooLarge, Code: "too-large", Err: err}
+	case errors.Is(err, trace.ErrCorrupt):
+		// Intact-length but semantically impossible bytes: retrying the
+		// same payload cannot succeed.
+		return &IngestError{Status: http.StatusUnprocessableEntity, Code: "corrupt-record", Err: err}
+	case errors.Is(err, trace.ErrTruncated), errors.Is(err, io.ErrUnexpectedEOF):
+		// The stream ended before its declared count — a cut upload or a
+		// client disconnect mid-record. Everything decoded before the cut
+		// is committed and acknowledged; the client resumes from the ack.
+		return &IngestError{Status: http.StatusBadRequest, Code: "truncated", Err: err}
+	default:
+		// Any other body-read failure (connection reset, request canceled)
+		// is the client vanishing mid-stream: same contract as truncation.
+		return &IngestError{Status: http.StatusBadRequest, Code: "disconnected", Err: err}
+	}
+}

@@ -1,0 +1,191 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/server"
+)
+
+// soakSessions is the target scale of the acceptance soak: ten thousand
+// logical tracker sessions multiplexed over one server process, with a
+// memory budget small enough that most of them must live on disk.
+const soakSessions = 10_000
+
+// TestSoak10kSessions is the headline scale proof. It drives
+// soakSessions distinct tenants through the service — each streaming a
+// DroidBench-derived trace in two resumable chunks — under a budget that
+// holds only a sliver of them in memory, then verifies all three
+// acceptance properties:
+//
+//  1. scale: all sessions remain addressable and queryable;
+//  2. pressure: the budget forced at least half of them to dehydrate;
+//  3. fidelity: every tenant's verdicts are identical to a one-shot
+//     inline replay of its stream — dehydrate/rehydrate cycles and
+//     chunked resumable ingest included.
+func TestSoak10kSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped with -short")
+	}
+	h := sharedHarness(t)
+	s := newTestService(t, func(c *server.Config) {
+		c.MemoryBudget = 256 << 10 // a few dozen live trackers at most
+		c.MaxStreams = 64
+	})
+
+	const workers = 32
+	run := func(stage string, fn func(i int) error) {
+		t.Helper()
+		var wg sync.WaitGroup
+		errs := make(chan error, 1)
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					if err := fn(i); err != nil {
+						select {
+						case errs <- fmt.Errorf("%s: tenant %d: %w", stage, i, err):
+						default:
+						}
+						return
+					}
+				}
+			}()
+		}
+		for i := 0; i < soakSessions; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	// Two passes: chunk 1 for every tenant, then chunk 2. By the time a
+	// tenant's second chunk arrives its session has long been evicted, so
+	// (nearly) every session proves the dehydrate→rehydrate→resume path.
+	start := time.Now()
+	run("ingest chunk 1", func(i int) error { return soakIngest(s, h, i, 0) })
+	run("ingest chunk 2", func(i int) error { return soakIngest(s, h, i, 1) })
+	t.Logf("soak: ingested %d sessions in %v", soakSessions, time.Since(start).Round(time.Millisecond))
+
+	live, spilled := s.srv.SessionCount()
+	if live+spilled != soakSessions {
+		t.Fatalf("sessions: live %d + spilled %d != %d", live, spilled, soakSessions)
+	}
+	if spilled < soakSessions/2 {
+		t.Fatalf("budget too lax: only %d of %d sessions dehydrated (need >= 50%%)", spilled, soakSessions)
+	}
+	snap := s.reg.Snapshot().Counters
+	if snap["pift_server_hydrates_total"] == 0 {
+		t.Fatal("no session was ever rehydrated")
+	}
+	t.Logf("soak: %d live, %d spilled; %d dehydrates, %d hydrates",
+		live, spilled, snap["pift_server_dehydrates_total"], snap["pift_server_hydrates_total"])
+
+	// Fidelity sweep: one verdict query per tenant, most served from
+	// spilled snapshots via the peek path.
+	run("verify", func(i int) error {
+		events, err := h.TenantEvents(i)
+		if err != nil {
+			return err
+		}
+		got, err := soakVerdicts(s, eval.TenantID(i))
+		if err != nil {
+			return err
+		}
+		if !eval.VerdictsEqual(got, eval.OneShotVerdicts(events, testCfg)) {
+			return fmt.Errorf("verdicts diverge from one-shot replay")
+		}
+		return nil
+	})
+}
+
+// soakIngest streams one of tenant i's two resumable chunks, retrying
+// through 429 backpressure, and confirms the acknowledged offset.
+func soakIngest(s *testService, h *eval.Harness, i, chunk int) error {
+	events, err := h.TenantEvents(i)
+	if err != nil {
+		return err
+	}
+	id := eval.TenantID(i)
+	half := len(events) / 2
+	c := [2]int{0, half}
+	if chunk == 1 {
+		c = [2]int{half, len(events)}
+	}
+	{
+		if c[0] >= c[1] {
+			return nil
+		}
+		body := eval.EncodeTrace(events[c[0]:c[1]])
+		for attempt := 0; ; attempt++ {
+			req, err := http.NewRequest(http.MethodPost, s.base(id)+"/events", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("PIFT-Offset", strconv.Itoa(c[0]))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			var ir server.IngestResponse
+			derr := json.NewDecoder(resp.Body).Decode(&ir)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if attempt > 2000 {
+					return fmt.Errorf("still 429 after %d attempts", attempt)
+				}
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if derr != nil || resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("POST: status %d err %v (%s %s)", resp.StatusCode, derr, ir.Error, ir.Detail)
+			}
+			if ir.Acked != uint64(c[1]) {
+				return fmt.Errorf("acked %d, want %d", ir.Acked, c[1])
+			}
+			break
+		}
+	}
+	return nil
+}
+
+func soakVerdicts(s *testService, id string) ([]core.SinkVerdict, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Get(s.base(id) + "/verdicts")
+		if err != nil {
+			return nil, err
+		}
+		var vr server.VerdictsResponse
+		derr := json.NewDecoder(resp.Body).Decode(&vr)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if attempt > 2000 {
+				return nil, fmt.Errorf("still 429 after %d attempts", attempt)
+			}
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET verdicts: status %d err %v", resp.StatusCode, derr)
+		}
+		out := make([]core.SinkVerdict, len(vr.Verdicts))
+		for i, v := range vr.Verdicts {
+			out[i] = core.SinkVerdict{Tag: v.Tag, PID: v.PID, Seq: v.Seq, Tainted: v.Tainted}
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,30 @@
+package trace
+
+import "errors"
+
+// Decode-failure taxonomy. Every error Reader (and therefore ReadFrom,
+// NextBatch, and Skip) returns for a damaged stream wraps exactly one of
+// these sentinels, so consumers can classify a failure with errors.Is
+// instead of string matching — the HTTP ingestion layer maps each class
+// to a distinct status code, and retry logic can distinguish "the client
+// stopped sending" from "the bytes are garbage".
+//
+//	ErrTruncated  the stream ended before the header's declared event
+//	              count was satisfied — a cut spool file, a dropped
+//	              connection mid-record, or a body shorter than promised.
+//	              Truncation errors also wrap io.ErrUnexpectedEOF, so the
+//	              pre-existing errors.Is(err, io.ErrUnexpectedEOF) checks
+//	              keep working unchanged.
+//	ErrCorrupt    a record decoded but is semantically impossible: an
+//	              unknown event kind or an inverted range. The bytes
+//	              arrived intact-length but cannot be trusted.
+//	ErrBadMagic   the stream does not start with the trace magic — it is
+//	              not a PIFTTRC1 trace at all.
+//	ErrTooLarge   the header's declared event count fails the sanity cap;
+//	              honoring it would provoke a giant allocation.
+var (
+	ErrTruncated = errors.New("truncated stream")
+	ErrCorrupt   = errors.New("corrupt record")
+	ErrBadMagic  = errors.New("not a trace stream")
+	ErrTooLarge  = errors.New("implausible event count")
+)

@@ -3,12 +3,28 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/cpu"
 	"repro/internal/mem"
 )
+
+// truncated lifts an end-of-source error into the ErrTruncated class.
+// A bare io.EOF from the source is promoted to io.ErrUnexpectedEOF first
+// (the header promised more bytes), and any unexpected-EOF-shaped error is
+// additionally wrapped with ErrTruncated so callers can classify it; other
+// source errors (a network reset, an injected fault) pass through intact.
+func truncated(err error) error {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %w", ErrTruncated, err)
+	}
+	return err
+}
 
 // Reader streams events out of a serialized trace one at a time, so
 // multi-gigabyte traces can feed an analysis pipeline without ever
@@ -38,27 +54,21 @@ func NewReader(r io.Reader) (*Reader, error) {
 		// There is no such thing as a valid empty trace: even zero events
 		// serialize to a 16-byte header, so running dry here — including on
 		// a zero-byte stream — is a truncation, not a clean end.
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: reading magic: %w", truncated(err))
 	}
 	if magic != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+		return nil, fmt.Errorf("trace: %w: bad magic %q", ErrBadMagic, magic[:])
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		// The magic was present, so a missing count is a truncated
 		// header, not a clean end of anything.
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, fmt.Errorf("trace: reading count: %w", truncated(err))
 	}
 	count := binary.LittleEndian.Uint64(hdr[:])
 	const sanityCap = 1 << 31
 	if count > sanityCap {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
+		return nil, fmt.Errorf("trace: %w: %d", ErrTooLarge, count)
 	}
 	return &Reader{br: br, count: count}, nil
 }
@@ -95,10 +105,7 @@ func (d *Reader) Skip(n uint64) error {
 			c = skipChunk
 		}
 		if _, err := d.br.Discard(int(c) * eventWireSize); err != nil {
-			if err == io.EOF {
-				err = io.ErrUnexpectedEOF
-			}
-			return fmt.Errorf("trace: skipping to event %d: %w", target, err)
+			return fmt.Errorf("trace: skipping to event %d: %w", target, truncated(err))
 		}
 		d.read += c
 		n -= c
@@ -147,12 +154,12 @@ func (d *Reader) NextBatch(dst []cpu.Event) (int, error) {
 		rec := buf[i*eventWireSize : (i+1)*eventWireSize]
 		kind := cpu.EventKind(rec[0])
 		if kind > cpu.EvSinkCheck {
-			return decoded, fmt.Errorf("trace: event %d: unknown kind %d", d.read, kind)
+			return decoded, fmt.Errorf("trace: event %d: %w: unknown kind %d", d.read, ErrCorrupt, kind)
 		}
 		start := binary.LittleEndian.Uint32(rec[13:])
 		end := binary.LittleEndian.Uint32(rec[17:])
 		if end < start {
-			return decoded, fmt.Errorf("trace: event %d: inverted range", d.read)
+			return decoded, fmt.Errorf("trace: event %d: %w: inverted range", d.read, ErrCorrupt)
 		}
 		dst[decoded] = cpu.Event{
 			Kind:  kind,
@@ -168,10 +175,7 @@ func (d *Reader) NextBatch(dst []cpu.Event) (int, error) {
 		// The header declared more events, so running dry mid-batch —
 		// on a record boundary or inside a record — is a truncation;
 		// other source errors pass through as Next would surface them.
-		if rerr == io.EOF {
-			rerr = io.ErrUnexpectedEOF
-		}
-		return decoded, fmt.Errorf("trace: event %d: %w", d.read, rerr)
+		return decoded, fmt.Errorf("trace: event %d: %w", d.read, truncated(rerr))
 	}
 	return decoded, nil
 }
@@ -188,19 +192,16 @@ func (d *Reader) Next() (cpu.Event, error) {
 		// The header declared more events, so running dry here — whether
 		// on a record boundary (ReadFull's io.EOF) or inside a record
 		// (its io.ErrUnexpectedEOF) — is a truncated trace.
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return cpu.Event{}, fmt.Errorf("trace: event %d: %w", d.read, err)
+		return cpu.Event{}, fmt.Errorf("trace: event %d: %w", d.read, truncated(err))
 	}
 	kind := cpu.EventKind(rec[0])
 	if kind > cpu.EvSinkCheck {
-		return cpu.Event{}, fmt.Errorf("trace: event %d: unknown kind %d", d.read, kind)
+		return cpu.Event{}, fmt.Errorf("trace: event %d: %w: unknown kind %d", d.read, ErrCorrupt, kind)
 	}
 	start := binary.LittleEndian.Uint32(rec[13:])
 	end := binary.LittleEndian.Uint32(rec[17:])
 	if end < start {
-		return cpu.Event{}, fmt.Errorf("trace: event %d: inverted range", d.read)
+		return cpu.Event{}, fmt.Errorf("trace: event %d: %w: inverted range", d.read, ErrCorrupt)
 	}
 	d.read++
 	return cpu.Event{
