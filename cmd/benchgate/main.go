@@ -8,11 +8,17 @@
 // Usage:
 //
 //	benchgate -baseline BENCH_pipeline.json -current BENCH_current.json \
-//	    [-threshold 0.25] [-max-allocs-per-event 0.01] [-summary out.md]
+//	    [-threshold 0.25] [-max-allocs-per-event 0.01] [-summary out.md] \
+//	    [-min-scaling 1.5] [-min-scaling-workers 4]
 //
 // The gate only fails on regressions — a faster candidate passes — and a
 // worker count present in the baseline but missing from the candidate is
 // a failure, since the gate cannot certify what it did not measure.
+// -min-scaling additionally enforces an absolute floor on the
+// candidate's shard-owned synthetic speedup at -min-scaling-workers
+// workers; it is skipped (with a notice) when the measuring machine's
+// recorded NumCPU is below that worker count, because a machine without
+// the cores physically cannot exhibit the speedup being gated.
 // -summary appends a benchstat-style old/new markdown table to the given
 // file (CI passes $GITHUB_STEP_SUMMARY) in addition to the stdout report.
 package main
@@ -32,6 +38,8 @@ func main() {
 	current := flag.String("current", "BENCH_current.json", "freshly measured artifact")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated events/sec regression (fraction)")
 	maxAllocs := flag.Float64("max-allocs-per-event", 0.01, "maximum steady-state allocs per event in the candidate (the slack covers a GC emptying the batch sync.Pool mid-measurement; negative disables)")
+	minScaling := flag.Float64("min-scaling", -1, "minimum shard-owned synthetic speedup at -min-scaling-workers workers (negative disables; skipped when the candidate's NumCPU is below the worker count)")
+	minScalingWorkers := flag.Int("min-scaling-workers", 4, "worker count the -min-scaling floor applies to")
 	summary := flag.String("summary", "", "append a markdown old/new table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if *threshold < 0 || *threshold >= 1 {
@@ -91,6 +99,40 @@ func main() {
 	}
 	fmt.Fprintf(&md, "\nsteady-state allocs/event: **%.4f** (budget %.4f) — %s\n",
 		cur.AllocsPerEvent, *maxAllocs, allocStatus)
+
+	if *minScaling >= 0 {
+		var row *eval.PipelineScalingRow
+		for i := range cur.Synthetic {
+			if cur.Synthetic[i].Workers == *minScalingWorkers {
+				row = &cur.Synthetic[i]
+				break
+			}
+		}
+		switch {
+		case row == nil:
+			fmt.Printf("FAIL scaling: candidate has no synthetic scaling row at %d workers — the gate cannot certify what it did not measure\n",
+				*minScalingWorkers)
+			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: **unmeasured** (floor %.2fx) — FAIL\n",
+				*minScalingWorkers, *minScaling)
+			failed = true
+		case cur.NumCPU < *minScalingWorkers:
+			fmt.Printf("skip scaling: candidate measured on %d CPUs, cannot exhibit a %d-worker speedup; floor %.2fx not enforced\n",
+				cur.NumCPU, *minScalingWorkers, *minScaling)
+			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: %.2fx on %d CPUs — floor %.2fx skipped\n",
+				*minScalingWorkers, row.Speedup, cur.NumCPU, *minScaling)
+		case row.Speedup < *minScaling:
+			fmt.Printf("FAIL scaling: shard-owned speedup %.2fx at %d workers, floor %.2fx (NumCPU %d)\n",
+				row.Speedup, *minScalingWorkers, *minScaling, cur.NumCPU)
+			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — FAIL\n",
+				*minScalingWorkers, row.Speedup, *minScaling)
+			failed = true
+		default:
+			fmt.Printf("ok   scaling: shard-owned speedup %.2fx at %d workers (floor %.2fx, NumCPU %d)\n",
+				row.Speedup, *minScalingWorkers, *minScaling, cur.NumCPU)
+			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — ok\n",
+				*minScalingWorkers, row.Speedup, *minScaling)
+		}
+	}
 
 	if *summary != "" {
 		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)

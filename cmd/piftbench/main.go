@@ -5,12 +5,13 @@
 //
 //	piftbench [-exp all|fig2|table1|fig10|fig11|headline|fig12|fig13|
 //	           fig14|fig15|fig16|fig17|fig18|pipeline] [-scale N]
-//	          [-workers 1,2,4,8]
+//	          [-workers 1,2,4,8] [-events 2097152]
 //
 // -scale sizes the LGRoot workload that drives the trace-statistics and
 // overhead experiments (default 25; larger = longer trace, smoother
 // distributions). -workers selects the worker counts the pipeline
-// experiment sweeps.
+// experiment sweeps, and -events the size of the synthetic corpus its
+// shard-owned scaling sweep drains (0 disables that sweep).
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline)")
 	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp pipeline")
+	events := flag.Int("events", 1<<21, "synthetic corpus size (events) for -exp pipeline's shard-owned scaling sweep; 0 disables")
 	jsonOut := flag.String("json", "BENCH_pipeline.json", "path for the pipeline experiment's JSON artifact (tables + metrics snapshot); empty disables")
 	flag.Parse()
 
@@ -151,10 +153,16 @@ func main() {
 		counts, err := parseWorkers(*workers)
 		fatal(err)
 		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
-		bench, err := eval.PipelineBench(h, cfg, counts, 64, 3)
+		bench, err := eval.PipelineBench(h, cfg, counts, 64, 3, *events)
 		fatal(err)
 		fmt.Println(eval.RenderPipelineParity(bench.Parity, cfg))
 		fmt.Println(eval.RenderPipelineScaling(bench.Scaling))
+		if len(bench.Synthetic) > 0 {
+			fmt.Println(eval.RenderScalingTable(
+				fmt.Sprintf("Shard-owned ingest scaling (synthetic corpus, %d events, NumCPU=%d)",
+					bench.SyntheticEvents, bench.NumCPU),
+				bench.Synthetic))
+		}
 		if *jsonOut != "" {
 			fatal(writeJSONAtomic(*jsonOut, bench))
 			fmt.Printf("(pipeline artifact written to %s)\n", *jsonOut)

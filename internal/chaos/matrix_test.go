@@ -5,6 +5,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -17,7 +18,9 @@ import (
 
 // The chaos CI matrix runs one (seed, mode) cell per job via these flags;
 // with neither flag set, TestChaosMatrix runs the full matrix as
-// subtests.
+// subtests. Every cell attacks both ingest paths: the push path (one
+// dispatcher goroutine behind a faulted sequential reader) and the
+// shard-owned path (per-segment readers over a faulted ReaderAt).
 var (
 	flagSeed = flag.Int64("chaos.seed", 0, "run only this seed of the chaos matrix (0 = all)")
 	flagMode = flag.String("chaos.mode", "", "run only this fault mode: torn-read, corrupt-record, worker-panic ('' = all)")
@@ -72,9 +75,9 @@ func cleanRun(t *testing.T, raw []byte) pipeline.Result {
 // TestChaosMatrix is the resumed-equals-clean acceptance proof. Each cell
 // derives a fault schedule from its seed, runs the workload with periodic
 // checkpoints until the fault kills the run, then restores the last good
-// checkpoint, skips a fresh reader to its offset, and drains the
-// remainder with no faults. The resumed result must be byte-identical to
-// an uninterrupted run — for every seed and every fault mode.
+// checkpoint and drains the remainder with no faults. The resumed result
+// must be byte-identical to an uninterrupted run — for every seed, every
+// fault mode, and both ingest paths.
 func TestChaosMatrix(t *testing.T) {
 	raw, err := matrixWorkload()
 	if err != nil {
@@ -100,13 +103,21 @@ func TestChaosMatrix(t *testing.T) {
 		for _, seed := range seeds {
 			mode, seed := mode, seed
 			t.Run(fmt.Sprintf("%s/seed%d", mode, seed), func(t *testing.T) {
-				runChaosCell(t, raw, want, mode, seed)
+				for _, path := range []string{"push", "shard-owned"} {
+					path := path
+					t.Run(path, func(t *testing.T) {
+						runChaosCell(t, raw, want, mode, seed, path)
+					})
+				}
 			})
 		}
 	}
 }
 
-func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64) {
+func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64, path string) {
+	// A fresh injector per path: the schedule derivation below draws in a
+	// fixed order, so both paths of a cell attack the same logical
+	// positions — same torn byte, same corrupt record, same panic event.
 	in := chaos.New(seed)
 
 	// The faulted run: checkpoint every checkpointEvery events, keep the
@@ -127,34 +138,20 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 		},
 	}
 
-	stream := bytes.NewReader(raw)
-	var faultSrc pipeline.EventSource
+	rf := chaos.NoReaderFaults()
 	switch mode {
 	case "torn-read":
-		f := chaos.NoReaderFaults()
-		// Tear anywhere past the header so the Reader constructs, and
-		// slice reads short so record boundaries never align with read
-		// boundaries.
-		f.TornAt = in.Between(trace.HeaderSize+1, int64(len(raw)))
-		f.MaxRead = 4096
-		r, err := trace.NewReader(in.Reader(stream, f))
-		if err != nil {
-			t.Fatal(err)
-		}
-		faultSrc = r
+		// Tear anywhere past the header so the Reader constructs; on the
+		// push path, also slice reads short so record boundaries never
+		// align with read boundaries.
+		rf.TornAt = in.Between(trace.HeaderSize+1, int64(len(raw)))
+		rf.MaxRead = 4096
 	case "corrupt-record":
 		nEvents := int64(len(raw)-trace.HeaderSize) / trace.EventSize
-		k := in.Between(0, nEvents)
-		f := chaos.NoReaderFaults()
-		// Flip the high bit of record k's kind byte: always an invalid
+		// Flip the high bit of a record's kind byte: always an invalid
 		// kind, so the corruption is always detected, never silently
 		// analyzed.
-		f.CorruptAt = trace.HeaderSize + k*trace.EventSize
-		r, err := trace.NewReader(in.Reader(stream, f))
-		if err != nil {
-			t.Fatal(err)
-		}
-		faultSrc = r
+		rf.CorruptAt = trace.HeaderSize + in.Between(0, nEvents)*trace.EventSize
 	case "worker-panic":
 		wf := chaos.NoWorkerFaults()
 		wf.PanicWorker = int(in.Between(0, matrixWorkers))
@@ -162,24 +159,39 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 		wf.PanicCount = matrixRestartCap + 1 // exceed the budget: permanent shard failure
 		opts.MaxRestarts = matrixRestartCap
 		opts.Observer = in.Observer(wf)
-		r, err := trace.NewReader(stream)
-		if err != nil {
-			t.Fatal(err)
-		}
-		faultSrc = r
 	default:
 		t.Fatalf("unknown mode %q", mode)
 	}
 
-	_, err := pipeline.New(opts).Drain(context.Background(), faultSrc)
+	var err error
+	switch path {
+	case "push":
+		stream := io.Reader(bytes.NewReader(raw))
+		if mode != "worker-panic" {
+			stream = in.Reader(stream, rf)
+		}
+		src, rerr := trace.NewReader(stream)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		_, err = pipeline.New(opts).Drain(context.Background(), src)
+	case "shard-owned":
+		ra := io.ReaderAt(bytes.NewReader(raw))
+		if mode != "worker-panic" {
+			ra = in.ReaderAt(ra, rf)
+		}
+		_, err = pipeline.New(opts).DrainTrace(context.Background(), ra)
+	default:
+		t.Fatalf("unknown path %q", path)
+	}
 	if err == nil {
 		t.Fatalf("seed %d: %s fault never fired — the cell proved nothing", seed, mode)
 	}
-	t.Logf("seed %d: faulted run died as scheduled: %v", seed, err)
+	t.Logf("seed %d: faulted %s run died as scheduled: %v", seed, path, err)
 
 	// The recovery: restore the last good checkpoint (or start from
-	// scratch if the fault struck before the first boundary), skip a
-	// clean reader to its offset, drain the tail with no faults.
+	// scratch if the fault struck before the first boundary) and drain
+	// the remainder with no faults, through the same ingest path.
 	var resumed *pipeline.Pipeline
 	if lastGood == nil {
 		t.Logf("seed %d: fault preceded the first checkpoint; resuming from scratch", seed)
@@ -192,19 +204,92 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 			t.Fatalf("seed %d: Restore: %v", seed, err)
 		}
 	}
-	cleanSrc, err := trace.NewReader(bytes.NewReader(raw))
+	var res pipeline.Result
+	if path == "push" {
+		cleanSrc, err := trace.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cleanSrc.Skip(resumed.Offset()); err != nil {
+			t.Fatalf("seed %d: Skip(%d): %v", seed, resumed.Offset(), err)
+		}
+		res, err = resumed.Drain(context.Background(), cleanSrc)
+		if err != nil {
+			t.Fatalf("seed %d: resumed drain: %v", seed, err)
+		}
+	} else {
+		// The shard-owned planner starts at the restored offset itself.
+		res, err = resumed.DrainTrace(context.Background(), bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("seed %d: resumed shard-owned drain: %v", seed, err)
+		}
+	}
+	if got := resultKey(res); got != want {
+		t.Fatalf("seed %d mode %s path %s: resumed result diverges from clean run\n got %.300s\nwant %.300s",
+			seed, mode, path, got, want)
+	}
+}
+
+// TestChaosDegradationParity pins the degradation accounting contract
+// across ingest paths: a shard that fails permanently mid-run must yield
+// the same merged Result — stats, verdicts, event count — and the same
+// fault report (worker, restarts spent, failed flag, dropped events)
+// whether the stream arrived through the dispatcher or through
+// shard-owned readers. Only DroppedBatches may differ: batch geometry is
+// a path implementation detail, while every dropped event is the same
+// suffix of the failed shard's subsequence.
+func TestChaosDegradationParity(t *testing.T) {
+	raw, err := matrixWorkload()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cleanSrc.Skip(resumed.Offset()); err != nil {
-		t.Fatalf("seed %d: Skip(%d): %v", seed, resumed.Offset(), err)
-	}
-	res, err := resumed.Drain(context.Background(), cleanSrc)
-	if err != nil {
-		t.Fatalf("seed %d: resumed drain: %v", seed, err)
-	}
-	if got := resultKey(res); got != want {
-		t.Fatalf("seed %d mode %s: resumed result diverges from clean run\n got %.300s\nwant %.300s",
-			seed, mode, got, want)
+	for _, seed := range matrixSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			degradedRun := func(path string) pipeline.Result {
+				in := chaos.New(seed)
+				wf := chaos.NoWorkerFaults()
+				wf.PanicWorker = int(in.Between(0, matrixWorkers))
+				wf.PanicAfter = uint64(in.Between(0, 500))
+				wf.PanicCount = matrixRestartCap + 1
+				opts := pipeline.Options{
+					Workers: matrixWorkers, BatchSize: matrixBatch, Config: matrixCfg,
+					MaxRestarts: matrixRestartCap,
+					Observer:    in.Observer(wf),
+				}
+				var res pipeline.Result
+				var err error
+				if path == "push" {
+					src, rerr := trace.NewReader(bytes.NewReader(raw))
+					if rerr != nil {
+						t.Fatal(rerr)
+					}
+					res, err = pipeline.New(opts).Drain(context.Background(), src)
+				} else {
+					res, err = pipeline.New(opts).DrainTrace(context.Background(), bytes.NewReader(raw))
+				}
+				if err == nil || !res.Degraded {
+					t.Fatalf("%s run not degraded (err=%v)", path, err)
+				}
+				return res
+			}
+			push := degradedRun("push")
+			shard := degradedRun("shard-owned")
+
+			if got, want := resultKey(shard), resultKey(push); got != want {
+				t.Errorf("degraded results diverge between paths\n got %.300s\nwant %.300s", got, want)
+			}
+			if len(push.Faults) != 1 || len(shard.Faults) != 1 {
+				t.Fatalf("fault reports: push %d, shard %d, want 1 each", len(push.Faults), len(shard.Faults))
+			}
+			pf, sf := push.Faults[0], shard.Faults[0]
+			if pf.Worker != sf.Worker || pf.Restarts != sf.Restarts || pf.Failed != sf.Failed ||
+				pf.DroppedEvents != sf.DroppedEvents {
+				t.Errorf("fault accounting diverges:\npush  %+v\nshard %+v", pf, sf)
+			}
+			if (push.Err == nil) != (shard.Err == nil) {
+				t.Errorf("Err presence diverges: push %v, shard %v", push.Err, shard.Err)
+			}
+		})
 	}
 }

@@ -45,6 +45,45 @@ func (in *Injector) Reader(r io.Reader, f ReaderFaults) io.Reader {
 	return &faultReader{in: in, r: r, f: f}
 }
 
+// ReaderAt wraps ra with the positional faults of the schedule — TornAt
+// and CorruptAt. Both are pure functions of absolute byte offset, so the
+// wrapper is stateless: safe under the concurrent per-segment readers of
+// the shard-owned ingest, and deterministic regardless of how their
+// reads interleave. The pacing faults (MaxRead, StallEvery) model a
+// sequential pipe and have no analogue for random access; they are
+// ignored here.
+func (in *Injector) ReaderAt(ra io.ReaderAt, f ReaderFaults) io.ReaderAt {
+	if f.CorruptXOR == 0 {
+		f.CorruptXOR = 0x80
+	}
+	return &faultReaderAt{ra: ra, f: f}
+}
+
+type faultReaderAt struct {
+	ra io.ReaderAt
+	f  ReaderFaults
+}
+
+func (fa *faultReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if fa.f.TornAt >= 0 && off >= fa.f.TornAt {
+		return 0, errTorn
+	}
+	limit := len(p)
+	// Land the tear exactly on its scheduled byte: deliver everything
+	// before it, then fail the read.
+	if fa.f.TornAt >= 0 && off+int64(limit) > fa.f.TornAt {
+		limit = int(fa.f.TornAt - off)
+	}
+	n, err := fa.ra.ReadAt(p[:limit], off)
+	if fa.f.CorruptAt >= 0 && fa.f.CorruptAt >= off && fa.f.CorruptAt < off+int64(n) {
+		p[fa.f.CorruptAt-off] ^= fa.f.CorruptXOR
+	}
+	if err == nil && limit < len(p) {
+		err = errTorn
+	}
+	return n, err
+}
+
 type faultReader struct {
 	in  *Injector
 	r   io.Reader

@@ -7,6 +7,8 @@ package eval
 // histograms) behind them.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,18 +19,33 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
+	"repro/internal/trace/tracegen"
 )
 
 // PipelineBenchResult is the JSON artifact piftbench -exp pipeline writes.
 // Scaling rows come from an instrumented sweep, so the embedded snapshot's
 // pipeline counters cover exactly the runs reported in Scaling.
 type PipelineBenchResult struct {
-	Config  core.Config          `json:"config"`
-	Workers []int                `json:"workers"`
-	Quantum int                  `json:"quantum"`
-	Repeats int                  `json:"repeats"`
+	Config  core.Config `json:"config"`
+	Workers []int       `json:"workers"`
+	Quantum int         `json:"quantum"`
+	Repeats int         `json:"repeats"`
+	// NumCPU records the parallelism of the measuring machine
+	// (runtime.NumCPU at measurement time). Scaling assertions are only
+	// physically meaningful when the machine has at least as many CPUs as
+	// the run has workers; benchgate's -min-scaling gate consults this
+	// field and skips enforcement on machines that cannot exhibit the
+	// speedup being gated.
+	NumCPU  int                  `json:"num_cpu"`
 	Parity  []PipelineParityRow  `json:"parity"`
 	Scaling []PipelineScalingRow `json:"scaling"`
+	// SyntheticEvents is the size of the tracegen corpus behind
+	// Synthetic; zero means the synthetic sweep was not run.
+	SyntheticEvents int `json:"synthetic_events,omitempty"`
+	// Synthetic is the shard-owned ingest scaling sweep (DrainTrace over
+	// the serialized synthetic corpus) — the table the scaling-gate CI
+	// job enforces.
+	Synthetic []PipelineScalingRow `json:"synthetic_scaling,omitempty"`
 	// AllocsPerEvent is the steady-state heap allocation rate of a warm
 	// single-worker pipeline (second replay of the suite workload through
 	// the same pipeline, Mallocs delta over event count). The hot path is
@@ -39,9 +56,11 @@ type PipelineBenchResult struct {
 	Snapshot       metrics.Snapshot `json:"metrics"`
 }
 
-// PipelineBench runs the parity check and an instrumented scaling sweep,
-// returning both tables plus the registry snapshot of the sweep.
-func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, repeats int) (*PipelineBenchResult, error) {
+// PipelineBench runs the parity check, an instrumented scaling sweep
+// over the DroidBench suite workload, and — when syntheticEvents > 0 —
+// the shard-owned synthetic scaling sweep, returning the tables plus the
+// registry snapshot of the suite sweep.
+func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, repeats, syntheticEvents int) (*PipelineBenchResult, error) {
 	parity, err := PipelineParity(h, cfg, workerCounts)
 	if err != nil {
 		return nil, err
@@ -90,16 +109,84 @@ func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, rep
 	if err != nil {
 		return nil, err
 	}
+	var synthetic []PipelineScalingRow
+	if syntheticEvents > 0 {
+		synthetic, err = SyntheticScaling(cfg, workerCounts, syntheticEvents, repeats)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &PipelineBenchResult{
-		Config:         cfg,
-		Workers:        workerCounts,
-		Quantum:        quantum,
-		Repeats:        repeats,
-		Parity:         parity,
-		Scaling:        rows,
-		AllocsPerEvent: allocs,
-		Snapshot:       reg.Snapshot(),
+		Config:          cfg,
+		Workers:         workerCounts,
+		Quantum:         quantum,
+		Repeats:         repeats,
+		NumCPU:          runtime.NumCPU(),
+		Parity:          parity,
+		Scaling:         rows,
+		SyntheticEvents: syntheticEvents,
+		Synthetic:       synthetic,
+		AllocsPerEvent:  allocs,
+		Snapshot:        reg.Snapshot(),
 	}, nil
+}
+
+// SyntheticScaling times the shard-owned ingest (Pipeline.DrainTrace)
+// over a seeded tracegen corpus at each worker count. Unlike
+// PipelineScaling — which replays an in-memory recorder through the
+// single-dispatcher push path — this sweep starts from serialized bytes,
+// so decode, sharding, and batching all scale with the worker count: it
+// measures the whole ingest, not just the analysis. Every run's verdicts
+// are checked byte-identical to the first, so a scaling number can never
+// be quoted on a wrong answer.
+func SyntheticScaling(cfg core.Config, workerCounts []int, events, repeats int) ([]PipelineScalingRow, error) {
+	if repeats < 1 {
+		repeats = 3
+	}
+	var wire bytes.Buffer
+	if _, err := tracegen.Generate(tracegen.Spec{Seed: 1, Events: events}).WriteTo(&wire); err != nil {
+		return nil, err
+	}
+	raw := wire.Bytes()
+	var want string
+	var rows []PipelineScalingRow
+	for _, n := range workerCounts {
+		best := time.Duration(0)
+		for k := 0; k < repeats; k++ {
+			p := pipeline.New(pipeline.Options{Workers: n, Config: cfg})
+			start := time.Now()
+			res, err := p.DrainTrace(context.Background(), bytes.NewReader(raw))
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			if res.Events != uint64(events) {
+				return nil, fmt.Errorf("eval: shard-owned drain accounted %d of %d events", res.Events, events)
+			}
+			key := fmt.Sprintf("%#v", res.Verdicts)
+			if want == "" {
+				want = key
+			} else if key != want {
+				return nil, fmt.Errorf("eval: %d-worker verdicts diverge on the synthetic corpus", n)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		row := PipelineScalingRow{
+			Workers:   n,
+			Events:    events,
+			Elapsed:   best,
+			PerSecond: float64(events) / best.Seconds(),
+		}
+		if len(rows) > 0 {
+			row.Speedup = row.PerSecond / rows[0].PerSecond
+		} else {
+			row.Speedup = 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // allocsPerEvent measures the steady-state allocation rate of the hot

@@ -154,10 +154,15 @@ func PipelineScaling(h *Harness, cfg core.Config, workerCounts []int, quantum, r
 	return rows, nil
 }
 
-// RenderPipelineScaling prints the scaling sweep as a table.
+// RenderPipelineScaling prints the suite scaling sweep as a table.
 func RenderPipelineScaling(rows []PipelineScalingRow) string {
+	return RenderScalingTable("Pipeline scaling (DroidBench suite, multi-process interleave)", rows)
+}
+
+// RenderScalingTable prints any scaling sweep under the given title.
+func RenderScalingTable(title string, rows []PipelineScalingRow) string {
 	var b strings.Builder
-	b.WriteString("Pipeline scaling (DroidBench suite, multi-process interleave)\n")
+	b.WriteString(title + "\n")
 	b.WriteString("  workers   events      time    events/sec  speedup\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %7d  %7d  %8s  %12.0f  %6.2fx\n",

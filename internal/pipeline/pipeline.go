@@ -165,22 +165,25 @@ func (p *Pipeline) Sync() {
 	p.inflight.Wait()
 }
 
-// send hands a batch to a worker queue, accounting for dispatch and for
-// backpressure: a full queue counts one stall before the blocking send.
+// send hands a batch to a worker's input ring, accounting for dispatch
+// and for backpressure: a full ring counts one stall before the blocking
+// push.
 func (p *Pipeline) send(w *worker, b []cpu.Event) {
 	p.inflight.Add(1)
 	p.m.BatchesDispatched.Inc()
 	p.m.BatchEvents.Observe(float64(len(b)))
 	// Depth counts batches handed off but not yet fully analyzed. The
-	// increment precedes the send, so it happens-before the worker's
+	// increment precedes the push, so it happens-before the worker's
 	// decrement and the gauge can never read negative.
 	p.m.QueueDepth.Inc()
 	p.m.QueueDepthHigh.TrackMax(p.m.QueueDepth.Value())
-	select {
-	case w.ch <- b:
-	default:
+	if !w.q.TryPush(job{batch: b}) {
 		p.m.Stalls.Inc()
-		w.ch <- b
+		if !w.q.Push(job{batch: b}) {
+			// Unreachable while the Event/Close contract holds: only Close
+			// closes the ring, and Event-after-Close already panics.
+			panic("pipeline: send on closed worker queue")
+		}
 	}
 }
 
@@ -211,7 +214,7 @@ func (p *Pipeline) Close() Result {
 			p.send(w, p.pending[i])
 		}
 		p.pending[i] = nil
-		close(w.ch)
+		w.q.Close()
 	}
 	res := Result{Workers: len(p.workers), Events: p.events}
 	for _, w := range p.workers {

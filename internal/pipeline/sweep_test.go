@@ -3,6 +3,7 @@ package pipeline_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
+	"repro/internal/trace/tracegen"
 )
 
 // TestCrashPointSweepDroidBench is the checkpoint/kill/restore sweep of
@@ -90,6 +92,83 @@ func TestCrashPointSweepDroidBench(t *testing.T) {
 			t.Fatalf("cut %d: resumed drain: %v", cut, err)
 		}
 		if res.Events != uint64(n) {
+			t.Fatalf("cut %d: resumed run accounts %d events, want %d", cut, res.Events, n)
+		}
+		if got := fmt.Sprintf("%#v|%#v", res.Stats, res.Verdicts); got != want {
+			t.Fatalf("cut %d: resumed result diverges from sequential oracle\n got %.300s\nwant %.300s",
+				cut, got, want)
+		}
+	}
+}
+
+// TestCrashPointSweepShardOwned is the same kill/restore sweep under the
+// shard-owned ingest: with CheckpointEvery equal to the batch size, the
+// phased DrainTrace checkpoints at every batch boundary. At each boundary
+// the run is killed mid-flight (the checkpoint hook writes the snapshot,
+// then aborts the drain), a fresh pipeline is restored from the bytes,
+// and DrainTrace resumes on the same backing trace — the planner starts
+// at the restored offset, no Skip. Every resumed run must be
+// byte-identical to the clean shard-owned run, which itself must match
+// the sequential oracle.
+func TestCrashPointSweepShardOwned(t *testing.T) {
+	const batchSize = 32
+	const n = 4096
+	rec := tracegen.Generate(tracegen.Spec{Seed: 21, Events: n, PIDs: 8, Quantum: 16})
+	var wire bytes.Buffer
+	if _, err := rec.WriteTo(&wire); err != nil {
+		t.Fatal(err)
+	}
+	raw := wire.Bytes()
+
+	seq := core.NewTracker(testCfg, nil)
+	rec.Replay(seq)
+	wantVerdicts := append([]core.SinkVerdict(nil), seq.Verdicts()...)
+	core.SortVerdicts(wantVerdicts)
+	want := fmt.Sprintf("%#v|%#v", seq.Stats(), wantVerdicts)
+
+	opts := pipeline.Options{Workers: 4, BatchSize: batchSize, Config: testCfg}
+	clean, err := pipeline.New(opts).DrainTrace(context.Background(), bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%#v|%#v", clean.Stats, clean.Verdicts); got != want {
+		t.Fatalf("clean shard-owned run diverges from sequential oracle\n got %.300s\nwant %.300s", got, want)
+	}
+
+	errKilled := errors.New("sweep: killed at crash point")
+	t.Logf("sweeping synthetic trace: %d events, %d crash points", n, n/batchSize)
+	for cut := uint64(batchSize); cut <= n; cut += batchSize {
+		// Run shard-owned to the crash point; the hook checkpoints there
+		// and then kills the run.
+		o := opts
+		o.CheckpointEvery = batchSize
+		var ckpt bytes.Buffer
+		o.OnCheckpoint = func(p *pipeline.Pipeline) error {
+			if p.Offset() != cut {
+				return nil
+			}
+			if _, err := p.WriteCheckpoint(&ckpt); err != nil {
+				return err
+			}
+			return errKilled
+		}
+		if _, err := pipeline.New(o).DrainTrace(context.Background(), bytes.NewReader(raw)); !errors.Is(err, errKilled) {
+			t.Fatalf("cut %d: kill did not propagate: %v", cut, err)
+		}
+
+		// Restore from the snapshot and resume shard-owned.
+		r2, err := pipeline.Restore(bytes.NewReader(ckpt.Bytes()), pipeline.Options{BatchSize: batchSize})
+		if err != nil {
+			t.Fatalf("cut %d: Restore: %v", cut, err)
+		}
+		if r2.Offset() != cut {
+			t.Fatalf("cut %d: restored offset %d", cut, r2.Offset())
+		}
+		res, err := r2.DrainTrace(context.Background(), bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("cut %d: resumed drain: %v", cut, err)
+		}
+		if res.Events != n {
 			t.Fatalf("cut %d: resumed run accounts %d events, want %d", cut, res.Events, n)
 		}
 		if got := fmt.Sprintf("%#v|%#v", res.Stats, res.Verdicts); got != want {

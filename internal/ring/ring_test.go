@@ -1,0 +1,266 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {1000, 1024},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestFullEmptyWrap(t *testing.T) {
+	r := New[int](4)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on empty ring succeeded")
+	}
+	// Fill to capacity, overflow must be rejected.
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("TryPush(%d) on non-full ring failed", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("TryPush on full ring succeeded")
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	// Drain in FIFO order.
+	for i := 0; i < 4; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on drained ring succeeded")
+	}
+}
+
+func TestFIFOAcrossWraps(t *testing.T) {
+	r := New[int](8)
+	next := 0 // next value expected out
+	sent := 0
+	for round := 0; round < 500; round++ {
+		for r.TryPush(sent) {
+			sent++
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := r.TryPop()
+			if !ok {
+				t.Fatalf("round %d: ring empty early", round)
+			}
+			if v != next {
+				t.Fatalf("round %d: popped %d, want %d", round, v, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestPopDrainsAfterClose(t *testing.T) {
+	r := New[string](8)
+	r.Push("a")
+	r.Push("b")
+	r.Close()
+	if r.Push("c") {
+		t.Fatal("Push after Close succeeded")
+	}
+	if v, ok := r.Pop(); !ok || v != "a" {
+		t.Fatalf("Pop = %q,%v, want a,true", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != "b" {
+		t.Fatalf("Pop = %q,%v, want b,true", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop past the drained items succeeded after Close")
+	}
+	r.Close() // idempotent
+}
+
+func TestCloseWakesBlockedConsumer(t *testing.T) {
+	r := New[int](4)
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := r.Pop() // blocks: ring empty
+		got <- ok
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	r.Close()
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("Pop on closed empty ring reported an item")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the blocked consumer")
+	}
+}
+
+func TestCloseWakesBlockedProducer(t *testing.T) {
+	r := New[int](2)
+	r.Push(1)
+	r.Push(2)
+	got := make(chan bool, 1)
+	go func() {
+		got <- r.Push(3) // blocks: ring full
+	}()
+	time.Sleep(10 * time.Millisecond) // let the producer park
+	r.Close()
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("Push on closed ring reported delivery")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the blocked producer")
+	}
+	// The items pushed before Close are still there.
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v, want 1,true", v, ok)
+	}
+}
+
+func TestBlockedProducerResumesOnPop(t *testing.T) {
+	r := New[int](1)
+	r.Push(0)
+	delivered := make(chan bool, 1)
+	go func() {
+		delivered <- r.Push(1)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = %d,%v, want 0,true", v, ok)
+	}
+	select {
+	case ok := <-delivered:
+		if !ok {
+			t.Fatal("resumed Push failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop did not unblock the waiting producer")
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v, want 1,true", v, ok)
+	}
+}
+
+// TestStressSPSC hammers one producer against one consumer for 10M ops
+// (1M under -short), mixing blocking and non-blocking calls, and checks
+// that every value arrives exactly once in order. Run under -race this is
+// the ring's memory-model proof.
+func TestStressSPSC(t *testing.T) {
+	const full = 10_000_000
+	n := uint64(full)
+	if testing.Short() {
+		n = full / 10
+	}
+	r := New[uint64](256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // producer
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			if i%7 == 0 { // exercise both push paths
+				if !r.TryPush(i) && !r.Push(i) {
+					t.Error("push failed mid-stream")
+					return
+				}
+			} else if !r.Push(i) {
+				t.Error("push failed mid-stream")
+				return
+			}
+		}
+		r.Close()
+	}()
+	var next, sum uint64
+	for {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		if v != next {
+			t.Fatalf("popped %d, want %d (reorder or loss)", v, next)
+		}
+		next++
+		sum += v
+	}
+	wg.Wait()
+	if next != n {
+		t.Fatalf("consumed %d values, want %d", next, n)
+	}
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum %d, want %d", sum, want)
+	}
+}
+
+// TestRingHotPathAllocationFree is the alloc gate in the RangeSet style:
+// the uncontended push/pop cycle must not allocate.
+func TestRingHotPathAllocationFree(t *testing.T) {
+	r := New[int](64)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			if !r.TryPush(i) {
+				t.Fatal("TryPush failed on non-full ring")
+			}
+		}
+		for i := 0; i < 32; i++ {
+			if _, ok := r.TryPop(); !ok {
+				t.Fatal("TryPop failed on non-empty ring")
+			}
+		}
+	}); allocs != 0 {
+		t.Fatalf("ring push/pop cycle allocates %v times per run, want 0", allocs)
+	}
+	// Blocking entry points on a never-full, never-empty ring take the
+	// same fast path and must also be allocation-free.
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Push(1)
+		r.Pop()
+	}); allocs != 0 {
+		t.Fatalf("uncontended Push/Pop allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := New[uint64](256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(uint64(i))
+		r.Pop()
+	}
+}
+
+// BenchmarkRingPingPong measures the cross-goroutine hand-off rate — the
+// number the pipeline's batch forwarding actually pays.
+func BenchmarkRingPingPong(b *testing.B) {
+	r := New[uint64](256)
+	done := make(chan uint64)
+	go func() {
+		var sum uint64
+		for {
+			v, ok := r.Pop()
+			if !ok {
+				break
+			}
+			sum += v
+		}
+		done <- sum
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(1)
+	}
+	r.Close()
+	<-done
+}

@@ -1,0 +1,156 @@
+// Package tracegen generates seeded synthetic PIFTTRC1 workloads at
+// pipeline scale. The DroidBench corpus tops out at ~22k events per
+// trace — three orders of magnitude too small to amortize per-run costs
+// or to expose dispatch bottlenecks — so the scaling experiments and the
+// shard-owned ingest tests run on these traces instead: multi-million
+// events, many concurrent PIDs, and real taint flow (sources feeding
+// load→store chains feeding sinks), all a pure function of the Spec.
+//
+// Determinism is the load-bearing property: the same Spec yields the
+// same byte stream on every run and platform (math/rand's stable
+// generator, no time, no global state), so a scaling assertion, a chaos
+// schedule, or a CI failure built on a spec reproduces exactly.
+package tracegen
+
+import (
+	"math/rand"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Spec describes one synthetic workload.
+type Spec struct {
+	// Seed drives every random choice; equal specs generate equal traces.
+	Seed int64
+	// Events is the total event count (default 1<<20).
+	Events int
+	// PIDs is the number of concurrent processes interleaved in the
+	// stream (default 64). PIDs are 1..PIDs, so every shard of any
+	// reasonable worker count sees traffic.
+	PIDs int
+	// Quantum is the context-switch quantum: how many consecutive events
+	// one process emits before the stream switches to the next (default
+	// 64, matching the suite workload's interleave).
+	Quantum int
+	// SourceEvery is the mean distance (in a process's own events)
+	// between taint-source registrations (default 4096). Smaller means
+	// more live taint.
+	SourceEvery int
+	// SinkEvery is the mean distance between sink checks (default 512).
+	SinkEvery int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Events <= 0 {
+		s.Events = 1 << 20
+	}
+	if s.PIDs <= 0 {
+		s.PIDs = 64
+	}
+	if s.Quantum <= 0 {
+		s.Quantum = 64
+	}
+	if s.SourceEvery <= 0 {
+		s.SourceEvery = 4096
+	}
+	if s.SinkEvery <= 0 {
+		s.SinkEvery = 512
+	}
+	return s
+}
+
+// proc is one synthetic process's generator state. Each process walks a
+// private address arena: sources taint buffers, loads read recently
+// touched (often tainted) addresses, stores copy them forward — the
+// load→store locality the PIFT window heuristic keys on — and sinks
+// probe the region the stores land in.
+type proc struct {
+	pid     uint32
+	seq     uint64
+	base    uint32 // arena base address; arenas are disjoint per process
+	cursor  uint32 // rolling store position within the arena
+	lastloc uint32 // last loaded/tainted address, biases the next store's source
+	sink    int    // per-process sink tag counter
+}
+
+const (
+	arenaSize = 1 << 16 // bytes of address space per process
+	spanMax   = 16      // max bytes per load/store/source/sink access
+)
+
+// Generate materializes the workload as a Recorder, ready for WriteTo or
+// Replay. Memory is ~32 bytes/event; multi-million-event specs fit
+// comfortably, and the pipeline tests serialize the result once and then
+// feed every run from the same bytes.
+func Generate(spec Spec) *trace.Recorder {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	procs := make([]*proc, spec.PIDs)
+	for i := range procs {
+		procs[i] = &proc{
+			pid:  uint32(i + 1),
+			base: uint32(i) * arenaSize,
+		}
+	}
+	rec := trace.NewRecorder(spec.Events)
+	emitted := 0
+	for turn := 0; emitted < spec.Events; turn++ {
+		p := procs[turn%len(procs)]
+		q := spec.Quantum
+		if left := spec.Events - emitted; q > left {
+			q = left
+		}
+		for i := 0; i < q; i++ {
+			rec.Event(p.next(rng, spec))
+		}
+		emitted += q
+	}
+	return rec
+}
+
+// next emits one event of p's stream, advancing its instruction counter
+// the way a real front end would: a couple of non-memory instructions
+// between memory operations, so load→store distances cluster inside
+// realistic tainting windows.
+func (p *proc) next(rng *rand.Rand, spec Spec) cpu.Event {
+	p.seq += 1 + uint64(rng.Intn(3))
+	span := uint32(1 + rng.Intn(spanMax))
+	ev := cpu.Event{PID: p.pid, Seq: p.seq}
+	switch {
+	case rng.Intn(spec.SourceEvery) == 0:
+		// Register a fresh taint source somewhere in the arena.
+		start := p.base + uint32(rng.Intn(arenaSize-spanMax))
+		ev.Kind = cpu.EvSourceRegister
+		ev.Range = mem.Range{Start: start, End: start + span}
+		p.lastloc = start
+	case rng.Intn(spec.SinkEvery) == 0:
+		// Probe near the store cursor, where propagated taint lands.
+		start := p.base + (p.cursor+uint32(rng.Intn(256)))%(arenaSize-spanMax)
+		p.sink++
+		ev.Kind = cpu.EvSinkCheck
+		ev.Range = mem.Range{Start: start, End: start + span}
+		ev.Tag = p.sink
+	case rng.Intn(2) == 0:
+		// Load: mostly re-read near the last interesting address (the
+		// temporal locality the paper measures), sometimes roam.
+		start := p.lastloc
+		if rng.Intn(4) == 0 {
+			start = p.base + uint32(rng.Intn(arenaSize-spanMax))
+		} else {
+			start = p.base + (start-p.base+uint32(rng.Intn(64)))%(arenaSize-spanMax)
+		}
+		ev.Kind = cpu.EvLoad
+		ev.Range = mem.Range{Start: start, End: start + span}
+		p.lastloc = start
+	default:
+		// Store: walk the cursor forward — the destination a following
+		// sink may probe.
+		start := p.base + p.cursor%(arenaSize-spanMax)
+		p.cursor += span + uint32(rng.Intn(32))
+		ev.Kind = cpu.EvStore
+		ev.Range = mem.Range{Start: start, End: start + span}
+	}
+	return ev
+}
