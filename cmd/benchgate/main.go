@@ -9,7 +9,9 @@
 //
 //	benchgate -baseline BENCH_pipeline.json -current BENCH_current.json \
 //	    [-threshold 0.25] [-max-allocs-per-event 0.01] [-summary out.md] \
-//	    [-min-scaling 1.5] [-min-scaling-workers 4]
+//	    [-min-scaling 1.5] [-min-scaling-workers 4] \
+//	    [-server-baseline BENCH_server.json -server-current BENCH_server_current.json] \
+//	    [-server-threshold 0.25] [-min-server-scaling 1.5] [-min-server-scaling-workers 4]
 //
 // The gate only fails on regressions — a faster candidate passes — and a
 // worker count present in the baseline but missing from the candidate is
@@ -21,6 +23,13 @@
 // the cores physically cannot exhibit the speedup being gated.
 // -summary appends a benchstat-style old/new markdown table to the given
 // file (CI passes $GITHUB_STEP_SUMMARY) in addition to the stdout report.
+//
+// -server-baseline/-server-current gate the serving layer the same way
+// against piftbench -exp server artifacts (both empty = server gate off):
+// per-worker-count events/sec regression bounded by -server-threshold,
+// and -min-server-scaling enforcing a floor on the parallel-ingest
+// speedup at -min-server-scaling-workers workers, with the same
+// recorded-NumCPU skip as -min-scaling.
 package main
 
 import (
@@ -41,97 +50,32 @@ func main() {
 	minScaling := flag.Float64("min-scaling", -1, "minimum shard-owned synthetic speedup at -min-scaling-workers workers (negative disables; skipped when the candidate's NumCPU is below the worker count)")
 	minScalingWorkers := flag.Int("min-scaling-workers", 4, "worker count the -min-scaling floor applies to")
 	summary := flag.String("summary", "", "append a markdown old/new table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	serverBase := flag.String("server-baseline", "", "committed server baseline artifact (piftbench -exp server); empty disables the server gate")
+	serverCur := flag.String("server-current", "", "freshly measured server artifact")
+	serverThreshold := flag.Float64("server-threshold", 0.25, "maximum tolerated server events/sec regression (fraction)")
+	minServerScaling := flag.Float64("min-server-scaling", -1, "minimum parallel-ingest speedup at -min-server-scaling-workers workers (negative disables; skipped when the candidate's NumCPU is below the worker count)")
+	minServerScalingWorkers := flag.Int("min-server-scaling-workers", 4, "worker count the -min-server-scaling floor applies to")
 	flag.Parse()
 	if *threshold < 0 || *threshold >= 1 {
 		fmt.Fprintf(os.Stderr, "benchgate: -threshold %v out of range [0, 1)\n", *threshold)
 		os.Exit(2)
 	}
 
-	base, err := load(*baseline)
-	fatal(err)
-	cur, err := load(*current)
-	fatal(err)
-
 	failed := false
-	for _, row := range cur.Parity {
-		if !row.Match {
-			fmt.Printf("FAIL parity: %s @ %d workers diverged from the sequential tracker\n", row.App, row.Workers)
-			failed = true
-		}
-	}
-
 	var md strings.Builder
-	md.WriteString("### benchgate: pipeline events/sec, old vs new\n\n")
-	md.WriteString("| workers | baseline ev/s | current ev/s | delta | status |\n")
-	md.WriteString("|--:|--:|--:|--:|:--|\n")
-
-	curBy := map[int]eval.PipelineScalingRow{}
-	for _, row := range cur.Scaling {
-		curBy[row.Workers] = row
+	if *baseline != "" || *current != "" {
+		if gatePipeline(&md, *baseline, *current, *threshold, *maxAllocs, *minScaling, *minScalingWorkers) {
+			failed = true
+		}
 	}
-	for _, b := range base.Scaling {
-		c, ok := curBy[b.Workers]
-		if !ok {
-			fmt.Printf("FAIL %2d workers: baseline has this point, candidate did not measure it\n", b.Workers)
-			fmt.Fprintf(&md, "| %d | %.0f | — | — | FAIL (unmeasured) |\n", b.Workers, b.PerSecond)
-			failed = true
-			continue
-		}
-		delta := c.PerSecond/b.PerSecond - 1
-		status := "ok  "
-		if delta < -*threshold {
-			status = "FAIL"
+	if *serverBase != "" || *serverCur != "" {
+		if gateServer(&md, *serverBase, *serverCur, *serverThreshold, *minServerScaling, *minServerScalingWorkers) {
 			failed = true
 		}
-		fmt.Printf("%s %2d workers: %12.0f ev/s vs baseline %12.0f (%+.1f%%, limit -%.0f%%)\n",
-			status, b.Workers, c.PerSecond, b.PerSecond, delta*100, *threshold*100)
-		fmt.Fprintf(&md, "| %d | %.0f | %.0f | %+.1f%% | %s |\n",
-			b.Workers, b.PerSecond, c.PerSecond, delta*100, strings.TrimSpace(status))
 	}
-
-	allocStatus := "ok"
-	if *maxAllocs >= 0 && cur.AllocsPerEvent > *maxAllocs {
-		fmt.Printf("FAIL allocs: %.4f allocs/event steady state, budget %.4f\n", cur.AllocsPerEvent, *maxAllocs)
-		allocStatus = "FAIL"
-		failed = true
-	} else {
-		fmt.Printf("ok   allocs: %.4f allocs/event steady state (budget %.4f)\n", cur.AllocsPerEvent, *maxAllocs)
-	}
-	fmt.Fprintf(&md, "\nsteady-state allocs/event: **%.4f** (budget %.4f) — %s\n",
-		cur.AllocsPerEvent, *maxAllocs, allocStatus)
-
-	if *minScaling >= 0 {
-		var row *eval.PipelineScalingRow
-		for i := range cur.Synthetic {
-			if cur.Synthetic[i].Workers == *minScalingWorkers {
-				row = &cur.Synthetic[i]
-				break
-			}
-		}
-		switch {
-		case row == nil:
-			fmt.Printf("FAIL scaling: candidate has no synthetic scaling row at %d workers — the gate cannot certify what it did not measure\n",
-				*minScalingWorkers)
-			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: **unmeasured** (floor %.2fx) — FAIL\n",
-				*minScalingWorkers, *minScaling)
-			failed = true
-		case cur.NumCPU < *minScalingWorkers:
-			fmt.Printf("skip scaling: candidate measured on %d CPUs, cannot exhibit a %d-worker speedup; floor %.2fx not enforced\n",
-				cur.NumCPU, *minScalingWorkers, *minScaling)
-			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: %.2fx on %d CPUs — floor %.2fx skipped\n",
-				*minScalingWorkers, row.Speedup, cur.NumCPU, *minScaling)
-		case row.Speedup < *minScaling:
-			fmt.Printf("FAIL scaling: shard-owned speedup %.2fx at %d workers, floor %.2fx (NumCPU %d)\n",
-				row.Speedup, *minScalingWorkers, *minScaling, cur.NumCPU)
-			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — FAIL\n",
-				*minScalingWorkers, row.Speedup, *minScaling)
-			failed = true
-		default:
-			fmt.Printf("ok   scaling: shard-owned speedup %.2fx at %d workers (floor %.2fx, NumCPU %d)\n",
-				row.Speedup, *minScalingWorkers, *minScaling, cur.NumCPU)
-			fmt.Fprintf(&md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — ok\n",
-				*minScalingWorkers, row.Speedup, *minScaling)
-		}
+	if (*baseline == "" && *current == "") && (*serverBase == "" && *serverCur == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: nothing to gate (all artifact paths empty)")
+		os.Exit(2)
 	}
 
 	if *summary != "" {
@@ -147,6 +91,186 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: ok")
+}
+
+// gatePipeline runs the original pipeline-artifact comparison. Reports
+// failure.
+func gatePipeline(md *strings.Builder, basePath, curPath string, threshold, maxAllocs, minScaling float64, minScalingWorkers int) bool {
+	base, err := load(basePath)
+	fatal(err)
+	cur, err := load(curPath)
+	fatal(err)
+
+	failed := false
+	for _, row := range cur.Parity {
+		if !row.Match {
+			fmt.Printf("FAIL parity: %s @ %d workers diverged from the sequential tracker\n", row.App, row.Workers)
+			failed = true
+		}
+	}
+
+	md.WriteString("### benchgate: pipeline events/sec, old vs new\n\n")
+	md.WriteString("| workers | baseline ev/s | current ev/s | delta | status |\n")
+	md.WriteString("|--:|--:|--:|--:|:--|\n")
+
+	curBy := map[int]eval.PipelineScalingRow{}
+	for _, row := range cur.Scaling {
+		curBy[row.Workers] = row
+	}
+	for _, b := range base.Scaling {
+		c, ok := curBy[b.Workers]
+		if !ok {
+			fmt.Printf("FAIL %2d workers: baseline has this point, candidate did not measure it\n", b.Workers)
+			fmt.Fprintf(md, "| %d | %.0f | — | — | FAIL (unmeasured) |\n", b.Workers, b.PerSecond)
+			failed = true
+			continue
+		}
+		delta := c.PerSecond/b.PerSecond - 1
+		status := "ok  "
+		if delta < -threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %2d workers: %12.0f ev/s vs baseline %12.0f (%+.1f%%, limit -%.0f%%)\n",
+			status, b.Workers, c.PerSecond, b.PerSecond, delta*100, threshold*100)
+		fmt.Fprintf(md, "| %d | %.0f | %.0f | %+.1f%% | %s |\n",
+			b.Workers, b.PerSecond, c.PerSecond, delta*100, strings.TrimSpace(status))
+	}
+
+	allocStatus := "ok"
+	if maxAllocs >= 0 && cur.AllocsPerEvent > maxAllocs {
+		fmt.Printf("FAIL allocs: %.4f allocs/event steady state, budget %.4f\n", cur.AllocsPerEvent, maxAllocs)
+		allocStatus = "FAIL"
+		failed = true
+	} else {
+		fmt.Printf("ok   allocs: %.4f allocs/event steady state (budget %.4f)\n", cur.AllocsPerEvent, maxAllocs)
+	}
+	fmt.Fprintf(md, "\nsteady-state allocs/event: **%.4f** (budget %.4f) — %s\n",
+		cur.AllocsPerEvent, maxAllocs, allocStatus)
+
+	if minScaling >= 0 {
+		var row *eval.PipelineScalingRow
+		for i := range cur.Synthetic {
+			if cur.Synthetic[i].Workers == minScalingWorkers {
+				row = &cur.Synthetic[i]
+				break
+			}
+		}
+		switch {
+		case row == nil:
+			fmt.Printf("FAIL scaling: candidate has no synthetic scaling row at %d workers — the gate cannot certify what it did not measure\n",
+				minScalingWorkers)
+			fmt.Fprintf(md, "\nshard-owned speedup @ %d workers: **unmeasured** (floor %.2fx) — FAIL\n",
+				minScalingWorkers, minScaling)
+			failed = true
+		case cur.NumCPU < minScalingWorkers:
+			fmt.Printf("skip scaling: candidate measured on %d CPUs, cannot exhibit a %d-worker speedup; floor %.2fx not enforced\n",
+				cur.NumCPU, minScalingWorkers, minScaling)
+			fmt.Fprintf(md, "\nshard-owned speedup @ %d workers: %.2fx on %d CPUs — floor %.2fx skipped\n",
+				minScalingWorkers, row.Speedup, cur.NumCPU, minScaling)
+		case row.Speedup < minScaling:
+			fmt.Printf("FAIL scaling: shard-owned speedup %.2fx at %d workers, floor %.2fx (NumCPU %d)\n",
+				row.Speedup, minScalingWorkers, minScaling, cur.NumCPU)
+			fmt.Fprintf(md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — FAIL\n",
+				minScalingWorkers, row.Speedup, minScaling)
+			failed = true
+		default:
+			fmt.Printf("ok   scaling: shard-owned speedup %.2fx at %d workers (floor %.2fx, NumCPU %d)\n",
+				row.Speedup, minScalingWorkers, minScaling, cur.NumCPU)
+			fmt.Fprintf(md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — ok\n",
+				minScalingWorkers, row.Speedup, minScaling)
+		}
+	}
+	return failed
+}
+
+// gateServer compares the server artifacts the way the pipeline gate
+// compares its own: regression per measured worker count, plus an
+// absolute speedup floor with the recorded-NumCPU skip. Reports failure.
+func gateServer(md *strings.Builder, basePath, curPath string, threshold, minScaling float64, minScalingWorkers int) bool {
+	base, err := loadServer(basePath)
+	fatal(err)
+	cur, err := loadServer(curPath)
+	fatal(err)
+
+	failed := false
+	md.WriteString("\n### benchgate: server session-ingest events/sec, old vs new\n\n")
+	md.WriteString("| workers | baseline ev/s | current ev/s | delta | status |\n")
+	md.WriteString("|--:|--:|--:|--:|:--|\n")
+
+	curBy := map[int]eval.PipelineScalingRow{}
+	for _, row := range cur.Scaling {
+		curBy[row.Workers] = row
+	}
+	for _, b := range base.Scaling {
+		c, ok := curBy[b.Workers]
+		if !ok {
+			fmt.Printf("FAIL server %2d workers: baseline has this point, candidate did not measure it\n", b.Workers)
+			fmt.Fprintf(md, "| %d | %.0f | — | — | FAIL (unmeasured) |\n", b.Workers, b.PerSecond)
+			failed = true
+			continue
+		}
+		delta := c.PerSecond/b.PerSecond - 1
+		status := "ok  "
+		if delta < -threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s server %2d workers: %12.0f ev/s vs baseline %12.0f (%+.1f%%, limit -%.0f%%)\n",
+			status, b.Workers, c.PerSecond, b.PerSecond, delta*100, threshold*100)
+		fmt.Fprintf(md, "| %d | %.0f | %.0f | %+.1f%% | %s |\n",
+			b.Workers, b.PerSecond, c.PerSecond, delta*100, strings.TrimSpace(status))
+	}
+
+	if minScaling >= 0 {
+		var row *eval.PipelineScalingRow
+		for i := range cur.Scaling {
+			if cur.Scaling[i].Workers == minScalingWorkers {
+				row = &cur.Scaling[i]
+				break
+			}
+		}
+		switch {
+		case row == nil:
+			fmt.Printf("FAIL server scaling: candidate has no row at %d workers — the gate cannot certify what it did not measure\n",
+				minScalingWorkers)
+			fmt.Fprintf(md, "\nserver parallel-ingest speedup @ %d workers: **unmeasured** (floor %.2fx) — FAIL\n",
+				minScalingWorkers, minScaling)
+			failed = true
+		case cur.NumCPU < minScalingWorkers:
+			fmt.Printf("skip server scaling: candidate measured on %d CPUs, cannot exhibit a %d-worker speedup; floor %.2fx not enforced\n",
+				cur.NumCPU, minScalingWorkers, minScaling)
+			fmt.Fprintf(md, "\nserver parallel-ingest speedup @ %d workers: %.2fx on %d CPUs — floor %.2fx skipped\n",
+				minScalingWorkers, row.Speedup, cur.NumCPU, minScaling)
+		case row.Speedup < minScaling:
+			fmt.Printf("FAIL server scaling: parallel-ingest speedup %.2fx at %d workers, floor %.2fx (NumCPU %d)\n",
+				row.Speedup, minScalingWorkers, minScaling, cur.NumCPU)
+			fmt.Fprintf(md, "\nserver parallel-ingest speedup @ %d workers: **%.2fx** (floor %.2fx) — FAIL\n",
+				minScalingWorkers, row.Speedup, minScaling)
+			failed = true
+		default:
+			fmt.Printf("ok   server scaling: parallel-ingest speedup %.2fx at %d workers (floor %.2fx, NumCPU %d)\n",
+				row.Speedup, minScalingWorkers, minScaling, cur.NumCPU)
+			fmt.Fprintf(md, "\nserver parallel-ingest speedup @ %d workers: **%.2fx** (floor %.2fx) — ok\n",
+				minScalingWorkers, row.Speedup, minScaling)
+		}
+	}
+	return failed
+}
+
+func loadServer(path string) (*eval.ServerBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r eval.ServerBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Scaling) == 0 {
+		return nil, fmt.Errorf("%s: no scaling rows", path)
+	}
+	return &r, nil
 }
 
 func load(path string) (*eval.PipelineBenchResult, error) {

@@ -30,11 +30,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline, server)")
 	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
-	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp pipeline")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp pipeline and -exp server")
 	events := flag.Int("events", 1<<21, "synthetic corpus size (events) for -exp pipeline's shard-owned scaling sweep; 0 disables")
 	jsonOut := flag.String("json", "BENCH_pipeline.json", "path for the pipeline experiment's JSON artifact (tables + metrics snapshot); empty disables")
+	serverEvents := flag.Int("server-events", 1<<20, "corpus size (events) for -exp server's session-ingest scaling sweep")
+	serverJSON := flag.String("server-json", "BENCH_server.json", "path for the server experiment's JSON artifact; empty disables")
 	flag.Parse()
 
 	h := eval.NewHarness(*scale)
@@ -166,6 +168,22 @@ func main() {
 		if *jsonOut != "" {
 			fatal(writeJSONAtomic(*jsonOut, bench))
 			fmt.Printf("(pipeline artifact written to %s)\n", *jsonOut)
+		}
+	}
+	if run("server") {
+		ok = true
+		counts, err := parseWorkers(*workers)
+		fatal(err)
+		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
+		bench, err := eval.ServerBench(cfg, counts, *serverEvents, 3)
+		fatal(err)
+		fmt.Println(eval.RenderScalingTable(
+			fmt.Sprintf("Server session-ingest scaling (synthetic corpus, %d events, NumCPU=%d)",
+				bench.Events, bench.NumCPU),
+			bench.Scaling))
+		if *serverJSON != "" {
+			fatal(atomicfile.WriteFile(*serverJSON, bench.WriteJSON))
+			fmt.Printf("(server artifact written to %s)\n", *serverJSON)
 		}
 	}
 	if run("cache") {

@@ -10,11 +10,24 @@
 //
 //	piftload -addr http://localhost:8080 [-sessions 100] [-chunks 4]
 //	         [-concurrency 16] [-ni 13] [-nt 3] [-untaint=true]
-//	         [-finalize] [-scale 20]
+//	         [-finalize] [-scale 20] [-health-retries 30]
+//	         [-hot N] [-hot-events M]
 //
 // The tracker flags must match the ones the server was started with —
 // parity is only meaningful against the same configuration. Exit status
 // is non-zero on any mismatch, protocol error, or failed health check.
+//
+// The initial /healthz probe retries with backoff for up to
+// -health-retries attempts, so piftload can be started concurrently with
+// the server it drives (CI does exactly that) without a sleep-and-hope
+// shim in front of it.
+//
+// -hot N adds N "hot" tenants, each streaming a -hot-events-sized
+// multi-process synthetic corpus in one request — big enough to cross
+// the server's parallel-ingest threshold. Their verdicts are verified
+// against the inline replay in canonical (PID, Seq, Tag) order, which is
+// order-insensitive and therefore holds on both the sequential and the
+// sharded ingest path.
 package main
 
 import (
@@ -34,6 +47,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/eval"
 	"repro/internal/server"
+	"repro/internal/trace/tracegen"
 )
 
 func main() {
@@ -46,13 +60,16 @@ func main() {
 	untaint := flag.Bool("untaint", true, "untainting rule (must match the server)")
 	finalize := flag.Bool("finalize", false, "DELETE each session after verifying it")
 	scale := flag.Int("scale", 20, "harness scale for trace generation")
+	healthRetries := flag.Int("health-retries", 30, "attempts for the initial /healthz probe (backoff between attempts)")
+	hot := flag.Int("hot", 0, "additional hot tenants, each streaming one -hot-events multi-process corpus")
+	hotEvents := flag.Int("hot-events", 1<<17, "events per hot tenant's synthetic corpus")
 	flag.Parse()
 	if *chunks < 1 {
 		*chunks = 1
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
-	if err := checkHealth(client, *addr); err != nil {
+	if err := checkHealth(client, *addr, *healthRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "piftload: healthz:", err)
 		os.Exit(1)
 	}
@@ -88,27 +105,95 @@ func main() {
 			}
 		}(i)
 	}
+	for i := 0; i < *hot; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n, err := driveHotTenant(client, *addr, cfg, i, *hotEvents, *finalize)
+			events.Add(int64(n))
+			if err != nil {
+				failures.Add(1)
+				fmt.Fprintf(os.Stderr, "piftload: hot-%05d: %v\n", i, err)
+			}
+		}(i)
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("piftload: %d sessions, %d events in %v (%.0f events/s), %d failure(s)\n",
-		*sessions, events.Load(), elapsed.Round(time.Millisecond),
+	fmt.Printf("piftload: %d sessions (%d hot), %d events in %v (%.0f events/s), %d failure(s)\n",
+		*sessions+*hot, *hot, events.Load(), elapsed.Round(time.Millisecond),
 		float64(events.Load())/elapsed.Seconds(), failures.Load())
 	if failures.Load() > 0 {
 		os.Exit(1)
 	}
 }
 
-func checkHealth(client *http.Client, addr string) error {
-	resp, err := client.Get(addr + "/healthz")
+// checkHealth probes /healthz with bounded retry and linear backoff
+// (capped at one second per attempt) so a server still binding its
+// listener counts as "not yet", not "failed".
+func checkHealth(client *http.Client, addr string, retries int) error {
+	if retries < 1 {
+		retries = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			d := time.Duration(100*attempt) * time.Millisecond
+			if d > time.Second {
+				d = time.Second
+			}
+			time.Sleep(d)
+		}
+		resp, err := client.Get(addr + "/healthz")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return fmt.Errorf("no healthy response after %d attempts: %w", retries, lastErr)
+}
+
+// driveHotTenant streams one synthetic multi-process corpus as a single
+// request — the shape that crosses the server's parallel-ingest
+// threshold — and verifies the session's verdicts canonically.
+func driveHotTenant(client *http.Client, addr string, cfg core.Config, i, nevents int, finalize bool) (int, error) {
+	rec := tracegen.Generate(tracegen.Spec{Seed: int64(1000 + i), Events: nevents})
+	id := fmt.Sprintf("hot-%05d", i)
+	base := addr + "/v1/sessions/" + id
+	if err := postChunk(client, base, rec.Events, 0, len(rec.Events)); err != nil {
+		return 0, err
+	}
+	got, err := fetchVerdicts(client, base)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %d", resp.StatusCode)
+	want := eval.OneShotVerdicts(rec.Events, cfg)
+	core.SortVerdicts(want)
+	core.SortVerdicts(got)
+	if !eval.VerdictsEqual(got, want) {
+		return 0, fmt.Errorf("verdict mismatch: server %d vs one-shot %d", len(got), len(want))
 	}
-	return nil
+	if finalize {
+		req, _ := http.NewRequest(http.MethodDelete, base, nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("DELETE: status %d", resp.StatusCode)
+		}
+	}
+	return len(rec.Events), nil
 }
 
 // driveTenant streams tenant i's trace in `chunks` resumable requests,

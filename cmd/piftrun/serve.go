@@ -18,27 +18,24 @@ import (
 // runServe turns piftrun into the long-lived multi-tenant taint service:
 // the analysis core behind an HTTP ingestion boundary, one logical
 // tracker session per tenant, sessions spilling to disk under the memory
-// budget. The data plane shares one listener with /metrics, /healthz and
+// budget, hot sessions fanning ingest out over the sharded pipeline. The
+// data plane shares one listener with /metrics, /healthz and
 // /debug/pprof, so the process is scrapeable out of the box.
-func runServe(addr, spillDir string, budget int64, maxStreams int, cfg core.Config) error {
+func runServe(addr string, scfg server.Config, cfg core.Config) error {
 	if addr == "" {
 		return errors.New("-serve requires -http ADDR")
 	}
-	if spillDir == "" {
+	if scfg.SpillDir == "" {
 		d, err := os.MkdirTemp("", "pift-spill-*")
 		if err != nil {
 			return err
 		}
-		spillDir = d
+		scfg.SpillDir = d
 	}
 	reg := metrics.NewRegistry()
-	srv, err := server.New(server.Config{
-		Tracker:      cfg,
-		SpillDir:     spillDir,
-		MemoryBudget: budget,
-		MaxStreams:   maxStreams,
-		Registry:     reg,
-	})
+	scfg.Tracker = cfg
+	scfg.Registry = reg
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
@@ -50,7 +47,12 @@ func runServe(addr, spillDir string, budget int64, maxStreams int, cfg core.Conf
 	go func() { errc <- hs.ListenAndServe() }()
 	_, spilled := srv.SessionCount()
 	fmt.Printf("serving taint sessions on %s (tracker %v)\n", addr, cfg)
-	fmt.Printf("  spill dir %s (budget %d bytes, %d sessions recovered)\n", spillDir, budget, spilled)
+	fmt.Printf("  spill dir %s (budget %d bytes, %d sessions recovered)\n", scfg.SpillDir, scfg.MemoryBudget, spilled)
+	w := "auto"
+	if scfg.IngestWorkers > 0 {
+		w = fmt.Sprint(scfg.IngestWorkers)
+	}
+	fmt.Printf("  parallel ingest: %s workers/session (1 disables)\n", w)
 	fmt.Printf("  POST /v1/sessions/{id}/events to ingest; /metrics for series\n")
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace/tracegen"
+)
+
+var partCfg = core.Config{NI: 13, NT: 3, Untaint: true}
+
+func modShard(n int) func(uint32) int {
+	return func(pid uint32) int { return int(pid % uint32(n)) }
+}
+
+// replaySplit replays events[:cut] sequentially, splits the tracker into
+// n shards, replays events[cut:] onto the owning shards, and merges.
+func replaySplit(t *testing.T, events []cpu.Event, cut, n int) *core.Tracker {
+	t.Helper()
+	prefix := core.NewTracker(partCfg, nil)
+	for _, ev := range events[:cut] {
+		prefix.Event(ev)
+	}
+	shardOf := modShard(n)
+	parts, err := prefix.SplitByPID(n, shardOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events[cut:] {
+		parts[shardOf(ev.PID)].Event(ev)
+	}
+	merged, err := core.MergeTrackers(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// TestSplitMergeSinglePID: on a single-process stream the merged tracker
+// must be byte-identical to the sequential one — canonical snapshot
+// bytes, ordered verdicts, full stats including watermarks. This is the
+// exactness class every single-PID tenant session lives in.
+func TestSplitMergeSinglePID(t *testing.T) {
+	events := tracegen.Generate(tracegen.Spec{Seed: 5, Events: 30000, PIDs: 1}).Events
+	seq := core.NewTracker(partCfg, nil)
+	for _, ev := range events {
+		seq.Event(ev)
+	}
+	merged := replaySplit(t, events, len(events)/2, 4)
+
+	if merged.Stats() != seq.Stats() {
+		t.Fatalf("stats diverge:\nmerged %+v\nseq    %+v", merged.Stats(), seq.Stats())
+	}
+	if !reflect.DeepEqual(merged.Verdicts(), seq.Verdicts()) {
+		t.Fatalf("verdicts diverge: %d vs %d", len(merged.Verdicts()), len(seq.Verdicts()))
+	}
+	var a, b bytes.Buffer
+	if _, err := merged.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("snapshots diverge: %d vs %d bytes", a.Len(), b.Len())
+	}
+}
+
+// TestSplitMergeMultiPID: counters are exact under split/replay/merge on
+// an interleaved multi-process stream, verdicts match in canonical
+// order, and the watermarks obey their documented lower-bound contract.
+func TestSplitMergeMultiPID(t *testing.T) {
+	events := tracegen.Generate(tracegen.Spec{Seed: 9, Events: 60000, PIDs: 16}).Events
+	seq := core.NewTracker(partCfg, nil)
+	for _, ev := range events {
+		seq.Event(ev)
+	}
+	for _, cut := range []int{0, 1, 17, len(events) / 3, len(events) - 1, len(events)} {
+		for _, n := range []int{1, 2, 4, 7} {
+			merged := replaySplit(t, events, cut, n)
+			ms, ss := merged.Stats(), seq.Stats()
+			// Neutralize the watermarks, compare everything else exactly.
+			ms.MaxBytes, ms.MaxRanges = 0, 0
+			wm := seq.Stats()
+			ss.MaxBytes, ss.MaxRanges = 0, 0
+			if ms != ss {
+				t.Fatalf("cut=%d n=%d: counters diverge:\nmerged %+v\nseq    %+v", cut, n, ms, ss)
+			}
+			got := merged.Stats()
+			if got.MaxBytes > wm.MaxBytes || got.MaxRanges > wm.MaxRanges || got.MaxBytes == 0 {
+				t.Fatalf("cut=%d n=%d: watermark out of range: merged %d/%d vs seq %d/%d",
+					cut, n, got.MaxBytes, got.MaxRanges, wm.MaxBytes, wm.MaxRanges)
+			}
+			want := append([]core.SinkVerdict(nil), seq.Verdicts()...)
+			core.SortVerdicts(want)
+			if !reflect.DeepEqual(merged.Verdicts(), want) {
+				t.Fatalf("cut=%d n=%d: verdicts diverge", cut, n)
+			}
+		}
+	}
+}
+
+// boundedStore is a non-ideal Store: SplitByPID and MergeTrackers must
+// refuse it rather than partition approximately.
+type boundedStore struct{ core.Store }
+
+func (boundedStore) Add(uint32, mem.Range) {}
+
+func TestSplitErrors(t *testing.T) {
+	tr := core.NewTracker(partCfg, nil)
+	if _, err := tr.SplitByPID(0, modShard(1)); err == nil {
+		t.Fatal("split into 0 shards succeeded")
+	}
+	tr.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 3, Range: mem.Range{Start: 0, End: 8}})
+	if _, err := tr.SplitByPID(2, func(uint32) int { return 9 }); err == nil {
+		t.Fatal("out-of-range shard function not rejected")
+	}
+	bad := core.NewTracker(partCfg, boundedStore{})
+	if _, err := bad.SplitByPID(2, modShard(2)); err == nil {
+		t.Fatal("non-ideal store not rejected")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := core.MergeTrackers(nil); err == nil {
+		t.Fatal("merge of zero trackers succeeded")
+	}
+	a := core.NewTracker(partCfg, nil)
+	b := core.NewTracker(core.Config{NI: 7, NT: 2}, nil)
+	if _, err := core.MergeTrackers([]*core.Tracker{a, b}); err == nil {
+		t.Fatal("config mismatch not rejected")
+	}
+	// The same PID holding taint in two shards violates disjointness.
+	c := core.NewTracker(partCfg, nil)
+	d := core.NewTracker(partCfg, nil)
+	ev := cpu.Event{Kind: cpu.EvSourceRegister, PID: 5, Range: mem.Range{Start: 0, End: 8}}
+	c.Event(ev)
+	d.Event(ev)
+	if _, err := core.MergeTrackers([]*core.Tracker{c, d}); err == nil {
+		t.Fatal("duplicate-PID merge not rejected")
+	}
+}

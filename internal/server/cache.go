@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// peekCache keeps the most recently queried spilled sessions' hydrated
+// snapshots so a query-heavy tenant stops paying a full snapshot decode
+// per verdict/stats read. Entries are keyed by (tenant, generation): the
+// session's gen counter bumps on every mutating ingest, so a cached
+// tracker can never be served after the state it captured has moved —
+// staleness is structurally impossible, not TTL-approximate.
+//
+// Cached trackers are read-only snapshots (queries only call Verdicts
+// and Stats, which do not mutate), shared across requests for the same
+// tenant; same-tenant requests are already serialized by session.mu.
+// The cache is deliberately small (Config.SnapshotCache sessions) and
+// sits outside the live-byte budget: it prices as query working set, not
+// session residency, and eviction is plain LRU.
+type peekCache struct {
+	mu   sync.Mutex
+	cap  int
+	lru  *list.List // *peekEntry, front = hottest
+	byID map[string]*list.Element
+}
+
+type peekEntry struct {
+	id  string
+	gen uint64
+	tr  *core.Tracker
+}
+
+// newPeekCache returns nil for capacity <= 0 — every method is
+// nil-receiver-safe, so a disabled cache costs one branch per peek.
+func newPeekCache(capacity int) *peekCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &peekCache{
+		cap:  capacity,
+		lru:  list.New(),
+		byID: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached tracker for the tenant iff it captures exactly
+// generation gen; any other generation is dropped on sight.
+func (c *peekCache) get(id string, gen uint64) *core.Tracker {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.byID[id]
+	if e == nil {
+		return nil
+	}
+	ent := e.Value.(*peekEntry)
+	if ent.gen != gen {
+		c.lru.Remove(e)
+		delete(c.byID, id)
+		return nil
+	}
+	c.lru.MoveToFront(e)
+	return ent.tr
+}
+
+// put installs (or replaces) the tenant's cached snapshot, evicting the
+// coldest entry past capacity.
+func (c *peekCache) put(id string, gen uint64, tr *core.Tracker) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.byID[id]; e != nil {
+		ent := e.Value.(*peekEntry)
+		ent.gen, ent.tr = gen, tr
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.byID[id] = c.lru.PushFront(&peekEntry{id: id, gen: gen, tr: tr})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.byID, back.Value.(*peekEntry).id)
+		c.lru.Remove(back)
+	}
+}
+
+// drop forgets the tenant's entry; finalize calls it so a recreated
+// session can never see its predecessor's state.
+func (c *peekCache) drop(id string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.byID[id]; e != nil {
+		c.lru.Remove(e)
+		delete(c.byID, id)
+	}
+}
+
+// peekSnapshot answers a query against a spilled session, preferring the
+// cache over a snapshot decode. Caller holds sess.mu, which keeps gen
+// stable for the duration of the peek.
+func (s *Server) peekSnapshot(sess *session) (*core.Tracker, error) {
+	gen := sess.gen.Load()
+	if tr := s.cache.get(sess.id, gen); tr != nil {
+		s.m.peekHits.Inc()
+		return tr, nil
+	}
+	s.m.peekMisses.Inc()
+	tr, err := s.peekSpilled(sess)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(sess.id, gen, tr)
+	return tr, nil
+}

@@ -1,0 +1,129 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/server"
+)
+
+// Satellite: hydrated-snapshot cache for query-heavy tenants. A spilled
+// session's queries decode its PIFTSES1 snapshot; the cache must make
+// repeat queries free without ever serving state older than the session.
+
+// TestSnapshotCacheParity: cached answers equal freshly decoded ones,
+// and the hit/miss counters prove which path served each query.
+func TestSnapshotCacheParity(t *testing.T) {
+	h := sharedHarness(t)
+	events, err := h.TenantEvents(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eval.OneShotVerdicts(events, testCfg)
+
+	cached := newTestService(t, func(c *server.Config) { c.MemoryBudget = 1 })
+	fresh := newTestService(t, func(c *server.Config) { c.MemoryBudget = 1; c.SnapshotCache = -1 })
+	for _, s := range []*testService{cached, fresh} {
+		if ir, code := s.post(t, "cache-a", events, 0, len(events)); code != http.StatusOK {
+			t.Fatalf("ingest: status %d %+v", code, ir)
+		}
+		requireParity(t, s.verdicts(t, "cache-a"), want, "first query")
+		requireParity(t, s.verdicts(t, "cache-a"), want, "second query")
+	}
+	snap := cached.reg.Snapshot().Counters
+	if snap["pift_server_peek_cache_misses_total"] == 0 || snap["pift_server_peek_cache_hits_total"] == 0 {
+		t.Fatalf("cache never exercised: %v", snap)
+	}
+	if n := fresh.reg.Snapshot().Counters["pift_server_peek_cache_hits_total"]; n != 0 {
+		t.Fatalf("disabled cache served %d hits", n)
+	}
+}
+
+// TestSnapshotCacheInvalidation: a cached snapshot must never outlive
+// the ingest that supersedes it — queries after the second chunk see the
+// whole stream, not the cached half.
+func TestSnapshotCacheInvalidation(t *testing.T) {
+	h := sharedHarness(t)
+	events, err := h.TenantEvents(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestService(t, func(c *server.Config) { c.MemoryBudget = 1 })
+	half := len(events) / 2
+	if ir, code := s.post(t, "cache-b", events, 0, half); code != http.StatusOK {
+		t.Fatalf("chunk 1: status %d %+v", code, ir)
+	}
+	wantHalf := eval.OneShotVerdicts(events[:half], testCfg)
+	requireParity(t, s.verdicts(t, "cache-b"), wantHalf, "half, cold")
+	requireParity(t, s.verdicts(t, "cache-b"), wantHalf, "half, cached")
+	if ir, code := s.post(t, "cache-b", events, half, len(events)); code != http.StatusOK {
+		t.Fatalf("chunk 2: status %d %+v", code, ir)
+	}
+	requireParity(t, s.verdicts(t, "cache-b"), eval.OneShotVerdicts(events, testCfg), "full, post-ingest")
+	snap := s.reg.Snapshot().Counters
+	if snap["pift_server_peek_cache_hits_total"] == 0 {
+		t.Fatalf("cache never hit: %v", snap)
+	}
+	if snap["pift_server_peek_cache_misses_total"] < 2 {
+		t.Fatalf("stale entry must miss after ingest: %v", snap)
+	}
+}
+
+// TestSnapshotCacheConcurrent hammers one tenant with queries while its
+// stream is still arriving and the byte budget evicts it after every
+// touch — the cache's locking must hold up under -race, and the final
+// state must be exact.
+func TestSnapshotCacheConcurrent(t *testing.T) {
+	h := sharedHarness(t)
+	events, err := h.TenantEvents(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestService(t, func(c *server.Config) {
+		c.MemoryBudget = 1
+		c.MaxStreams = 16
+	})
+	const chunks = 8
+	per := (len(events) + chunks - 1) / chunks
+	if _, code := s.post(t, "cache-c", events, 0, per); code != http.StatusOK {
+		t.Fatalf("first chunk: status %d", code)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(kind string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Raw queries: 429/404 races are fine here, only data races
+				// and the final parity check below matter.
+				resp, err := http.Get(s.base("cache-c") + kind)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}([]string{"/verdicts", "/stats", "/verdicts"}[i])
+	}
+	for start := per; start < len(events); start += per {
+		end := start + per
+		if end > len(events) {
+			end = len(events)
+		}
+		if ir, code := s.post(t, "cache-c", events, start, end); code != http.StatusOK {
+			t.Fatalf("chunk [%d,%d): status %d %+v", start, end, code, ir)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	requireParity(t, s.verdicts(t, "cache-c"), eval.OneShotVerdicts(events, testCfg), "concurrent")
+}

@@ -23,6 +23,15 @@ type serverMetrics struct {
 	ingestErrors    *metrics.Counter // ingest requests that ended in an error class
 	ingestSeconds   *metrics.Histogram
 
+	parallelIngests    *metrics.Counter // requests committed through the sharded pipeline
+	parallelFallbacks  *metrics.Counter // parallel drains that fell back to sequential replay
+	workersLoaned      *metrics.Gauge   // pipeline workers currently loaned to sessions
+	spoolBytes         *metrics.Counter // request bytes captured into ingest spools
+	peekHits           *metrics.Counter // spilled-session queries served from the snapshot cache
+	peekMisses         *metrics.Counter // spilled-session queries that decoded a snapshot
+	spillBatches       *metrics.Counter // grouped eviction write bursts
+	spillBatchSessions *metrics.Counter // sessions dehydrated across those bursts
+
 	tenantBytes    *metrics.CounterVec // bytes ingested, by tenant
 	tenantEvents   *metrics.CounterVec // events applied, by tenant
 	tenantVerdicts *metrics.CounterVec // sink verdicts recorded, by tenant
@@ -47,6 +56,15 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m.streamsRejected = r.Counter("pift_server_streams_rejected_total", "ingest streams rejected 429 by the global concurrency cap")
 	m.ingestErrors = r.Counter("pift_server_ingest_errors_total", "ingest requests that ended in an error class")
 	m.ingestSeconds = r.Histogram("pift_server_ingest_seconds", "wall time of one ingest request", metrics.LatencyBuckets)
+
+	m.parallelIngests = r.Counter("pift_server_parallel_ingests_total", "ingest requests committed through the sharded pipeline")
+	m.parallelFallbacks = r.Counter("pift_server_parallel_fallbacks_total", "parallel drains that fell back to the sequential path")
+	m.workersLoaned = r.Gauge("pift_server_ingest_workers_loaned", "pipeline workers currently loaned to parallel ingests")
+	m.spoolBytes = r.Counter("pift_server_spool_bytes_total", "request bytes captured into ingest spools")
+	m.peekHits = r.Counter("pift_server_peek_cache_hits_total", "spilled-session queries served from the snapshot cache")
+	m.peekMisses = r.Counter("pift_server_peek_cache_misses_total", "spilled-session queries that decoded a spill snapshot")
+	m.spillBatches = r.Counter("pift_server_spill_batches_total", "grouped eviction write bursts")
+	m.spillBatchSessions = r.Counter("pift_server_spill_batch_sessions_total", "sessions dehydrated across grouped eviction bursts")
 
 	m.tenantBytes = r.CounterVec("pift_server_tenant_bytes_total", "trace bytes ingested per tenant", "tenant")
 	m.tenantEvents = r.CounterVec("pift_server_tenant_events_total", "trace events applied per tenant", "tenant")

@@ -52,6 +52,9 @@ type session struct {
 	// the session-list endpoint, hence atomic.
 	acked   atomic.Uint64 // events applied over the session's lifetime
 	spilled atomic.Bool
+	// gen counts mutating ingests; the peek cache keys on it so cached
+	// query snapshots invalidate the moment new events land.
+	gen atomic.Uint64
 
 	// Per-tenant series, resolved once so the ingest loop touches only
 	// plain atomic counters.
@@ -233,47 +236,59 @@ func (s *Server) touch(sess *session) {
 // held (mid-ingest or mid-query) is skipped rather than waited for. The
 // scan gives up when nothing is evictable — the budget is a target under
 // concurrent load, not a hard fence.
+//
+// Evictions are batched: one pass under server.mu collects every victim
+// the budget demands (each claimed by TryLock, so nothing blocks), then
+// the whole group's spill files are written in one IO burst outside the
+// lock. Compared to the old one-victim-per-lock-cycle loop, a budget
+// overshoot that used to cost N lock acquisitions and N interleaved
+// scans now costs one of each — the writes themselves stay per-session
+// atomicfile renames, which is what restart recovery depends on.
 func (s *Server) enforceBudget() {
 	for {
 		s.mu.Lock()
-		if s.liveBytes <= s.cfg.MemoryBudget {
-			s.mu.Unlock()
-			return
-		}
-		var victim *session
-		for e := s.lru.Back(); e != nil; e = e.Prev() {
+		var victims []*session
+		for e := s.lru.Back(); e != nil && s.liveBytes > s.cfg.MemoryBudget; {
+			prev := e.Prev()
 			cand := e.Value.(*session)
 			if cand.mu.TryLock() {
-				victim = cand
-				break
+				s.lru.Remove(cand.elem)
+				cand.elem = nil
+				s.liveBytes -= cand.bytes
+				cand.bytes = 0
+				victims = append(victims, cand)
 			}
+			e = prev
 		}
-		if victim == nil {
-			s.mu.Unlock()
+		s.mu.Unlock()
+		if len(victims) == 0 {
 			return
 		}
-		s.lru.Remove(victim.elem)
-		victim.elem = nil
-		s.liveBytes -= victim.bytes
-		victim.bytes = 0
-		s.mu.Unlock()
+		s.m.spillBatches.Inc()
+		s.m.spillBatchSessions.Add(uint64(len(victims)))
 
 		// File IO happens outside server.mu so other tenants keep moving.
-		err := s.dehydrate(victim)
-		if err != nil {
-			// Disk refused the spill: the tracker stays live and charged;
-			// re-admit it as hottest so the scan tries colder prey first.
-			victim.bytes = estimateBytes(victim.tr)
-			s.mu.Lock()
-			s.liveBytes += victim.bytes
-			victim.elem = s.lru.PushFront(victim)
-			s.mu.Unlock()
-			s.m.spillErrors.Inc()
+		failed := false
+		for _, victim := range victims {
+			if err := s.dehydrate(victim); err != nil {
+				// Disk refused the spill: the tracker stays live and
+				// charged; re-admit it as hottest so the next scan tries
+				// colder prey first.
+				victim.bytes = estimateBytes(victim.tr)
+				s.mu.Lock()
+				s.liveBytes += victim.bytes
+				victim.elem = s.lru.PushFront(victim)
+				s.mu.Unlock()
+				s.m.spillErrors.Inc()
+				failed = true
+			} else {
+				s.m.evictions.Inc()
+			}
 			victim.mu.Unlock()
+		}
+		if failed {
 			return
 		}
-		s.m.evictions.Inc()
-		victim.mu.Unlock()
 	}
 }
 
@@ -327,6 +342,7 @@ func (s *Server) remove(sess *session) {
 		s.m.sessionsLive.Dec()
 	}
 	os.Remove(s.spillPath(sess.id))
+	s.cache.drop(sess.id)
 	sess.tr = nil
 	sess.spilled.Store(false)
 	s.m.finalized.Inc()
