@@ -4,7 +4,8 @@
 // Usage:
 //
 //	piftbench [-exp all|fig2|table1|fig10|fig11|headline|fig12|fig13|
-//	           fig14|fig15|fig16|fig17|fig18|pipeline] [-scale N]
+//	           fig14|fig15|fig16|fig17|fig18|pipeline|stackvm]
+//	          [-frontend dalvik|stackvm] [-scale N]
 //	          [-workers 1,2,4,8] [-events 2097152]
 //
 // -scale sizes the LGRoot workload that drives the trace-statistics and
@@ -12,6 +13,17 @@
 // distributions). -workers selects the worker counts the pipeline
 // experiment sweeps, and -events the size of the synthetic corpus its
 // shard-owned scaling sweep drains (0 disables that sweep).
+//
+// -frontend selects which guest VM's benchmark suite backs the harness:
+// the Dalvik-style register VM (default) or the wasm-style stack VM. Both
+// front ends lower to the same event stream, so every trace-driven
+// experiment runs on either; the malware corpus is Dalvik bytecode and
+// appears only with the matching front end.
+//
+// -exp stackvm runs the second front end's dedicated accuracy experiment:
+// every stack-VM app against the DIFT oracle and PIFT at NI=13/NT=3 and
+// NI=∞, quantifying the flows the finite window misses (the spill/reload
+// family), plus the per-frontend load→store distance comparison.
 package main
 
 import (
@@ -30,7 +42,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline, server)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, fig10, fig11, headline, fig12, fig13, fig14, fig15, fig16, fig17, fig18, jit, stores, cache, categories, allsamples, apps, summary, pipeline, server, stackvm)")
+	feName := flag.String("frontend", "dalvik", "guest front end backing the harness suite: dalvik or stackvm")
 	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp pipeline and -exp server")
 	events := flag.Int("events", 1<<21, "synthetic corpus size (events) for -exp pipeline's shard-owned scaling sweep; 0 disables")
@@ -39,7 +52,9 @@ func main() {
 	serverJSON := flag.String("server-json", "BENCH_server.json", "path for the server experiment's JSON artifact; empty disables")
 	flag.Parse()
 
-	h := eval.NewHarness(*scale)
+	suite, err := droidbench.SuiteFor(*feName)
+	fatal(err)
+	h := eval.NewHarnessSuite(*scale, suite)
 	selected := strings.Split(*exp, ",")
 	run := func(name string) bool {
 		for _, s := range selected {
@@ -55,9 +70,13 @@ func main() {
 
 	if run("table1") {
 		ok = true
-		rows, err := eval.Table1()
+		rows, err := eval.Table1For(h.Frontend())
 		fatal(err)
-		fmt.Println(eval.RenderTable1(rows))
+		display := h.Frontend().Name()
+		if display == "dalvik" {
+			display = "Dalvik"
+		}
+		fmt.Println(eval.RenderTable1For(display, rows))
 	}
 	if run("fig10") {
 		ok = true
@@ -100,6 +119,12 @@ func main() {
 	if run("apps") {
 		ok = true
 		fmt.Println(droidbench.RenderInventory())
+	}
+	if run("stackvm") {
+		ok = true
+		r, err := eval.StackVM(h)
+		fatal(err)
+		fmt.Println(r.Render())
 	}
 	if run("categories") {
 		ok = true

@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	piftrun -list
-//	piftrun -app DirectImeiSms [-ni 13] [-nt 3] [-untaint=true] [-dift] [-workers N]
+//	piftrun -list [-frontend dalvik|stackvm]
+//	piftrun -app DirectImeiSms [-frontend dalvik] [-ni 13] [-nt 3] [-untaint=true]
+//	        [-dift] [-workers N]
 //	        [-checkpoint-dir DIR [-checkpoint-every N] [-resume]] [-http :8080]
+//
+// -frontend selects the guest VM whose benchmark suite supplies the apps:
+// the Dalvik-style register VM (default, plus the malware samples) or the
+// wasm-style stack VM. Both lower to the same ARM event stream, so every
+// analysis option works unchanged on either.
+//
 //	piftrun -serve -http :8080 [-spill-dir DIR] [-spill-budget BYTES] [-max-streams N]
 //	        [-ingest-workers N] [-worker-budget N] [-parallel-threshold N] [-commit-every N]
 //
@@ -35,9 +42,9 @@ import (
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/dalvik"
 	"repro/internal/dift"
 	"repro/internal/droidbench"
+	"repro/internal/frontend"
 	"repro/internal/malware"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -46,6 +53,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available applications")
+	feName := flag.String("frontend", "dalvik", "guest front end: dalvik or stackvm")
 	app := flag.String("app", "", "application or malware sample name")
 	ni := flag.Uint64("ni", 13, "tainting window size NI")
 	nt := flag.Int("nt", 3, "max propagations per window NT")
@@ -86,28 +94,37 @@ func main() {
 		return
 	}
 
-	var mode dalvik.Mode
+	var mode frontend.Mode
 	switch *modeName {
 	case "interp":
-		mode = dalvik.ModeInterp
+		mode = frontend.ModeInterp
 	case "jit":
-		mode = dalvik.ModeJIT
+		mode = frontend.ModeJIT
 	case "aot":
-		mode = dalvik.ModeAOT
+		mode = frontend.ModeAOT
 	default:
 		fmt.Fprintf(os.Stderr, "piftrun: unknown mode %q\n", *modeName)
 		os.Exit(2)
 	}
 
-	programs := map[string]*dalvik.Program{}
+	suite, err := droidbench.SuiteFor(*feName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "piftrun:", err)
+		os.Exit(2)
+	}
+	programs := map[string]frontend.Program{}
 	var order []string
-	for _, a := range droidbench.Suite() {
+	for _, a := range suite.Apps() {
 		programs[a.Name] = a.Prog
 		order = append(order, a.Name)
 	}
-	for _, s := range malware.Samples() {
-		programs[s.Name] = s.Prog
-		order = append(order, s.Name)
+	// The malware corpus is Dalvik bytecode; it rides along with the
+	// matching front end only.
+	if suite.Frontend().Name() == "dalvik" {
+		for _, s := range malware.Samples() {
+			programs[s.Name] = s.Prog
+			order = append(order, s.Name)
+		}
 	}
 
 	if *list {
@@ -208,9 +225,9 @@ func main() {
 		opts.Hooks = append(opts.Hooks, exact)
 	}
 
-	res, err := android.Run(prog, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "piftrun:", err)
+	res, runErr := android.Run(prog, opts)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "piftrun:", runErr)
 		os.Exit(1)
 	}
 	var (

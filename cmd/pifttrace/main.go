@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pifttrace -app LGRoot [-scale 25] [-disasm N]
+//	pifttrace -app LGRoot [-frontend dalvik|stackvm] [-scale 25] [-disasm N]
 package main
 
 import (
@@ -14,9 +14,9 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/cpu"
-	"repro/internal/dalvik"
 	"repro/internal/droidbench"
 	"repro/internal/eval"
+	"repro/internal/frontend"
 	"repro/internal/malware"
 	"repro/internal/trace"
 	"repro/internal/tracestat"
@@ -24,6 +24,7 @@ import (
 
 func main() {
 	app := flag.String("app", "LGRoot", "application or malware sample name")
+	feName := flag.String("frontend", "dalvik", "guest front end: dalvik or stackvm")
 	scale := flag.Int("scale", malware.DefaultScale, "LGRoot workload scale")
 	disasm := flag.Uint64("disasm", 0, "print the first N retired instructions as a gem5-style listing")
 	save := flag.String("save", "", "write the recorded event trace to this file")
@@ -46,18 +47,25 @@ func main() {
 		return
 	}
 
-	var prog *dalvik.Program
-	if *app == "LGRoot" {
+	suite, err := droidbench.SuiteFor(*feName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifttrace:", err)
+		os.Exit(2)
+	}
+	var prog frontend.Program
+	if *app == "LGRoot" && suite.Frontend().Name() == "dalvik" {
 		prog = malware.LGRoot(*scale)
 	} else {
-		for _, a := range droidbench.Suite() {
+		for _, a := range suite.Apps() {
 			if a.Name == *app {
 				prog = a.Prog
 			}
 		}
-		for _, s := range malware.Samples() {
-			if s.Name == *app {
-				prog = s.Prog
+		if suite.Frontend().Name() == "dalvik" {
+			for _, s := range malware.Samples() {
+				if s.Name == *app {
+					prog = s.Prog
+				}
 			}
 		}
 	}

@@ -161,3 +161,30 @@ func TestMultipleSinkCallsGetDistinctTags(t *testing.T) {
 		t.Error("leaky second message missed")
 	}
 }
+
+func TestSinkKindStrings(t *testing.T) {
+	cases := map[SinkKind]string{
+		SinkSMS:      "sms",
+		SinkHTTP:     "http",
+		SinkLog:      "log",
+		SinkKind(99): "sink?",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("SinkKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestLeakedByContent(t *testing.T) {
+	prog := buildFetchAndSend(t, MethodGetDeviceID, MethodSendSMS)
+	_, res, _ := runWithTracker(t, prog, core.Config{NI: 13, NT: 3, Untaint: true})
+	if !res.Framework.LeakedByContent() {
+		t.Error("leaky run not flagged by content ground truth")
+	}
+	clean := buildFetchAndSend(t, MethodGetModel, MethodSendSMS)
+	_, cres, _ := runWithTracker(t, clean, core.Config{NI: 13, NT: 3, Untaint: true})
+	if cres.Framework.LeakedByContent() {
+		t.Error("benign run flagged by content ground truth")
+	}
+}

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/arm"
 	"repro/internal/cpu"
-	"repro/internal/dalvik"
+	"repro/internal/frontend"
 	"repro/internal/jrt"
 	"repro/internal/metrics"
 )
@@ -25,10 +25,10 @@ type RunOptions struct {
 	// baseline).
 	Hooks []cpu.InstrHook
 	// Optimize translates with the JIT-style fused templates (§4.1
-	// ablation); shorthand for Mode = dalvik.ModeJIT.
+	// ablation); shorthand for Mode = frontend.ModeJIT.
 	Optimize bool
 	// Mode selects the execution tier explicitly (interp, jit, aot).
-	Mode dalvik.Mode
+	Mode frontend.Mode
 	// Metrics, when non-nil, instruments the machine's front end
 	// (instructions/loads/stores retired) against this registry.
 	Metrics *metrics.Registry
@@ -42,13 +42,13 @@ type RunResult struct {
 	Framework    *Framework
 	Runtime      *jrt.Runtime
 	Machine      *cpu.Machine
-	Translated   *dalvik.Translated
+	Image        frontend.Image
 }
 
-// Run links the program against a fresh machine, runtime, and framework,
-// then executes it to completion. The same program can be Run any number
-// of times; each run is fully isolated.
-func Run(prog *dalvik.Program, opts RunOptions) (*RunResult, error) {
+// Run links a program of any front end against a fresh machine, runtime,
+// and framework, then executes it to completion. The same program can be
+// Run any number of times; each run is fully isolated.
+func Run(prog frontend.Program, opts RunOptions) (*RunResult, error) {
 	pid := opts.PID
 	if pid == 0 {
 		pid = 1
@@ -73,33 +73,33 @@ func Run(prog *dalvik.Program, opts RunOptions) (*RunResult, error) {
 		machine.AttachHook(h)
 	}
 
-	asm := arm.NewAssembler(dalvik.CodeBase)
+	asm := arm.NewAssembler(frontend.CodeBase)
 	rt := jrt.New(machine, asm)
 	fw := NewFramework(rt, identity)
 
 	mode := opts.Mode
-	if opts.Optimize && mode == dalvik.ModeInterp {
-		mode = dalvik.ModeJIT
+	if opts.Optimize && mode == frontend.ModeInterp {
+		mode = frontend.ModeJIT
 	}
-	translated, err := dalvik.TranslateMode(prog, asm, rt, mode)
+	translated, err := prog.Translate(asm, rt, mode)
 	if err != nil {
-		return nil, fmt.Errorf("android: translate %s: %w", prog.Name, err)
+		return nil, fmt.Errorf("android: translate %s: %w", prog.ProgramName(), err)
 	}
 	code, err := asm.Finish()
 	if err != nil {
-		return nil, fmt.Errorf("android: link %s: %w", prog.Name, err)
+		return nil, fmt.Errorf("android: link %s: %w", prog.ProgramName(), err)
 	}
-	image := &cpu.Image{Base: dalvik.CodeBase, Code: code}
+	image := &cpu.Image{Base: frontend.CodeBase, Code: code}
 	translated.Materialize(machine.Mem)
 
-	entry, ok := asm.LabelAddr(translated.EntryLabel)
+	entry, ok := asm.LabelAddr(translated.EntryLabel())
 	if !ok {
-		return nil, fmt.Errorf("android: no entry label for %s", prog.Name)
+		return nil, fmt.Errorf("android: no entry label for %s", prog.ProgramName())
 	}
 	proc := cpu.NewProc(pid, image, entry)
 	n, err := machine.Run(proc, budget)
 	if err != nil {
-		return nil, fmt.Errorf("android: run %s: %w", prog.Name, err)
+		return nil, fmt.Errorf("android: run %s: %w", prog.ProgramName(), err)
 	}
 	return &RunResult{
 		Instructions: n,
@@ -108,6 +108,6 @@ func Run(prog *dalvik.Program, opts RunOptions) (*RunResult, error) {
 		Framework:    fw,
 		Runtime:      rt,
 		Machine:      machine,
-		Translated:   translated,
+		Image:        translated,
 	}, nil
 }

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// TestTrackerAccessors covers the footprint accessors session managers
+// use for memory-budget accounting.
+func TestTrackerAccessors(t *testing.T) {
+	tr := NewTracker(Config{NI: 13, NT: 3, Untaint: true}, nil)
+	if tr.Store() == nil {
+		t.Fatal("nil taint store")
+	}
+	if tr.WindowCount() != 0 || tr.Ops() != 0 {
+		t.Fatalf("fresh tracker: %d windows, %d ops", tr.WindowCount(), tr.Ops())
+	}
+	secret := mem.MakeRange(0x1000, 8)
+	tr.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 1, Seq: 1, Range: secret})
+	tr.Event(cpu.Event{Kind: cpu.EvLoad, PID: 1, Seq: 2, Range: secret})
+	tr.Event(cpu.Event{Kind: cpu.EvStore, PID: 1, Seq: 3, Range: mem.MakeRange(0x2000, 8)})
+	if tr.WindowCount() != 1 {
+		t.Errorf("windows = %d, want 1 (one PID with a tainted load)", tr.WindowCount())
+	}
+	if tr.Ops() == 0 {
+		t.Error("no taint ops counted after a carried store")
+	}
+}

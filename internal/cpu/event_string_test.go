@@ -1,0 +1,31 @@
+package cpu
+
+import "testing"
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EvLoad:           "load",
+		EvStore:          "store",
+		EvSourceRegister: "source",
+		EvSinkCheck:      "sink",
+	}
+	for k, s := range want {
+		if got := k.String(); got != s {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, got, s)
+		}
+	}
+}
+
+type countingSink struct{ n int }
+
+func (c *countingSink) Event(Event) { c.n++ }
+
+func TestEventSinksFanOut(t *testing.T) {
+	a, b := &countingSink{}, &countingSink{}
+	s := EventSinks{a, b}
+	s.Event(Event{Kind: EvLoad})
+	s.Event(Event{Kind: EvStore})
+	if a.n != 2 || b.n != 2 {
+		t.Fatalf("fan-out delivered %d/%d events, want 2/2", a.n, b.n)
+	}
+}

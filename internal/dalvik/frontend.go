@@ -1,0 +1,168 @@
+package dalvik
+
+import (
+	"repro/internal/arm"
+	"repro/internal/frontend"
+	"repro/internal/mem"
+)
+
+// This file adapts the Dalvik-like VM to the front-end-agnostic surface of
+// internal/frontend: *Program implements frontend.Program, and Front is
+// the frontend.Frontend descriptor used by flags and the static-coverage
+// experiments.
+
+var _ frontend.Program = (*Program)(nil)
+
+// ProgramName implements frontend.Program.
+func (p *Program) ProgramName() string { return p.Name }
+
+// Instructions implements frontend.Program: the static bytecode count.
+func (p *Program) Instructions() int { return p.Stats().Instructions }
+
+// OpCounts implements frontend.Program: opcode tallies by mnemonic.
+func (p *Program) OpCounts() map[string]int {
+	out := map[string]int{}
+	for _, name := range p.MethodNames() {
+		for _, in := range p.Methods[name].Insns {
+			out[in.Op.String()]++
+		}
+	}
+	return out
+}
+
+// Translate implements frontend.Program.
+func (p *Program) Translate(asm *arm.Assembler, rt frontend.Runtime, mode frontend.Mode) (frontend.Image, error) {
+	tr, err := TranslateMode(p, asm, rt, mode)
+	if err != nil {
+		return nil, err
+	}
+	return translatedImage{tr}, nil
+}
+
+// translatedImage adapts *Translated (whose EntryLabel is a field) to the
+// frontend.Image interface.
+type translatedImage struct{ tr *Translated }
+
+func (im translatedImage) EntryLabel() string         { return im.tr.EntryLabel }
+func (im translatedImage) Materialize(m frontend.Mem) { im.tr.Materialize(m) }
+
+// Front is the Dalvik front end descriptor.
+type Front struct{}
+
+var _ frontend.Frontend = Front{}
+
+// Name implements frontend.Frontend.
+func (Front) Name() string { return "dalvik" }
+
+// Templates implements frontend.Frontend: it translates a program
+// exercising every opcode and reports each template's measured data
+// load/store positions. The measurement is live — a template regression
+// changes the result.
+func (Front) Templates() ([]frontend.TemplateInfo, error) {
+	metas, err := translateAllOps()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]frontend.TemplateInfo, 0, len(metas))
+	for _, m := range metas {
+		info := frontend.TemplateInfo{
+			Op:         m.Op.String(),
+			MovesData:  m.Op.MovesData(),
+			HelperCall: m.HelperCall,
+		}
+		info.Distance, info.HasDistance = m.Distance()
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// translateAllOps builds a program exercising every opcode and returns the
+// translation metadata.
+func translateAllOps() ([]InsnMeta, error) {
+	b := NewProgram("table1")
+	b.Class("C", "f")
+	b.Statics("s")
+	b.Method("Callee.m", 4, 1).Return(0)
+	m := b.Method("Main.main", 6, 0)
+	m.Move(0, 1)
+	m.MoveFrom16(0, 1)
+	m.Move16(0, 1)
+	m.MoveObject(0, 1)
+	m.MoveObjectFrom16(0, 1)
+	m.InvokeStatic("Callee.m", 1)
+	m.MoveResult(0)
+	m.InvokeStatic("Callee.m", 1)
+	m.MoveResultObject(0)
+	for _, op := range []Opcode{
+		OpAddInt, OpSubInt, OpMulInt, OpAndInt,
+		OpOrInt, OpXorInt, OpShlInt, OpShrInt,
+	} {
+		m.Binop(op, 0, 1, 2)
+	}
+	for _, op := range []Opcode{
+		OpAddInt2Addr, OpSubInt2Addr, OpMulInt2Addr,
+		OpAndInt2Addr, OpOrInt2Addr, OpXorInt2Addr,
+		OpShlInt2Addr, OpShrInt2Addr,
+	} {
+		m.Binop2Addr(op, 0, 1)
+	}
+	for _, op := range []Opcode{
+		OpAddIntLit8, OpMulIntLit8, OpAndIntLit8,
+		OpRsubIntLit8, OpXorIntLit8, OpDivIntLit8,
+		OpRemIntLit8,
+	} {
+		m.BinopLit8(op, 0, 1, 3)
+	}
+	m.Binop(OpDivInt, 0, 1, 2)
+	m.Binop(OpRemInt, 0, 1, 2)
+	m.NegInt(0, 1)
+	m.Binop2Addr(OpNotInt, 0, 1)
+	m.IntToChar(0, 1)
+	m.Binop2Addr(OpIntToByte, 0, 1)
+	m.ArrayLength(0, 1)
+	m.Aget(0, 1, 2)
+	m.Aput(0, 1, 2)
+	m.AgetChar(0, 1, 2)
+	m.AputChar(0, 1, 2)
+	m.AgetObject(0, 1, 2)
+	m.AputObject(0, 1, 2)
+	m.Iget(0, 1, "C.f")
+	m.Iput(0, 1, "C.f")
+	m.IgetObject(0, 1, "C.f")
+	m.IputObject(0, 1, "C.f")
+	m.Sget(0, "s")
+	m.Sput(0, "s")
+	m.SgetObject(0, "s")
+	m.SputObject(0, "s")
+	m.Return(0)
+	b.Entry("Main.main")
+	prog, err := b.Build(map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+
+	asm := arm.NewAssembler(CodeBase)
+	rt := &measureRuntime{}
+	asm.Label("measure$extern")
+	asm.Emit(arm.BxLR())
+	tr, err := Translate(prog, asm, rt)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Meta, nil
+}
+
+// measureRuntime is the minimal Runtime needed to translate for
+// measurement: no real heap, every extern resolves to a stub.
+type measureRuntime struct {
+	next mem.Addr
+}
+
+func (m *measureRuntime) InternString(string) mem.Addr {
+	m.next += 0x40
+	return HeapBase + m.next
+}
+
+func (m *measureRuntime) ExternEntry(string) (string, bool) {
+	return "measure$extern", true
+}

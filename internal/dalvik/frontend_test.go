@@ -1,0 +1,76 @@
+package dalvik
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/frontend"
+	"repro/internal/mem"
+)
+
+// TestFrontendDescriptor exercises the frontend.Frontend/Program/Image
+// surface the harness and the CLIs consume: the live template
+// measurements and the interface adapters over the translator.
+func TestFrontendDescriptor(t *testing.T) {
+	if got := (Front{}).Name(); got != "dalvik" {
+		t.Fatalf("front end name %q, want dalvik", got)
+	}
+	infos, err := Front{}.Templates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]frontend.TemplateInfo{}
+	for _, info := range infos {
+		byOp[info.Op] = info
+	}
+	mv, ok := byOp["move"]
+	if !ok || !mv.HasDistance || mv.Distance != 3 {
+		t.Errorf("move template: %+v, want distance 3", mv)
+	}
+	if div, ok := byOp["div-int"]; !ok || !div.HelperCall || div.HasDistance {
+		t.Errorf("div-int template: %+v, want opaque helper call", byOp["div-int"])
+	}
+	if ret, ok := byOp["return"]; !ok || !ret.HasDistance || ret.Distance != 1 {
+		t.Errorf("return template: %+v, want distance 1", byOp["return"])
+	}
+
+	var prog frontend.Program = buildAllOps(t)
+	if prog.ProgramName() != "allops" {
+		t.Errorf("ProgramName %q", prog.ProgramName())
+	}
+	if prog.Instructions() == 0 {
+		t.Error("Instructions() = 0")
+	}
+	counts := prog.OpCounts()
+	if counts["move"] == 0 {
+		t.Errorf("OpCounts lacks move: %v", counts)
+	}
+	if !strings.Contains(prog.Dump(), "move") {
+		t.Error("Dump lacks the move mnemonic")
+	}
+
+	asm := arm.NewAssembler(CodeBase)
+	rt := newStubRuntime(asm)
+	img, err := prog.Translate(asm, rt, frontend.ModeInterp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.EntryLabel() == "" {
+		t.Error("empty entry label")
+	}
+	m := mem.NewMemory()
+	img.Materialize(m)
+	if m.Load16(frontend.BytecodeBase) == 0 {
+		t.Error("Materialize wrote no bytecode at BytecodeBase")
+	}
+
+	asm2 := arm.NewAssembler(CodeBase)
+	img2, err := frontend.Translate(prog, asm2, newStubRuntime(asm2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.EntryLabel() != img.EntryLabel() {
+		t.Errorf("frontend.Translate entry %q vs %q", img2.EntryLabel(), img.EntryLabel())
+	}
+}

@@ -2,48 +2,36 @@ package dalvik
 
 import (
 	"repro/internal/arm"
+	"repro/internal/frontend"
 	"repro/internal/mem"
 )
 
-// Memory map of a translated application. The exact values are arbitrary;
-// what matters is that the regions are disjoint so taint ranges never alias
-// across them.
+// The memory map is the cross-frontend ABI (internal/frontend); the names
+// below are kept so dalvik code and its callers read naturally.
 const (
-	// CodeBase is where the native image starts (instruction fetch only;
-	// never appears in data-memory events).
-	CodeBase mem.Addr = 0x4000_0000
-	// BytecodeBase holds the Dalvik code units the interpreter templates
-	// fetch with "ldrh rINST, [rPC, #2]!" — real data loads, as on the
-	// paper's platform.
-	BytecodeBase mem.Addr = 0x3000_0000
-	// TableBase holds packed-switch tables (4-byte case values).
-	TableBase mem.Addr = 0x2c00_0000
-	// StaticsBase holds static fields, one 4-byte slot each.
-	StaticsBase mem.Addr = 0x2000_0000
-	// SelfBase is the per-thread interpreter state block; the return-value
-	// slot lives at offset RetvalOffset.
-	SelfBase mem.Addr = 0x1000_0000
-	// HeapBase is where the runtime's bump allocator starts.
-	HeapBase mem.Addr = 0x0800_0000
-	// FrameTop is the top of the interpreter frame stack; frames grow
-	// down from here.
-	FrameTop mem.Addr = 0xbef0_0000
-	// StackTop is the native SP used by intrinsics that push.
-	StackTop mem.Addr = 0xbf00_0000
+	CodeBase     = frontend.CodeBase
+	BytecodeBase = frontend.BytecodeBase
+	TableBase    = frontend.TableBase
+	StaticsBase  = frontend.StaticsBase
+	SelfBase     = frontend.SelfBase
+	HeapBase     = frontend.HeapBase
+	FrameTop     = frontend.FrameTop
+	StackTop     = frontend.StackTop
 )
 
 // RetvalOffset is the byte offset of the method return-value slot within
 // the self block.
-const RetvalOffset = 0
+const RetvalOffset = frontend.RetvalOffset
 
 // Interpreter register conventions, following the Android mterp assignments
-// the paper's Figures 8 and 9 show.
+// the paper's Figures 8 and 9 show. RSELF is fixed by the extern calling
+// convention shared with every other front end.
 const (
-	RPC    = arm.R4 // rPC: points at the current bytecode unit
-	RFP    = arm.R5 // rFP: base of the current frame's virtual registers
-	RSELF  = arm.R6 // rSELF: per-thread state block (retval slot)
-	RINST  = arm.R7 // rINST: current instruction unit
-	RIBASE = arm.R8 // rIBASE: handler table base (kept constant)
+	RPC    = arm.R4         // rPC: points at the current bytecode unit
+	RFP    = arm.R5         // rFP: base of the current frame's virtual registers
+	RSELF  = frontend.RSelf // rSELF: per-thread state block (retval slot)
+	RINST  = arm.R7         // rINST: current instruction unit
+	RIBASE = arm.R8         // rIBASE: handler table base (kept constant)
 )
 
 // saveAreaBytes is the per-frame bookkeeping area above the virtual

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/arm"
+	"repro/internal/frontend"
 	"repro/internal/mem"
 )
 
@@ -12,15 +13,9 @@ import (
 // plus the framework): interned string objects and native entry labels for
 // external methods (intrinsics, framework calls, ABI helpers, allocation).
 // The runtime emits its routines into the same assembler before translation,
-// so labels resolve at Finish time.
-type Runtime interface {
-	// InternString returns the address of the String object for a literal.
-	InternString(s string) mem.Addr
-	// ExternEntry returns the native label of an external method or
-	// helper routine ("rt.alloc", "__aeabi_idiv", "StringBuilder.append",
-	// framework methods, ...).
-	ExternEntry(name string) (label string, ok bool)
-}
+// so labels resolve at Finish time. The contract is shared with every front
+// end (internal/frontend).
+type Runtime = frontend.Runtime
 
 // Extern names the translator itself depends on.
 const (
@@ -92,36 +87,15 @@ func (tr *Translated) Materialize(m interface {
 }
 
 // Mode selects the translation strategy, mirroring the execution tiers of
-// the paper's §4.1.
-type Mode uint8
+// the paper's §4.1. The tiers are defined once for all front ends in
+// internal/frontend; the aliases keep dalvik call sites readable.
+type Mode = frontend.Mode
 
 const (
-	// ModeInterp is the baseline mterp interpreter shape: full dispatch
-	// (operand decode, bytecode fetch-advance, opcode extract, handler
-	// branch) around every template. All Table 1 distances are measured
-	// in this mode.
-	ModeInterp Mode = iota
-	// ModeJIT fuses the opcode extraction and the dispatch branch of
-	// straight-line templates, as Dalvik's trace JIT does for hot code.
-	// The bytecode fetch loads remain (the trace cache re-checks rINST).
-	ModeJIT
-	// ModeAOT is the ART ahead-of-time shape: compiled methods carry no
-	// interpreter state at all — no rPC, no bytecode fetches, no
-	// dispatch. Only the data loads and stores remain.
-	ModeAOT
+	ModeInterp = frontend.ModeInterp
+	ModeJIT    = frontend.ModeJIT
+	ModeAOT    = frontend.ModeAOT
 )
-
-func (m Mode) String() string {
-	switch m {
-	case ModeInterp:
-		return "interp"
-	case ModeJIT:
-		return "jit"
-	case ModeAOT:
-		return "aot"
-	}
-	return "mode?"
-}
 
 type translator struct {
 	prog *Program

@@ -16,19 +16,32 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/dalvik"
+	"repro/internal/frontend"
 	"repro/internal/jrt"
 )
 
-// App is one benchmark application.
-type App struct {
-	Name     string
-	Category string
-	// Leaky is the ground truth: the app is constructed to send sensitive
-	// data to a sink.
-	Leaky bool
-	// InSubset marks membership in the 48-app heatmap subset (Figure 11).
-	InSubset bool
-	Prog     *dalvik.Program
+// App is one benchmark application; the type is the front-end-agnostic
+// frontend.App, so suites of either VM interoperate with the harness.
+type App = frontend.App
+
+// DalvikSuite returns the Dalvik DroidBench suite descriptor.
+func DalvikSuite() frontend.Suite { return dalvikSuite{} }
+
+type dalvikSuite struct{}
+
+func (dalvikSuite) Name() string                { return "droidbench" }
+func (dalvikSuite) Frontend() frontend.Frontend { return dalvik.Front{} }
+func (dalvikSuite) Apps() []App                 { return Suite() }
+
+// SuiteFor maps a front-end flag value to its benchmark suite.
+func SuiteFor(feName string) (frontend.Suite, error) {
+	switch feName {
+	case "dalvik":
+		return DalvikSuite(), nil
+	case "stackvm":
+		return StackVMSuite(), nil
+	}
+	return nil, fmt.Errorf("droidbench: unknown frontend %q (want dalvik or stackvm)", feName)
 }
 
 type source struct {
@@ -165,7 +178,7 @@ func RenderInventory() string {
 			subset = "yes"
 		}
 		fmt.Fprintf(&b, "| %d | %s | %s | %s | %s | %d |\n",
-			i+1, a.Name, a.Category, truth, subset, a.Prog.Stats().Instructions)
+			i+1, a.Name, a.Category, truth, subset, a.Prog.Instructions())
 	}
 	leaky, benign := Counts(Suite())
 	fmt.Fprintf(&b, "\n%d applications: %d leaky, %d benign; %d in the heatmap subset.\n",

@@ -1,0 +1,302 @@
+package droidbench
+
+import (
+	"fmt"
+
+	"repro/internal/android"
+	"repro/internal/frontend"
+	"repro/internal/jrt"
+	"repro/internal/stackvm"
+)
+
+// The stack-VM benchmark family: the same DroidBench-style flows ported to
+// the second front end, plus spill/reload applications only a stack
+// machine exhibits — the operand stack lives in memory, so stack.save /
+// stack.restore groups give a value K deep a load→store distance of 2K as
+// the window's K-th store. At the paper's NI=13/NT=3 operating point that
+// assumption holds for shallow groups and breaks for deep ones, which is
+// exactly what the `-exp stackvm` experiment quantifies.
+
+// StackVMSuite returns the stack-VM benchmark suite descriptor.
+func StackVMSuite() frontend.Suite { return stackSuite{} }
+
+type stackSuite struct{}
+
+func (stackSuite) Name() string                { return "droidbench-stackvm" }
+func (stackSuite) Frontend() frontend.Frontend { return stackvm.Front{} }
+func (stackSuite) Apps() []App                 { return StackApps() }
+
+// StackApps returns the stack-VM applications in a stable order: eight
+// leaky (three direct, one helper-call, one local-shuffle, three
+// spill/reload at depths 2, 6, and 8) and three benign.
+func StackApps() []App {
+	var apps []App
+	add := func(a App, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("droidbench: %s: %v", a.Name, err))
+		}
+		apps = append(apps, a)
+	}
+
+	add(sDirectLeak(sources[0], sinks[0]))
+	add(sDirectLeak(sources[1], sinks[1]))
+	add(sDirectLeak(sources[2], sinks[2]))
+	add(sHelperLeak(sources[0], sinks[1]))
+	add(sShuffleLeak(sources[1], sinks[0]))
+	// Spill depths: 2 is comfortably inside the paper's window
+	// (distance 4, 2nd store); 6 fits NI=13 (distance 12) but the carrying
+	// store is the 6th after the load, past NT=3; 8 breaks both margins
+	// (distance 16 > 13).
+	add(sSpillCopy("SSpillShallowImeiSms", "spill-shallow", sources[0], sinks[0], 2))
+	add(sSpillCopy("SSpillReloadSerialSms", "spill-reload", sources[1], sinks[0], 6))
+	add(sSpillCopy("SSpillDeepImeiHttp", "spill-deep", sources[0], sinks[1], 8))
+	add(sBenignFetch(sources[0], sinks[2]))
+	add(sBenignSpillEcho(sinks[1]))
+	add(sBenignCompute(sinks[0]))
+
+	return apps
+}
+
+func sBuild(name string, b *stackvm.Builder, category string, leaky bool) (App, error) {
+	prog, err := b.Build(android.KnownExterns())
+	return App{Name: name, Category: category, Leaky: leaky, Prog: prog}, err
+}
+
+// sDirectLeak: msg = "id=" + secret, sent directly — the §2 shape on the
+// stack machine.
+func sDirectLeak(src source, snk sinkSpec) (App, error) {
+	name := "SDirect" + src.name + snk.name
+	b := stackvm.NewProgram(name)
+	// locals: 0=builder 1=secret 2=msg
+	f := b.Func("main", 0, 3, 6)
+	f.CallExtern(jrt.MethodBuilderNew, 0)
+	f.Result()
+	f.LocalSet(0)
+	f.LocalGet(0)
+	f.ConstStr("id=")
+	f.CallExtern(jrt.MethodAppend, 2)
+	f.CallExtern(src.method, 0)
+	f.Result()
+	f.LocalSet(1)
+	f.LocalGet(0)
+	f.LocalGet(1)
+	f.CallExtern(jrt.MethodAppend, 2)
+	f.LocalGet(0)
+	f.CallExtern(jrt.MethodToString, 1)
+	f.Result()
+	f.LocalSet(2)
+	f.ConstStr(snk.dest)
+	f.LocalGet(2)
+	f.CallExtern(snk.method, 2)
+	f.Ret()
+	b.Entry("main")
+	return sBuild(name, b, "direct", true)
+}
+
+// sHelperLeak: the secret crosses an app-level call — argument passing
+// through the callee's parameter locals and the return-value slot.
+func sHelperLeak(src source, snk sinkSpec) (App, error) {
+	name := "SHelper" + src.name + snk.name
+	b := stackvm.NewProgram(name)
+	// wrap(secret) → "payload:" + secret
+	h := b.Func("wrap", 1, 2, 6)
+	h.CallExtern(jrt.MethodBuilderNew, 0)
+	h.Result()
+	h.LocalSet(1)
+	h.LocalGet(1)
+	h.ConstStr("payload:")
+	h.CallExtern(jrt.MethodAppend, 2)
+	h.LocalGet(1)
+	h.LocalGet(0)
+	h.CallExtern(jrt.MethodAppend, 2)
+	h.LocalGet(1)
+	h.CallExtern(jrt.MethodToString, 1)
+	h.Result()
+	h.RetVal()
+
+	f := b.Func("main", 0, 1, 6)
+	f.CallExtern(src.method, 0)
+	f.Result()
+	f.Call("wrap")
+	f.Result()
+	f.LocalSet(0)
+	f.ConstStr(snk.dest)
+	f.LocalGet(0)
+	f.CallExtern(snk.method, 2)
+	f.Ret()
+	b.Entry("main")
+	return sBuild(name, b, "helper", true)
+}
+
+// sShuffleLeak: the secret reference bounces through dup/drop and several
+// locals before reaching the sink — pure frame traffic, all within the
+// per-template distances.
+func sShuffleLeak(src source, snk sinkSpec) (App, error) {
+	name := "SShuffle" + src.name + snk.name
+	b := stackvm.NewProgram(name)
+	// locals: 0..3 shuffle chain, 4=builder, 5=msg
+	f := b.Func("main", 0, 6, 6)
+	f.CallExtern(src.method, 0)
+	f.Result()
+	f.LocalSet(0)
+	f.LocalGet(0)
+	f.Dup()
+	f.LocalSet(1)
+	f.LocalSet(2)
+	f.LocalGet(2)
+	f.LocalSet(3)
+	f.CallExtern(jrt.MethodBuilderNew, 0)
+	f.Result()
+	f.LocalSet(4)
+	f.LocalGet(4)
+	f.LocalGet(3)
+	f.CallExtern(jrt.MethodAppend, 2)
+	f.LocalGet(4)
+	f.CallExtern(jrt.MethodToString, 1)
+	f.Result()
+	f.LocalSet(5)
+	f.ConstStr(snk.dest)
+	f.LocalGet(5)
+	f.CallExtern(snk.method, 2)
+	f.Ret()
+	b.Entry("main")
+	return sBuild(name, b, "local-shuffle", true)
+}
+
+// sSpillCopy copies the secret char by char; each char is pushed, buried
+// under depth-1 filler operands, spilled to the native stack with
+// stack.save, and reloaded with stack.restore before being appended. The
+// char's save-side store lands 2·depth instructions after its load as the
+// window's depth-th store, so PIFT's propagation depends on NI ≥ 2·depth
+// and NT ≥ depth.
+func sSpillCopy(name, category string, src source, snk sinkSpec, depth int) (App, error) {
+	b := stackvm.NewProgram(name)
+	// locals: 0=secret ref, 1=builder, 2=i, 3=len, 4=char stash, 5=msg
+	f := b.Func("main", 0, 6, depth+4)
+	f.CallExtern(src.method, 0)
+	f.Result()
+	f.LocalSet(0)
+	f.CallExtern(jrt.MethodBuilderNew, 0)
+	f.Result()
+	f.LocalSet(1)
+	f.LocalGet(0)
+	f.Load() // String length at offset 0
+	f.LocalSet(3)
+	f.Const(0)
+	f.LocalSet(2)
+	f.Label("loop")
+	f.LocalGet(3)
+	f.LocalGet(2)
+	f.Sub()
+	f.Eqz()
+	f.BrIf("done")
+	// char = *(u16)(ref + 4 + 2*i)
+	f.LocalGet(0)
+	f.Const(4)
+	f.Add()
+	f.LocalGet(2)
+	f.LocalGet(2)
+	f.Add()
+	f.Add()
+	f.Load16()
+	// Bury the char under depth-1 untainted fillers and bounce the whole
+	// group off the native stack.
+	for j := 0; j < depth-1; j++ {
+		f.Const(int32(0x20 + j))
+	}
+	f.Save(depth)
+	f.Restore(depth)
+	for j := 0; j < depth-1; j++ {
+		f.Drop()
+	}
+	f.LocalSet(4)
+	f.LocalGet(1)
+	f.LocalGet(4)
+	f.CallExtern(jrt.MethodAppendChar, 2)
+	f.LocalGet(2)
+	f.Const(1)
+	f.Add()
+	f.LocalSet(2)
+	f.Br("loop")
+	f.Label("done")
+	f.LocalGet(1)
+	f.CallExtern(jrt.MethodToString, 1)
+	f.Result()
+	f.LocalSet(5)
+	f.ConstStr(snk.dest)
+	f.LocalGet(5)
+	f.CallExtern(snk.method, 2)
+	f.Ret()
+	b.Entry("main")
+	return sBuild(name, b, category, true)
+}
+
+// sBenignFetch reads a secret but sends an unrelated constant — the
+// classic false-positive probe.
+func sBenignFetch(src source, snk sinkSpec) (App, error) {
+	name := "SBenignFetch" + src.name
+	b := stackvm.NewProgram(name)
+	// locals: 0=secret (parked), 1=builder, 2=msg
+	f := b.Func("main", 0, 3, 6)
+	f.CallExtern(src.method, 0)
+	f.Result()
+	f.LocalSet(0)
+	f.CallExtern(jrt.MethodBuilderNew, 0)
+	f.Result()
+	f.LocalSet(1)
+	f.LocalGet(1)
+	f.ConstStr("heartbeat ok")
+	f.CallExtern(jrt.MethodAppend, 2)
+	f.LocalGet(1)
+	f.CallExtern(jrt.MethodToString, 1)
+	f.Result()
+	f.LocalSet(2)
+	f.ConstStr(snk.dest)
+	f.LocalGet(2)
+	f.CallExtern(snk.method, 2)
+	f.Ret()
+	b.Entry("main")
+	return sBuild(name, b, "benign-unused-source", false)
+}
+
+// sBenignSpillEcho runs the deepest spill loop over a non-sensitive
+// string (the device model): maximum stress on the save/restore machinery
+// with zero taint in flight.
+func sBenignSpillEcho(snk sinkSpec) (App, error) {
+	name := "SBenignSpillEcho"
+	a, err := sSpillCopy(name, "benign-spill",
+		source{"Model", android.MethodGetModel}, snk, 8)
+	a.Leaky = false
+	return a, err
+}
+
+// sBenignCompute: arithmetic on constants formatted through the numeric
+// intrinsic — no source at all.
+func sBenignCompute(snk sinkSpec) (App, error) {
+	name := "SBenignCompute"
+	b := stackvm.NewProgram(name)
+	// locals: 0=builder, 1=scratch
+	f := b.Func("main", 0, 2, 6)
+	f.CallExtern(jrt.MethodBuilderNew, 0)
+	f.Result()
+	f.LocalSet(0)
+	f.Const(1234)
+	f.Const(3)
+	f.Mul()
+	f.Const(2)
+	f.Shr()
+	f.LocalSet(1)
+	f.LocalGet(0)
+	f.LocalGet(1)
+	f.CallExtern(jrt.MethodAppendInt, 2)
+	f.LocalGet(0)
+	f.CallExtern(jrt.MethodToString, 1)
+	f.Result()
+	f.LocalSet(1)
+	f.ConstStr(snk.dest)
+	f.LocalGet(1)
+	f.CallExtern(snk.method, 2)
+	f.Ret()
+	b.Entry("main")
+	return sBuild(name, b, "benign-compute", false)
+}

@@ -1,0 +1,132 @@
+package droidbench
+
+import (
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dift"
+	"repro/internal/trace"
+)
+
+var (
+	paperCfg     = core.Config{NI: 13, NT: 3, Untaint: true}
+	unboundedCfg = core.Config{NI: 1 << 62, NT: 1 << 30, Untaint: false}
+)
+
+func TestStackSuiteComposition(t *testing.T) {
+	apps := StackApps()
+	if len(apps) != 11 {
+		t.Fatalf("stack suite has %d apps, want 11", len(apps))
+	}
+	leaky, benign := Counts(apps)
+	if leaky != 8 || benign != 3 {
+		t.Fatalf("composition %d leaky / %d benign, want 8/3", leaky, benign)
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.InSubset {
+			t.Errorf("%s: stack apps are not part of the paper's Dalvik subset", a.Name)
+		}
+	}
+	sv := StackVMSuite()
+	if got := sv.Frontend().Name(); got != "stackvm" {
+		t.Fatalf("suite front end %q, want stackvm", got)
+	}
+	if sv.Name() == "" || len(sv.Apps()) != len(apps) {
+		t.Fatalf("suite descriptor: name %q, %d apps", sv.Name(), len(sv.Apps()))
+	}
+	dv := DalvikSuite()
+	if dv.Frontend().Name() != "dalvik" || dv.Name() == "" || len(dv.Apps()) != 57 {
+		t.Fatalf("dalvik suite descriptor: name %q, front %q, %d apps",
+			dv.Name(), dv.Frontend().Name(), len(dv.Apps()))
+	}
+	for _, fe := range []string{"dalvik", "stackvm"} {
+		s, err := SuiteFor(fe)
+		if err != nil {
+			t.Fatalf("SuiteFor(%s): %v", fe, err)
+		}
+		if s.Frontend().Name() != fe {
+			t.Fatalf("SuiteFor(%s) resolved to %q", fe, s.Frontend().Name())
+		}
+	}
+	if _, err := SuiteFor("bogus"); err == nil {
+		t.Fatal("SuiteFor accepted an unknown front end")
+	}
+}
+
+// TestStackAppsVerdicts pins the ground truth of the stack-VM family:
+// the DIFT oracle is exact, PIFT with an unbounded window matches it
+// (the mechanism carries every flow, no overtainting on the benign
+// apps), and the paper's NI=13/NT=3 window misses exactly the two
+// spill/reload apps whose carrying store sits beyond it.
+func TestStackAppsVerdicts(t *testing.T) {
+	windowMiss := map[string]bool{
+		"SSpillReloadSerialSms": true, // K=6: 6th store > NT=3
+		"SSpillDeepImeiHttp":    true, // K=8: distance 16 > NI=13 and 8th store > NT=3
+	}
+	for _, a := range StackApps() {
+		rec := trace.NewRecorder(1 << 14)
+		oracle := dift.New()
+		if _, err := android.Run(a.Prog, android.RunOptions{
+			Sinks: []cpu.EventSink{rec, oracle},
+			Hooks: []cpu.InstrHook{oracle},
+		}); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		diftHit := false
+		for _, v := range oracle.Verdicts() {
+			diftHit = diftHit || v.Tainted
+		}
+		if diftHit != a.Leaky {
+			t.Errorf("%s: DIFT oracle says %v, ground truth %v", a.Name, diftHit, a.Leaky)
+		}
+		if infHit := detectedAt(rec, unboundedCfg); infHit != a.Leaky {
+			t.Errorf("%s: PIFT@inf says %v, ground truth %v", a.Name, infHit, a.Leaky)
+		}
+		wantPaper := a.Leaky && !windowMiss[a.Name]
+		if paperHit := detectedAt(rec, paperCfg); paperHit != wantPaper {
+			t.Errorf("%s: PIFT@13/3 says %v, want %v", a.Name, paperHit, wantPaper)
+		}
+	}
+}
+
+// TestCrossFrontendDifferential runs both front ends' suites through the
+// identical recording path and checks the invariants that make them
+// interchangeable behind internal/frontend: every app produces a
+// non-empty event stream with at least one sink, and detection is
+// monotone in the window (a paper-window hit is always an
+// unbounded-window hit — the configs differ only in how much taint they
+// retain).
+func TestCrossFrontendDifferential(t *testing.T) {
+	for _, s := range []struct {
+		name string
+		apps []App
+	}{
+		{"dalvik", Suite()},
+		{"stackvm", StackApps()},
+	} {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			for _, a := range s.apps {
+				rec, _ := record(t, a)
+				if rec.Len() == 0 {
+					t.Errorf("%s: empty trace", a.Name)
+					continue
+				}
+				sum := rec.Summarize()
+				if sum.Sinks == 0 {
+					t.Errorf("%s: no sink events", a.Name)
+				}
+				if detectedAt(rec, paperCfg) && !detectedAt(rec, unboundedCfg) {
+					t.Errorf("%s: detected at NI=13/NT=3 but not at NI=inf", a.Name)
+				}
+			}
+		})
+	}
+}

@@ -17,32 +17,51 @@ import (
 	"repro/internal/android"
 	"repro/internal/core"
 	"repro/internal/cpu"
-	"repro/internal/dalvik"
 	"repro/internal/droidbench"
+	"repro/internal/frontend"
 	"repro/internal/malware"
 	"repro/internal/trace"
 )
 
-// Harness caches recorded traces so the sweeps re-execute nothing.
+// Harness caches recorded traces so the sweeps re-execute nothing. A
+// harness is bound to one benchmark suite (and therefore one front end);
+// the default is the Dalvik DroidBench suite.
 type Harness struct {
+	suite          frontend.Suite
 	lgrootScale    int
 	lgroot         *trace.Recorder
-	apps           []droidbench.App
+	apps           []frontend.App
 	appTraces      map[string]*trace.Recorder
 	suiteWorkloads map[int]*trace.Recorder
 }
 
-// NewHarness builds a harness; scale sizes the LGRoot busy-work loops
-// (malware.DefaultScale is a good interactive value).
+// NewHarness builds a harness over the Dalvik DroidBench suite; scale
+// sizes the LGRoot busy-work loops (malware.DefaultScale is a good
+// interactive value).
 func NewHarness(scale int) *Harness {
+	return NewHarnessSuite(scale, droidbench.DalvikSuite())
+}
+
+// NewHarnessSuite builds a harness over an arbitrary benchmark suite.
+func NewHarnessSuite(scale int, suite frontend.Suite) *Harness {
 	return &Harness{
+		suite:       suite,
 		lgrootScale: scale,
 		appTraces:   make(map[string]*trace.Recorder),
 	}
 }
 
-// Record executes a program and returns its event trace.
-func Record(prog *dalvik.Program) (*trace.Recorder, error) {
+// Suite returns the harness's benchmark suite.
+func (h *Harness) Suite() frontend.Suite { return h.suite }
+
+// Frontend returns the front end the harness's suite targets.
+func (h *Harness) Frontend() frontend.Frontend { return h.suite.Frontend() }
+
+// defaultFrontend is the front end experiments use when none is named.
+func defaultFrontend() frontend.Frontend { return droidbench.DalvikSuite().Frontend() }
+
+// Record executes a program of any front end and returns its event trace.
+func Record(prog frontend.Program) (*trace.Recorder, error) {
 	rec := trace.NewRecorder(1 << 16)
 	_, err := android.Run(prog, android.RunOptions{Sinks: []cpu.EventSink{rec}})
 	if err != nil {
@@ -64,16 +83,16 @@ func (h *Harness) LGRootTrace() (*trace.Recorder, error) {
 	return h.lgroot, nil
 }
 
-// Apps returns the DroidBench-like suite (cached).
-func (h *Harness) Apps() []droidbench.App {
+// Apps returns the harness suite's applications (cached).
+func (h *Harness) Apps() []frontend.App {
 	if h.apps == nil {
-		h.apps = droidbench.Suite()
+		h.apps = h.suite.Apps()
 	}
 	return h.apps
 }
 
 // AppTrace returns (and caches) one app's event trace.
-func (h *Harness) AppTrace(a droidbench.App) (*trace.Recorder, error) {
+func (h *Harness) AppTrace(a frontend.App) (*trace.Recorder, error) {
 	if rec, ok := h.appTraces[a.Name]; ok {
 		return rec, nil
 	}

@@ -328,7 +328,7 @@ func TestFigure10(t *testing.T) {
 	names := map[string]bool{}
 	for i, row := range r.Apps {
 		if i < 8 {
-			names[row.Opcode.String()] = true
+			names[row.Opcode] = true
 		}
 	}
 	if !names["invoke-virtual"] && !names["invoke-static"] {

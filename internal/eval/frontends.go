@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dift"
+	"repro/internal/droidbench"
+	"repro/internal/trace"
+	"repro/internal/tracestat"
+)
+
+// PaperConfig is the operating point the paper ships: NI=13, NT=3, with
+// the untainting rule on.
+var PaperConfig = core.Config{NI: 13, NT: 3, Untaint: true}
+
+// UnboundedConfig emulates NI=∞: windows that never expire, effectively
+// unlimited propagations, and no untainting. Any flow PIFT's mechanism can
+// carry at all is carried under this configuration, so the gap between it
+// and PaperConfig is precisely what the finite window costs.
+var UnboundedConfig = core.Config{NI: 1 << 62, NT: 1 << 30, Untaint: false}
+
+// FrontendParityRow is one stack-VM application's verdict across the
+// trackers: the exact DIFT oracle and PIFT at the paper's window and at
+// the unbounded window.
+type FrontendParityRow struct {
+	App       string
+	Category  string
+	Leaky     bool
+	Dift      bool
+	Paper     bool
+	Unbounded bool
+	Events    int
+}
+
+// StackVMResult is the `-exp stackvm` output: per-app parity plus the
+// per-frontend distance breakdown over both suites.
+type StackVMResult struct {
+	Rows      []FrontendParityRow
+	Breakdown *tracestat.FrontendBreakdown
+}
+
+// StackVM runs the stack-VM benchmark family against the DIFT oracle and
+// PIFT at NI=13/NT=3 and NI=∞, quantifying where the finite load→store
+// window misses flows that the mechanism itself (NI=∞) still carries —
+// the spill/reload apps are built to sit on both sides of that line. The
+// dalvik harness h contributes its cached suite traces to the
+// per-frontend distance comparison.
+func StackVM(h *Harness) (*StackVMResult, error) {
+	res := &StackVMResult{Breakdown: tracestat.NewFrontendBreakdown()}
+
+	// Dalvik side of the breakdown, from the harness's cached traces.
+	dcol := res.Breakdown.Collector(h.Frontend().Name())
+	for _, a := range h.Apps() {
+		rec, err := h.AppTrace(a)
+		if err != nil {
+			return nil, err
+		}
+		rec.Replay(dcol)
+	}
+
+	suite := droidbench.StackVMSuite()
+	scol := res.Breakdown.Collector(suite.Frontend().Name())
+	for _, a := range suite.Apps() {
+		rec := trace.NewRecorder(1 << 16)
+		oracle := dift.New()
+		if _, err := android.Run(a.Prog, android.RunOptions{
+			Sinks: []cpu.EventSink{rec, oracle},
+			Hooks: []cpu.InstrHook{oracle},
+		}); err != nil {
+			return nil, fmt.Errorf("stackvm experiment: %s: %w", a.Name, err)
+		}
+		rec.Replay(scol)
+		diftHit := false
+		for _, v := range oracle.Verdicts() {
+			diftHit = diftHit || v.Tainted
+		}
+		res.Rows = append(res.Rows, FrontendParityRow{
+			App:       a.Name,
+			Category:  a.Category,
+			Leaky:     a.Leaky,
+			Dift:      diftHit,
+			Paper:     Detected(rec, PaperConfig),
+			Unbounded: Detected(rec, UnboundedConfig),
+			Events:    rec.Len(),
+		})
+	}
+	res.Breakdown.Finish()
+	return res, nil
+}
+
+// Render prints the parity table, the window-miss accounting, and the
+// per-frontend distance comparison.
+func (r *StackVMResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stack-VM suite vs DIFT oracle (PIFT at NI=%d/NT=%d and NI=inf)\n",
+		PaperConfig.NI, PaperConfig.NT)
+	b.WriteString("  app                    category              truth   DIFT  PIFT@paper  PIFT@inf\n")
+	verdict := func(hit bool) string {
+		if hit {
+			return "hit"
+		}
+		return "-"
+	}
+	var leaky, paperHits, unboundHits, windowMisses int
+	diftExact := true
+	var missed []string
+	for _, row := range r.Rows {
+		truth := "benign"
+		if row.Leaky {
+			truth = "LEAKY"
+		}
+		note := ""
+		if row.Leaky && row.Dift && !row.Paper {
+			if row.Unbounded {
+				note = "  <- window miss"
+			} else {
+				note = "  <- mechanism miss"
+			}
+		}
+		if !row.Leaky && row.Paper {
+			note = "  <- FALSE POSITIVE"
+		}
+		fmt.Fprintf(&b, "  %-22s %-20s %-7s %-5s %-11s %s%s\n",
+			row.App, row.Category, truth,
+			verdict(row.Dift), verdict(row.Paper), verdict(row.Unbounded), note)
+		if row.Leaky {
+			leaky++
+			if row.Paper {
+				paperHits++
+			}
+			if row.Unbounded {
+				unboundHits++
+			}
+			if row.Unbounded && !row.Paper {
+				windowMisses++
+				missed = append(missed, row.App)
+			}
+		}
+		if row.Dift != row.Leaky {
+			diftExact = false
+		}
+	}
+	fmt.Fprintf(&b, "\n  DIFT oracle exact on ground truth: %v\n", diftExact)
+	fmt.Fprintf(&b, "  PIFT at NI=%d/NT=%d: %d/%d leaky apps detected; at NI=inf: %d/%d\n",
+		PaperConfig.NI, PaperConfig.NT, paperHits, leaky, unboundHits, leaky)
+	fmt.Fprintf(&b, "  flows carried by the mechanism but lost to the finite window: %d (%s)\n",
+		windowMisses, strings.Join(missed, ", "))
+	b.WriteString("\n")
+	b.WriteString(r.Breakdown.RenderComparison())
+	return b.String()
+}

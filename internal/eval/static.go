@@ -5,10 +5,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/arm"
-	"repro/internal/dalvik"
+	"repro/internal/frontend"
 	"repro/internal/malware"
-	"repro/internal/mem"
 )
 
 // Table1Row groups bytecodes by their within-template native load→store
@@ -18,31 +16,37 @@ type Table1Row struct {
 	Opcodes  []string
 }
 
-// Table1 measures every translation template and groups opcodes by the
-// measured distance. The measurement is live: each opcode is translated
-// and the emitted template's data load/store positions are inspected, so a
-// template regression would change this table.
+// Table1 measures every translation template of the default (Dalvik) front
+// end and groups opcodes by the measured distance.
 func Table1() ([]Table1Row, error) {
-	metas, err := translateAllOps()
+	return Table1For(defaultFrontend())
+}
+
+// Table1For measures every translation template of the given front end and
+// groups opcodes by the measured distance. The measurement is live: each
+// opcode is translated and the emitted template's data load/store positions
+// are inspected, so a template regression would change this table.
+func Table1For(fe frontend.Frontend) ([]Table1Row, error) {
+	infos, err := fe.Templates()
 	if err != nil {
 		return nil, err
 	}
 	byDist := map[int][]string{}
-	seen := map[dalvik.Opcode]bool{}
-	for _, m := range metas {
+	seen := map[string]bool{}
+	for _, m := range infos {
 		if seen[m.Op] {
 			continue
 		}
 		seen[m.Op] = true
-		if !m.Op.MovesData() {
+		if !m.MovesData {
 			continue
 		}
 		if m.HelperCall {
-			byDist[-1] = append(byDist[-1], m.Op.String())
+			byDist[-1] = append(byDist[-1], m.Op)
 			continue
 		}
-		if d, ok := m.Distance(); ok {
-			byDist[d] = append(byDist[d], m.Op.String())
+		if m.HasDistance {
+			byDist[m.Distance] = append(byDist[m.Distance], m.Op)
 		}
 	}
 	var dists []int
@@ -63,102 +67,15 @@ func Table1() ([]Table1Row, error) {
 	return rows, nil
 }
 
-// translateAllOps builds a program exercising every opcode and returns the
-// translation metadata.
-func translateAllOps() ([]dalvik.InsnMeta, error) {
-	b := dalvik.NewProgram("table1")
-	b.Class("C", "f")
-	b.Statics("s")
-	b.Method("Callee.m", 4, 1).Return(0)
-	m := b.Method("Main.main", 6, 0)
-	m.Move(0, 1)
-	m.MoveFrom16(0, 1)
-	m.Move16(0, 1)
-	m.MoveObject(0, 1)
-	m.MoveObjectFrom16(0, 1)
-	m.InvokeStatic("Callee.m", 1)
-	m.MoveResult(0)
-	m.InvokeStatic("Callee.m", 1)
-	m.MoveResultObject(0)
-	for _, op := range []dalvik.Opcode{
-		dalvik.OpAddInt, dalvik.OpSubInt, dalvik.OpMulInt, dalvik.OpAndInt,
-		dalvik.OpOrInt, dalvik.OpXorInt, dalvik.OpShlInt, dalvik.OpShrInt,
-	} {
-		m.Binop(op, 0, 1, 2)
-	}
-	for _, op := range []dalvik.Opcode{
-		dalvik.OpAddInt2Addr, dalvik.OpSubInt2Addr, dalvik.OpMulInt2Addr,
-		dalvik.OpAndInt2Addr, dalvik.OpOrInt2Addr, dalvik.OpXorInt2Addr,
-		dalvik.OpShlInt2Addr, dalvik.OpShrInt2Addr,
-	} {
-		m.Binop2Addr(op, 0, 1)
-	}
-	for _, op := range []dalvik.Opcode{
-		dalvik.OpAddIntLit8, dalvik.OpMulIntLit8, dalvik.OpAndIntLit8,
-		dalvik.OpRsubIntLit8, dalvik.OpXorIntLit8, dalvik.OpDivIntLit8,
-		dalvik.OpRemIntLit8,
-	} {
-		m.BinopLit8(op, 0, 1, 3)
-	}
-	m.Binop(dalvik.OpDivInt, 0, 1, 2)
-	m.Binop(dalvik.OpRemInt, 0, 1, 2)
-	m.NegInt(0, 1)
-	m.Binop2Addr(dalvik.OpNotInt, 0, 1)
-	m.IntToChar(0, 1)
-	m.Binop2Addr(dalvik.OpIntToByte, 0, 1)
-	m.ArrayLength(0, 1)
-	m.Aget(0, 1, 2)
-	m.Aput(0, 1, 2)
-	m.AgetChar(0, 1, 2)
-	m.AputChar(0, 1, 2)
-	m.AgetObject(0, 1, 2)
-	m.AputObject(0, 1, 2)
-	m.Iget(0, 1, "C.f")
-	m.Iput(0, 1, "C.f")
-	m.IgetObject(0, 1, "C.f")
-	m.IputObject(0, 1, "C.f")
-	m.Sget(0, "s")
-	m.Sput(0, "s")
-	m.SgetObject(0, "s")
-	m.SputObject(0, "s")
-	m.Return(0)
-	b.Entry("Main.main")
-	prog, err := b.Build(map[string]bool{})
-	if err != nil {
-		return nil, err
-	}
-
-	asm := arm.NewAssembler(dalvik.CodeBase)
-	rt := &measureRuntime{asm: asm}
-	asm.Label("measure$extern")
-	asm.Emit(arm.BxLR())
-	tr, err := dalvik.Translate(prog, asm, rt)
-	if err != nil {
-		return nil, err
-	}
-	return tr.Meta, nil
-}
-
-// measureRuntime is the minimal dalvik.Runtime needed to translate for
-// measurement: no real heap, every extern resolves to a stub.
-type measureRuntime struct {
-	asm  *arm.Assembler
-	next mem.Addr
-}
-
-func (m *measureRuntime) InternString(string) mem.Addr {
-	m.next += 0x40
-	return dalvik.HeapBase + m.next
-}
-
-func (m *measureRuntime) ExternEntry(string) (string, bool) {
-	return "measure$extern", true
-}
-
-// RenderTable1 prints the distance groups.
+// RenderTable1 prints the distance groups for the Dalvik front end.
 func RenderTable1(rows []Table1Row) string {
+	return RenderTable1For("Dalvik", rows)
+}
+
+// RenderTable1For prints the distance groups, naming the front end.
+func RenderTable1For(feName string, rows []Table1Row) string {
 	var b strings.Builder
-	b.WriteString("Table 1: native load-store distances within Dalvik bytecodes\n")
+	fmt.Fprintf(&b, "Table 1: native load-store distances within %s bytecodes\n", feName)
 	b.WriteString("  Distance  Cnt  Bytecodes\n")
 	for _, r := range rows {
 		label := fmt.Sprintf("%d", r.Distance)
@@ -176,7 +93,7 @@ func RenderTable1(rows []Table1Row) string {
 
 // Figure10Row is one line of the bytecode-frequency table.
 type Figure10Row struct {
-	Opcode    dalvik.Opcode
+	Opcode    string
 	Fraction  float64
 	MovesData bool
 	Distance  int // 0 when not applicable, -1 unknown
@@ -184,45 +101,79 @@ type Figure10Row struct {
 
 // Figure10Result holds the two static-frequency tables of the paper's
 // Figure 10. The paper scans the dex files of Google stock applications
-// and the Android system libraries; this reproduction scans the DroidBench
-// suite (the "applications" corpus) and the malware suite (standing in for
-// a second, independently-written corpus).
+// and the Android system libraries; this reproduction scans the harness's
+// benchmark suite (the "applications" corpus) and, for the Dalvik front
+// end, the malware suite (standing in for a second, independently-written
+// corpus).
 type Figure10Result struct {
+	Suite  string
 	Apps   []Figure10Row
 	System []Figure10Row
 }
 
-// Figure10 computes the top-N opcode frequencies for both corpora.
+// Figure10 computes the top-N opcode frequencies for both corpora, using
+// the harness's suite as the application corpus and its front end's
+// live-measured templates for the distance annotations.
 func Figure10(h *Harness, topN int) *Figure10Result {
-	appCount := map[dalvik.Opcode]int{}
+	moves, dist := templateAnnotations(h.Frontend())
+	appCount := map[string]int{}
 	for _, a := range h.Apps() {
 		countOps(a.Prog, appCount)
 	}
-	sysCount := map[dalvik.Opcode]int{}
-	for _, s := range malware.Samples() {
-		countOps(s.Prog, sysCount)
+	res := &Figure10Result{
+		Suite: h.Suite().Name(),
+		Apps:  topRows(appCount, topN, moves, dist),
 	}
-	return &Figure10Result{
-		Apps:   topRows(appCount, topN),
-		System: topRows(sysCount, topN),
+	// The malware corpus is Dalvik bytecode; annotate it only when the
+	// harness's template measurements apply to it.
+	if h.Frontend().Name() == "dalvik" {
+		sysCount := map[string]int{}
+		for _, s := range malware.Samples() {
+			countOps(s.Prog, sysCount)
+		}
+		res.System = topRows(sysCount, topN, moves, dist)
 	}
+	return res
 }
 
-func countOps(p *dalvik.Program, into map[dalvik.Opcode]int) {
-	for _, name := range p.MethodNames() {
-		for _, in := range p.Methods[name].Insns {
-			into[in.Op]++
+// templateAnnotations reduces the front end's template measurements to
+// per-opcode annotations. Templates that never measured a distance (or
+// span helpers) map to -1, matching the paper's "unknown" rows.
+func templateAnnotations(fe frontend.Frontend) (moves map[string]bool, dist map[string]int) {
+	moves = map[string]bool{}
+	dist = map[string]int{}
+	infos, err := fe.Templates()
+	if err != nil {
+		return moves, dist
+	}
+	for _, m := range infos {
+		if _, ok := moves[m.Op]; ok {
+			continue
+		}
+		moves[m.Op] = m.MovesData
+		switch {
+		case m.HelperCall:
+			dist[m.Op] = -1
+		case m.HasDistance:
+			dist[m.Op] = m.Distance
 		}
 	}
+	return moves, dist
 }
 
-func topRows(count map[dalvik.Opcode]int, topN int) []Figure10Row {
+func countOps(p frontend.Program, into map[string]int) {
+	for op, n := range p.OpCounts() {
+		into[op] += n
+	}
+}
+
+func topRows(count map[string]int, topN int, moves map[string]bool, dist map[string]int) []Figure10Row {
 	total := 0
 	for _, n := range count {
 		total += n
 	}
 	type kv struct {
-		op dalvik.Opcode
+		op string
 		n  int
 	}
 	var all []kv
@@ -240,15 +191,12 @@ func topRows(count map[dalvik.Opcode]int, topN int) []Figure10Row {
 	}
 	var rows []Figure10Row
 	for _, e := range all {
-		row := Figure10Row{
+		rows = append(rows, Figure10Row{
 			Opcode:    e.op,
 			Fraction:  float64(e.n) / float64(total),
-			MovesData: e.op.MovesData(),
-		}
-		if d, ok := e.op.TableDistance(); ok {
-			row.Distance = d
-		}
-		rows = append(rows, row)
+			MovesData: moves[e.op],
+			Distance:  dist[e.op],
+		})
 	}
 	return rows
 }
@@ -275,6 +223,8 @@ func (r *Figure10Result) Render() string {
 		}
 	}
 	dump("(a) DroidBench applications", r.Apps)
-	dump("(b) malware corpus", r.System)
+	if r.System != nil {
+		dump("(b) malware corpus", r.System)
+	}
 	return b.String()
 }

@@ -1,0 +1,44 @@
+package frontend
+
+import (
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+// Memory map shared by every front end. The exact values are arbitrary;
+// what matters is that the regions are disjoint so taint ranges never alias
+// across them, and that the runtime (internal/jrt) and the framework agree
+// on them with whichever translator produced the code.
+const (
+	// CodeBase is where the native image starts (instruction fetch only;
+	// never appears in data-memory events).
+	CodeBase mem.Addr = 0x4000_0000
+	// BytecodeBase holds the guest code units the interpreter templates
+	// fetch with "ldrh rINST, [rPC, #2]!" — real data loads, as on the
+	// paper's platform.
+	BytecodeBase mem.Addr = 0x3000_0000
+	// TableBase holds branch tables (4-byte case values).
+	TableBase mem.Addr = 0x2c00_0000
+	// StaticsBase holds static fields, one 4-byte slot each.
+	StaticsBase mem.Addr = 0x2000_0000
+	// SelfBase is the per-thread interpreter state block; the return-value
+	// slot lives at offset RetvalOffset.
+	SelfBase mem.Addr = 0x1000_0000
+	// HeapBase is where the runtime's bump allocator starts.
+	HeapBase mem.Addr = 0x0800_0000
+	// FrameTop is the top of the guest frame stack; frames grow down
+	// from here.
+	FrameTop mem.Addr = 0xbef0_0000
+	// StackTop is the native SP used by intrinsics that push.
+	StackTop mem.Addr = 0xbf00_0000
+)
+
+// RetvalOffset is the byte offset of the method return-value slot within
+// the self block. Extern routines (intrinsics and framework methods)
+// deliver results through it regardless of the calling front end.
+const RetvalOffset = 0
+
+// RSelf is the register holding the per-thread state block pointer. It is
+// part of the extern calling convention — intrinsics store results through
+// it — so every front end must keep it live across calls.
+const RSelf = arm.R6

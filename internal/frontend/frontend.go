@@ -1,0 +1,158 @@
+// Package frontend is the front-end-agnostic surface between guest
+// virtual machines and the rest of the platform. A front end owns a guest
+// bytecode (the register-based Dalvik-like VM in internal/dalvik, the
+// stack VM in internal/stackvm), lowers programs into ARM templates via a
+// shared assembler, and produces the same cpu event stream — so the trace
+// codec, the sharded pipeline, the trackers, and the eval harness never
+// see which VM generated the traffic.
+//
+// The contract has three layers:
+//
+//   - Program: one guest program, translatable into an Image.
+//   - Frontend: the VM itself — a name plus measurable translation
+//     templates (the Table 1 surface).
+//   - Suite: a benchmark family — apps with ground-truth verdicts for one
+//     front end.
+package frontend
+
+import (
+	"repro/internal/arm"
+	"repro/internal/mem"
+)
+
+// Mode selects the translation strategy, mirroring the execution tiers of
+// the paper's §4.1. Both front ends implement all three tiers.
+type Mode uint8
+
+const (
+	// ModeInterp is the baseline interpreter shape: full dispatch
+	// (operand decode, bytecode fetch-advance, opcode extract, handler
+	// branch) around every template. All template distances are measured
+	// in this mode.
+	ModeInterp Mode = iota
+	// ModeJIT fuses the opcode extraction and the dispatch branch of
+	// straight-line templates, as Dalvik's trace JIT does for hot code.
+	// The bytecode fetch loads remain.
+	ModeJIT
+	// ModeAOT is the ahead-of-time shape: compiled methods carry no
+	// interpreter state at all — no pc, no bytecode fetches, no dispatch.
+	// Only the data loads and stores remain.
+	ModeAOT
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInterp:
+		return "interp"
+	case ModeJIT:
+		return "jit"
+	case ModeAOT:
+		return "aot"
+	}
+	return "mode?"
+}
+
+// Runtime is what a translator needs from the runtime layer (internal/jrt
+// plus the framework): interned string objects and native entry labels for
+// external methods. Both front ends share one runtime implementation.
+type Runtime interface {
+	// InternString returns the address of the String object for a literal.
+	InternString(s string) mem.Addr
+	// ExternEntry returns the native label of an external method or
+	// helper routine ("rt.alloc", "StringBuilder.append", framework
+	// methods, ...).
+	ExternEntry(name string) (label string, ok bool)
+}
+
+// Mem is the slice of machine memory a translated image needs for
+// materialization (the loader mapping guest bytecode into data memory).
+type Mem interface {
+	Store16(mem.Addr, uint16)
+	Store32(mem.Addr, uint32)
+}
+
+// Image is a translated program: an entry label resolvable in the shared
+// assembler, plus whatever guest data (bytecode units, tables) must be
+// mapped into memory before the process starts.
+type Image interface {
+	// EntryLabel names the bootstrap label the process starts at.
+	EntryLabel() string
+	// Materialize writes the guest bytecode and tables into data memory.
+	// These writes model the loader, not program stores.
+	Materialize(m Mem)
+}
+
+// Program is one guest program of any front end.
+type Program interface {
+	// ProgramName identifies the program (app or sample name).
+	ProgramName() string
+	// Translate lowers every function into native templates in the shared
+	// assembler at the given tier and returns the linkage metadata. The
+	// caller finishes the assembler afterwards.
+	Translate(asm *arm.Assembler, rt Runtime, mode Mode) (Image, error)
+	// Instructions is the static guest-bytecode instruction count.
+	Instructions() int
+	// OpCounts tallies the program's opcodes by mnemonic (the static
+	// frequency surface of Figure 10).
+	OpCounts() map[string]int
+	// Dump renders a human-readable bytecode listing.
+	Dump() string
+}
+
+// Translate lowers a program at the default (interpreter) tier.
+func Translate(prog Program, asm *arm.Assembler, rt Runtime) (Image, error) {
+	return prog.Translate(asm, rt, ModeInterp)
+}
+
+// TemplateInfo describes one translation template's measured memory
+// behavior: whether the guest op moves actual data, and the native
+// load→store distance of its template (the Table 1 measurement).
+type TemplateInfo struct {
+	// Op is the guest opcode mnemonic.
+	Op string
+	// MovesData reports whether the op copies program data (as opposed to
+	// pure control or register-only arithmetic).
+	MovesData bool
+	// HelperCall reports that the template spans an opaque ABI helper
+	// call, making the distance unknown.
+	HelperCall bool
+	// Distance is the measured load→store distance in native
+	// instructions; valid only when HasDistance.
+	Distance    int
+	HasDistance bool
+}
+
+// Frontend is one guest VM: a stable name (used in flags, metrics labels,
+// and per-frontend breakdowns) and live-measured translation templates.
+type Frontend interface {
+	// Name is the flag-friendly identifier ("dalvik", "stackvm").
+	Name() string
+	// Templates translates a program exercising every opcode and returns
+	// one entry per template instance, in translation order. Callers
+	// dedupe by Op when they want per-opcode tables.
+	Templates() ([]TemplateInfo, error)
+}
+
+// App is one benchmark application of a suite, with its ground truth.
+type App struct {
+	Name     string
+	Category string
+	// Leaky is the ground truth: the app is constructed to send sensitive
+	// data to a sink.
+	Leaky bool
+	// InSubset marks membership in the 48-app heatmap subset (Figure 11);
+	// only meaningful for the Dalvik DroidBench suite.
+	InSubset bool
+	Prog     Program
+}
+
+// Suite is a benchmark family for one front end: apps plus their expected
+// verdicts (the Leaky ground truth carried by each App).
+type Suite interface {
+	// Name identifies the suite.
+	Name() string
+	// Frontend is the VM the suite's programs target.
+	Frontend() Frontend
+	// Apps returns the applications in a stable order.
+	Apps() []App
+}

@@ -1,0 +1,17 @@
+package frontend
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeInterp: "interp",
+		ModeJIT:    "jit",
+		ModeAOT:    "aot",
+		Mode(99):   "mode?",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package stackvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a readable listing of the module (wat-flavoured).
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(module %s (entry %s)\n", p.Name, p.Entry)
+	for _, name := range p.FuncNames {
+		f := p.Funcs[name]
+		fmt.Fprintf(&b, "  (func %s (params %d) (locals %d) (stack %d)\n",
+			f.Name, f.Params, f.Locals, f.Stack)
+		labelAt := make(map[int][]string)
+		for l, idx := range f.Labels {
+			labelAt[idx] = append(labelAt[idx], l)
+		}
+		for i, in := range f.Insns {
+			for _, l := range labelAt[i] {
+				fmt.Fprintf(&b, "  %s:\n", l)
+			}
+			fmt.Fprintf(&b, "    %3d: %s", i, in.Op)
+			switch in.Op {
+			case OpConst:
+				fmt.Fprintf(&b, " %d", in.Lit)
+			case OpConstStr:
+				fmt.Fprintf(&b, " %q", in.Str)
+			case OpLocalGet, OpLocalSet, OpSave, OpRestore:
+				fmt.Fprintf(&b, " %d", in.A)
+			case OpCall:
+				fmt.Fprintf(&b, " %s", in.Sym)
+			case OpCallExtern:
+				fmt.Fprintf(&b, " %s/%d", in.Sym, in.A)
+			case OpBr, OpBrIf:
+				fmt.Fprintf(&b, " %s", in.Target)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  )\n")
+	}
+	b.WriteString(")\n")
+	return b.String()
+}

@@ -1,0 +1,261 @@
+package stackvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Binary module format, little-endian throughout:
+//
+//	magic   "PIFTSVM1"
+//	entry   str
+//	nFuncs  u16, then per function (definition order):
+//	  name str, params u8, locals u8, stack u16
+//	  nInsns u32, then per instruction: op u8 + op-specific payload
+//	    (i32.const: lit i32; str.const: str; local.*/stack.*: A u8;
+//	     call: sym str; call.extern: A u8 + sym str; br/br_if: target str)
+//	  nLabels u16, then per label: name str, idx u32
+//	str     u16 length + bytes
+//
+// Decode re-runs the builder's full validation (minus extern resolution,
+// which needs a runtime), so a decoded module is as trustworthy as a
+// built one. This is the surface the decoder fuzz target exercises.
+
+var magic = []byte("PIFTSVM1")
+
+// Encode serializes a program. Output is canonical: label tables are
+// sorted, so Encode∘Decode is a fixed point.
+func Encode(p *Program) []byte {
+	var out []byte
+	u16 := func(v int) { out = append(out, byte(v), byte(v>>8)) }
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	str := func(s string) { u16(len(s)); out = append(out, s...) }
+
+	out = append(out, magic...)
+	str(p.Entry)
+	u16(len(p.FuncNames))
+	for _, name := range p.FuncNames {
+		f := p.Funcs[name]
+		str(f.Name)
+		out = append(out, byte(f.Params), byte(f.Locals))
+		u16(f.Stack)
+		u32(uint32(len(f.Insns)))
+		for _, in := range f.Insns {
+			out = append(out, byte(in.Op))
+			switch in.Op {
+			case OpConst:
+				u32(uint32(in.Lit))
+			case OpConstStr:
+				str(in.Str)
+			case OpLocalGet, OpLocalSet, OpSave, OpRestore:
+				out = append(out, byte(in.A))
+			case OpCall:
+				str(in.Sym)
+			case OpCallExtern:
+				out = append(out, byte(in.A))
+				str(in.Sym)
+			case OpBr, OpBrIf:
+				str(in.Target)
+			}
+		}
+		labels := make([]string, 0, len(f.Labels))
+		for l := range f.Labels {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		u16(len(labels))
+		for _, l := range labels {
+			str(l)
+			u32(uint32(f.Labels[l]))
+		}
+	}
+	return out
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) fail(format string, args ...interface{}) error {
+	return fmt.Errorf("stackvm: decode at %d: %s", d.off, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.off+1 > len(d.buf) {
+		return 0, d.fail("truncated u8")
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (int, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, d.fail("truncated u16")
+	}
+	v := int(binary.LittleEndian.Uint16(d.buf[d.off:]))
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, d.fail("truncated u32")
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if d.off+n > len(d.buf) {
+		return "", d.fail("truncated string of %d bytes", n)
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+// Decode parses and validates a binary module. The returned program has
+// passed the same structural checks Build performs (extern symbols are
+// accepted as-is; resolution happens at translation time).
+func Decode(data []byte) (*Program, error) {
+	d := &decoder{buf: data}
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, d.fail("bad magic")
+	}
+	d.off = len(magic)
+
+	entry, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	nFuncs, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Name: "decoded", Entry: entry, Funcs: make(map[string]*Func)}
+	for i := 0; i < nFuncs; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := p.Funcs[name]; dup {
+			return nil, d.fail("duplicate function %q", name)
+		}
+		params, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		locals, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		stack, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		nInsns, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		// Every encoded instruction is at least one byte; reject counts the
+		// remaining input cannot possibly hold before allocating.
+		if int(nInsns) > len(d.buf)-d.off {
+			return nil, d.fail("function %q claims %d instructions with %d bytes left",
+				name, nInsns, len(d.buf)-d.off)
+		}
+		f := &Func{
+			Name:   name,
+			Params: int(params),
+			Locals: int(locals),
+			Stack:  stack,
+			Insns:  make([]Insn, 0, nInsns),
+			Labels: make(map[string]int),
+		}
+		for j := uint32(0); j < nInsns; j++ {
+			op, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			in := Insn{Op: Op(op)}
+			switch in.Op {
+			case OpConst:
+				v, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				in.Lit = int32(v)
+			case OpConstStr:
+				if in.Str, err = d.str(); err != nil {
+					return nil, err
+				}
+			case OpLocalGet, OpLocalSet, OpSave, OpRestore:
+				a, err := d.u8()
+				if err != nil {
+					return nil, err
+				}
+				in.A = int(a)
+			case OpCall:
+				if in.Sym, err = d.str(); err != nil {
+					return nil, err
+				}
+			case OpCallExtern:
+				a, err := d.u8()
+				if err != nil {
+					return nil, err
+				}
+				in.A = int(a)
+				if in.Sym, err = d.str(); err != nil {
+					return nil, err
+				}
+			case OpBr, OpBrIf:
+				if in.Target, err = d.str(); err != nil {
+					return nil, err
+				}
+			default:
+				if in.Op >= opCount {
+					return nil, d.fail("function %q insn %d: invalid opcode 0x%02x", name, j, op)
+				}
+			}
+			f.Insns = append(f.Insns, in)
+		}
+		nLabels, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nLabels; j++ {
+			l, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			idx, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := f.Labels[l]; dup {
+				return nil, d.fail("function %q: duplicate label %q", name, l)
+			}
+			f.Labels[l] = int(idx)
+		}
+		p.Funcs[name] = f
+		p.FuncNames = append(p.FuncNames, name)
+	}
+	if d.off != len(d.buf) {
+		return nil, d.fail("%d trailing bytes", len(d.buf)-d.off)
+	}
+	if err := validate(p, nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,168 @@
+package stackvm
+
+import (
+	"repro/internal/arm"
+	"repro/internal/frontend"
+	"repro/internal/mem"
+)
+
+// This file adapts the stack VM to the front-end-agnostic surface of
+// internal/frontend: *Program implements frontend.Program, and Front is
+// the frontend.Frontend descriptor used by flags and the static-coverage
+// experiments.
+
+var _ frontend.Program = (*Program)(nil)
+
+// Translate implements frontend.Program.
+func (p *Program) Translate(asm *arm.Assembler, rt frontend.Runtime, mode frontend.Mode) (frontend.Image, error) {
+	tr, err := TranslateMode(p, asm, rt, mode)
+	if err != nil {
+		return nil, err
+	}
+	return translatedImage{tr}, nil
+}
+
+// translatedImage adapts *Translated (whose EntryLabel is a field) to the
+// frontend.Image interface.
+type translatedImage struct{ tr *Translated }
+
+func (im translatedImage) EntryLabel() string         { return im.tr.EntryLabel }
+func (im translatedImage) Materialize(m frontend.Mem) { im.tr.Materialize(m) }
+
+// Front is the stack-VM front end descriptor.
+type Front struct{}
+
+var _ frontend.Frontend = Front{}
+
+// Name implements frontend.Frontend.
+func (Front) Name() string { return "stackvm" }
+
+// Templates implements frontend.Frontend: it translates a program
+// exercising every opcode and reports each template's measured data
+// load/store positions. The measurement is live — a template regression
+// changes the result. stack.save/stack.restore are measured at depth
+// K=3, where the spill distances (2K and 2K-1) sit right at the paper's
+// NI=13 horizon for deeper groups.
+func (Front) Templates() ([]frontend.TemplateInfo, error) {
+	metas, err := translateAllOps()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]frontend.TemplateInfo, 0, len(metas))
+	for _, m := range metas {
+		info := frontend.TemplateInfo{
+			Op:         m.Op.String(),
+			MovesData:  m.Op.MovesData(),
+			HelperCall: m.HelperCall,
+		}
+		info.Distance, info.HasDistance = m.Distance()
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// translateAllOps builds a program exercising every opcode and returns the
+// translation metadata.
+func translateAllOps() ([]InsnMeta, error) {
+	b := NewProgram("svmtable1")
+
+	callee := b.Func("callee", 1, 0, 2)
+	callee.LocalGet(0)
+	callee.RetVal()
+
+	m := b.Func("main", 0, 2, 10)
+	m.Nop()
+	m.Const(7)
+	m.Dup()
+	m.Drop()
+	m.LocalSet(0)
+	m.ConstStr("t")
+	m.LocalSet(1)
+	m.LocalGet(0)
+	m.Const(1)
+	m.Add()
+	m.Const(1)
+	m.Sub()
+	m.Const(1)
+	m.Mul()
+	m.Const(1)
+	m.And()
+	m.Const(1)
+	m.Or()
+	m.Const(1)
+	m.Xor()
+	m.Const(1)
+	m.Shl()
+	m.Const(1)
+	m.Shr()
+	m.Eqz()
+	m.LocalSet(0)
+	// Memory ops address an interned literal; the templates are only
+	// translated here, never executed.
+	m.ConstStr("cell")
+	m.Load()
+	m.Drop()
+	m.ConstStr("cell")
+	m.Load16()
+	m.Drop()
+	m.ConstStr("cell")
+	m.Const(1)
+	m.Store()
+	m.ConstStr("cell")
+	m.Const(1)
+	m.Store16()
+	// Spill group at the reference depth K=3.
+	m.Const(1)
+	m.Const(2)
+	m.Const(3)
+	m.Save(3)
+	m.Restore(3)
+	m.Drop()
+	m.Drop()
+	m.Drop()
+	// Calls: app-level and extern, plus the result fetch.
+	m.Const(5)
+	m.Call("callee")
+	m.Result()
+	m.Drop()
+	m.Const(5)
+	m.CallExtern("measure", 1)
+	// Branches: a conditional hop and an unconditional one.
+	m.Const(0)
+	m.BrIf("join")
+	m.Label("join")
+	m.Br("end")
+	m.Label("end")
+	m.Ret()
+	b.Entry("main")
+
+	prog, err := b.Build(map[string]bool{"measure": true})
+	if err != nil {
+		return nil, err
+	}
+
+	asm := arm.NewAssembler(frontend.CodeBase)
+	rt := &measureRuntime{}
+	asm.Label("measure$extern")
+	asm.Emit(arm.BxLR())
+	tr, err := Translate(prog, asm, rt)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Meta, nil
+}
+
+// measureRuntime is the minimal Runtime needed to translate for
+// measurement: no real heap, every extern resolves to a stub.
+type measureRuntime struct {
+	next mem.Addr
+}
+
+func (m *measureRuntime) InternString(string) mem.Addr {
+	m.next += 0x40
+	return frontend.HeapBase + m.next
+}
+
+func (m *measureRuntime) ExternEntry(string) (string, bool) {
+	return "measure$extern", true
+}

@@ -1,0 +1,36 @@
+package stackvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the module decoder with arbitrary bytes. Invalid
+// input must be rejected without panicking or over-allocating; any input
+// that decodes must re-encode to the canonical form, and that form must
+// round-trip as a fixed point.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("PIFTSVM1"))
+	f.Add(Encode(richProgram(f)))
+	min := NewProgram("min")
+	min.Func("main", 0, 0, 1).Const(1).RetVal()
+	min.Entry("main")
+	if p, err := min.Build(nil); err == nil {
+		f.Add(Encode(p))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		wire := Encode(p)
+		p2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("canonical form does not re-decode: %v", err)
+		}
+		if !bytes.Equal(Encode(p2), wire) {
+			t.Fatal("Encode∘Decode is not a fixed point on canonical input")
+		}
+	})
+}

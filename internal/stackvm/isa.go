@@ -1,0 +1,135 @@
+// Package stackvm is the platform's second guest front end: a compact
+// wasm-style stack bytecode (in the spirit of TaintAssembly's instrumented
+// WebAssembly VM) with translation templates that lower every op to the
+// same ARM event stream the Dalvik front end produces — so the trace
+// codec, the sharded pipeline, the trackers, and the DIFT oracle run
+// unchanged on stack-machine traffic.
+//
+// The interesting difference from the register VM is the operand stack:
+// values live in frame memory and move through push/pop load-store pairs,
+// and the stack.save/stack.restore ops batch-spill the top K operand
+// slots to the native stack (deep operand stacks, register-allocated
+// shuffles). A value K deep in a spill group has its carrying store 2K
+// native instructions after its load, as the window's K-th store — the
+// load→store window assumption (NI=13/NT=3) strains exactly there.
+package stackvm
+
+import "fmt"
+
+// Op is a stack-bytecode opcode.
+type Op uint8
+
+const (
+	OpNop Op = iota
+	// OpConst pushes the Lit immediate.
+	OpConst
+	// OpConstStr pushes the address of the interned Str literal.
+	OpConstStr
+	// OpDrop discards the top of the operand stack (pointer adjust only).
+	OpDrop
+	// OpDup pushes a copy of the top operand.
+	OpDup
+	// OpLocalGet pushes local A.
+	OpLocalGet
+	// OpLocalSet pops into local A.
+	OpLocalSet
+	// Binary ops pop b then a, push a∘b.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	// OpEqz pops a, pushes a==0 ? 1 : 0.
+	OpEqz
+	// OpLoad pops an address, pushes the 32-bit word there.
+	OpLoad
+	// OpLoad16 pops an address, pushes the 16-bit halfword there.
+	OpLoad16
+	// OpStore pops value then address, stores the 32-bit word.
+	OpStore
+	// OpStore16 pops value then address, stores the low halfword.
+	OpStore16
+	// OpBr branches unconditionally to Target.
+	OpBr
+	// OpBrIf pops a condition and branches to Target when nonzero.
+	OpBrIf
+	// OpCall pops the callee's A parameters into its frame and enters it.
+	OpCall
+	// OpCallExtern pops A arguments into r0..r(A-1) and calls the extern
+	// routine Sym (intrinsics, framework sources and sinks).
+	OpCallExtern
+	// OpResult pushes the thread's return-value slot.
+	OpResult
+	// OpRet returns without a value.
+	OpRet
+	// OpRetVal pops the return value into the retval slot and returns.
+	OpRetVal
+	// OpSave batch-spills the top A operand slots to the native stack
+	// (deepest slot first-loaded, last-stored: distance 2A, A-th store).
+	OpSave
+	// OpRestore reloads A values spilled by OpSave back onto the operand
+	// stack (deepest slot first-loaded, last-stored: distance 2A-1).
+	OpRestore
+
+	opCount // sentinel
+)
+
+// MaxSpill bounds OpSave/OpRestore depth: the template holds the group in
+// r0-r3 and r9-r12.
+const MaxSpill = 8
+
+type opInfo struct {
+	name      string
+	movesData bool
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:        {"nop", false},
+	OpConst:      {"i32.const", false},
+	OpConstStr:   {"str.const", false},
+	OpDrop:       {"drop", false},
+	OpDup:        {"dup", true},
+	OpLocalGet:   {"local.get", true},
+	OpLocalSet:   {"local.set", true},
+	OpAdd:        {"i32.add", true},
+	OpSub:        {"i32.sub", true},
+	OpMul:        {"i32.mul", true},
+	OpAnd:        {"i32.and", true},
+	OpOr:         {"i32.or", true},
+	OpXor:        {"i32.xor", true},
+	OpShl:        {"i32.shl", true},
+	OpShr:        {"i32.shr", true},
+	OpEqz:        {"i32.eqz", true},
+	OpLoad:       {"i32.load", true},
+	OpLoad16:     {"i32.load16", true},
+	OpStore:      {"i32.store", true},
+	OpStore16:    {"i32.store16", true},
+	OpBr:         {"br", false},
+	OpBrIf:       {"br_if", false},
+	OpCall:       {"call", true},
+	OpCallExtern: {"call.extern", true},
+	OpResult:     {"result", true},
+	OpRet:        {"return", false},
+	OpRetVal:     {"return.value", true},
+	OpSave:       {"stack.save", true},
+	OpRestore:    {"stack.restore", true},
+}
+
+func (op Op) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?0x%02x", uint8(op))
+}
+
+// MovesData reports whether the op copies program data through memory
+// (the Table 1 population for this front end).
+func (op Op) MovesData() bool {
+	if int(op) < len(opTable) {
+		return opTable[op].movesData
+	}
+	return false
+}

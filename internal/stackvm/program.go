@@ -1,0 +1,421 @@
+package stackvm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Insn is one decoded stack-bytecode instruction.
+type Insn struct {
+	Op     Op
+	A      int    // local index, spill depth, call/extern arity
+	Lit    int32  // i32.const immediate
+	Str    string // str.const literal
+	Sym    string // call / call.extern target
+	Target string // br / br_if label
+}
+
+// Func is one function body.
+type Func struct {
+	Name   string
+	Params int // locals 0..Params-1 are filled by the caller
+	Locals int // extra locals beyond the parameters
+	Stack  int // operand-stack slots reserved in the frame
+	Insns  []Insn
+	Labels map[string]int
+}
+
+// NumLocals is the frame's local-slot count (params + extras).
+func (f *Func) NumLocals() int { return f.Params + f.Locals }
+
+// Program is a linked stack-bytecode module.
+type Program struct {
+	Name      string
+	Funcs     map[string]*Func
+	FuncNames []string // definition order
+	Entry     string
+}
+
+// ProgramName implements frontend.Program.
+func (p *Program) ProgramName() string { return p.Name }
+
+// Instructions counts the program's bytecode instructions.
+func (p *Program) Instructions() int {
+	n := 0
+	for _, name := range p.FuncNames {
+		n += len(p.Funcs[name].Insns)
+	}
+	return n
+}
+
+// OpCounts tallies instructions per opcode name (Figure 10 static
+// frequency input).
+func (p *Program) OpCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, name := range p.FuncNames {
+		for _, in := range p.Funcs[name].Insns {
+			counts[in.Op.String()]++
+		}
+	}
+	return counts
+}
+
+// Builder assembles a Program; obtain function builders with Func, then
+// call Build to validate and link.
+type Builder struct {
+	prog *Program
+}
+
+// NewProgram starts a new stack-bytecode module.
+func NewProgram(name string) *Builder {
+	return &Builder{prog: &Program{
+		Name:  name,
+		Funcs: make(map[string]*Func),
+	}}
+}
+
+// Func declares a function and returns its body builder. params locals
+// are filled by the caller; extra locals and stack slots size the frame.
+func (b *Builder) Func(name string, params, locals, stack int) *FuncBuilder {
+	f := &Func{
+		Name:   name,
+		Params: params,
+		Locals: locals,
+		Stack:  stack,
+		Labels: make(map[string]int),
+	}
+	b.prog.Funcs[name] = f
+	b.prog.FuncNames = append(b.prog.FuncNames, name)
+	return &FuncBuilder{f: f}
+}
+
+// Entry names the function executed at boot (must take no parameters).
+func (b *Builder) Entry(name string) { b.prog.Entry = name }
+
+// Build validates the module (labels, locals, call targets, operand-stack
+// discipline) and returns the linked program. externs names the extern
+// symbols the host runtime provides.
+func (b *Builder) Build(externs map[string]bool) (*Program, error) {
+	if err := validate(b.prog, externs); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// FuncBuilder appends instructions to one function body.
+type FuncBuilder struct {
+	f *Func
+}
+
+func (fb *FuncBuilder) emit(in Insn) *FuncBuilder {
+	fb.f.Insns = append(fb.f.Insns, in)
+	return fb
+}
+
+// Label marks the next instruction as a branch target.
+func (fb *FuncBuilder) Label(name string) *FuncBuilder {
+	fb.f.Labels[name] = len(fb.f.Insns)
+	return fb
+}
+
+func (fb *FuncBuilder) Nop() *FuncBuilder { return fb.emit(Insn{Op: OpNop}) }
+func (fb *FuncBuilder) Const(v int32) *FuncBuilder {
+	return fb.emit(Insn{Op: OpConst, Lit: v})
+}
+func (fb *FuncBuilder) ConstStr(s string) *FuncBuilder {
+	return fb.emit(Insn{Op: OpConstStr, Str: s})
+}
+func (fb *FuncBuilder) Drop() *FuncBuilder { return fb.emit(Insn{Op: OpDrop}) }
+func (fb *FuncBuilder) Dup() *FuncBuilder  { return fb.emit(Insn{Op: OpDup}) }
+func (fb *FuncBuilder) LocalGet(i int) *FuncBuilder {
+	return fb.emit(Insn{Op: OpLocalGet, A: i})
+}
+func (fb *FuncBuilder) LocalSet(i int) *FuncBuilder {
+	return fb.emit(Insn{Op: OpLocalSet, A: i})
+}
+func (fb *FuncBuilder) Add() *FuncBuilder     { return fb.emit(Insn{Op: OpAdd}) }
+func (fb *FuncBuilder) Sub() *FuncBuilder     { return fb.emit(Insn{Op: OpSub}) }
+func (fb *FuncBuilder) Mul() *FuncBuilder     { return fb.emit(Insn{Op: OpMul}) }
+func (fb *FuncBuilder) And() *FuncBuilder     { return fb.emit(Insn{Op: OpAnd}) }
+func (fb *FuncBuilder) Or() *FuncBuilder      { return fb.emit(Insn{Op: OpOr}) }
+func (fb *FuncBuilder) Xor() *FuncBuilder     { return fb.emit(Insn{Op: OpXor}) }
+func (fb *FuncBuilder) Shl() *FuncBuilder     { return fb.emit(Insn{Op: OpShl}) }
+func (fb *FuncBuilder) Shr() *FuncBuilder     { return fb.emit(Insn{Op: OpShr}) }
+func (fb *FuncBuilder) Eqz() *FuncBuilder     { return fb.emit(Insn{Op: OpEqz}) }
+func (fb *FuncBuilder) Load() *FuncBuilder    { return fb.emit(Insn{Op: OpLoad}) }
+func (fb *FuncBuilder) Load16() *FuncBuilder  { return fb.emit(Insn{Op: OpLoad16}) }
+func (fb *FuncBuilder) Store() *FuncBuilder   { return fb.emit(Insn{Op: OpStore}) }
+func (fb *FuncBuilder) Store16() *FuncBuilder { return fb.emit(Insn{Op: OpStore16}) }
+func (fb *FuncBuilder) Br(target string) *FuncBuilder {
+	return fb.emit(Insn{Op: OpBr, Target: target})
+}
+func (fb *FuncBuilder) BrIf(target string) *FuncBuilder {
+	return fb.emit(Insn{Op: OpBrIf, Target: target})
+}
+func (fb *FuncBuilder) Call(sym string) *FuncBuilder {
+	return fb.emit(Insn{Op: OpCall, Sym: sym})
+}
+func (fb *FuncBuilder) CallExtern(sym string, arity int) *FuncBuilder {
+	return fb.emit(Insn{Op: OpCallExtern, Sym: sym, A: arity})
+}
+func (fb *FuncBuilder) Result() *FuncBuilder { return fb.emit(Insn{Op: OpResult}) }
+func (fb *FuncBuilder) Ret() *FuncBuilder    { return fb.emit(Insn{Op: OpRet}) }
+func (fb *FuncBuilder) RetVal() *FuncBuilder { return fb.emit(Insn{Op: OpRetVal}) }
+func (fb *FuncBuilder) Save(k int) *FuncBuilder {
+	return fb.emit(Insn{Op: OpSave, A: k})
+}
+func (fb *FuncBuilder) Restore(k int) *FuncBuilder {
+	return fb.emit(Insn{Op: OpRestore, A: k})
+}
+
+// simState is the abstract machine state at one instruction boundary:
+// operand-stack depth and native-spill depth (words pushed by stack.save
+// not yet restored).
+type simState struct {
+	op, save int
+}
+
+// validate checks the whole module: the entry exists and takes no
+// parameters, every label and call target resolves, local indices are in
+// range, and a linear abstract interpretation proves the operand stack
+// never under- or overflows, branch targets are reached at a consistent
+// depth, and every path returns with an empty native-spill area. externs
+// names the known extern symbols; a nil map skips extern resolution
+// (used by the decoder, which has no runtime at hand).
+func validate(p *Program, externs map[string]bool) error {
+	if p.Entry == "" {
+		return fmt.Errorf("stackvm %s: no entry function", p.Name)
+	}
+	entry, ok := p.Funcs[p.Entry]
+	if !ok {
+		return fmt.Errorf("stackvm %s: entry %q not defined", p.Name, p.Entry)
+	}
+	if entry.Params != 0 {
+		return fmt.Errorf("stackvm %s: entry %q takes %d params, want 0",
+			p.Name, p.Entry, entry.Params)
+	}
+	for _, name := range p.FuncNames {
+		if err := validateFunc(p, p.Funcs[name], externs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateFunc(p *Program, f *Func, externs map[string]bool) error {
+	fail := func(idx int, format string, args ...interface{}) error {
+		return fmt.Errorf("stackvm %s: %s+%d: %s",
+			p.Name, f.Name, idx, fmt.Sprintf(format, args...))
+	}
+	if f.Params < 0 || f.Locals < 0 || f.Stack < 0 {
+		return fmt.Errorf("stackvm %s: %s: negative frame shape", p.Name, f.Name)
+	}
+	if len(f.Insns) == 0 {
+		return fmt.Errorf("stackvm %s: %s: empty body", p.Name, f.Name)
+	}
+	for name, idx := range f.Labels {
+		if idx < 0 || idx >= len(f.Insns) {
+			return fmt.Errorf("stackvm %s: %s: label %q marks instruction %d of %d",
+				p.Name, f.Name, name, idx, len(f.Insns))
+		}
+	}
+
+	// Abstract interpretation: one linear pass; forward branch states are
+	// parked until reached, backward branches are checked against the
+	// recorded entry state of their target.
+	seen := make([]simState, len(f.Insns)) // entry state where visited
+	known := make([]bool, len(f.Insns))    // seen[i] is valid
+	pend := make(map[int]simState)         // parked forward-branch states
+	resolveTarget := func(idx int, in Insn) (int, error) {
+		t, ok := f.Labels[in.Target]
+		if !ok {
+			return 0, fail(idx, "%s: undefined label %q", in.Op, in.Target)
+		}
+		return t, nil
+	}
+	branch := func(idx, tIdx int, st simState) error {
+		if tIdx <= idx {
+			if !known[tIdx] {
+				return fail(idx, "branch to unvisited earlier instruction %d", tIdx)
+			}
+			if seen[tIdx] != st {
+				return fail(idx, "stack depth mismatch at backward target %d: have op=%d/save=%d, target expects op=%d/save=%d",
+					tIdx, st.op, st.save, seen[tIdx].op, seen[tIdx].save)
+			}
+			return nil
+		}
+		if prev, ok := pend[tIdx]; ok && prev != st {
+			return fail(idx, "stack depth mismatch at forward target %d: op=%d/save=%d vs op=%d/save=%d",
+				tIdx, st.op, st.save, prev.op, prev.save)
+		}
+		pend[tIdx] = st
+		return nil
+	}
+
+	cur := simState{}
+	reachable := true
+	for idx, in := range f.Insns {
+		if st, ok := pend[idx]; ok {
+			if reachable && cur != st {
+				return fail(idx, "fallthrough depth op=%d/save=%d disagrees with branch-in depth op=%d/save=%d",
+					cur.op, cur.save, st.op, st.save)
+			}
+			cur, reachable = st, true
+			delete(pend, idx)
+		}
+		if !reachable {
+			return fail(idx, "unreachable instruction")
+		}
+		seen[idx], known[idx] = cur, true
+
+		need := func(n int) error {
+			if cur.op < n {
+				return fail(idx, "%s: operand stack underflow (depth %d, need %d)", in.Op, cur.op, n)
+			}
+			return nil
+		}
+		push := func(n int) error {
+			cur.op += n
+			if cur.op > f.Stack {
+				return fail(idx, "%s: operand stack overflow (depth %d > %d slots)", in.Op, cur.op, f.Stack)
+			}
+			return nil
+		}
+
+		switch in.Op {
+		case OpNop:
+		case OpConst, OpConstStr, OpResult:
+			if err := push(1); err != nil {
+				return err
+			}
+		case OpDrop:
+			if err := need(1); err != nil {
+				return err
+			}
+			cur.op--
+		case OpDup:
+			if err := need(1); err != nil {
+				return err
+			}
+			if err := push(1); err != nil {
+				return err
+			}
+		case OpLocalGet, OpLocalSet:
+			if in.A < 0 || in.A >= f.NumLocals() {
+				return fail(idx, "%s: local %d out of range [0,%d)", in.Op, in.A, f.NumLocals())
+			}
+			if in.Op == OpLocalGet {
+				if err := push(1); err != nil {
+					return err
+				}
+			} else {
+				if err := need(1); err != nil {
+					return err
+				}
+				cur.op--
+			}
+		case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			if err := need(2); err != nil {
+				return err
+			}
+			cur.op--
+		case OpEqz, OpLoad, OpLoad16:
+			if err := need(1); err != nil {
+				return err
+			}
+		case OpStore, OpStore16:
+			if err := need(2); err != nil {
+				return err
+			}
+			cur.op -= 2
+		case OpBr:
+			t, err := resolveTarget(idx, in)
+			if err != nil {
+				return err
+			}
+			if err := branch(idx, t, cur); err != nil {
+				return err
+			}
+			reachable = false
+		case OpBrIf:
+			if err := need(1); err != nil {
+				return err
+			}
+			cur.op--
+			t, err := resolveTarget(idx, in)
+			if err != nil {
+				return err
+			}
+			if err := branch(idx, t, cur); err != nil {
+				return err
+			}
+		case OpCall:
+			callee, ok := p.Funcs[in.Sym]
+			if !ok {
+				return fail(idx, "call: undefined function %q", in.Sym)
+			}
+			if err := need(callee.Params); err != nil {
+				return err
+			}
+			cur.op -= callee.Params
+			f.Insns[idx].A = callee.Params
+		case OpCallExtern:
+			if in.A < 0 || in.A > 4 {
+				return fail(idx, "call.extern %s: arity %d out of range [0,4]", in.Sym, in.A)
+			}
+			if externs != nil && !externs[in.Sym] {
+				return fail(idx, "call.extern: unknown extern %q", in.Sym)
+			}
+			if err := need(in.A); err != nil {
+				return err
+			}
+			cur.op -= in.A
+		case OpRet, OpRetVal:
+			if in.Op == OpRetVal {
+				if err := need(1); err != nil {
+					return err
+				}
+				cur.op--
+			}
+			if cur.save != 0 {
+				return fail(idx, "%s with %d words still spilled by stack.save", in.Op, cur.save)
+			}
+			reachable = false
+		case OpSave:
+			if in.A < 1 || in.A > MaxSpill {
+				return fail(idx, "stack.save: depth %d out of range [1,%d]", in.A, MaxSpill)
+			}
+			if err := need(in.A); err != nil {
+				return err
+			}
+			cur.op -= in.A
+			cur.save += in.A
+		case OpRestore:
+			if in.A < 1 || in.A > MaxSpill {
+				return fail(idx, "stack.restore: depth %d out of range [1,%d]", in.A, MaxSpill)
+			}
+			if cur.save < in.A {
+				return fail(idx, "stack.restore: %d words requested, %d spilled", in.A, cur.save)
+			}
+			cur.save -= in.A
+			if err := push(in.A); err != nil {
+				return err
+			}
+		default:
+			return fail(idx, "invalid opcode 0x%02x", uint8(in.Op))
+		}
+	}
+	if reachable {
+		return fmt.Errorf("stackvm %s: %s: control falls off the end", p.Name, f.Name)
+	}
+	if len(pend) > 0 {
+		var idxs []int
+		for t := range pend {
+			idxs = append(idxs, t)
+		}
+		sort.Ints(idxs)
+		return fmt.Errorf("stackvm %s: %s: branch target %d is past a terminator but never reached linearly",
+			p.Name, f.Name, idxs[0])
+	}
+	return nil
+}

@@ -1,0 +1,472 @@
+package stackvm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arm"
+	"repro/internal/frontend"
+	"repro/internal/mem"
+)
+
+// richProgram builds a valid program exercising every opcode and every
+// operand payload form the wire format carries (i32 literal, string,
+// local index, spill depth, call symbol, extern symbol+arity, branch
+// target) — the shared fixture for the template, round-trip, and fuzz
+// seeds.
+func richProgram(t testing.TB) *Program {
+	t.Helper()
+	b := NewProgram("rich")
+
+	callee := b.Func("callee", 1, 0, 2)
+	callee.LocalGet(0)
+	callee.RetVal()
+
+	m := b.Func("main", 0, 2, 10)
+	m.Nop()
+	m.Const(1)
+	m.Const(2)
+	m.Add()
+	m.LocalSet(0)
+	m.ConstStr("cell")
+	m.Const(3)
+	m.Store()
+	m.ConstStr("cell")
+	m.Load()
+	m.LocalSet(1)
+	m.ConstStr("cell")
+	m.Load16()
+	m.Drop()
+	m.Const(7)
+	m.Dup()
+	m.Store16()
+	m.Const(10)
+	m.Const(3)
+	m.Sub()
+	m.Eqz()
+	m.Drop()
+	m.Const(1)
+	m.Const(2)
+	m.Const(3)
+	m.Save(3)
+	m.Restore(3)
+	m.Drop()
+	m.Drop()
+	m.Drop()
+	m.Const(0)
+	m.BrIf("skip")
+	m.Nop()
+	m.Label("skip")
+	m.Const(5)
+	m.Call("callee")
+	m.Result()
+	m.CallExtern("measure", 1)
+	m.Br("end")
+	m.Label("end")
+	m.Const(9)
+	m.RetVal()
+	b.Entry("main")
+
+	prog, err := b.Build(map[string]bool{"measure": true})
+	if err != nil {
+		t.Fatalf("rich program: %v", err)
+	}
+	return prog
+}
+
+// translateForTest lowers a program with the measurement stub runtime.
+func translateForTest(t testing.TB, prog *Program, mode Mode) *Translated {
+	t.Helper()
+	asm := arm.NewAssembler(frontend.CodeBase)
+	asm.Label("measure$extern")
+	asm.Emit(arm.BxLR())
+	tr, err := TranslateMode(prog, asm, &measureRuntime{}, mode)
+	if err != nil {
+		t.Fatalf("translate %s: %v", prog.Name, err)
+	}
+	return tr
+}
+
+// TestTemplateDistances pins every template's measured load→store
+// distance — the stack-VM column of the Table 1 discipline. A template
+// edit that moves the carrying store relative to the measured load
+// changes the window math and must show up here.
+func TestTemplateDistances(t *testing.T) {
+	metas, err := translateAllOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Op]int{
+		OpDup:      3,
+		OpLocalGet: 3,
+		OpLocalSet: 2,
+		OpAdd:      5, OpSub: 5, OpMul: 5, OpAnd: 5,
+		OpOr: 5, OpXor: 5, OpShl: 5, OpShr: 5,
+		OpEqz:    6,
+		OpLoad:   2,
+		OpLoad16: 2,
+		OpStore:  3, OpStore16: 3,
+		OpResult:  2,
+		OpRetVal:  1,
+		OpSave:    6, // K=3: 2K as the K-th store
+		OpRestore: 5, // K=3: 2K-1
+	}
+	seen := map[Op]bool{}
+	for _, m := range metas {
+		seen[m.Op] = true
+		d, has := m.Distance()
+		if w, ok := want[m.Op]; ok {
+			if !has {
+				t.Errorf("%s: no distance, want %d", m.Op, w)
+			} else if d != w {
+				t.Errorf("%s: distance %d, want %d", m.Op, d, w)
+			}
+			continue
+		}
+		switch m.Op {
+		case OpConst, OpConstStr:
+			// Pure materialization: a data store with no measured load.
+			if has || m.MeasureLoad >= 0 || m.DataStore < 0 {
+				t.Errorf("%s: want store-only template (load=%d store=%d has=%v)",
+					m.Op, m.MeasureLoad, m.DataStore, has)
+			}
+		case OpCallExtern:
+			if !m.HelperCall || has {
+				t.Errorf("%s: want opaque helper call (helper=%v has=%v)",
+					m.Op, m.HelperCall, has)
+			}
+		case OpNop, OpDrop, OpBr, OpBrIf, OpCall, OpRet:
+			if has {
+				t.Errorf("%s: unexpected distance %d", m.Op, d)
+			}
+		default:
+			t.Errorf("unclassified op %s in all-ops metadata", m.Op)
+		}
+	}
+	for op := range want {
+		if !seen[op] {
+			t.Errorf("%s: not exercised by the all-ops program", op)
+		}
+	}
+}
+
+// TestSpillDistances pins the spill-group geometry at every depth: the
+// deepest value of a stack.save travels load→store distance 2K as the
+// window's K-th store, and stack.restore returns it at 2K-1. K=6 breaks
+// NT=3 and K=8 breaks both NT and NI=13 — the window misses the stack-VM
+// experiment quantifies.
+func TestSpillDistances(t *testing.T) {
+	for k := 1; k <= MaxSpill; k++ {
+		b := NewProgram("spill")
+		f := b.Func("main", 0, 0, k)
+		for j := 0; j < k; j++ {
+			f.Const(int32(j))
+		}
+		f.Save(k)
+		f.Restore(k)
+		for j := 0; j < k; j++ {
+			f.Drop()
+		}
+		f.Ret()
+		b.Entry("main")
+		prog, err := b.Build(nil)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		tr := translateForTest(t, prog, ModeInterp)
+		var gotSave, gotRestore int
+		for _, m := range tr.Meta {
+			d, has := m.Distance()
+			switch m.Op {
+			case OpSave:
+				if !has {
+					t.Fatalf("K=%d: save has no distance", k)
+				}
+				gotSave = d
+			case OpRestore:
+				if !has {
+					t.Fatalf("K=%d: restore has no distance", k)
+				}
+				gotRestore = d
+			}
+		}
+		if gotSave != 2*k {
+			t.Errorf("K=%d: save distance %d, want %d", k, gotSave, 2*k)
+		}
+		if gotRestore != 2*k-1 {
+			t.Errorf("K=%d: restore distance %d, want %d", k, gotRestore, 2*k-1)
+		}
+	}
+}
+
+// TestBuildErrors exercises the validator: every malformed program is
+// rejected at Build time with a diagnostic naming the defect.
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		wantSub string
+		build   func() *Builder
+	}{
+		{"underflow", "operand stack underflow", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 2).Drop().Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"overflow", "operand stack overflow", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Const(1).Const(2).Drop().Drop().Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"merge depth mismatch", "disagrees with branch-in depth", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 3).
+				Const(0).BrIf("join").Const(1).Label("join").Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"spill residue at return", "still spilled by stack.save", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Const(1).Save(1).Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"undefined label", "undefined label", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Br("nope")
+			b.Entry("main")
+			return b
+		}},
+		{"unknown extern", "unknown extern", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Const(1).CallExtern("nope", 1).Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"undefined callee", "undefined function", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Call("nope").Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"local out of range", "out of range", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 1, 1).LocalGet(3).Drop().Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"unreachable code", "unreachable instruction", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Ret().Nop()
+			b.Entry("main")
+			return b
+		}},
+		{"save depth over cap", "out of range [1,8]", func() *Builder {
+			b := NewProgram("p")
+			f := b.Func("main", 0, 0, MaxSpill+1)
+			for j := 0; j <= MaxSpill; j++ {
+				f.Const(int32(j))
+			}
+			f.Save(MaxSpill + 1).Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"restore more than spilled", "1 spilled", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 2).Const(1).Save(1).Restore(2).Drop().Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"entry takes params", "want 0", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 1, 0, 1).LocalGet(0).RetVal()
+			b.Entry("main")
+			return b
+		}},
+		{"no entry", "no entry function", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Ret()
+			return b
+		}},
+		{"entry undefined", "not defined", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Ret()
+			b.Entry("ghost")
+			return b
+		}},
+		{"negative frame", "negative frame shape", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, -1, 1).Ret()
+			b.Entry("main")
+			return b
+		}},
+		{"empty body", "empty body", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1)
+			b.Entry("main")
+			return b
+		}},
+		{"backward branch depth mismatch", "backward target", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 3).
+				Label("top").Const(1).Br("top")
+			b.Entry("main")
+			return b
+		}},
+		{"fall off the end", "falls off the end", func() *Builder {
+			b := NewProgram("p")
+			b.Func("main", 0, 0, 1).Nop()
+			b.Entry("main")
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build().Build(map[string]bool{"measure": true})
+			if err == nil {
+				t.Fatal("Build accepted a malformed program")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeRoundTrip: Encode∘Decode is a fixed point on the wire
+// (canonical form), and a decoded module translates like the original.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	prog := richProgram(t)
+	wire := Encode(prog)
+	dec, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	wire2 := Encode(dec)
+	if !bytes.Equal(wire, wire2) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(wire), len(wire2))
+	}
+	if dec.Entry != prog.Entry || len(dec.FuncNames) != len(prog.FuncNames) {
+		t.Fatalf("decoded shape: entry=%q funcs=%d", dec.Entry, len(dec.FuncNames))
+	}
+	orig := translateForTest(t, prog, ModeInterp)
+	got := translateForTest(t, dec, ModeInterp)
+	if len(got.Meta) != len(orig.Meta) || len(got.Words) != len(orig.Words) {
+		t.Fatalf("decoded module translates differently: %d/%d meta, %d/%d words",
+			len(got.Meta), len(orig.Meta), len(got.Words), len(orig.Words))
+	}
+}
+
+// TestDecodeRejects: corrupt modules fail loudly, never alias to a valid
+// program.
+func TestDecodeRejects(t *testing.T) {
+	wire := Encode(richProgram(t))
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte("PIFTXXX1"), wire[8:]...),
+		"truncated": wire[:len(wire)-3],
+		"trailing":  append(append([]byte(nil), wire...), 0),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestTranslateModes: all three tiers lower the same program; the AOT
+// shape drops the fetch/dispatch skeleton so it must be strictly
+// smaller, and every mode carries one metadata record per instruction.
+func TestTranslateModes(t *testing.T) {
+	prog := richProgram(t)
+	insns := prog.Instructions()
+	sizes := map[Mode]int{}
+	for _, mode := range []Mode{ModeInterp, ModeJIT, ModeAOT} {
+		tr := translateForTest(t, prog, mode)
+		if len(tr.Meta) != insns {
+			t.Errorf("%v: %d metadata records for %d instructions", mode, len(tr.Meta), insns)
+		}
+		if len(tr.Words) == 0 {
+			t.Errorf("%v: no bytecode units", mode)
+		}
+		if _, ok := tr.FuncLabels["callee"]; !ok {
+			t.Errorf("%v: missing callee label", mode)
+		}
+		total := 0
+		for _, m := range tr.Meta {
+			total += m.NativeEnd - m.NativeStart
+		}
+		sizes[mode] = total
+	}
+	if sizes[ModeAOT] >= sizes[ModeInterp] {
+		t.Errorf("AOT templates (%d instrs) not smaller than interpreter (%d)",
+			sizes[ModeAOT], sizes[ModeInterp])
+	}
+}
+
+// TestFrontendDescriptor exercises the frontend.Frontend/Program/Image
+// surface: the live template measurements and the interface adapters.
+func TestFrontendDescriptor(t *testing.T) {
+	if got := (Front{}).Name(); got != "stackvm" {
+		t.Fatalf("front end name %q, want stackvm", got)
+	}
+	infos, err := Front{}.Templates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]frontend.TemplateInfo{}
+	for _, info := range infos {
+		byOp[info.Op] = info
+	}
+	if lg, ok := byOp["local.get"]; !ok || !lg.HasDistance || lg.Distance != 3 || !lg.MovesData {
+		t.Errorf("local.get template: %+v, want data-moving distance 3", byOp["local.get"])
+	}
+	if ce, ok := byOp["call.extern"]; !ok || !ce.HelperCall || ce.HasDistance {
+		t.Errorf("call.extern template: %+v, want opaque helper call", byOp["call.extern"])
+	}
+	if c, ok := byOp["i32.const"]; !ok || c.MovesData || c.HasDistance {
+		t.Errorf("i32.const template: %+v, want non-data-moving", byOp["i32.const"])
+	}
+
+	var prog frontend.Program = richProgram(t)
+	if prog.ProgramName() != "rich" {
+		t.Errorf("ProgramName %q", prog.ProgramName())
+	}
+	if prog.Instructions() == 0 {
+		t.Error("Instructions() = 0")
+	}
+	counts := prog.OpCounts()
+	if counts["i32.const"] == 0 || counts["stack.save"] != 1 {
+		t.Errorf("OpCounts: %v", counts)
+	}
+	dump := prog.Dump()
+	for _, want := range []string{"stack.save", "call.extern", "skip:", "local.get"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump lacks %q:\n%s", want, dump)
+		}
+	}
+	if !OpSave.MovesData() || OpBr.MovesData() {
+		t.Error("MovesData misclassifies stack.save or br")
+	}
+	if !strings.Contains(Op(0xee).String(), "op?") {
+		t.Errorf("invalid opcode renders as %q", Op(0xee).String())
+	}
+
+	asm := arm.NewAssembler(frontend.CodeBase)
+	asm.Label("measure$extern")
+	asm.Emit(arm.BxLR())
+	img, err := frontend.Translate(prog, asm, &measureRuntime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.EntryLabel() == "" {
+		t.Error("empty entry label")
+	}
+	m := mem.NewMemory()
+	img.Materialize(m)
+	if m.Load16(frontend.BytecodeBase) == 0 {
+		t.Error("Materialize wrote no bytecode at BytecodeBase")
+	}
+}

@@ -1,0 +1,601 @@
+package stackvm
+
+import (
+	"fmt"
+
+	"repro/internal/arm"
+	"repro/internal/frontend"
+	"repro/internal/mem"
+)
+
+// mterp-style register conventions for the stack interpreter. rPC, rINST
+// and rSELF match the Dalvik front end; the frame registers differ: rLOC
+// points at the frame's local slots and rSTK is the operand-stack top
+// (next free slot; the stack grows upward within the frame).
+const (
+	RPC   = arm.R4
+	RSTK  = arm.R5
+	RSELF = frontend.RSelf
+	RINST = arm.R7
+	RLOC  = arm.R8
+)
+
+// Frame layout, from rLOC upward: NumLocals() local words, Stack operand
+// words, then the call save area.
+const (
+	saveCallerLOC = 0
+	saveCallerSTK = 4
+	saveCallerPC  = 8
+	saveReturnPC  = 12
+	saveAreaBytes = 16
+)
+
+func frameBytes(f *Func) int32 {
+	return int32(4*(f.NumLocals()+f.Stack)) + saveAreaBytes
+}
+
+// saveOff is the byte offset of the save area from rLOC.
+func saveOff(f *Func) int32 { return int32(4 * (f.NumLocals() + f.Stack)) }
+
+// spillRegs is the register pool stack.save/stack.restore cycles a group
+// through (in depth order: group slot j ↔ spillRegs[j]).
+var spillRegs = [MaxSpill]arm.Reg{
+	arm.R0, arm.R1, arm.R2, arm.R3, arm.R9, arm.R10, arm.R11, arm.R12,
+}
+
+// Mode aliases the shared execution tiers for readable call sites.
+type Mode = frontend.Mode
+
+const (
+	ModeInterp = frontend.ModeInterp
+	ModeJIT    = frontend.ModeJIT
+	ModeAOT    = frontend.ModeAOT
+)
+
+// Runtime is the translation-time runtime interface (string interning,
+// extern routine discovery).
+type Runtime = frontend.Runtime
+
+// InsnMeta records, for one translated stack-bytecode instance, where its
+// native template landed and which native instructions are the template's
+// measured data load and data store — same contract as the Dalvik
+// translator's metadata, feeding Table 1 and the template tests.
+type InsnMeta struct {
+	Func        string
+	Index       int
+	Op          Op
+	NativeStart int // image instruction index of the template's first instruction
+	NativeEnd   int // one past the template's last instruction
+	MeasureLoad int // image index of the load of actual data, -1 if none
+	DataStore   int // image index of the data store, -1 if none
+	HelperCall  bool
+}
+
+// Distance returns the template's load→store distance in instructions, or
+// false when the template has no such pair (or it spans a helper call).
+func (m InsnMeta) Distance() (int, bool) {
+	if m.MeasureLoad < 0 || m.DataStore < 0 || m.HelperCall {
+		return 0, false
+	}
+	return m.DataStore - m.MeasureLoad, true
+}
+
+// Translated is the output of Translate: entry-point labels, the bytecode
+// units to materialize in data memory, and per-instruction metadata.
+type Translated struct {
+	Prog       *Program
+	EntryLabel string
+	ExitLabel  string
+	FuncLabels map[string]string
+	Words      []uint16 // bytecode units, at frontend.BytecodeBase
+	Meta       []InsnMeta
+
+	unitBase map[string]int
+}
+
+// FuncUnitAddr returns the data-memory address of a function's first
+// bytecode unit.
+func (tr *Translated) FuncUnitAddr(name string) mem.Addr {
+	return frontend.BytecodeBase + mem.Addr(2*tr.unitBase[name])
+}
+
+// Materialize writes the bytecode stream into memory; the harness calls
+// this before starting the process (loader writes, not program stores).
+func (tr *Translated) Materialize(m frontend.Mem) {
+	for i, w := range tr.Words {
+		m.Store16(frontend.BytecodeBase+mem.Addr(2*i), w)
+	}
+}
+
+type translator struct {
+	prog *Program
+	asm  *arm.Assembler
+	rt   Runtime
+	out  *Translated
+	mode Mode
+
+	fn   *Func
+	meta *InsnMeta
+	uniq int
+}
+
+// Translate lowers every function of the program into native interpreter
+// templates in the shared assembler. The caller finishes the assembler.
+func Translate(prog *Program, asm *arm.Assembler, rt Runtime) (*Translated, error) {
+	return TranslateMode(prog, asm, rt, ModeInterp)
+}
+
+// TranslateMode lowers with an explicit execution tier.
+func TranslateMode(prog *Program, asm *arm.Assembler, rt Runtime, mode Mode) (*Translated, error) {
+	t := &translator{
+		prog: prog,
+		asm:  asm,
+		rt:   rt,
+		mode: mode,
+		out: &Translated{
+			Prog:       prog,
+			EntryLabel: "svmboot",
+			ExitLabel:  "svmexit",
+			FuncLabels: make(map[string]string),
+			unitBase:   make(map[string]int),
+		},
+	}
+
+	units := 0
+	for _, name := range prog.FuncNames {
+		t.out.unitBase[name] = units
+		units += len(prog.Funcs[name].Insns)
+	}
+	t.out.Words = make([]uint16, units)
+
+	if err := t.emitBootstrap(); err != nil {
+		return nil, err
+	}
+	for _, name := range prog.FuncNames {
+		if err := t.emitFunc(prog.Funcs[name]); err != nil {
+			return nil, err
+		}
+	}
+	return t.out, nil
+}
+
+func funcLabel(name string) string { return "svm$" + name }
+
+func insnLabel(fn string, idx int) string {
+	return fmt.Sprintf("svm$%s$%d", fn, idx)
+}
+
+func (t *translator) newLabel(hint string) string {
+	t.uniq++
+	return fmt.Sprintf("S$%s$%d", hint, t.uniq)
+}
+
+func addrImm(a mem.Addr) int32 { return int32(a) }
+
+// push emits "str r, [rSTK], #4" — the operand-stack push.
+func push(r arm.Reg) arm.Instr {
+	return arm.Instr{Op: arm.OpSTR, Rd: r, Rn: RSTK, Imm: 4, UseImm: true, Idx: arm.IdxPost}
+}
+
+// pop emits "ldr r, [rSTK, #-4]!" — the operand-stack pop.
+func pop(r arm.Reg) arm.Instr {
+	return arm.Instr{Op: arm.OpLDR, Rd: r, Rn: RSTK, Imm: -4, UseImm: true, Idx: arm.IdxPre}
+}
+
+func (t *translator) emitBootstrap() error {
+	entry := t.prog.Funcs[t.prog.Entry]
+	if entry == nil {
+		return fmt.Errorf("stackvm: entry function %q missing", t.prog.Entry)
+	}
+	a := t.asm
+	a.Label(t.out.EntryLabel)
+	loc := addrImm(frontend.FrameTop - mem.Addr(frameBytes(entry)))
+	save := saveOff(entry)
+	a.Emit(
+		arm.MovImm(arm.SP, addrImm(frontend.StackTop)),
+		arm.MovImm(RSELF, int32(frontend.SelfBase)),
+		arm.MovImm(arm.R10, loc),
+		arm.MovImm(arm.R0, 0),
+		arm.Str(arm.R0, arm.R10, save+saveCallerLOC),
+		arm.Str(arm.R0, arm.R10, save+saveCallerSTK),
+		arm.Str(arm.R0, arm.R10, save+saveCallerPC),
+	)
+	a.MovLabel(arm.R2, t.out.ExitLabel)
+	a.Emit(
+		arm.Str(arm.R2, arm.R10, save+saveReturnPC),
+		arm.Mov(RLOC, arm.R10),
+		arm.AddImm(RSTK, RLOC, int32(4*entry.NumLocals())),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(
+			arm.MovImm(RPC, int32(t.out.FuncUnitAddr(t.prog.Entry))),
+			arm.Ldrh(RINST, RPC, 0),
+			arm.AndImm(arm.R12, RINST, 255),
+		)
+	}
+	a.B(arm.AL, funcLabel(t.prog.Entry))
+	a.Label(t.out.ExitLabel)
+	a.Emit(arm.Svc(0))
+	return nil
+}
+
+func (t *translator) emitFunc(f *Func) error {
+	t.fn = f
+	t.out.FuncLabels[f.Name] = funcLabel(f.Name)
+	t.asm.Label(funcLabel(f.Name))
+	for i := range f.Insns {
+		t.asm.Label(insnLabel(f.Name, i))
+		t.out.Words[t.out.unitBase[f.Name]+i] = encodeUnit(&f.Insns[i])
+		t.out.Meta = append(t.out.Meta, InsnMeta{
+			Func:        f.Name,
+			Index:       i,
+			Op:          f.Insns[i].Op,
+			NativeStart: t.asm.Len(),
+			MeasureLoad: -1,
+			DataStore:   -1,
+		})
+		t.meta = &t.out.Meta[len(t.out.Meta)-1]
+		if err := t.emitInsn(f, i, &f.Insns[i]); err != nil {
+			return fmt.Errorf("stackvm: %s insn %d (%v): %w", f.Name, i, f.Insns[i].Op, err)
+		}
+		t.meta.NativeEnd = t.asm.Len()
+	}
+	return nil
+}
+
+// encodeUnit packs a bytecode unit as the interpreter fetch sees it:
+// opcode in the low byte, the A operand in the high byte.
+func encodeUnit(in *Insn) uint16 {
+	return uint16(in.Op) | uint16(in.A&0xff)<<8
+}
+
+func (t *translator) markMeasure() { t.meta.MeasureLoad = t.asm.Len() }
+func (t *translator) markStore()   { t.meta.DataStore = t.asm.Len() }
+
+// fetch emits FETCH_ADVANCE_INST: "ldrh rINST, [rPC, #2]!".
+func (t *translator) fetch() {
+	if t.mode == ModeAOT {
+		return
+	}
+	t.asm.Emit(arm.LdrhPre(RINST, RPC, 2))
+}
+
+// and12 emits the opcode-extraction "and r12, rINST, #255".
+func (t *translator) and12() {
+	if t.mode != ModeInterp {
+		return
+	}
+	t.asm.Emit(arm.AndImm(arm.R12, RINST, 255))
+}
+
+// goNext branches to the next bytecode's template (interp only; the
+// optimizing tiers fall through).
+func (t *translator) goNext(idx int) {
+	if t.mode != ModeInterp {
+		return
+	}
+	t.asm.B(arm.AL, insnLabel(t.fn.Name, idx+1))
+}
+
+func (t *translator) dispatch(idx int) {
+	t.fetch()
+	t.and12()
+	t.goNext(idx)
+}
+
+// dispatchBranch always emits the jump to the next template (used ahead of
+// branch stubs where fall-through is impossible).
+func (t *translator) dispatchBranch(idx int) {
+	t.fetch()
+	t.and12()
+	t.asm.B(arm.AL, insnLabel(t.fn.Name, idx+1))
+}
+
+// decodeA emits the A-operand extraction "ubfx r9, rINST, #8, #8".
+func (t *translator) decodeA() {
+	if t.mode == ModeAOT {
+		return
+	}
+	t.asm.Emit(arm.Ubfx(arm.R9, RINST, 8, 8))
+}
+
+func binopInstr(op Op) (arm.Instr, bool) {
+	switch op {
+	case OpAdd:
+		return arm.Add(arm.R0, arm.R0, arm.R1), true
+	case OpSub:
+		return arm.Sub(arm.R0, arm.R0, arm.R1), true
+	case OpMul:
+		return arm.Mul(arm.R0, arm.R0, arm.R1), true
+	case OpAnd:
+		return arm.And(arm.R0, arm.R0, arm.R1), true
+	case OpOr:
+		return arm.Orr(arm.R0, arm.R0, arm.R1), true
+	case OpXor:
+		return arm.Eor(arm.R0, arm.R0, arm.R1), true
+	case OpShl:
+		return arm.Instr{Op: arm.OpLSL, Rd: arm.R0, Rn: arm.R0, Rm: arm.R1}, true
+	case OpShr:
+		return arm.Instr{Op: arm.OpASR, Rd: arm.R0, Rn: arm.R0, Rm: arm.R1}, true
+	}
+	return arm.Instr{}, false
+}
+
+func (t *translator) emitInsn(f *Func, idx int, in *Insn) error {
+	a := t.asm
+	switch in.Op {
+	case OpNop:
+		t.dispatch(idx)
+
+	case OpConst:
+		a.Emit(arm.MovImm(arm.R0, in.Lit))
+		t.fetch()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.and12()
+		t.goNext(idx)
+
+	case OpConstStr:
+		addr := t.rt.InternString(in.Str)
+		a.Emit(arm.MovImm(arm.R0, addrImm(addr)))
+		t.fetch()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.and12()
+		t.goNext(idx)
+
+	case OpDrop:
+		a.Emit(arm.SubImm(RSTK, RSTK, 4))
+		t.dispatch(idx)
+
+	case OpDup:
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RSTK, -4))
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.goNext(idx)
+
+	case OpLocalGet:
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RLOC, int32(4*in.A)))
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.goNext(idx)
+
+	case OpLocalSet:
+		t.decodeA()
+		t.markMeasure()
+		a.Emit(pop(arm.R0))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RLOC, int32(4*in.A)))
+		t.and12()
+		t.goNext(idx)
+
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		alu, ok := binopInstr(in.Op)
+		if !ok {
+			return fmt.Errorf("no ALU template for %v", in.Op)
+		}
+		t.markMeasure()
+		a.Emit(pop(arm.R1), pop(arm.R0))
+		t.fetch()
+		a.Emit(alu)
+		t.and12()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.goNext(idx)
+
+	case OpEqz:
+		t.markMeasure()
+		a.Emit(pop(arm.R0), arm.CmpImm(arm.R0, 0), arm.MovImm(arm.R0, 0))
+		eq := arm.MovImm(arm.R0, 1)
+		eq.Cond = arm.EQ
+		a.Emit(eq)
+		t.fetch()
+		t.and12()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.goNext(idx)
+
+	case OpLoad:
+		a.Emit(pop(arm.R0))
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R1, arm.R0, 0))
+		t.fetch()
+		t.markStore()
+		a.Emit(push(arm.R1))
+		t.and12()
+		t.goNext(idx)
+
+	case OpLoad16:
+		a.Emit(pop(arm.R0))
+		t.markMeasure()
+		a.Emit(arm.Ldrh(arm.R1, arm.R0, 0))
+		t.fetch()
+		t.markStore()
+		a.Emit(push(arm.R1))
+		t.and12()
+		t.goNext(idx)
+
+	case OpStore:
+		t.markMeasure()
+		a.Emit(pop(arm.R1), pop(arm.R0))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Str(arm.R1, arm.R0, 0))
+		t.and12()
+		t.goNext(idx)
+
+	case OpStore16:
+		t.markMeasure()
+		a.Emit(pop(arm.R1), pop(arm.R0))
+		t.fetch()
+		t.markStore()
+		a.Emit(arm.Strh(arm.R1, arm.R0, 0))
+		t.and12()
+		t.goNext(idx)
+
+	case OpBr:
+		t.emitTaken(f, idx, f.Labels[in.Target])
+
+	case OpBrIf:
+		taken := t.newLabel("brif")
+		t.markMeasure()
+		a.Emit(pop(arm.R0), arm.CmpImm(arm.R0, 0))
+		a.B(arm.NE, taken)
+		t.dispatchBranch(idx)
+		a.Label(taken)
+		t.emitTaken(f, idx, f.Labels[in.Target])
+
+	case OpCall:
+		t.emitCall(f, idx, in)
+
+	case OpCallExtern:
+		label, ok := t.rt.ExternEntry(in.Sym)
+		if !ok {
+			return fmt.Errorf("extern %q not provided by runtime", in.Sym)
+		}
+		for k := in.A - 1; k >= 0; k-- {
+			a.Emit(pop(arm.Reg(k)))
+		}
+		a.BL(label)
+		t.meta.HelperCall = true
+		t.dispatch(idx)
+
+	case OpResult:
+		t.markMeasure()
+		a.Emit(arm.Ldr(arm.R0, RSELF, frontend.RetvalOffset))
+		t.fetch()
+		t.markStore()
+		a.Emit(push(arm.R0))
+		t.and12()
+		t.goNext(idx)
+
+	case OpRet:
+		t.emitUnwind(f)
+
+	case OpRetVal:
+		t.markMeasure()
+		a.Emit(pop(arm.R0))
+		t.markStore()
+		a.Emit(arm.Str(arm.R0, RSELF, frontend.RetvalOffset))
+		t.emitUnwind(f)
+
+	case OpSave:
+		k := in.A
+		t.decodeA()
+		for j := 0; j < k; j++ {
+			if j == 0 {
+				t.markMeasure()
+			}
+			a.Emit(arm.Ldr(spillRegs[j], RSTK, int32(-4*(k-j))))
+		}
+		a.Emit(arm.SubImm(RSTK, RSTK, int32(4*k)))
+		for j := k - 1; j >= 0; j-- {
+			if j == 0 {
+				t.markStore()
+			}
+			a.Emit(arm.Instr{Op: arm.OpSTR, Rd: spillRegs[j], Rn: arm.SP,
+				Imm: -4, UseImm: true, Idx: arm.IdxPre})
+		}
+		t.dispatch(idx)
+
+	case OpRestore:
+		k := in.A
+		t.decodeA()
+		for j := 0; j < k; j++ {
+			if j == 0 {
+				t.markMeasure()
+			}
+			a.Emit(arm.Instr{Op: arm.OpLDR, Rd: spillRegs[j], Rn: arm.SP,
+				Imm: 4, UseImm: true, Idx: arm.IdxPost})
+		}
+		for j := k - 1; j >= 0; j-- {
+			if j == 0 {
+				t.markStore()
+			}
+			a.Emit(arm.Str(spillRegs[j], RSTK, int32(4*j)))
+		}
+		a.Emit(arm.AddImm(RSTK, RSTK, int32(4*k)))
+		t.dispatch(idx)
+
+	default:
+		return fmt.Errorf("no template for %v", in.Op)
+	}
+	return nil
+}
+
+// emitTaken transfers control to bytecode index tIdx: advance rPC by the
+// unit delta, refetch, and jump to the target's template.
+func (t *translator) emitTaken(f *Func, idx, tIdx int) {
+	if t.mode != ModeAOT {
+		delta := int32(2*(tIdx-idx) - 2)
+		if delta != 0 {
+			t.asm.Emit(arm.AddImm(RPC, RPC, delta))
+		}
+	}
+	t.fetch()
+	t.and12()
+	t.asm.B(arm.AL, insnLabel(f.Name, tIdx))
+}
+
+// emitCall enters an app-level function: carve the callee frame below the
+// caller's, pop the arguments into the callee's parameter locals, link the
+// save area, and branch to the callee's first template.
+func (t *translator) emitCall(f *Func, idx int, in *Insn) {
+	a := t.asm
+	callee := t.prog.Funcs[in.Sym]
+	a.Emit(arm.SubImm(arm.R10, RLOC, frameBytes(callee)))
+	for k := callee.Params - 1; k >= 0; k-- {
+		a.Emit(pop(arm.R2), arm.Str(arm.R2, arm.R10, int32(4*k)))
+	}
+	save := saveOff(callee)
+	ret := t.newLabel("ret")
+	a.Emit(
+		arm.Str(RLOC, arm.R10, save+saveCallerLOC),
+		arm.Str(RSTK, arm.R10, save+saveCallerSTK),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(arm.Str(RPC, arm.R10, save+saveCallerPC))
+	}
+	a.MovLabel(arm.R2, ret)
+	a.Emit(
+		arm.Str(arm.R2, arm.R10, save+saveReturnPC),
+		arm.Mov(RLOC, arm.R10),
+		arm.AddImm(RSTK, RLOC, int32(4*callee.NumLocals())),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(
+			arm.MovImm(RPC, int32(t.out.FuncUnitAddr(callee.Name))),
+			arm.Ldrh(RINST, RPC, 0),
+			arm.AndImm(arm.R12, RINST, 255),
+		)
+	}
+	a.B(arm.AL, funcLabel(callee.Name))
+	a.Label(ret)
+	t.dispatch(idx)
+}
+
+// emitUnwind returns to the caller: reload its frame registers and resume
+// at the saved return address.
+func (t *translator) emitUnwind(f *Func) {
+	a := t.asm
+	a.Emit(
+		arm.AddImm(arm.R9, RLOC, saveOff(f)),
+		arm.Ldr(arm.R1, arm.R9, saveReturnPC),
+	)
+	if t.mode != ModeAOT {
+		a.Emit(arm.Ldr(RPC, arm.R9, saveCallerPC))
+	}
+	a.Emit(
+		arm.Ldr(RSTK, arm.R9, saveCallerSTK),
+		arm.Ldr(RLOC, arm.R9, saveCallerLOC),
+		arm.Instr{Op: arm.OpBX, Rm: arm.R1},
+	)
+}

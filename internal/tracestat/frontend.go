@@ -1,0 +1,75 @@
+package tracestat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FrontendBreakdown maintains one Collector per guest front end, so the
+// load→store distance distributions that justify the paper's NI=13/NT=3
+// operating point can be compared across translation disciplines. The
+// Dalvik register VM and the stack VM lower to the same event vocabulary
+// but with different template shapes (register-file moves vs operand-stack
+// push/pop traffic and spill groups), and the per-frontend histograms are
+// the calibration data an adaptive NI/NT controller would start from.
+type FrontendBreakdown struct {
+	order []string
+	cols  map[string]*Collector
+}
+
+// NewFrontendBreakdown builds an empty per-frontend collector set.
+func NewFrontendBreakdown() *FrontendBreakdown {
+	return &FrontendBreakdown{cols: make(map[string]*Collector)}
+}
+
+// Collector returns the named front end's collector, creating it (with the
+// default window sets) on first use. Feed it events by replaying traces of
+// that front end into it.
+func (fb *FrontendBreakdown) Collector(name string) *Collector {
+	if c, ok := fb.cols[name]; ok {
+		return c
+	}
+	c := NewCollector()
+	fb.cols[name] = c
+	fb.order = append(fb.order, name)
+	return c
+}
+
+// Frontends returns the front-end names in first-use order.
+func (fb *FrontendBreakdown) Frontends() []string {
+	return append([]string(nil), fb.order...)
+}
+
+// Get returns the named collector without creating it.
+func (fb *FrontendBreakdown) Get(name string) (*Collector, bool) {
+	c, ok := fb.cols[name]
+	return c, ok
+}
+
+// Finish finalizes every collector; call once after all replays.
+func (fb *FrontendBreakdown) Finish() {
+	for _, c := range fb.cols {
+		c.Finish()
+	}
+}
+
+// RenderComparison prints the distance distributions side by side: one row
+// per front end with the store→last-load population, its mean, the CDF at
+// NI ∈ {5, 13, 20} (13 is the paper's choice), the NI that would cover 95%
+// of carrying stores, and the mean store count between loads (the NT
+// pressure).
+func (fb *FrontendBreakdown) RenderComparison() string {
+	var b strings.Builder
+	b.WriteString("Per-frontend load->store distances (adaptive NI/NT calibration)\n")
+	b.WriteString("  frontend    stores    mean  CDF@5  CDF@13  CDF@20  NI@95%  stores/load\n")
+	for _, name := range fb.order {
+		c := fb.cols[name]
+		h := c.StoreToLastLoad
+		fmt.Fprintf(&b, "  %-10s %7d  %6.2f  %.3f   %.3f   %.3f  %6d  %10.2f\n",
+			name, h.Count(), h.Mean(),
+			h.CDF(5), h.CDF(13), h.CDF(20),
+			h.Quantile(0.95),
+			c.StoresBetweenLoads.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package tracestat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestFrontendBreakdown(t *testing.T) {
+	fb := NewFrontendBreakdown()
+	a := fb.Collector("dalvik")
+	if fb.Collector("dalvik") != a {
+		t.Fatal("Collector is not memoized per front end")
+	}
+	b := fb.Collector("stackvm")
+	if a == b {
+		t.Fatal("distinct front ends share a collector")
+	}
+
+	feedRaw(a, ld(1), st(3))
+	feedRaw(b, ld(1), st(10))
+	fb.Finish()
+
+	if got := fb.Frontends(); len(got) != 2 || got[0] != "dalvik" || got[1] != "stackvm" {
+		t.Fatalf("Frontends() = %v, want first-use order [dalvik stackvm]", got)
+	}
+	if _, ok := fb.Get("dalvik"); !ok {
+		t.Fatal("Get(dalvik) missing")
+	}
+	if _, ok := fb.Get("riscv"); ok {
+		t.Fatal("Get invented a front end")
+	}
+	if a.StoreToLastLoad.Count() != 1 || b.StoreToLastLoad.Count() != 1 {
+		t.Fatalf("populations %d/%d, want 1/1",
+			a.StoreToLastLoad.Count(), b.StoreToLastLoad.Count())
+	}
+	if am, bm := a.StoreToLastLoad.Mean(), b.StoreToLastLoad.Mean(); am >= bm {
+		t.Fatalf("dalvik mean %f not below stackvm mean %f", am, bm)
+	}
+	if len(a.WindowSizes()) == 0 || len(a.KthWindowSizes()) == 0 {
+		t.Fatalf("default window sets empty: %v / %v", a.WindowSizes(), a.KthWindowSizes())
+	}
+
+	out := fb.RenderComparison()
+	for _, want := range []string{"Per-frontend", "dalvik", "stackvm", "NI@95%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// feedRaw delivers events without finalizing, so the breakdown's own
+// Finish can be exercised.
+func feedRaw(c *Collector, evs ...cpu.Event) {
+	for _, ev := range evs {
+		c.Event(ev)
+	}
+}
