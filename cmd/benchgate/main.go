@@ -10,6 +10,7 @@
 //	benchgate -baseline BENCH_pipeline.json -current BENCH_current.json \
 //	    [-threshold 0.25] [-max-allocs-per-event 0.01] [-summary out.md] \
 //	    [-min-scaling 1.5] [-min-scaling-workers 4] \
+//	    [-max-bytes-per-event 6.0] [-min-decode-ratio 0.75] \
 //	    [-server-baseline BENCH_server.json -server-current BENCH_server_current.json] \
 //	    [-server-threshold 0.25] [-min-server-scaling 1.5] [-min-server-scaling-workers 4]
 //
@@ -21,6 +22,10 @@
 // workers; it is skipped (with a notice) when the measuring machine's
 // recorded NumCPU is below that worker count, because a machine without
 // the cores physically cannot exhibit the speedup being gated.
+// -max-bytes-per-event caps the candidate's average PIFTTRC2 wire cost
+// over its compression table, and -min-decode-ratio floors the v2/v1
+// decode-throughput ratio (both negative = off); these are absolute
+// properties of the candidate, no baseline needed.
 // -summary appends a benchstat-style old/new markdown table to the given
 // file (CI passes $GITHUB_STEP_SUMMARY) in addition to the stdout report.
 //
@@ -49,6 +54,8 @@ func main() {
 	maxAllocs := flag.Float64("max-allocs-per-event", 0.01, "maximum steady-state allocs per event in the candidate (the slack covers a GC emptying the batch sync.Pool mid-measurement; negative disables)")
 	minScaling := flag.Float64("min-scaling", -1, "minimum shard-owned synthetic speedup at -min-scaling-workers workers (negative disables; skipped when the candidate's NumCPU is below the worker count)")
 	minScalingWorkers := flag.Int("min-scaling-workers", 4, "worker count the -min-scaling floor applies to")
+	maxBytesPerEvent := flag.Float64("max-bytes-per-event", -1, "maximum average PIFTTRC2 wire bytes per event in the candidate's compression table (negative disables)")
+	minDecodeRatio := flag.Float64("min-decode-ratio", -1, "minimum v2/v1 decode-throughput ratio in the candidate (negative disables)")
 	summary := flag.String("summary", "", "append a markdown old/new table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	serverBase := flag.String("server-baseline", "", "committed server baseline artifact (piftbench -exp server); empty disables the server gate")
 	serverCur := flag.String("server-current", "", "freshly measured server artifact")
@@ -65,6 +72,9 @@ func main() {
 	var md strings.Builder
 	if *baseline != "" || *current != "" {
 		if gatePipeline(&md, *baseline, *current, *threshold, *maxAllocs, *minScaling, *minScalingWorkers) {
+			failed = true
+		}
+		if gateWire(&md, *current, *maxBytesPerEvent, *minDecodeRatio) {
 			failed = true
 		}
 	}
@@ -179,6 +189,62 @@ func gatePipeline(md *strings.Builder, basePath, curPath string, threshold, maxA
 				row.Speedup, minScalingWorkers, minScaling, cur.NumCPU)
 			fmt.Fprintf(md, "\nshard-owned speedup @ %d workers: **%.2fx** (floor %.2fx) — ok\n",
 				minScalingWorkers, row.Speedup, minScaling)
+		}
+	}
+	return failed
+}
+
+// gateWire enforces the wire-format gates on the candidate artifact:
+// -max-bytes-per-event caps the event-weighted average PIFTTRC2 wire
+// cost over the compression table, and -min-decode-ratio floors v2
+// decode throughput relative to v1 — the compressed format must not buy
+// its bytes with decode time. A gate asked of an artifact that carries
+// no wire data fails: the gate cannot certify what was not measured.
+// Reports failure.
+func gateWire(md *strings.Builder, curPath string, maxBytesPerEvent, minDecodeRatio float64) bool {
+	if maxBytesPerEvent < 0 && minDecodeRatio < 0 {
+		return false
+	}
+	cur, err := load(curPath)
+	fatal(err)
+
+	failed := false
+	md.WriteString("\n### benchgate: wire format\n\n")
+	if maxBytesPerEvent >= 0 {
+		switch {
+		case len(cur.Wire) == 0 || cur.BytesPerEventV2 <= 0:
+			fmt.Println("FAIL wire: candidate has no compression table — the gate cannot certify what it did not measure")
+			fmt.Fprintf(md, "v2 bytes/event: **unmeasured** (cap %.2f) — FAIL\n", maxBytesPerEvent)
+			failed = true
+		case cur.BytesPerEventV2 > maxBytesPerEvent:
+			fmt.Printf("FAIL wire: %.2f bytes/event average across %d corpora, cap %.2f\n",
+				cur.BytesPerEventV2, len(cur.Wire), maxBytesPerEvent)
+			fmt.Fprintf(md, "v2 bytes/event: **%.2f** (cap %.2f) — FAIL\n", cur.BytesPerEventV2, maxBytesPerEvent)
+			failed = true
+		default:
+			fmt.Printf("ok   wire: %.2f bytes/event average across %d corpora (cap %.2f)\n",
+				cur.BytesPerEventV2, len(cur.Wire), maxBytesPerEvent)
+			fmt.Fprintf(md, "v2 bytes/event: **%.2f** (cap %.2f) — ok\n", cur.BytesPerEventV2, maxBytesPerEvent)
+		}
+	}
+	if minDecodeRatio >= 0 {
+		switch {
+		case cur.DecodeV1PerSec <= 0 || cur.DecodeV2PerSec <= 0:
+			fmt.Println("FAIL decode: candidate has no decode-throughput measurement — the gate cannot certify what it did not measure")
+			fmt.Fprintf(md, "v2/v1 decode ratio: **unmeasured** (floor %.2f) — FAIL\n", minDecodeRatio)
+			failed = true
+		default:
+			ratio := cur.DecodeV2PerSec / cur.DecodeV1PerSec
+			if ratio < minDecodeRatio {
+				fmt.Printf("FAIL decode: v2 decodes at %.2fx of v1 (%.0f vs %.0f ev/s), floor %.2f\n",
+					ratio, cur.DecodeV2PerSec, cur.DecodeV1PerSec, minDecodeRatio)
+				fmt.Fprintf(md, "v2/v1 decode ratio: **%.2f** (floor %.2f) — FAIL\n", ratio, minDecodeRatio)
+				failed = true
+			} else {
+				fmt.Printf("ok   decode: v2 decodes at %.2fx of v1 (%.0f vs %.0f ev/s), floor %.2f\n",
+					ratio, cur.DecodeV2PerSec, cur.DecodeV1PerSec, minDecodeRatio)
+				fmt.Fprintf(md, "v2/v1 decode ratio: **%.2f** (floor %.2f) — ok\n", ratio, minDecodeRatio)
+			}
 		}
 	}
 	return failed

@@ -6,13 +6,17 @@
 //	piftbench [-exp all|fig2|table1|fig10|fig11|headline|fig12|fig13|
 //	           fig14|fig15|fig16|fig17|fig18|pipeline|stackvm]
 //	          [-frontend dalvik|stackvm] [-scale N]
-//	          [-workers 1,2,4,8] [-events 2097152]
+//	          [-workers 1,2,4,8] [-events 2097152] [-wire-format v1|v2]
 //
 // -scale sizes the LGRoot workload that drives the trace-statistics and
 // overhead experiments (default 25; larger = longer trace, smoother
 // distributions). -workers selects the worker counts the pipeline
 // experiment sweeps, and -events the size of the synthetic corpus its
 // shard-owned scaling sweep drains (0 disables that sweep).
+// -wire-format chooses the trace serialization the pipeline and server
+// sweeps ingest — the block-compressed PIFTTRC2 by default; the pipeline
+// experiment additionally reports the per-corpus v1-vs-v2 compression
+// table and cross-format decode throughput.
 //
 // -frontend selects which guest VM's benchmark suite backs the harness:
 // the Dalvik-style register VM (default) or the wasm-style stack VM. Both
@@ -39,6 +43,7 @@ import (
 	"repro/internal/droidbench"
 	"repro/internal/eval"
 	"repro/internal/malware"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -50,7 +55,11 @@ func main() {
 	jsonOut := flag.String("json", "BENCH_pipeline.json", "path for the pipeline experiment's JSON artifact (tables + metrics snapshot); empty disables")
 	serverEvents := flag.Int("server-events", 1<<20, "corpus size (events) for -exp server's session-ingest scaling sweep")
 	serverJSON := flag.String("server-json", "BENCH_server.json", "path for the server experiment's JSON artifact; empty disables")
+	wireFormat := flag.String("wire-format", "v2", "trace wire format for the -exp pipeline and -exp server corpora: v1 (PIFTTRC1) or v2 (PIFTTRC2)")
 	flag.Parse()
+
+	format, err := trace.ParseFormat(*wireFormat)
+	fatal(err)
 
 	suite, err := droidbench.SuiteFor(*feName)
 	fatal(err)
@@ -180,15 +189,23 @@ func main() {
 		counts, err := parseWorkers(*workers)
 		fatal(err)
 		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
-		bench, err := eval.PipelineBench(h, cfg, counts, 64, 3, *events)
+		bench, err := eval.PipelineBench(h, cfg, counts, 64, 3, *events, format)
 		fatal(err)
 		fmt.Println(eval.RenderPipelineParity(bench.Parity, cfg))
 		fmt.Println(eval.RenderPipelineScaling(bench.Scaling))
 		if len(bench.Synthetic) > 0 {
 			fmt.Println(eval.RenderScalingTable(
-				fmt.Sprintf("Shard-owned ingest scaling (synthetic corpus, %d events, NumCPU=%d)",
-					bench.SyntheticEvents, bench.NumCPU),
+				fmt.Sprintf("Shard-owned ingest scaling (synthetic corpus, %d events, %s, NumCPU=%d)",
+					bench.SyntheticEvents, bench.WireFormat, bench.NumCPU),
 				bench.Synthetic))
+		}
+		if len(bench.Wire) > 0 {
+			fmt.Println(eval.RenderWire(bench.Wire, &eval.DecodeBenchResult{
+				Events:   bench.SyntheticEvents,
+				V1PerSec: bench.DecodeV1PerSec,
+				V2PerSec: bench.DecodeV2PerSec,
+				Ratio:    bench.DecodeV2PerSec / bench.DecodeV1PerSec,
+			}))
 		}
 		if *jsonOut != "" {
 			fatal(writeJSONAtomic(*jsonOut, bench))
@@ -200,11 +217,11 @@ func main() {
 		counts, err := parseWorkers(*workers)
 		fatal(err)
 		cfg := core.Config{NI: 13, NT: 3, Untaint: true}
-		bench, err := eval.ServerBench(cfg, counts, *serverEvents, 3)
+		bench, err := eval.ServerBench(cfg, counts, *serverEvents, 3, format)
 		fatal(err)
 		fmt.Println(eval.RenderScalingTable(
-			fmt.Sprintf("Server session-ingest scaling (synthetic corpus, %d events, NumCPU=%d)",
-				bench.Events, bench.NumCPU),
+			fmt.Sprintf("Server session-ingest scaling (synthetic corpus, %d events, %s, NumCPU=%d)",
+				bench.Events, bench.WireFormat, bench.NumCPU),
 			bench.Scaling))
 		if *serverJSON != "" {
 			fatal(atomicfile.WriteFile(*serverJSON, bench.WriteJSON))

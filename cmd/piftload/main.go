@@ -11,7 +11,7 @@
 //	piftload -addr http://localhost:8080 [-sessions 100] [-chunks 4]
 //	         [-concurrency 16] [-ni 13] [-nt 3] [-untaint=true]
 //	         [-finalize] [-scale 20] [-health-retries 30]
-//	         [-hot N] [-hot-events M]
+//	         [-hot N] [-hot-events M] [-wire-format v1|v2]
 //
 // The tracker flags must match the ones the server was started with —
 // parity is only meaningful against the same configuration. Exit status
@@ -21,6 +21,11 @@
 // -health-retries attempts, so piftload can be started concurrently with
 // the server it drives (CI does exactly that) without a sleep-and-hope
 // shim in front of it.
+//
+// -wire-format chooses the trace serialization every request body uses:
+// the fixed-record PIFTTRC1 (default, the conservative baseline) or the
+// block-compressed PIFTTRC2. Verdicts must be identical either way — CI
+// runs both and additionally asserts the v2 pass moved fewer wire bytes.
 //
 // -hot N adds N "hot" tenants, each streaming a -hot-events-sized
 // multi-process synthetic corpus in one request — big enough to cross
@@ -47,6 +52,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/eval"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/trace/tracegen"
 )
 
@@ -63,9 +69,15 @@ func main() {
 	healthRetries := flag.Int("health-retries", 30, "attempts for the initial /healthz probe (backoff between attempts)")
 	hot := flag.Int("hot", 0, "additional hot tenants, each streaming one -hot-events multi-process corpus")
 	hotEvents := flag.Int("hot-events", 1<<17, "events per hot tenant's synthetic corpus")
+	wireFormat := flag.String("wire-format", "v1", "trace wire format for request bodies: v1 (PIFTTRC1) or v2 (PIFTTRC2)")
 	flag.Parse()
 	if *chunks < 1 {
 		*chunks = 1
+	}
+	format, err := trace.ParseFormat(*wireFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "piftload:", err)
+		os.Exit(2)
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -97,7 +109,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			n, err := driveTenant(client, *addr, h, cfg, i, *chunks, *finalize)
+			n, err := driveTenant(client, *addr, h, cfg, i, *chunks, *finalize, format)
 			events.Add(int64(n))
 			if err != nil {
 				failures.Add(1)
@@ -111,7 +123,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			n, err := driveHotTenant(client, *addr, cfg, i, *hotEvents, *finalize)
+			n, err := driveHotTenant(client, *addr, cfg, i, *hotEvents, *finalize, format)
 			events.Add(int64(n))
 			if err != nil {
 				failures.Add(1)
@@ -164,11 +176,11 @@ func checkHealth(client *http.Client, addr string, retries int) error {
 // driveHotTenant streams one synthetic multi-process corpus as a single
 // request — the shape that crosses the server's parallel-ingest
 // threshold — and verifies the session's verdicts canonically.
-func driveHotTenant(client *http.Client, addr string, cfg core.Config, i, nevents int, finalize bool) (int, error) {
+func driveHotTenant(client *http.Client, addr string, cfg core.Config, i, nevents int, finalize bool, f trace.Format) (int, error) {
 	rec := tracegen.Generate(tracegen.Spec{Seed: int64(1000 + i), Events: nevents})
 	id := fmt.Sprintf("hot-%05d", i)
 	base := addr + "/v1/sessions/" + id
-	if err := postChunk(client, base, rec.Events, 0, len(rec.Events)); err != nil {
+	if err := postChunk(client, base, rec.Events, 0, len(rec.Events), f); err != nil {
 		return 0, err
 	}
 	got, err := fetchVerdicts(client, base)
@@ -199,7 +211,7 @@ func driveHotTenant(client *http.Client, addr string, cfg core.Config, i, nevent
 // driveTenant streams tenant i's trace in `chunks` resumable requests,
 // fetches the session's verdicts, and compares them against the one-shot
 // inline tracker. Returns the number of events streamed.
-func driveTenant(client *http.Client, addr string, h *eval.Harness, cfg core.Config, i, chunks int, finalize bool) (int, error) {
+func driveTenant(client *http.Client, addr string, h *eval.Harness, cfg core.Config, i, chunks int, finalize bool, f trace.Format) (int, error) {
 	events, err := h.TenantEvents(i)
 	if err != nil {
 		return 0, err
@@ -213,7 +225,7 @@ func driveTenant(client *http.Client, addr string, h *eval.Harness, cfg core.Con
 		if end > len(events) {
 			end = len(events)
 		}
-		if err := postChunk(client, base, events, start, end); err != nil {
+		if err := postChunk(client, base, events, start, end, f); err != nil {
 			return 0, err
 		}
 	}
@@ -244,8 +256,8 @@ func driveTenant(client *http.Client, addr string, h *eval.Harness, cfg core.Con
 // postChunk sends events[start:end] as a self-contained trace stream with
 // the resume offset header, retrying on 429 backpressure and verifying
 // the acknowledged offset reaches end.
-func postChunk(client *http.Client, base string, events []cpu.Event, start, end int) error {
-	body := eval.EncodeTrace(events[start:end])
+func postChunk(client *http.Client, base string, events []cpu.Event, start, end int, f trace.Format) error {
+	body := eval.EncodeTraceFormat(events[start:end], f)
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, base+"/events", bytes.NewReader(body))
 		if err != nil {

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	pifttrace -app LGRoot [-frontend dalvik|stackvm] [-scale 25] [-disasm N]
+//	pifttrace -load trace.pift                       analyze a saved trace (either wire format)
+//	pifttrace -transcode -load in.pift -save out.pift [-wire-format v1|v2]
+//
+// -save serializes in the format chosen by -wire-format (the
+// block-compressed PIFTTRC2 by default); -load and -transcode sniff the
+// input's magic, so both PIFTTRC1 and PIFTTRC2 files are accepted
+// everywhere a trace file is read.
 package main
 
 import (
@@ -29,7 +36,29 @@ func main() {
 	disasm := flag.Uint64("disasm", 0, "print the first N retired instructions as a gem5-style listing")
 	save := flag.String("save", "", "write the recorded event trace to this file")
 	load := flag.String("load", "", "analyze a previously saved trace instead of executing an app")
+	transcode := flag.Bool("transcode", false, "convert the -load trace to -wire-format and write it to -save, skipping analysis")
+	wireFormat := flag.String("wire-format", "v2", "wire format for -save and -transcode output: v1 (PIFTTRC1) or v2 (PIFTTRC2)")
 	flag.Parse()
+
+	format, err := trace.ParseFormat(*wireFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pifttrace:", err)
+		os.Exit(2)
+	}
+
+	if *transcode {
+		if *load == "" || *save == "" {
+			fmt.Fprintln(os.Stderr, "pifttrace: -transcode needs both -load and -save")
+			os.Exit(2)
+		}
+		n, err := transcodeFile(*load, *save, format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pifttrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("transcoded %d events from %s to %s (%s)\n", n, *load, *save, format)
+		return
+	}
 
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -96,7 +125,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pifttrace:", err)
 			os.Exit(1)
 		}
-		if _, err := rec.WriteTo(f); err != nil {
+		if _, err := rec.WriteToFormat(f, format); err != nil {
 			fmt.Fprintln(os.Stderr, "pifttrace:", err)
 			os.Exit(1)
 		}
@@ -104,9 +133,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pifttrace:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("saved %d events to %s\n", rec.Len(), *save)
+		fmt.Printf("saved %d events to %s (%s)\n", rec.Len(), *save, format)
 	}
 	analyze(*app, rec)
+}
+
+// transcodeFile streams src into dst re-serialized in format f, without
+// materializing the whole trace; the source format is sniffed.
+func transcodeFile(src, dst string, f trace.Format) (uint64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	n, err := trace.Transcode(out, in, f)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(dst)
+		return 0, err
+	}
+	return n, nil
 }
 
 // analyze prints the memory-operation statistics of one trace.

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"testing"
 
@@ -52,6 +53,21 @@ var matrixWorkload = sync.OnceValues(func() ([]byte, error) {
 	return buf.Bytes(), nil
 })
 
+// matrixWorkloadV2 is the same workload on the block-compressed wire,
+// produced through the streaming transcoder so chaos also covers the
+// v1→v2 path a migrating deployment runs.
+var matrixWorkloadV2 = sync.OnceValues(func() ([]byte, error) {
+	raw, err := matrixWorkload()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := trace.Transcode(&buf, bytes.NewReader(raw), trace.FormatV2); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+})
+
 func resultKey(res pipeline.Result) string {
 	return fmt.Sprintf("%#v|%#v|%d", res.Stats, res.Verdicts, res.Events)
 }
@@ -83,7 +99,17 @@ func TestChaosMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rawV2, err := matrixWorkloadV2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := resultKey(cleanRun(t, raw))
+	// The compressed encoding must not change results: the clean v2 run
+	// is the baseline every v2 cell resumes toward, and it must be
+	// byte-identical to the v1 one.
+	if got := resultKey(cleanRun(t, rawV2)); got != want {
+		t.Fatalf("clean v2 run diverges from clean v1 run\n got %.300s\nwant %.300s", got, want)
+	}
 
 	seeds, modes := matrixSeeds, matrixModes
 	if *flagSeed != 0 {
@@ -103,10 +129,20 @@ func TestChaosMatrix(t *testing.T) {
 		for _, seed := range seeds {
 			mode, seed := mode, seed
 			t.Run(fmt.Sprintf("%s/seed%d", mode, seed), func(t *testing.T) {
-				for _, path := range []string{"push", "shard-owned"} {
-					path := path
-					t.Run(path, func(t *testing.T) {
-						runChaosCell(t, raw, want, mode, seed, path)
+				// Every cell attacks both ingest paths on both wire
+				// formats; the v2 cells corrupt arbitrary bytes (block
+				// CRCs and chain checks catch everything), the v1 cells
+				// target record kind bytes as before.
+				for _, pf := range []struct {
+					name string
+					data []byte
+				}{
+					{"push", raw}, {"shard-owned", raw},
+					{"push-v2", rawV2}, {"shard-owned-v2", rawV2},
+				} {
+					pf := pf
+					t.Run(pf.name, func(t *testing.T) {
+						runChaosCell(t, pf.data, want, mode, seed, pf.name)
 					})
 				}
 			})
@@ -138,6 +174,7 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 		},
 	}
 
+	v2 := bytes.HasPrefix(raw, []byte("PIFTTRC2"))
 	rf := chaos.NoReaderFaults()
 	switch mode {
 	case "torn-read":
@@ -147,11 +184,18 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 		rf.TornAt = in.Between(trace.HeaderSize+1, int64(len(raw)))
 		rf.MaxRead = 4096
 	case "corrupt-record":
-		nEvents := int64(len(raw)-trace.HeaderSize) / trace.EventSize
-		// Flip the high bit of a record's kind byte: always an invalid
-		// kind, so the corruption is always detected, never silently
-		// analyzed.
-		rf.CorruptAt = trace.HeaderSize + in.Between(0, nEvents)*trace.EventSize
+		if v2 {
+			// Any flipped body byte is detected: block headers are
+			// validated against the chain and the declared total, and
+			// payloads are CRC-checked.
+			rf.CorruptAt = in.Between(trace.HeaderSize, int64(len(raw)))
+		} else {
+			nEvents := int64(len(raw)-trace.HeaderSize) / trace.EventSize
+			// Flip the high bit of a record's kind byte: always an invalid
+			// kind, so the corruption is always detected, never silently
+			// analyzed.
+			rf.CorruptAt = trace.HeaderSize + in.Between(0, nEvents)*trace.EventSize
+		}
 	case "worker-panic":
 		wf := chaos.NoWorkerFaults()
 		wf.PanicWorker = int(in.Between(0, matrixWorkers))
@@ -164,7 +208,7 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 	}
 
 	var err error
-	switch path {
+	switch strings.TrimSuffix(path, "-v2") {
 	case "push":
 		stream := io.Reader(bytes.NewReader(raw))
 		if mode != "worker-panic" {
@@ -205,7 +249,7 @@ func runChaosCell(t *testing.T, raw []byte, want string, mode string, seed int64
 		}
 	}
 	var res pipeline.Result
-	if path == "push" {
+	if strings.TrimSuffix(path, "-v2") == "push" {
 		cleanSrc, err := trace.NewReader(bytes.NewReader(raw))
 		if err != nil {
 			t.Fatal(err)

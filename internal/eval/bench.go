@@ -42,10 +42,22 @@ type PipelineBenchResult struct {
 	// SyntheticEvents is the size of the tracegen corpus behind
 	// Synthetic; zero means the synthetic sweep was not run.
 	SyntheticEvents int `json:"synthetic_events,omitempty"`
+	// WireFormat is the trace format the synthetic corpus was serialized
+	// in for the Synthetic sweep ("PIFTTRC1" or "PIFTTRC2").
+	WireFormat string `json:"wire_format,omitempty"`
 	// Synthetic is the shard-owned ingest scaling sweep (DrainTrace over
 	// the serialized synthetic corpus) — the table the scaling-gate CI
 	// job enforces.
 	Synthetic []PipelineScalingRow `json:"synthetic_scaling,omitempty"`
+	// Wire is the per-corpus compression table (DroidBench apps, the
+	// suite interleave, synthetic corpora) and BytesPerEventV2 its
+	// event-weighted average — the number -max-bytes-per-event gates.
+	Wire            []WireRow `json:"wire,omitempty"`
+	BytesPerEventV2 float64   `json:"bytes_per_event_v2,omitempty"`
+	// DecodeV1PerSec / DecodeV2PerSec compare full-drain decode
+	// throughput of the two formats; -min-decode-ratio gates their ratio.
+	DecodeV1PerSec float64 `json:"decode_v1_per_sec,omitempty"`
+	DecodeV2PerSec float64 `json:"decode_v2_per_sec,omitempty"`
 	// AllocsPerEvent is the steady-state heap allocation rate of a warm
 	// single-worker pipeline (second replay of the suite workload through
 	// the same pipeline, Mallocs delta over event count). The hot path is
@@ -58,9 +70,11 @@ type PipelineBenchResult struct {
 
 // PipelineBench runs the parity check, an instrumented scaling sweep
 // over the DroidBench suite workload, and — when syntheticEvents > 0 —
-// the shard-owned synthetic scaling sweep, returning the tables plus the
-// registry snapshot of the suite sweep.
-func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, repeats, syntheticEvents int) (*PipelineBenchResult, error) {
+// the shard-owned synthetic scaling sweep (over the corpus serialized in
+// wireFormat), the wire-compression table, and the cross-format decode
+// benchmark, returning the tables plus the registry snapshot of the
+// suite sweep.
+func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, repeats, syntheticEvents int, wireFormat trace.Format) (*PipelineBenchResult, error) {
 	parity, err := PipelineParity(h, cfg, workerCounts)
 	if err != nil {
 		return nil, err
@@ -110,13 +124,23 @@ func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, rep
 		return nil, err
 	}
 	var synthetic []PipelineScalingRow
+	var wire []WireRow
+	var decode *DecodeBenchResult
 	if syntheticEvents > 0 {
-		synthetic, err = SyntheticScaling(cfg, workerCounts, syntheticEvents, repeats)
+		synthetic, err = SyntheticScaling(cfg, workerCounts, syntheticEvents, repeats, wireFormat)
+		if err != nil {
+			return nil, err
+		}
+		wire, err = WireCompression(h, quantum, syntheticEvents)
+		if err != nil {
+			return nil, err
+		}
+		decode, err = DecodeBench(syntheticEvents, repeats)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &PipelineBenchResult{
+	res := &PipelineBenchResult{
 		Config:          cfg,
 		Workers:         workerCounts,
 		Quantum:         quantum,
@@ -125,26 +149,34 @@ func PipelineBench(h *Harness, cfg core.Config, workerCounts []int, quantum, rep
 		Parity:          parity,
 		Scaling:         rows,
 		SyntheticEvents: syntheticEvents,
+		WireFormat:      wireFormat.String(),
 		Synthetic:       synthetic,
+		Wire:            wire,
+		BytesPerEventV2: AverageBytesPerEvent(wire),
 		AllocsPerEvent:  allocs,
 		Snapshot:        reg.Snapshot(),
-	}, nil
+	}
+	if decode != nil {
+		res.DecodeV1PerSec = decode.V1PerSec
+		res.DecodeV2PerSec = decode.V2PerSec
+	}
+	return res, nil
 }
 
 // SyntheticScaling times the shard-owned ingest (Pipeline.DrainTrace)
-// over a seeded tracegen corpus at each worker count. Unlike
-// PipelineScaling — which replays an in-memory recorder through the
-// single-dispatcher push path — this sweep starts from serialized bytes,
-// so decode, sharding, and batching all scale with the worker count: it
-// measures the whole ingest, not just the analysis. Every run's verdicts
-// are checked byte-identical to the first, so a scaling number can never
-// be quoted on a wrong answer.
-func SyntheticScaling(cfg core.Config, workerCounts []int, events, repeats int) ([]PipelineScalingRow, error) {
+// over a seeded tracegen corpus, serialized in format f, at each worker
+// count. Unlike PipelineScaling — which replays an in-memory recorder
+// through the single-dispatcher push path — this sweep starts from
+// serialized bytes, so decode, sharding, and batching all scale with the
+// worker count: it measures the whole ingest, not just the analysis.
+// Every run's verdicts are checked byte-identical to the first, so a
+// scaling number can never be quoted on a wrong answer.
+func SyntheticScaling(cfg core.Config, workerCounts []int, events, repeats int, f trace.Format) ([]PipelineScalingRow, error) {
 	if repeats < 1 {
 		repeats = 3
 	}
 	var wire bytes.Buffer
-	if _, err := tracegen.Generate(tracegen.Spec{Seed: 1, Events: events}).WriteTo(&wire); err != nil {
+	if _, err := tracegen.Generate(tracegen.Spec{Seed: 1, Events: events}).WriteToFormat(&wire, f); err != nil {
 		return nil, err
 	}
 	raw := wire.Bytes()

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/trace/tracegen"
 )
 
@@ -35,24 +36,27 @@ type ServerBenchResult struct {
 	// NumCPU records the measuring machine's parallelism; benchgate's
 	// -min-server-scaling floor consults it and skips enforcement on
 	// machines that physically cannot exhibit the gated speedup.
-	NumCPU   int                  `json:"num_cpu"`
-	Scaling  []PipelineScalingRow `json:"scaling"`
-	Snapshot metrics.Snapshot     `json:"metrics"`
+	NumCPU int `json:"num_cpu"`
+	// WireFormat is the trace format the corpus crossed the wire in.
+	WireFormat string               `json:"wire_format,omitempty"`
+	Scaling    []PipelineScalingRow `json:"scaling"`
+	Snapshot   metrics.Snapshot     `json:"metrics"`
 }
 
 // ServerBench times whole-stream session ingest at each worker count
-// over one seeded multi-process corpus, best-of-repeats. Every run's
-// verdicts are checked against the sequential replay in canonical order,
-// so a scaling number can never be quoted on a wrong answer. Worker
-// count 1 disables parallel ingest entirely — it is the sequential
-// baseline the speedup column is relative to.
-func ServerBench(cfg core.Config, workerCounts []int, events, repeats int) (*ServerBenchResult, error) {
+// over one seeded multi-process corpus serialized in format f,
+// best-of-repeats. Every run's verdicts are checked against the
+// sequential replay in canonical order, so a scaling number can never be
+// quoted on a wrong answer. Worker count 1 disables parallel ingest
+// entirely — it is the sequential baseline the speedup column is
+// relative to.
+func ServerBench(cfg core.Config, workerCounts []int, events, repeats int, f trace.Format) (*ServerBenchResult, error) {
 	if repeats < 1 {
 		repeats = 3
 	}
 	rec := tracegen.Generate(tracegen.Spec{Seed: 7, Events: events})
 	var wire bytes.Buffer
-	if _, err := rec.WriteTo(&wire); err != nil {
+	if _, err := rec.WriteToFormat(&wire, f); err != nil {
 		return nil, err
 	}
 	raw := wire.Bytes()
@@ -118,13 +122,14 @@ func ServerBench(cfg core.Config, workerCounts []int, events, repeats int) (*Ser
 		rows = append(rows, row)
 	}
 	return &ServerBenchResult{
-		Config:   cfg,
-		Events:   events,
-		Workers:  workerCounts,
-		Repeats:  repeats,
-		NumCPU:   runtime.NumCPU(),
-		Scaling:  rows,
-		Snapshot: reg.Snapshot(),
+		Config:     cfg,
+		Events:     events,
+		Workers:    workerCounts,
+		Repeats:    repeats,
+		NumCPU:     runtime.NumCPU(),
+		WireFormat: f.String(),
+		Scaling:    rows,
+		Snapshot:   reg.Snapshot(),
 	}, nil
 }
 

@@ -54,9 +54,18 @@ func OneShotVerdicts(events []cpu.Event, cfg core.Config) []core.SinkVerdict {
 // the body of one ingest request. A sub-slice encodes the resumed tail of
 // a stream: same format, sent with the PIFT-Offset of its first event.
 func EncodeTrace(events []cpu.Event) []byte {
+	return EncodeTraceFormat(events, trace.FormatV1)
+}
+
+// EncodeTraceFormat is EncodeTrace with the wire format chosen by the
+// caller: PIFTTRC1 fixed records or PIFTTRC2 compressed blocks. Both are
+// self-contained and both serve as a resumed tail — v2 re-blocks the
+// sub-slice from event zero, which the server accepts because offsets
+// travel in the PIFT-Offset header, not the payload.
+func EncodeTraceFormat(events []cpu.Event, f trace.Format) []byte {
 	var buf bytes.Buffer
 	rec := &trace.Recorder{Events: events}
-	if _, err := rec.WriteTo(&buf); err != nil {
+	if _, err := rec.WriteToFormat(&buf, f); err != nil {
 		// bytes.Buffer writes cannot fail; a codec error here is a bug.
 		panic(err)
 	}

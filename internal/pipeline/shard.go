@@ -14,11 +14,12 @@ import (
 // Shard-owned ingest — the scaling path. Drain/drainBatched funnel every
 // event through one dispatcher goroutine, which decodes, shards, and
 // batches alone while N workers wait on it; past a few workers the
-// dispatcher IS the pipeline. DrainTrace removes it: the fixed-stride
-// PIFTTRC1 format lets a segment planner pre-split the trace by pure
-// arithmetic (trace.PlanRange), and each of N readers then owns its
-// segment from bytes to batches — its own trace.Reader, its own decode
-// buffer, its own shard partitioning — handing batches to workers over
+// dispatcher IS the pipeline. DrainTrace removes it: a segment planner
+// pre-splits the trace by pure arithmetic — over the fixed record stride
+// for PIFTTRC1, over the block index for PIFTTRC2 (trace.LoadIndex) —
+// and each of N readers then owns its segment from bytes to batches —
+// its own trace.Reader, its own decode buffer, its own shard
+// partitioning — handing batches to workers over
 // single-producer/single-consumer rings (one per reader×worker pair, so
 // every ring really is SPSC).
 //
@@ -37,19 +38,25 @@ import (
 // fire at precisely the same absolute offsets as Drain, against quiescent
 // trackers, and a checkpoint written here restores onto either path.
 
-// DrainTrace consumes the serialized PIFTTRC1 trace in ra through
-// shard-owned readers and returns the merged result, honoring the same
-// checkpoint policy as Drain. A pipeline restored from a checkpoint
-// resumes by calling DrainTrace on the same bytes: the planner starts at
-// Offset(), no Skip needed. On a decode, checkpoint, or cancellation
-// error the pipeline is shut down cleanly and the error returned; the
-// partial Result is discarded.
+// DrainTrace consumes the serialized trace in ra — either wire format,
+// sniffed from the header — through shard-owned readers and returns the
+// merged result, honoring the same checkpoint policy as Drain. For a
+// block-compressed PIFTTRC2 trace the planner works over the block index
+// (trace.LoadIndex) instead of the fixed record stride; segment
+// boundaries snap to blocks but phase and checkpoint offsets stay in
+// event counts, so checkpoints fire at identical offsets on both
+// formats. A pipeline restored from a checkpoint resumes by calling
+// DrainTrace on the same bytes: the planner starts at Offset(), no Skip
+// needed. On a decode, checkpoint, or cancellation error the pipeline is
+// shut down cleanly and the error returned; the partial Result is
+// discarded.
 func (p *Pipeline) DrainTrace(ctx context.Context, ra io.ReaderAt) (Result, error) {
-	total, err := trace.ReadHeader(ra)
+	idx, err := trace.LoadIndex(ra)
 	if err != nil {
 		p.Close()
 		return Result{}, err
 	}
+	total := idx.Count()
 	if p.events > total {
 		p.Close()
 		return Result{}, fmt.Errorf("pipeline: resume offset %d beyond trace length %d", p.events, total)
@@ -70,7 +77,7 @@ func (p *Pipeline) DrainTrace(ctx context.Context, ra io.ReaderAt) (Result, erro
 				end = next
 			}
 		}
-		if err := p.runPhase(ctx, ra, p.events, end); err != nil {
+		if err := p.runPhase(ctx, idx, ra, p.events, end); err != nil {
 			p.Close()
 			return Result{}, err
 		}
@@ -90,9 +97,9 @@ func (p *Pipeline) DrainTrace(ctx context.Context, ra io.ReaderAt) (Result, erro
 // error says why not) and the workers are quiescent — the phase
 // WaitGroup's Wait edge publishes their tracker state to this goroutine,
 // which is what entitles the caller to checkpoint next.
-func (p *Pipeline) runPhase(ctx context.Context, ra io.ReaderAt, first, end uint64) error {
+func (p *Pipeline) runPhase(ctx context.Context, idx *trace.Index, ra io.ReaderAt, first, end uint64) error {
 	nw := len(p.workers)
-	segs := trace.PlanRange(first, end-first, nw, p.opts.BatchSize)
+	segs := idx.PlanRange(first, end-first, nw, p.opts.BatchSize)
 	rings := make([][]*ring.Ring[[]cpu.Event], len(segs)) // [reader][worker]
 	for r := range rings {
 		rings[r] = make([]*ring.Ring[[]cpu.Event], nw)
@@ -117,7 +124,7 @@ func (p *Pipeline) runPhase(ctx context.Context, ra io.ReaderAt, first, end uint
 	for r, seg := range segs {
 		go func(r int, seg trace.Segment) {
 			defer readers.Done()
-			errs[r] = p.readSegment(ctx, ra, seg, rings[r])
+			errs[r] = p.readSegment(ctx, idx, ra, seg, rings[r])
 		}(r, seg)
 	}
 	readers.Wait()
@@ -137,13 +144,13 @@ func (p *Pipeline) runPhase(ctx context.Context, ra io.ReaderAt, first, end uint
 // rings are closed on the way out, success or not: a closed ring is the
 // segment-end marker the draining worker keys on, and closing even on
 // error is what keeps a failed phase from wedging its workers.
-func (p *Pipeline) readSegment(ctx context.Context, ra io.ReaderAt, seg trace.Segment, out []*ring.Ring[[]cpu.Event]) (err error) {
+func (p *Pipeline) readSegment(ctx context.Context, idx *trace.Index, ra io.ReaderAt, seg trace.Segment, out []*ring.Ring[[]cpu.Event]) (err error) {
 	defer func() {
 		for _, q := range out {
 			q.Close()
 		}
 	}()
-	r := trace.NewSegmentReader(ra, seg)
+	r := idx.SegmentReader(ra, seg)
 	buf := make([]cpu.Event, p.opts.BatchSize)
 	pending := make([][]cpu.Event, len(out))
 	for w := range pending {

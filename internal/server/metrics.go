@@ -21,6 +21,7 @@ type serverMetrics struct {
 	streamsInFlight *metrics.Gauge   // ingest streams currently admitted
 	streamsRejected *metrics.Counter // 429s from the global stream cap
 	ingestErrors    *metrics.Counter // ingest requests that ended in an error class
+	ingestBytes     *metrics.Counter // wire bytes drawn from ingest request bodies
 	ingestSeconds   *metrics.Histogram
 
 	parallelIngests    *metrics.Counter // requests committed through the sharded pipeline
@@ -55,6 +56,7 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m.streamsInFlight = r.Gauge("pift_server_streams_in_flight", "ingest streams currently admitted")
 	m.streamsRejected = r.Counter("pift_server_streams_rejected_total", "ingest streams rejected 429 by the global concurrency cap")
 	m.ingestErrors = r.Counter("pift_server_ingest_errors_total", "ingest requests that ended in an error class")
+	m.ingestBytes = r.Counter("pift_server_ingest_bytes_total", "wire bytes drawn from ingest request bodies, all tenants")
 	m.ingestSeconds = r.Histogram("pift_server_ingest_seconds", "wall time of one ingest request", metrics.LatencyBuckets)
 
 	m.parallelIngests = r.Counter("pift_server_parallel_ingests_total", "ingest requests committed through the sharded pipeline")

@@ -172,10 +172,12 @@ func normalizeCut(err error) error {
 
 // ingestParallel drains one request through grant pipeline shards.
 // Caller holds sess.mu and the worker grant; hdr is the complete
-// pre-read 16-byte wire header. finishIngest is the caller's.
-func (s *Server) ingestParallel(sess *session, body io.Reader, hdr []byte, declared, skip uint64, grant int, resp IngestResponse) (IngestResponse, *IngestError) {
-	expect := int64(trace.HeaderSize) + int64(declared)*trace.EventSize
-	if s.cfg.MaxSpoolBytes < 0 || expect > s.cfg.MaxSpoolBytes {
+// pre-read 16-byte wire header; expect is the total request size in
+// bytes, header included — exact record arithmetic for PIFTTRC1, the
+// transport's Content-Length for PIFTTRC2, non-positive when the
+// transport didn't say (chunked v2). finishIngest is the caller's.
+func (s *Server) ingestParallel(sess *session, body io.Reader, hdr []byte, expect int64, declared, skip uint64, grant int, resp IngestResponse) (IngestResponse, *IngestError) {
+	if expect < int64(len(hdr)) || s.cfg.MaxSpoolBytes < 0 || expect > s.cfg.MaxSpoolBytes {
 		return s.ingestStreaming(sess, body, hdr, declared, skip, grant, resp)
 	}
 	sp := s.spoolBody(hdr, body, expect)

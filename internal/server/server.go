@@ -322,12 +322,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // commits at CommitEvery-aligned offsets; every other path commits every
 // decoded event, exactly as the sequential server always has).
 //
-// Routing: the fixed 16-byte wire header is pre-read so the declared
-// event count is known before any decode path is chosen. Small or
+// Routing: the fixed 16-byte wire header — identical in shape for
+// PIFTTRC1 and PIFTTRC2, so the magic and declared event count are
+// known before any decode path is chosen — is pre-read. Small or
 // budget-starved requests take the legacy sequential loop; large ones
 // fan out across pipeline shards, preferring the seekable shard-owned
 // drain over a spooled copy of the body and falling back to the push
-// path when the body is too big to spool.
+// path when the body is too big to spool (or, for v2, when the
+// transport didn't declare a length to spool by).
+//
+// Both formats share one resume contract, expressed in event counts: a
+// cut PIFTTRC1 body acks at the exact event the cut landed on, a cut
+// PIFTTRC2 body at the last whole block decoded before it — the reader
+// refuses a torn or CRC-damaged block outright, so no partial-block
+// event is ever applied — and the client resends from the ack either
+// way.
 func (s *Server) ingestLocked(sess *session, r *http.Request) (IngestResponse, *IngestError) {
 	resp := IngestResponse{Session: sess.id, Acked: sess.acked.Load()}
 	if sess.tr == nil && !sess.spilled.Load() {
@@ -367,7 +376,10 @@ func (s *Server) ingestLocked(sess *session, r *http.Request) (IngestResponse, *
 	}
 
 	cr := &countingBody{r: r.Body}
-	defer func() { sess.mBytes.Add(uint64(cr.n)) }()
+	defer func() {
+		sess.mBytes.Add(uint64(cr.n))
+		s.m.ingestBytes.Add(uint64(cr.n))
+	}()
 	// Pre-read the fixed-size header. Parsing it through trace.NewReader
 	// over exactly the bytes (and terminal error) the body yielded keeps
 	// the error classification byte-for-byte what the legacy in-line
@@ -393,7 +405,15 @@ func (s *Server) ingestLocked(sess *session, r *http.Request) (IngestResponse, *
 			s.budget.release(grant)
 			s.m.workersLoaned.Add(int64(-grant))
 		}()
-		resp, ierr := s.ingestParallel(sess, cr, hdr[:], declared, skip, grant, resp)
+		// How many body bytes must the spool capture? PIFTTRC1 is pure
+		// arithmetic over the fixed record stride. PIFTTRC2 blocks have no
+		// size formula, so the transport's declared length stands in; a
+		// chunked v2 body (ContentLength < 0) can't be sized and streams.
+		expect := int64(trace.HeaderSize) + int64(declared)*trace.EventSize
+		if htr.Format() == trace.FormatV2 {
+			expect = r.ContentLength
+		}
+		resp, ierr := s.ingestParallel(sess, cr, hdr[:], expect, declared, skip, grant, resp)
 		s.finishIngest(sess, &resp, verdictsBefore)
 		return resp, ierr
 	}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"io"
+
+	"repro/internal/cpu"
 )
 
 // Binary trace format — the stand-in for the gem5 trace files the paper's
@@ -45,18 +47,24 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 	written += 8
 	var rec [eventWireSize]byte
 	for _, ev := range r.Events {
-		rec[0] = byte(ev.Kind)
-		binary.LittleEndian.PutUint32(rec[1:], ev.PID)
-		binary.LittleEndian.PutUint64(rec[5:], ev.Seq)
-		binary.LittleEndian.PutUint32(rec[13:], ev.Range.Start)
-		binary.LittleEndian.PutUint32(rec[17:], ev.Range.End)
-		binary.LittleEndian.PutUint32(rec[21:], uint32(int32(ev.Tag)))
+		putEventV1(rec[:], ev)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return written, err
 		}
 		written += eventWireSize
 	}
 	return written, bw.Flush()
+}
+
+// putEventV1 encodes one fixed-stride PIFTTRC1 record into rec, which
+// must be at least eventWireSize bytes.
+func putEventV1(rec []byte, ev cpu.Event) {
+	rec[0] = byte(ev.Kind)
+	binary.LittleEndian.PutUint32(rec[1:], ev.PID)
+	binary.LittleEndian.PutUint64(rec[5:], ev.Seq)
+	binary.LittleEndian.PutUint32(rec[13:], ev.Range.Start)
+	binary.LittleEndian.PutUint32(rec[17:], ev.Range.End)
+	binary.LittleEndian.PutUint32(rec[21:], uint32(int32(ev.Tag)))
 }
 
 // ReadFrom deserializes a trace written by WriteTo, materializing the full

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"repro/internal/cpu"
 )
 
 // FuzzReadFrom feeds arbitrary bytes to the trace decoder: it must never
@@ -40,6 +42,91 @@ func FuzzReadFrom(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDecodeV2 drives the block decoder over arbitrary bytes: it must
+// never panic, every failure must classify into exactly one taxonomy
+// sentinel (so the server can map it to a 4xx and never a 5xx), a clean
+// drain must deliver exactly the declared count, and anything accepted
+// must round-trip through the v2 encoder byte-for-byte.
+func FuzzDecodeV2(f *testing.F) {
+	good := randomTrace(300, 3)
+	var buf bytes.Buffer
+	if _, err := good.WriteToFormat(&buf, FormatV2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()-3]) // mid-payload truncation
+	f.Add(buf.Bytes()[:HeaderSize+blockHeaderSize-2])
+	f.Add([]byte("PIFTTRC2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !isSentinelF(err) {
+				t.Fatalf("NewReader error outside the taxonomy: %v", err)
+			}
+			return
+		}
+		var events uint64
+		var lastErr error
+		dst := make([]cpu.Event, 37)
+		rec := NewRecorder(0)
+		for {
+			n, err := r.NextBatch(dst)
+			rec.Events = append(rec.Events, dst[:n]...)
+			events += uint64(n)
+			if err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if lastErr == io.EOF {
+			if events != r.Len() {
+				t.Fatalf("clean EOF after %d of %d events", events, r.Len())
+			}
+			if r.Format() != FormatV2 {
+				return // v1 bytes are FuzzReader's concern
+			}
+			var out bytes.Buffer
+			if _, err := rec.WriteToFormat(&out, FormatV2); err != nil {
+				t.Fatalf("re-encode of accepted v2 trace failed: %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), data) {
+				// The encoder is canonical (fixed block size, greedy
+				// runs), so accepted-but-noncanonical inputs can differ;
+				// they must still decode to the same events.
+				back, err := ReadFrom(bytes.NewReader(out.Bytes()))
+				if err != nil || len(back.Events) != len(rec.Events) {
+					t.Fatalf("v2 round trip failed: %v", err)
+				}
+				for i := range rec.Events {
+					if back.Events[i] != rec.Events[i] {
+						t.Fatalf("v2 round trip changed event %d", i)
+					}
+				}
+			}
+			return
+		}
+		if errors.Is(lastErr, io.EOF) {
+			t.Fatalf("stream died after %d of %d events with an EOF-flavored error: %v", events, r.Len(), lastErr)
+		}
+		if !isSentinelF(lastErr) {
+			t.Fatalf("decode error outside the taxonomy: %v", lastErr)
+		}
+	})
+}
+
+// isSentinelF mirrors the taxonomy test helper for fuzzing: exactly one
+// of the four sentinels.
+func isSentinelF(err error) bool {
+	n := 0
+	for _, s := range []error{ErrTruncated, ErrCorrupt, ErrBadMagic, ErrTooLarge} {
+		if errors.Is(err, s) {
+			n++
+		}
+	}
+	return n == 1
 }
 
 // FuzzReader drives the streaming decoder over arbitrary bytes and checks

@@ -39,14 +39,24 @@ func truncated(err error) error {
 // for a complete one.
 type Reader struct {
 	br    *bufio.Reader
-	count uint64 // declared event count from the header
+	count uint64 // declared event count (a segment reader's logical end)
 	read  uint64 // events decoded so far
-	buf   []byte // NextBatch block-read scratch, grown once and reused
+	buf   []byte // block-read scratch, grown once and reused
+
+	// PIFTTRC2 state; zero for a v1 stream.
+	v2        bool
+	total     uint64      // physical declared count (count can stop short of it)
+	nextBlock uint64      // first event index of the next block on the stream
+	pending   []cpu.Event // decoded events of the current block, reused
+	pendPos   int         // cursor into pending
+	sc        decScratch  // dictionary/index/delta-chain scratch, reused
 }
 
-// NewReader wraps r, reading and validating the trace header. The stream
-// must then be drained with Next; the first call after the last event
-// returns io.EOF.
+// NewReader wraps r, reading and validating the trace header. The wire
+// format — PIFTTRC1 or PIFTTRC2 — is sniffed from the magic; everything
+// after that (Next/NextBatch/Skip/Offset, the error taxonomy) behaves
+// identically for both. The stream must then be drained with Next; the
+// first call after the last event returns io.EOF.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
@@ -56,7 +66,12 @@ func NewReader(r io.Reader) (*Reader, error) {
 		// a zero-byte stream — is a truncation, not a clean end.
 		return nil, fmt.Errorf("trace: reading magic: %w", truncated(err))
 	}
-	if magic != traceMagic {
+	var v2 bool
+	switch magic {
+	case traceMagic:
+	case traceMagicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("trace: %w: bad magic %q", ErrBadMagic, magic[:])
 	}
 	var hdr [8]byte
@@ -70,7 +85,15 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if count > sanityCap {
 		return nil, fmt.Errorf("trace: %w: %d", ErrTooLarge, count)
 	}
-	return &Reader{br: br, count: count}, nil
+	return &Reader{br: br, count: count, v2: v2, total: count}, nil
+}
+
+// Format reports which wire format the stream carries.
+func (d *Reader) Format() Format {
+	if d.v2 {
+		return FormatV2
+	}
+	return FormatV1
 }
 
 // Len returns the total event count declared by the trace header.
@@ -94,6 +117,9 @@ func (d *Reader) Offset() uint64 { return d.read }
 func (d *Reader) Skip(n uint64) error {
 	if n > d.Remaining() {
 		return fmt.Errorf("trace: skip %d events beyond remaining %d", n, d.Remaining())
+	}
+	if d.v2 {
+		return d.skipV2(n)
 	}
 	// Discard in bounded chunks: int(n)*eventWireSize would overflow int
 	// on 32-bit platforms for large n, and bufio.Discard takes an int.
@@ -135,6 +161,9 @@ func (d *Reader) NextBatch(dst []cpu.Event) (int, error) {
 	}
 	if d.read >= d.count {
 		return 0, io.EOF
+	}
+	if d.v2 {
+		return d.nextBatchV2(dst)
 	}
 	n := uint64(len(dst))
 	if n > maxDecodeBatch {
@@ -186,6 +215,9 @@ func (d *Reader) NextBatch(dst []cpu.Event) (int, error) {
 func (d *Reader) Next() (cpu.Event, error) {
 	if d.read >= d.count {
 		return cpu.Event{}, io.EOF
+	}
+	if d.v2 {
+		return d.nextV2()
 	}
 	var rec [eventWireSize]byte
 	if _, err := io.ReadFull(d.br, rec[:]); err != nil {

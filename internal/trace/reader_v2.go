@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/cpu"
+)
+
+// The PIFTTRC2 decode path. A v2 Reader decodes one block at a time into
+// a reused scratch slice (d.pending) and serves Next/NextBatch out of it,
+// so after the first block grows the scratch the steady state allocates
+// nothing — the same contract the v1 batch path has. Because blocks are
+// self-contained, a reader positioned mid-block (a segment reader, or a
+// resume Skip landing inside a block) decodes its containing block and
+// discards the prefix; the extra work is bounded by one block per
+// segment boundary.
+
+// readBlockHeader reads and validates the next 20-byte block header.
+// Contiguity (the block's first event index must be exactly where the
+// stream stands) is what turns any reordered, duplicated, or spliced
+// block into ErrCorrupt instead of silently misattributed events.
+func (d *Reader) readBlockHeader() (first uint64, bcount, clen int, crc uint32, err error) {
+	var hdr [blockHeaderSize]byte
+	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
+		// The file header declared more events, so running dry between
+		// blocks or inside a block header is a truncation.
+		return 0, 0, 0, 0, fmt.Errorf("trace: event %d: block header: %w", d.read, truncated(err))
+	}
+	first = binary.LittleEndian.Uint64(hdr[0:])
+	count := binary.LittleEndian.Uint32(hdr[8:])
+	length := binary.LittleEndian.Uint32(hdr[12:])
+	crc = binary.LittleEndian.Uint32(hdr[16:])
+	if first != d.nextBlock {
+		return 0, 0, 0, 0, fmt.Errorf("trace: event %d: %w: block claims first event %d, want %d", d.read, ErrCorrupt, first, d.nextBlock)
+	}
+	if count == 0 || count > maxBlockEvents || first+uint64(count) > d.total {
+		return 0, 0, 0, 0, fmt.Errorf("trace: event %d: %w: block claims %d events at %d of %d", d.read, ErrCorrupt, count, first, d.total)
+	}
+	if length > maxBlockBytes {
+		return 0, 0, 0, 0, fmt.Errorf("trace: event %d: %w: block claims %d payload bytes", d.read, ErrTooLarge, length)
+	}
+	return first, int(count), int(length), crc, nil
+}
+
+// loadBlock reads, checksums, and decodes one block's payload into
+// d.pending, leaving the cursor on the event the stream stands at (which
+// can be mid-block for segment readers).
+func (d *Reader) loadBlock(first uint64, bcount, clen int, crc uint32) error {
+	if cap(d.buf) < clen {
+		d.buf = make([]byte, clen)
+	}
+	payload := d.buf[:clen]
+	if _, err := io.ReadFull(d.br, payload); err != nil {
+		return fmt.Errorf("trace: event %d: block payload: %w", d.read, truncated(err))
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != crc {
+		return fmt.Errorf("trace: block at event %d: %w: checksum mismatch", first, ErrCorrupt)
+	}
+	if cap(d.pending) < bcount {
+		d.pending = make([]cpu.Event, bcount)
+	}
+	d.pending = d.pending[:bcount]
+	if err := decodeBlockPayload(payload, d.pending, first, &d.sc); err != nil {
+		d.pending = d.pending[:0]
+		d.pendPos = 0
+		return err
+	}
+	if d.read < first || d.read-first >= uint64(bcount) {
+		d.pending = d.pending[:0]
+		d.pendPos = 0
+		return fmt.Errorf("trace: block at event %d: %w: does not contain event %d", first, ErrCorrupt, d.read)
+	}
+	d.pendPos = int(d.read - first)
+	d.nextBlock = first + uint64(bcount)
+	return nil
+}
+
+// decodeBlock advances the stream to the next block and decodes it.
+func (d *Reader) decodeBlock() error {
+	first, bcount, clen, crc, err := d.readBlockHeader()
+	if err != nil {
+		return err
+	}
+	return d.loadBlock(first, bcount, clen, crc)
+}
+
+func (d *Reader) nextV2() (cpu.Event, error) {
+	if d.pendPos >= len(d.pending) {
+		if err := d.decodeBlock(); err != nil {
+			return cpu.Event{}, err
+		}
+	}
+	ev := d.pending[d.pendPos]
+	d.pendPos++
+	d.read++
+	return ev, nil
+}
+
+func (d *Reader) nextBatchV2(dst []cpu.Event) (int, error) {
+	if d.pendPos >= len(d.pending) {
+		if err := d.decodeBlock(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(dst, d.pending[d.pendPos:])
+	// A segment reader's logical end can land mid-block: serve only up
+	// to it, like a v1 reader whose section ran out of records.
+	if rem := d.count - d.read; uint64(n) > rem {
+		n = int(rem)
+	}
+	d.pendPos += n
+	d.read += uint64(n)
+	return n, nil
+}
+
+// skipV2 advances past n events. Whole blocks inside the skip are
+// discarded by their declared payload length without checksum or decode —
+// the same "resume trusts the checkpointing pass" contract v1's Skip has —
+// and only a final partially-skipped block is actually decoded.
+func (d *Reader) skipV2(n uint64) error {
+	target := d.read + n
+	for n > 0 {
+		if d.pendPos < len(d.pending) {
+			c := uint64(len(d.pending) - d.pendPos)
+			if c > n {
+				c = n
+			}
+			d.pendPos += int(c)
+			d.read += c
+			n -= c
+			continue
+		}
+		first, bcount, clen, crc, err := d.readBlockHeader()
+		if err != nil {
+			return fmt.Errorf("trace: skipping to event %d: %w", target, err)
+		}
+		if uint64(bcount) <= n {
+			if _, err := d.br.Discard(clen); err != nil {
+				return fmt.Errorf("trace: skipping to event %d: %w", target, truncated(err))
+			}
+			d.read += uint64(bcount)
+			n -= uint64(bcount)
+			d.nextBlock = first + uint64(bcount)
+			continue
+		}
+		if err := d.loadBlock(first, bcount, clen, crc); err != nil {
+			return fmt.Errorf("trace: skipping to event %d: %w", target, err)
+		}
+	}
+	return nil
+}

@@ -74,16 +74,18 @@ func PlanSegments(total uint64, readers, batch int) []Segment {
 }
 
 // ReadHeader validates the trace header in ra and returns the declared
-// event count — the entry point for segment-planned ingestion, where the
-// body is then read through per-segment readers rather than one stream.
-// The error taxonomy matches NewReader: ErrBadMagic, ErrTooLarge, and
-// ErrTruncated-wrapped io.ErrUnexpectedEOF on a header cut short.
+// event count. Both wire formats share the same 16-byte header shape, so
+// this sniffs the magic like NewReader does; segment-planned ingestion
+// over a v2 trace additionally needs the block table and should use
+// LoadIndex (which subsumes this check) instead. The error taxonomy
+// matches NewReader: ErrBadMagic, ErrTooLarge, and ErrTruncated-wrapped
+// io.ErrUnexpectedEOF on a header cut short.
 func ReadHeader(ra io.ReaderAt) (uint64, error) {
 	var hdr [HeaderSize]byte
 	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
 		return 0, fmt.Errorf("trace: reading header: %w", truncated(err))
 	}
-	if [8]byte(hdr[:8]) != traceMagic {
+	if magic := [8]byte(hdr[:8]); magic != traceMagic && magic != traceMagicV2 {
 		return 0, fmt.Errorf("trace: %w: bad magic %q", ErrBadMagic, hdr[:8])
 	}
 	count := binary.LittleEndian.Uint64(hdr[8:])

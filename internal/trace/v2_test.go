@@ -1,0 +1,438 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// uniformTrace builds a deterministic, highly regular trace: PIDs switch
+// in runs of 64, Seq steps by a constant, ranges cycle through a small
+// window. Full 4096-event blocks of it encode to byte-identical sizes,
+// which the strict zero-alloc gate relies on.
+func uniformTrace(n int) *Recorder {
+	r := NewRecorder(n)
+	for i := 0; i < n; i++ {
+		r.Event(cpu.Event{
+			Kind:  cpu.EventKind(i % 4),
+			PID:   uint32(1 + (i/64)%8),
+			Seq:   uint64(i) * 3,
+			Range: mem.Range{Start: uint32(4096 + (i%32)*8), End: uint32(4096 + (i%32)*8 + 8)},
+			Tag:   i%5 - 2,
+		})
+	}
+	return r
+}
+
+// encodeFormat serializes rec in the given format, failing the test on
+// any error.
+func encodeFormat(t testing.TB, rec *Recorder, f Format) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := rec.WriteToFormat(&buf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteToFormat reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, DefaultBlockEvents - 1, DefaultBlockEvents, DefaultBlockEvents + 1, 3*DefaultBlockEvents + 17} {
+		orig := randomTrace(n, int64(n)+7)
+		data := encodeFormat(t, orig, FormatV2)
+		back, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(back.Events) != n {
+			t.Fatalf("n=%d: decoded %d events", n, len(back.Events))
+		}
+		for i := range orig.Events {
+			if back.Events[i] != orig.Events[i] {
+				t.Fatalf("n=%d: event %d differs: %+v vs %+v", n, i, back.Events[i], orig.Events[i])
+			}
+		}
+	}
+}
+
+func TestV2FormatSniffing(t *testing.T) {
+	orig := randomTrace(100, 11)
+	for _, f := range []Format{FormatV1, FormatV2} {
+		r, err := NewReader(bytes.NewReader(encodeFormat(t, orig, f)))
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if r.Format() != f {
+			t.Fatalf("sniffed %v, want %v", r.Format(), f)
+		}
+		if r.Len() != 100 {
+			t.Fatalf("%v: Len %d", f, r.Len())
+		}
+	}
+}
+
+// TestV2WriteToFormatV1 pins WriteToFormat(FormatV1) to the legacy
+// serializer byte for byte.
+func TestV2WriteToFormatV1(t *testing.T) {
+	orig := randomTrace(500, 13)
+	var legacy bytes.Buffer
+	if _, err := orig.WriteTo(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeFormat(t, orig, FormatV1), legacy.Bytes()) {
+		t.Fatal("WriteToFormat(FormatV1) differs from WriteTo")
+	}
+}
+
+// TestV2NextNextBatchParity proves the three consumption styles agree on
+// a v2 stream across batch sizes straddling block boundaries.
+func TestV2NextNextBatchParity(t *testing.T) {
+	orig := randomTrace(2*DefaultBlockEvents+123, 19)
+	data := encodeFormat(t, orig, FormatV2)
+	for _, batch := range []int{1, 7, 256, DefaultBlockEvents, DefaultBlockEvents + 1, 1 << 16} {
+		sr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := drainBatch(sr, batch)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if len(got) != orig.Len() {
+			t.Fatalf("batch=%d: %d events, want %d", batch, len(got), orig.Len())
+		}
+		for i := range got {
+			if got[i] != orig.Events[i] {
+				t.Fatalf("batch=%d: event %d differs", batch, i)
+			}
+		}
+		if n, err := sr.NextBatch(make([]cpu.Event, 4)); n != 0 || err != io.EOF {
+			t.Fatalf("batch=%d: NextBatch after drain = (%d, %v)", batch, n, err)
+		}
+	}
+}
+
+// TestV2Skip checks resume positioning across block-aligned, mid-block,
+// and multi-block skips.
+func TestV2Skip(t *testing.T) {
+	total := 2*DefaultBlockEvents + 500
+	orig := randomTrace(total, 23)
+	data := encodeFormat(t, orig, FormatV2)
+	for _, skip := range []uint64{0, 1, 63, DefaultBlockEvents - 1, DefaultBlockEvents, DefaultBlockEvents + 1, 2*DefaultBlockEvents + 499, uint64(total)} {
+		sr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.Skip(skip); err != nil {
+			t.Fatalf("skip %d: %v", skip, err)
+		}
+		if sr.Offset() != skip {
+			t.Fatalf("skip %d: offset %d", skip, sr.Offset())
+		}
+		got, err := drainBatch(sr, 300)
+		if err != nil {
+			t.Fatalf("skip %d: %v", skip, err)
+		}
+		want := orig.Events[skip:]
+		if len(got) != len(want) {
+			t.Fatalf("skip %d: %d events, want %d", skip, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("skip %d: event %d differs", skip, i)
+			}
+		}
+	}
+	// Skipping beyond the declared count is an error, same as v1.
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Skip(uint64(total) + 1); err == nil {
+		t.Fatal("skip past the end accepted")
+	}
+}
+
+// TestV2IndexPlanCover is the segment-planning property test: for every
+// (readers, range) combination the planned segments are contiguous,
+// non-overlapping, cover the range exactly, and each SegmentReader
+// delivers exactly its slice of the original events with absolute
+// offsets.
+func TestV2IndexPlanCover(t *testing.T) {
+	total := 3*DefaultBlockEvents + 700
+	orig := randomTrace(total, 29)
+	data := encodeFormat(t, orig, FormatV2)
+	ra := bytes.NewReader(data)
+	idx, err := LoadIndex(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Format() != FormatV2 || idx.Count() != uint64(total) {
+		t.Fatalf("index: format %v count %d", idx.Format(), idx.Count())
+	}
+	if want := (total + DefaultBlockEvents - 1) / DefaultBlockEvents; idx.Blocks() != want {
+		t.Fatalf("index has %d blocks, want %d", idx.Blocks(), want)
+	}
+	ranges := [][2]uint64{
+		{0, uint64(total)},
+		{0, 100},
+		{1000, 9000},
+		{DefaultBlockEvents, DefaultBlockEvents},
+		{uint64(total) - 1, 1},
+		{137, uint64(total) - 137},
+	}
+	for _, readers := range []int{1, 2, 3, 4, 8, 64} {
+		for _, rg := range ranges {
+			first, count := rg[0], rg[1]
+			segs := idx.PlanRange(first, count, readers, 512)
+			if count == 0 {
+				if segs != nil {
+					t.Fatalf("empty range planned %d segments", len(segs))
+				}
+				continue
+			}
+			if len(segs) > readers {
+				t.Fatalf("readers=%d range=%v: planned %d segments", readers, rg, len(segs))
+			}
+			at := first
+			for _, seg := range segs {
+				if seg.First != at || seg.Count == 0 {
+					t.Fatalf("readers=%d range=%v: segment %+v breaks cover at %d", readers, rg, seg, at)
+				}
+				at = seg.End()
+			}
+			if at != first+count {
+				t.Fatalf("readers=%d range=%v: cover ends at %d", readers, rg, at)
+			}
+			for _, seg := range segs {
+				sr := idx.SegmentReader(ra, seg)
+				if sr.Offset() != seg.First {
+					t.Fatalf("segment %+v: starts at offset %d", seg, sr.Offset())
+				}
+				got, err := drainBatch(sr, 512)
+				if err != nil {
+					t.Fatalf("segment %+v: %v", seg, err)
+				}
+				want := orig.Events[seg.First:seg.End()]
+				if len(got) != len(want) {
+					t.Fatalf("segment %+v: %d events, want %d", seg, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("segment %+v: event %d differs", seg, i)
+					}
+				}
+				if sr.Offset() != seg.End() {
+					t.Fatalf("segment %+v: ends at offset %d", seg, sr.Offset())
+				}
+			}
+		}
+	}
+}
+
+// TestV2IndexV1 checks the index is format-agnostic: over a v1 trace it
+// defers to the fixed-stride planner and readers.
+func TestV2IndexV1(t *testing.T) {
+	orig := randomTrace(10000, 31)
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ra := bytes.NewReader(buf.Bytes())
+	idx, err := LoadIndex(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Format() != FormatV1 || idx.Count() != 10000 || idx.Blocks() != 0 {
+		t.Fatalf("v1 index: %v %d %d", idx.Format(), idx.Count(), idx.Blocks())
+	}
+	segs := idx.PlanRange(100, 8000, 4, 512)
+	if want := PlanRange(100, 8000, 4, 512); len(segs) != len(want) {
+		t.Fatalf("v1 plan diverged: %v vs %v", segs, want)
+	}
+	for _, seg := range segs {
+		sr := idx.SegmentReader(ra, seg)
+		got, err := drainBatch(sr, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != orig.Events[seg.First+uint64(i)] {
+				t.Fatalf("segment %+v: event %d differs", seg, i)
+			}
+		}
+	}
+}
+
+// TestV2EmptyTrace: zero events serialize to a bare header in both
+// formats and decode cleanly.
+func TestV2EmptyTrace(t *testing.T) {
+	data := encodeFormat(t, NewRecorder(0), FormatV2)
+	if len(data) != HeaderSize {
+		t.Fatalf("empty v2 trace is %d bytes", len(data))
+	}
+	back, err := ReadFrom(bytes.NewReader(data))
+	if err != nil || back.Len() != 0 {
+		t.Fatalf("empty v2 trace: %v, %d events", err, back.Len())
+	}
+	idx, err := LoadIndex(bytes.NewReader(data))
+	if err != nil || idx.Blocks() != 0 || idx.PlanSegments(4, 512) != nil {
+		t.Fatalf("empty v2 index: %v", err)
+	}
+}
+
+// TestV2BlockWriterMisuse pins the writer's contract errors: appending
+// past the declared count, and closing short of it.
+func TestV2BlockWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBlockWriter(&buf, 1, 0)
+	if err := bw.Append(cpu.Event{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(cpu.Event{}); err == nil {
+		t.Fatal("append past the declared count accepted")
+	}
+	bw = NewBlockWriter(&buf, 2, 0)
+	if err := bw.Append(cpu.Event{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("short close accepted")
+	}
+	// Unencodable events are rejected like the v1 decoder would reject
+	// their records: unknown kind, inverted range.
+	bw = NewBlockWriter(&buf, 1, 1)
+	if err := bw.Append(cpu.Event{Kind: 200}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+	bw = NewBlockWriter(&buf, 1, 1)
+	if err := bw.Append(cpu.Event{Range: mem.Range{Start: 10, End: 3}}); err == nil {
+		t.Fatal("inverted range encoded")
+	}
+}
+
+// TestV2Transcode round-trips a trace v1→v2→v1 through the streaming
+// transcoder and requires the final bytes to be identical to the
+// original serialization.
+func TestV2Transcode(t *testing.T) {
+	orig := randomTrace(2*DefaultBlockEvents+99, 37)
+	v1 := encodeFormat(t, orig, FormatV1)
+	var v2 bytes.Buffer
+	n, err := Transcode(&v2, bytes.NewReader(v1), FormatV2)
+	if err != nil || n != uint64(orig.Len()) {
+		t.Fatalf("v1→v2: %d events, %v", n, err)
+	}
+	if !bytes.Equal(v2.Bytes(), encodeFormat(t, orig, FormatV2)) {
+		t.Fatal("transcoded v2 differs from direct v2 encoding")
+	}
+	var back bytes.Buffer
+	n, err = Transcode(&back, bytes.NewReader(v2.Bytes()), FormatV1)
+	if err != nil || n != uint64(orig.Len()) {
+		t.Fatalf("v2→v1: %d events, %v", n, err)
+	}
+	if !bytes.Equal(back.Bytes(), v1) {
+		t.Fatal("v1→v2→v1 is not byte-identical")
+	}
+}
+
+// TestV2GoldenBytes pins the exact wire bytes of a small fixed trace, so
+// any change to the encoding — varint order, zigzag convention, CRC
+// polynomial, header layout — fails loudly instead of silently forking
+// the format.
+func TestV2GoldenBytes(t *testing.T) {
+	rec := NewRecorder(6)
+	rec.Event(cpu.Event{Kind: cpu.EvSourceRegister, PID: 7, Seq: 100, Range: mem.Range{Start: 4096, End: 4100}, Tag: 1})
+	rec.Event(cpu.Event{Kind: cpu.EvLoad, PID: 7, Seq: 101, Range: mem.Range{Start: 4096, End: 4100}})
+	rec.Event(cpu.Event{Kind: cpu.EvStore, PID: 7, Seq: 103, Range: mem.Range{Start: 4104, End: 4112}})
+	rec.Event(cpu.Event{Kind: cpu.EvLoad, PID: 9, Seq: 50, Range: mem.Range{Start: 4104, End: 4112}})
+	rec.Event(cpu.Event{Kind: cpu.EvSinkCheck, PID: 9, Seq: 52, Range: mem.Range{Start: 4104, End: 4108}, Tag: -3})
+	rec.Event(cpu.Event{Kind: cpu.EvStore, PID: 7, Seq: 104, Range: mem.Range{Start: 4096, End: 4100}})
+	got := encodeFormat(t, rec, FormatV2)
+	const golden = "" +
+		"5049465454524332" + // magic "PIFTTRC2"
+		"0600000000000000" + // count = 6
+		"0000000000000000" + // block 0: first = 0
+		"06000000" + // block 0: count = 6
+		"24000000" + // block 0: clen = 36
+		"b66df30f" + // block 0: CRC-32C of the payload
+		"020709" + // pid dict: 2 entries, PIDs 7 and 9
+		"000301020001" + // pid runs: dict[0]×3, dict[1]×2, dict[0]×1
+		"0a0001001701" + // kind/tag: kind | zigzag(tag)<<2
+		"c8010204640402" + // seq deltas: zigzag, chained per PID from 0
+		"804000109040000f" + // range-start deltas: zigzag, chained per PID from 0
+		"040408080404" // range lengths
+	want, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestV2NextBatchAllocationFree is the v2 steady-state gate: after the
+// first blocks size the scratch buffers, batched decode of a uniform
+// stream allocates nothing — including across block boundaries.
+func TestV2NextBatchAllocationFree(t *testing.T) {
+	orig := uniformTrace(40 * DefaultBlockEvents)
+	data := encodeFormat(t, orig, FormatV2)
+	sr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]cpu.Event, 256)
+	// Warm through two full blocks so every scratch is at steady size.
+	for sr.Offset() < 2*DefaultBlockEvents {
+		if _, err := sr.NextBatch(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(300, func() {
+		if _, err := sr.NextBatch(dst); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("v2 NextBatch allocates %v times per call", n)
+	}
+}
+
+// BenchmarkReaderV2NextBatch measures v2 batched decode against the same
+// uniform corpus serialized as v1, for a like-for-like events/sec
+// comparison (`go test -bench V2NextBatch -benchtime ...`).
+func BenchmarkReaderV2NextBatch(b *testing.B) {
+	orig := uniformTrace(100000)
+	for _, f := range []Format{FormatV1, FormatV2} {
+		var buf bytes.Buffer
+		if _, err := orig.WriteToFormat(&buf, f); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.Run(f.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			dst := make([]cpu.Event, 1024)
+			for i := 0; i < b.N; i++ {
+				sr, err := NewReader(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					_, err := sr.NextBatch(dst)
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
